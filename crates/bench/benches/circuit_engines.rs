@@ -1,0 +1,81 @@
+//! Criterion benches for the SPICE-class substrate: transient integrator
+//! ablation (BE vs trapezoidal vs Gear-2) and sparse-LU assembly/solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfsim::circuit::prelude::*;
+use rfsim::circuit::Circuit;
+use rfsim::numerics::sparse::Triplets;
+
+fn ladder_dae(n: usize) -> rfsim::circuit::CircuitDae {
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("in");
+    ckt.add(VSource::sine("V1", inp, Circuit::GROUND, 0.0, 1.0, 1e6));
+    let mut prev = inp;
+    for i in 0..n {
+        let node = ckt.node(&format!("n{i}"));
+        ckt.add(Resistor::new(&format!("R{i}"), prev, node, 100.0));
+        ckt.add(Capacitor::new(&format!("C{i}"), node, Circuit::GROUND, 1e-11));
+        prev = node;
+    }
+    ckt.add(Diode::new("D1", prev, Circuit::GROUND, 1e-14));
+    ckt.into_dae().expect("netlist")
+}
+
+fn bench_integrators(c: &mut Criterion) {
+    let dae = ladder_dae(30);
+    let mut g = c.benchmark_group("transient_integrators");
+    g.sample_size(10);
+    for (name, integ) in [
+        ("backward_euler", Integrator::BackwardEuler),
+        ("trapezoidal", Integrator::Trapezoidal),
+        ("gear2", Integrator::Gear2),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                transient(
+                    &dae,
+                    0.0,
+                    5e-6,
+                    &TranOptions { integrator: integ, dt: 5e-9, ..Default::default() },
+                )
+                .expect("transient")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparse_lu(c: &mut Criterion) {
+    // A 2-D grid Laplacian, the canonical sparse pattern.
+    let n = 40;
+    let mut t = Triplets::new(n * n, n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let row = i * n + j;
+            t.push(row, row, 4.0);
+            if i > 0 {
+                t.push(row, row - n, -1.0);
+            }
+            if i + 1 < n {
+                t.push(row, row + n, -1.0);
+            }
+            if j > 0 {
+                t.push(row, row - 1, -1.0);
+            }
+            if j + 1 < n {
+                t.push(row, row + 1, -1.0);
+            }
+        }
+    }
+    let a = t.to_csr();
+    let b: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.1).sin()).collect();
+    let mut g = c.benchmark_group("sparse_lu");
+    g.sample_size(20);
+    g.bench_function("factor_1600", |bch| bch.iter(|| a.lu().expect("lu")));
+    let lu = a.lu().expect("lu");
+    g.bench_function("solve_1600", |bch| bch.iter(|| lu.solve(&b).expect("solve")));
+    g.finish();
+}
+
+criterion_group!(benches, bench_integrators, bench_sparse_lu);
+criterion_main!(benches);

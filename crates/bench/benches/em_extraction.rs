@@ -1,0 +1,57 @@
+//! Criterion benches for extraction: IES³ build/matvec vs dense (the Fig 6
+//! scaling at two sizes) and the FD volume solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfsim::em::fd::{FdConductor, FdProblem};
+use rfsim::em::geom::mesh_parallel_plates;
+use rfsim::em::ies3::{CompressedMatrix, Ies3Options};
+use rfsim::em::mom::MomProblem;
+use rfsim::em::GreenFn;
+
+fn bench_ies3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ies3_scaling");
+    g.sample_size(10);
+    for n_side in [8usize, 16] {
+        let panels = mesh_parallel_plates(1e-3, 1e-4, n_side);
+        let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).expect("mom");
+        let n = p.len();
+        g.bench_with_input(BenchmarkId::new("dense_assemble", n), &p, |b, p| {
+            b.iter(|| p.assemble_dense())
+        });
+        g.bench_with_input(BenchmarkId::new("ies3_build", n), &p, |b, p| {
+            b.iter(|| {
+                CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default())
+                    .expect("ies3")
+            })
+        });
+        let dense = p.assemble_dense();
+        let cm = CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default())
+            .expect("ies3");
+        let x = vec![1.0; n];
+        g.bench_with_input(BenchmarkId::new("dense_matvec", n), &x, |b, x| {
+            b.iter(|| dense.matvec(x))
+        });
+        g.bench_with_input(BenchmarkId::new("ies3_matvec", n), &x, |b, x| {
+            b.iter(|| cm.matvec(x))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fd_volume_solve");
+    g.sample_size(10);
+    let prob = FdProblem {
+        nx: 14,
+        ny: 14,
+        nz: 14,
+        h: 1e-5,
+        eps_r: 1.0,
+        conductors: vec![FdConductor { x: (5, 9), y: (5, 9), z: (6, 8) }],
+    };
+    g.bench_function("laplace_14cubed", |b| b.iter(|| prob.solve(&[1.0]).expect("fd")));
+    g.finish();
+}
+
+criterion_group!(benches, bench_ies3, bench_fd);
+criterion_main!(benches);

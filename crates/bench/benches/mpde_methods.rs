@@ -1,0 +1,69 @@
+//! Criterion benches for the MPDE family on the Fig 4 switching mixer:
+//! MMFT vs MFDTD vs hierarchical shooting vs univariate shooting — the
+//! Fig 5 cost comparison at benchable scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfsim::mpde::{
+    hierarchical_shooting, solve_mfdtd, solve_mmft, HsOptions, MfdtdOptions, MmftOptions,
+};
+use rfsim::steady::{shooting, ShootingOptions};
+use rfsim_bench::{switching_mixer, MixerSpec};
+
+fn bench_mpde(c: &mut Criterion) {
+    // Ratio 30 keeps univariate shooting benchable.
+    let spec = MixerSpec { f_rf: 30e6, f_lo: 900e6, ..Default::default() };
+    let (dae, _) = switching_mixer(&spec);
+    let mut g = c.benchmark_group("mmft_speedup");
+    g.sample_size(10);
+    g.bench_function("mmft", |b| {
+        b.iter(|| {
+            solve_mmft(
+                &dae,
+                spec.f_rf,
+                spec.f_lo,
+                &MmftOptions { slow_harmonics: 3, n2: 50, ..Default::default() },
+            )
+            .expect("mmft")
+        })
+    });
+    g.bench_function("mfdtd", |b| {
+        b.iter(|| {
+            solve_mfdtd(
+                &dae,
+                1.0 / spec.f_rf,
+                1.0 / spec.f_lo,
+                &MfdtdOptions { n1: 7, n2: 50, ..Default::default() },
+            )
+            .expect("mfdtd")
+        })
+    });
+    g.bench_function("hierarchical_shooting", |b| {
+        b.iter(|| {
+            hierarchical_shooting(
+                &dae,
+                1.0 / spec.f_rf,
+                1.0 / spec.f_lo,
+                &HsOptions { n1: 7, n2: 50, ..Default::default() },
+            )
+            .expect("hs")
+        })
+    });
+    g.bench_function("univariate_shooting", |b| {
+        b.iter(|| {
+            shooting(
+                &dae,
+                1.0 / spec.f_rf,
+                &ShootingOptions {
+                    steps_per_period: 30 * 50,
+                    tol: 1e-7,
+                    ..Default::default()
+                },
+            )
+            .expect("shooting")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mpde);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for phase noise: the PPV pipeline (the paper's
+//! "efficient numerical methods") vs brute-force Monte Carlo — the §3
+//! efficiency claim in bench form.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfsim::phasenoise::montecarlo::{monte_carlo_ensemble, McOptions};
+use rfsim::phasenoise::oscillator::VanDerPol;
+use rfsim::phasenoise::ppv::compute_ppv;
+use rfsim::phasenoise::pss::{oscillator_pss, PssOptions};
+use rfsim::phasenoise::spectrum::PhaseNoiseAnalysis;
+
+fn bench_ppv_vs_mc(c: &mut Criterion) {
+    let osc = VanDerPol::new(1.0, 1e-5);
+    let mut g = c.benchmark_group("ppv_vs_mc");
+    g.sample_size(10);
+    g.bench_function("ppv_pipeline", |b| {
+        b.iter(|| {
+            let pss =
+                oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).expect("pss");
+            let ppv = compute_ppv(&osc, &pss).expect("ppv");
+            PhaseNoiseAnalysis::new(&osc, &pss, &ppv, 0).expect("analysis").c
+        })
+    });
+    let pss = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).expect("pss");
+    g.bench_function("monte_carlo_32x20", |b| {
+        b.iter(|| {
+            monte_carlo_ensemble(
+                &osc,
+                &pss.x0,
+                pss.period,
+                &McOptions { ensemble: 32, periods: 20, ..Default::default() },
+            )
+            .expect("mc")
+            .c_estimate
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ppv_vs_mc);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for model reduction: construction cost of
+//! AWE/PVL/Arnoldi/PRIMA at equal order, and the wideband noise evaluation
+//! (direct vs ROM).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfsim::rom::arnoldi::arnoldi_rom;
+use rfsim::rom::awe::awe_rom;
+use rfsim::rom::noise_rom::{noise_psd_direct, noise_psd_rom, RomNoiseSource};
+use rfsim::rom::prima::prima_rom;
+use rfsim::rom::pvl::pvl_rom;
+use rfsim::rom::statespace::{log_freqs, rc_line};
+
+fn bench_reducers(c: &mut Criterion) {
+    let sys = rc_line(400, 50.0, 1e-12);
+    let q = 10;
+    let mut g = c.benchmark_group("rom_methods");
+    g.sample_size(20);
+    g.bench_function("awe", |b| b.iter(|| awe_rom(&sys, 0.0, q).expect("awe")));
+    g.bench_function("pvl", |b| b.iter(|| pvl_rom(&sys, 0.0, q).expect("pvl")));
+    g.bench_function("arnoldi", |b| b.iter(|| arnoldi_rom(&sys, 0.0, q).expect("arnoldi")));
+    g.bench_function("prima", |b| b.iter(|| prima_rom(&sys, 0.0, q).expect("prima")));
+    g.finish();
+}
+
+fn bench_noise(c: &mut Criterion) {
+    let n = 200;
+    let sys = rc_line(n, 50.0, 1e-12);
+    let sources: Vec<RomNoiseSource> = (0..n - 1)
+        .step_by(25)
+        .map(|pos| {
+            let mut b = vec![0.0; sys.order()];
+            b[pos] = 1.0;
+            b[pos + 1] = -1.0;
+            RomNoiseSource { b, psd: 3.3e-22 }
+        })
+        .collect();
+    let freqs = log_freqs(1e4, 1e8, 200);
+    let mut g = c.benchmark_group("noise_rom");
+    g.sample_size(10);
+    g.bench_function("direct_per_freq", |b| {
+        b.iter(|| noise_psd_direct(&sys, &sources, &freqs).expect("direct"))
+    });
+    g.bench_function("rom_amortized", |b| {
+        b.iter(|| noise_psd_rom(&sys, &sources, &freqs, 10).expect("rom"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reducers, bench_noise);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benches for the steady-state engines: the HB solver-backend
+//! ablation (direct vs GMRES ± preconditioner) and shooting cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfsim::steady::{shooting, solve_hb, HbOptions, HbSolver, ShootingOptions, SpectralGrid};
+use rfsim_bench::{quadrature_modulator, switching_mixer, MixerSpec, ModulatorSpec};
+
+fn bench_hb_solvers(c: &mut Criterion) {
+    let spec = ModulatorSpec { f_bb: 1e6, f_lo: 100e6, ..Default::default() };
+    let (dae, _) = quadrature_modulator(&spec);
+    let grid = SpectralGrid::two_tone(
+        rfsim::steady::ToneAxis::new(spec.f_bb, 3),
+        rfsim::steady::ToneAxis::new(spec.f_lo, 3),
+    )
+    .expect("grid");
+    let mut g = c.benchmark_group("hb_solver_ablation");
+    g.sample_size(10);
+    g.bench_function("gmres_precond", |b| {
+        b.iter(|| solve_hb(&dae, &grid, &HbOptions::default()).expect("hb"))
+    });
+    g.bench_function("gmres_plain", |b| {
+        b.iter(|| {
+            solve_hb(
+                &dae,
+                &grid,
+                &HbOptions { solver: HbSolver::Gmres { precondition: false }, ..Default::default() },
+            )
+            .expect("hb")
+        })
+    });
+    g.bench_function("direct_dense", |b| {
+        b.iter(|| {
+            solve_hb(&dae, &grid, &HbOptions { solver: HbSolver::Direct, ..Default::default() })
+                .expect("hb")
+        })
+    });
+    g.finish();
+}
+
+fn bench_shooting(c: &mut Criterion) {
+    let spec = MixerSpec { f_rf: 10e6, f_lo: 100e6, ..Default::default() };
+    let (dae, _) = switching_mixer(&spec);
+    let mut g = c.benchmark_group("shooting");
+    g.sample_size(10);
+    g.bench_function("mixer_ratio_10", |b| {
+        b.iter(|| {
+            shooting(
+                &dae,
+                1.0 / spec.f_rf,
+                &ShootingOptions { steps_per_period: 500, tol: 1e-7, ..Default::default() },
+            )
+            .expect("shooting")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hb_solvers, bench_shooting);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! E1 — Fig 1: modulator in-band spectrum by harmonic balance.
+//!
+//! Reproduces the spectrum structure of the paper's dual-conversion
+//! quadrature modulator run: the wanted sideband, the −35 dBc image from
+//! layout (gain) imbalance, and the −78 dBc LO feedthrough that
+//! "the numerical dynamic range of the transient simulation was
+//! insufficient to pick up". The transient comparison quantifies that
+//! noise floor.
+//!
+//! Default frequencies are scaled (1 MHz / 100 MHz) so the harness runs in
+//! seconds; pass `--paper-scale` for the 80 kHz / 1.62 GHz original (HB
+//! cost is unchanged — that is the point — but the transient comparison
+//! becomes very slow, which is also the point).
+
+use rfsim::circuit::transient::{transient, TranOptions};
+use rfsim::numerics::fft::{amplitude_spectrum, dbc, hann_window};
+use rfsim::steady::{solve_hb, HbOptions, SpectralGrid, ToneAxis};
+use rfsim_bench::{fmt_dbc, heading, paper_scale, quadrature_modulator, timed, ModulatorSpec};
+
+fn main() {
+    // The default baseband is deliberately incommensurate with the
+    // carrier: HB is "particularly natural in the case of incommensurate
+    // multi-tone drive" (§2.1), while no transient FFT window is then
+    // exactly periodic — which is where its dynamic-range floor comes from.
+    let spec = if paper_scale() {
+        ModulatorSpec::default()
+    } else {
+        ModulatorSpec { f_bb: 1.0001237e6, f_lo: 100e6, ..Default::default() }
+    };
+    println!("E1: modulator in-band spectrum (Fig 1)");
+    println!("baseband {:.3e} Hz, carrier {:.3e} Hz", spec.f_bb, spec.f_lo);
+
+    let (dae, out) = quadrature_modulator(&spec);
+    let oi = dae.node_index(out).expect("out node");
+    let grid = SpectralGrid::two_tone(ToneAxis::new(spec.f_bb, 3), ToneAxis::new(spec.f_lo, 3))
+        .expect("grid");
+    let (sol, t_hb) = timed(|| solve_hb(&dae, &grid, &HbOptions::default()).expect("hb"));
+    let carrier = sol.amplitude(oi, &[-1, 1]); // wanted (lower) sideband
+
+    heading("harmonic-balance spectrum (mixes around the carrier)");
+    println!("{:>10} {:>14} {:>12} {:>9}", "mix(k,m)", "freq (Hz)", "amp (V)", "dBc");
+    let mut rows: Vec<([i32; 2], f64)> = Vec::new();
+    for k in -3i32..=3 {
+        rows.push(([k, 1], sol.amplitude(oi, &[k, 1])));
+    }
+    rows.sort_by(|a, b| {
+        sol.grid
+            .mix_freq(&a.0)
+            .partial_cmp(&sol.grid.mix_freq(&b.0))
+            .expect("finite freq")
+    });
+    for (mix, amp) in &rows {
+        println!(
+            "{:>10} {:>14.4e} {:>12.4e} {}",
+            format!("({},{})", mix[0], mix[1]),
+            sol.grid.mix_freq(mix),
+            amp,
+            fmt_dbc(dbc(*amp, carrier))
+        );
+    }
+    println!(
+        "\nimage sideband: {} dBc (paper: −35 dBc, out of spec)",
+        fmt_dbc(dbc(sol.amplitude(oi, &[1, 1]), carrier))
+    );
+    println!(
+        "LO feedthrough: {} dBc (paper: −78 dBc spurious response)",
+        fmt_dbc(dbc(sol.amplitude(oi, &[0, 1]), carrier))
+    );
+    println!("HB solve time: {t_hb:.2} s, unknowns: {}", sol.stats.unknowns);
+
+    // Transient comparison: simulate 17 slow periods (1 settle + 16 for
+    // the analysis window), FFT with a Hann window, and try to read the
+    // −78 dBc LO leak off the spectrum.
+    heading("conventional transient comparison (dynamic-range floor)");
+    let periods = 8.0;
+    let steps_per_lo = 40.0;
+    let dt = 1.0 / (spec.f_lo * steps_per_lo);
+    let t_end = (periods + 1.0) / spec.f_bb;
+    let (tran, t_tr) = timed(|| {
+        transient(&dae, 0.0, t_end, &TranOptions { dt, ..Default::default() }).expect("transient")
+    });
+    let n_fft = 1 << 17;
+    let y = tran.resample(oi, 1.0 / spec.f_bb, t_end, n_fft);
+    let w = hann_window(n_fft);
+    let yw: Vec<f64> = y.iter().zip(&w).map(|(a, b)| a * b).collect();
+    let amp = amplitude_spectrum(&yw);
+    let df = spec.f_bb / periods;
+    let bin_of = |f: f64| (f / df).round() as usize;
+    let b_car = bin_of(spec.f_lo);
+    let b_want = bin_of(spec.f_lo - spec.f_bb);
+    let b_img = bin_of(spec.f_lo + spec.f_bb);
+    let carrier_tr = amp[b_want];
+    println!("transient run: {:.2} s for {} steps", t_tr, tran.times.len());
+    let img_tr = dbc(amp[b_img], carrier_tr);
+    let leak_tr = dbc(amp[b_car], carrier_tr);
+    println!(
+        "detected: image {} dBc (true −35.0); LO leak {} dBc (true −78.1)",
+        fmt_dbc(img_tr),
+        fmt_dbc(leak_tr),
+    );
+    // The effective floor near the carrier: Hann sidelobe leakage from the
+    // 0 dBc sideband plus integration error; measured as the median level
+    // of the signal-free bins within ±50 bins of the carrier.
+    let mut floor: Vec<f64> = (b_img.saturating_sub(50)..b_want + 50)
+        .filter(|i| {
+            let d = |b: usize| (*i as i64 - b as i64).unsigned_abs();
+            d(b_car) > 3 && d(b_want) > 3 && d(b_img) > 3
+        })
+        .map(|i| amp[i])
+        .collect();
+    floor.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median_floor = dbc(floor.get(floor.len() / 2).copied().unwrap_or(0.0), carrier_tr);
+    println!("leakage/error floor near the carrier: {} dBc", fmt_dbc(median_floor));
+    println!(
+        "LO-leak estimate error vs truth: {:.1} dB{}",
+        (leak_tr - (-78.1)).abs(),
+        if median_floor > -78.0 {
+            " — floor sits ABOVE the −78 dBc spur: transient cannot resolve it"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "\nconclusion: HB reads the −78 dBc spur directly from its harmonic\n\
+         amplitudes; the transient estimate is at the mercy of windowing\n\
+         leakage and integration error — the paper's §2.1 dynamic-range claim."
+    );
+}

@@ -1,0 +1,83 @@
+//! E4 — Figs 2–3: univariate vs bivariate representation cost.
+//!
+//! The paper's motivating example: `y(t) = sin(2πt)·pulse(t/T₂)` is
+//! "expensive to represent in the time domain because 10⁹ pulses of
+//! different shapes need to be sampled before the waveform repeats",
+//! while the bivariate form `ŷ(t₁, t₂)` needs a fixed grid whose size
+//! "does not depend on the separation of the two time scales". We measure
+//! the reconstruction accuracy of a fixed 32×64 bivariate grid across six
+//! orders of magnitude of scale separation, against the sample count a
+//! univariate representation needs for the same per-pulse resolution.
+
+use rfsim::mpde::BivariateWaveform;
+use rfsim_bench::heading;
+
+/// The paper's pulse train: smooth raised-cosine pulse, 30% duty.
+fn pulse(t: f64) -> f64 {
+    let x = t.rem_euclid(1.0);
+    if x < 0.3 {
+        0.5 * (1.0 - (2.0 * std::f64::consts::PI * x / 0.3).cos())
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    println!("E4: bivariate representation of y(t) = sin(2πt)·pulse(t/T2) (Figs 2–3)");
+    let (n1, n2) = (32, 64);
+    heading("fixed 32×64 bivariate grid vs scale separation");
+    println!(
+        "{:>12} {:>14} {:>16} {:>12} {:>12}",
+        "T1/T2", "bivar samples", "univar samples", "ratio", "max err"
+    );
+    for exp in [2u32, 3, 4, 5, 6] {
+        let sep = 10f64.powi(exp as i32);
+        let t2 = 1.0 / sep;
+        let w = BivariateWaveform::from_fn(1.0, t2, n1, n2, |a, b| {
+            (2.0 * std::f64::consts::PI * a).sin() * pulse(b / t2)
+        });
+        // Accuracy of the diagonal reconstruction at off-grid times. At
+        // huge separations evaluate a sub-interval (the error is
+        // periodic); always compare against the exact y(t).
+        let m = 4001;
+        let probe_end = (1000.0 * t2).min(1.0);
+        let mut max_err = 0.0f64;
+        for j in 0..m {
+            let t = probe_end * (j as f64 + 0.37) / m as f64;
+            let exact = (2.0 * std::f64::consts::PI * t).sin() * pulse(t / t2);
+            let got = w.eval(t, t, 0);
+            max_err = max_err.max((got - exact).abs());
+        }
+        let univar = w.samples_univariate_equivalent();
+        println!(
+            "{:>12.0e} {:>14} {:>16.3e} {:>12.2e} {:>12.3e}",
+            sep,
+            w.samples(),
+            univar,
+            univar / w.samples() as f64,
+            max_err
+        );
+    }
+    println!(
+        "\nshape: the bivariate sample count is constant and the reconstruction\n\
+         error is separation-independent, while the univariate representation\n\
+         grows linearly with T1/T2 (10⁹ pulses in the paper's example)."
+    );
+
+    heading("grid refinement at fixed separation 10⁴ (accuracy knob)");
+    println!("{:>10} {:>12} {:>12}", "grid", "samples", "max err");
+    for (g1, g2) in [(8, 16), (16, 32), (32, 64), (64, 128)] {
+        let t2 = 1e-4;
+        let w = BivariateWaveform::from_fn(1.0, t2, g1, g2, |a, b| {
+            (2.0 * std::f64::consts::PI * a).sin() * pulse(b / t2)
+        });
+        let m = 4001;
+        let mut max_err = 0.0f64;
+        for j in 0..m {
+            let t = 0.05 * (j as f64 + 0.37) / m as f64;
+            let exact = (2.0 * std::f64::consts::PI * t).sin() * pulse(t / t2);
+            max_err = max_err.max((w.eval(t, t, 0) - exact).abs());
+        }
+        println!("{:>10} {:>12} {:>12.3e}", format!("{g1}x{g2}"), g1 * g2, max_err);
+    }
+}

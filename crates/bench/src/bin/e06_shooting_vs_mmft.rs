@@ -1,0 +1,61 @@
+//! E6 — Fig 5: univariate shooting on the switching mixer, and the ~300×
+//! MMFT speedup.
+//!
+//! The paper: "The output produced by univariate shooting … using 50
+//! steps per fast period, took almost 300 times as long as the new
+//! algorithm." Univariate shooting must resolve the full common period
+//! `1/f₁` at LO resolution — `f₂/f₁` fast cycles × 50 steps each — while
+//! MMFT's cost is separation-independent. The default run uses a reduced
+//! ratio (`f₂/f₁ = 90`) so it finishes in seconds, then extrapolates the
+//! measured per-step cost to the paper's ratio of 9000; pass
+//! `--paper-scale` to run the full-ratio shooting for real.
+
+use rfsim::mpde::{solve_mmft, MmftOptions};
+use rfsim::steady::{shooting, ShootingOptions};
+use rfsim_bench::{heading, paper_scale, switching_mixer, timed, MixerSpec};
+
+fn main() {
+    let full = paper_scale();
+    let spec = if full {
+        MixerSpec::default() // ratio 9000
+    } else {
+        MixerSpec { f_rf: 10e6, f_lo: 900e6, ..Default::default() } // ratio 90
+    };
+    let ratio = spec.f_lo / spec.f_rf;
+    println!("E6: univariate shooting vs MMFT (Fig 5), f2/f1 = {ratio:.0}");
+    let (dae, out) = switching_mixer(&spec);
+    let oi = dae.node_index(out).expect("out node");
+
+    heading("MMFT (3 RF harmonics, 50 LO steps)");
+    let opts = MmftOptions { slow_harmonics: 3, n2: 50, ..Default::default() };
+    let (mmft, t_mmft) = timed(|| solve_mmft(&dae, spec.f_rf, spec.f_lo, &opts).expect("mmft"));
+    let main_mmft = mmft.mix_amplitude(oi, 1, 1);
+    println!("time {:.3} s, 900.1-equivalent mix {:.2} mV", t_mmft, main_mmft * 1e3);
+
+    heading("univariate shooting (50 steps per fast period over the common period)");
+    let steps = (ratio.round() as usize) * 50;
+    println!("steps per shooting iteration: {steps}");
+    let sh_opts = ShootingOptions { steps_per_period: steps, tol: 1e-7, ..Default::default() };
+    let (sh, t_sh) = timed(|| shooting(&dae, 1.0 / spec.f_rf, &sh_opts).expect("shooting"));
+    // The desired mix at f2 + f1 is harmonic (ratio + 1) of the common
+    // fundamental f1.
+    let main_sh = sh.amplitude(oi, ratio.round() as i32 + 1);
+    println!(
+        "time {:.2} s, {} outer Newton iters, {} linear solves",
+        t_sh, sh.newton_iterations, sh.linear_solves
+    );
+    println!("desired-mix amplitude: {:.2} mV (MMFT: {:.2} mV)", main_sh * 1e3, main_mmft * 1e3);
+
+    heading("speedup");
+    let measured = t_sh / t_mmft;
+    println!("measured speedup at ratio {ratio:.0}: {measured:.0}×");
+    if !full {
+        // Shooting cost ∝ ratio; MMFT cost flat.
+        let extrapolated = measured * (9000.0 / ratio);
+        println!(
+            "extrapolated to the paper's ratio 9000: ~{extrapolated:.0}× \
+             (paper: 'almost 300 times')"
+        );
+        println!("(run with --paper-scale to measure the full ratio directly)");
+    }
+}

@@ -1,0 +1,92 @@
+//! E8 — Fig 6: IES³ time and memory scaling with problem size.
+//!
+//! "Figure 6 shows how time and memory requirements scale only slightly
+//! faster than linearly with increasing problem size in an IES³-based
+//! electromagnetic simulator." We extract a plate-pair capacitance at
+//! growing panel counts, recording compressed storage, build+solve time,
+//! and the dense O(n²)/O(n³) baseline, then fit the log-log slopes.
+//!
+//! Pass `--ablate` for the rank-tolerance ε ablation.
+
+use rfsim::em::geom::mesh_parallel_plates;
+use rfsim::em::ies3::{CompressedMatrix, Ies3Options};
+use rfsim::em::mom::MomProblem;
+use rfsim::em::GreenFn;
+use rfsim::numerics::krylov::KrylovOptions;
+use rfsim_bench::{ablate, heading, timed};
+
+fn run_case(n_side: usize, opts: &Ies3Options) -> (usize, usize, f64, f64, f64) {
+    let panels = mesh_parallel_plates(1e-3, 1e-4, n_side);
+    let n = panels.len();
+    let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).expect("mom");
+    let (cm, t_build) = timed(|| CompressedMatrix::build(&p.panels, &p.green, opts).expect("ies3"));
+    let ((q, _stats), t_solve) = timed(|| {
+        p.solve_iterative(&cm, &[1.0, 0.0], &KrylovOptions { tol: 1e-8, ..Default::default() })
+            .expect("gmres")
+    });
+    let c = p.conductor_charges(&q)[0];
+    (n, cm.memory_bytes(), t_build, t_solve, c)
+}
+
+fn main() {
+    println!("E8: IES³ scaling (Fig 6)");
+    let opts = Ies3Options::default();
+    heading("size sweep (plate pair, n panels total)");
+    println!(
+        "{:>7} {:>13} {:>13} {:>10} {:>10} {:>13}",
+        "n", "ies3 (B)", "dense (B)", "build (s)", "solve (s)", "C (F)"
+    );
+    let mut sizes = Vec::new();
+    let mut mems = Vec::new();
+    let mut times = Vec::new();
+    for n_side in [8usize, 12, 16, 24, 32] {
+        let (n, mem, tb, ts, c) = run_case(n_side, &opts);
+        println!(
+            "{:>7} {:>13} {:>13} {:>10.3} {:>10.3} {:>13.4e}",
+            n,
+            mem,
+            n * n * 8,
+            tb,
+            ts,
+            c
+        );
+        sizes.push(n as f64);
+        mems.push(mem as f64);
+        times.push(tb + ts);
+    }
+    // Log-log slope fits (first vs last point).
+    let slope = |ys: &[f64]| {
+        (ys.last().expect("nonempty") / ys[0]).ln()
+            / (sizes.last().expect("nonempty") / sizes[0]).ln()
+    };
+    heading("fitted scaling exponents (Fig 6's 'slightly faster than linear')");
+    println!("memory  ~ n^{:.2}   (dense: n^2.00)", slope(&mems));
+    println!("time    ~ n^{:.2}   (dense LU: n^3.00)", slope(&times));
+
+    if ablate() {
+        heading("ablation: rank tolerance ε vs memory and accuracy");
+        // Reference from the dense solve at moderate size.
+        let panels = mesh_parallel_plates(1e-3, 1e-4, 16);
+        let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).expect("mom");
+        let q_ref = p.solve_dense(&[1.0, 0.0]).expect("dense");
+        let c_ref = p.conductor_charges(&q_ref)[0];
+        println!("{:>9} {:>13} {:>14} {:>12}", "epsilon", "memory (B)", "C error", "lowrank blks");
+        for tol in [1e-3, 1e-6, 1e-9] {
+            let o = Ies3Options { tol, ..Default::default() };
+            let cm = CompressedMatrix::build(&p.panels, &p.green, &o).expect("ies3");
+            let (q, _) = p
+                .solve_iterative(&cm, &[1.0, 0.0], &KrylovOptions { tol: 1e-10, ..Default::default() })
+                .expect("gmres");
+            let c = p.conductor_charges(&q)[0];
+            println!(
+                "{:>9.0e} {:>13} {:>14.3e} {:>12}",
+                tol,
+                cm.memory_bytes(),
+                ((c - c_ref) / c_ref).abs(),
+                cm.low_rank_blocks()
+            );
+        }
+    } else {
+        println!("\n(pass --ablate for the rank-tolerance ablation)");
+    }
+}

@@ -1,0 +1,146 @@
+//! E9 — Fig 7: spiral inductor on a lossy substrate, simulation vs
+//! "measurement".
+//!
+//! The paper compares IES³-based electromagnetic simulation of an
+//! integrated CMOS inductor against measurements. Hardware being
+//! unavailable, the measurement surrogate is a refined-discretization
+//! extraction of the same spiral (6 panels/segment, 24-point inductance
+//! quadrature) with 1% instrument noise; the "simulation" uses production
+//! settings (2 panels/segment, 6-point quadrature). Reported: L(f), Q(f)
+//! and |S₁₁| from 0.2 GHz to past self-resonance.
+
+use rfsim::em::inductor::SpiralInductor;
+use rfsim_bench::{heading, timed};
+
+/// Deterministic pseudo-noise in [−1, 1] (measurement jitter surrogate).
+fn noise(i: usize) -> f64 {
+    let mut x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    x ^= x >> 33;
+    ((x >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+fn main() {
+    println!("E9: spiral inductor extraction vs synthetic measurement (Fig 7)");
+    let spiral = SpiralInductor::default();
+    println!(
+        "{} turns, {:.0} µm outer, {:.0} µm trace, oxide {:.1} µm, ρ_sub {:.0e} Ω·m",
+        spiral.turns,
+        spiral.outer * 1e6,
+        spiral.width * 1e6,
+        spiral.oxide * 1e6,
+        spiral.rho_sub
+    );
+
+    let (sim, t_sim) = timed(|| spiral.extract(2, 6).expect("extract sim"));
+    let (meas, t_meas) = timed(|| spiral.extract(6, 24).expect("extract ref"));
+    println!(
+        "simulation: {} segments, L = {:.3} nH, R = {:.2} Ω, Cox = {:.1} fF ({:.2} s)",
+        sim.segments,
+        sim.l_series * 1e9,
+        sim.r_dc,
+        sim.c_ox * 1e15,
+        t_sim
+    );
+    println!(
+        "reference:  L = {:.3} nH, Cox = {:.1} fF ({:.2} s); SRF(sim) = {:.2} GHz",
+        meas.l_series * 1e9,
+        meas.c_ox * 1e15,
+        t_meas,
+        sim.self_resonance() / 1e9
+    );
+
+    heading("L(f), Q(f), |S11| — simulated vs measured");
+    println!(
+        "{:>9} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "f (GHz)", "L_sim(nH)", "L_mea(nH)", "Q_sim", "Q_mea", "S11_sim", "S11_mea"
+    );
+    let fsr = sim.self_resonance();
+    let freqs: Vec<f64> = (0..14)
+        .map(|i| 0.2e9 * (fsr * 1.6 / 0.2e9).powf(i as f64 / 13.0))
+        .collect();
+    let mut max_dev: f64 = 0.0;
+    for (i, &f) in freqs.iter().enumerate() {
+        let ls = sim.l_eff(f);
+        // Synthetic measurement: reference model + 1% noise.
+        let lm = meas.l_eff(f) * (1.0 + 0.01 * noise(i));
+        let qs = sim.q(f);
+        let qm = meas.q(f) * (1.0 + 0.01 * noise(i + 100));
+        let ss = sim.s11(f, 50.0).abs();
+        let sm = (meas.s11(f, 50.0).abs() + 0.002 * noise(i + 200)).clamp(0.0, 1.0);
+        if f < 0.8 * fsr {
+            max_dev = max_dev.max(((ls - lm) / lm).abs());
+        }
+        println!(
+            "{:>9.2} {:>10.3} {:>10.3} {:>8.2} {:>8.2} {:>8.4} {:>8.4}",
+            f / 1e9,
+            ls * 1e9,
+            lm * 1e9,
+            qs,
+            qm,
+            ss,
+            sm
+        );
+    }
+    println!(
+        "\nmax |L_sim − L_meas|/L below 0.8·SRF: {:.1}% — the 'good agreement'\n\
+         of Fig 7; both curves rise toward the same self-resonance and the\n\
+         inductance collapses beyond it.",
+        max_dev * 100.0
+    );
+
+    // --- Fig 8: multi-component assembly (spiral + capacitor plates)
+    // extracted as ONE coupled system through IES³ — the paper's "critical
+    // multi-component assemblies such as the resonator shown in Figure 8".
+    heading("Fig 8: coupled multi-component assembly via IES³");
+    use rfsim::em::geom::{mesh_plate, spiral_panels};
+    use rfsim::em::ies3::{CompressedMatrix, Ies3Options};
+    use rfsim::em::mom::MomProblem;
+    use rfsim::em::GreenFn;
+    use rfsim::numerics::krylov::KrylovOptions;
+    let segs = spiral.segments();
+    let mut panels = spiral_panels(&segs, 3, 0); // conductor 0: the spiral
+    panels.extend(mesh_plate(-250e-6, -60e-6, 1e-6, 120e-6, 120e-6, 6, 6, 1));
+    panels.extend(mesh_plate(130e-6, -60e-6, 1e-6, 120e-6, 120e-6, 6, 6, 2));
+    let assembly =
+        MomProblem::new(panels, GreenFn::HalfSpace { eps_r: 3.9, z0: 0.0, k: 0.7 })
+            .expect("assembly");
+    let cm = CompressedMatrix::build(&assembly.panels, &assembly.green, &Ies3Options::default())
+        .expect("ies3");
+    println!(
+        "{} panels across 3 conductors; IES³ {} B vs dense {} B, {} low-rank blocks",
+        assembly.len(),
+        cm.memory_bytes(),
+        assembly.len() * assembly.len() * 8,
+        cm.low_rank_blocks()
+    );
+    let mut cap = vec![vec![0.0; 3]; 3];
+    for j in 0..3 {
+        let volts: Vec<f64> = (0..3).map(|k| if k == j { 1.0 } else { 0.0 }).collect();
+        let (q, stats) = assembly
+            .solve_iterative(&cm, &volts, &KrylovOptions { tol: 1e-8, ..Default::default() })
+            .expect("gmres");
+        let charges = assembly.conductor_charges(&q);
+        for i in 0..3 {
+            cap[i][j] = charges[i];
+        }
+        if j == 0 {
+            println!("GMRES iterations per excitation: {}", stats.iterations);
+        }
+    }
+    println!("coupled Maxwell capacitance matrix (fF):");
+    for row in &cap {
+        println!(
+            "  {:>9.3} {:>9.3} {:>9.3}",
+            row[0] * 1e15,
+            row[1] * 1e15,
+            row[2] * 1e15
+        );
+    }
+    println!(
+        "spiral↔plate coupling C01 = {:.3} fF, plate↔plate C12 = {:.3} fF —\n\
+         cross-component coupling captured in a single coupled solve, which\n\
+         is what partitioned per-component extraction would miss.",
+        -cap[0][1] * 1e15,
+        -cap[1][2] * 1e15
+    );
+}

@@ -1,0 +1,162 @@
+//! Small-signal AC analysis: linearize at the DC operating point and sweep
+//! `(G + jωC)·x̃ = b̃` across frequency.
+
+use crate::dae::Dae;
+use crate::netlist::NodeId;
+use crate::Result;
+use rfsim_numerics::sparse::{Csr, Triplets};
+use rfsim_numerics::Complex;
+
+/// Result of an AC sweep: one complex solution vector per frequency.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    /// Analysis frequencies (Hz).
+    pub freqs: Vec<f64>,
+    /// Small-signal solutions, one per frequency.
+    pub solutions: Vec<Vec<Complex>>,
+    nn: usize,
+}
+
+impl AcResult {
+    /// Complex node voltage at sweep point `k` (0 for ground).
+    pub fn voltage(&self, k: usize, node: NodeId) -> Complex {
+        if node.is_ground() {
+            Complex::ZERO
+        } else {
+            assert!(node.index() - 1 < self.nn, "node outside circuit");
+            self.solutions[k][node.index() - 1]
+        }
+    }
+
+    /// Magnitude response of a node across the sweep, in dB (20·log₁₀).
+    pub fn gain_db(&self, node: NodeId) -> Vec<f64> {
+        (0..self.freqs.len())
+            .map(|k| 20.0 * self.voltage(k, node).abs().max(1e-300).log10())
+            .collect()
+    }
+}
+
+/// Builds the complex MNA matrix `G + jωC` from real CSR parts.
+pub fn complex_system(g: &Csr<f64>, c: &Csr<f64>, omega: f64) -> Csr<Complex> {
+    let n = g.rows();
+    let mut t = Triplets::new(n, n);
+    for (i, j, v) in g.iter() {
+        t.push(i, j, Complex::new(v, 0.0));
+    }
+    for (i, j, v) in c.iter() {
+        t.push(i, j, Complex::new(0.0, omega * v));
+    }
+    t.to_csr()
+}
+
+/// Sweeps the small-signal response over `freqs`.
+///
+/// `x_op` is the DC operating point; `b_ac` the small-signal excitation
+/// pattern (e.g. 1.0 in the source branch row for a unit AC source).
+///
+/// # Errors
+/// Propagates singular-matrix errors from the per-frequency solves.
+pub fn ac_sweep(
+    dae: &dyn Dae,
+    x_op: &[f64],
+    b_ac: &[f64],
+    freqs: &[f64],
+) -> Result<AcResult> {
+    let n = dae.dim();
+    let mut f = vec![0.0; n];
+    let mut q = vec![0.0; n];
+    let mut gt = Triplets::new(n, n);
+    let mut ct = Triplets::new(n, n);
+    dae.eval(x_op, &mut f, &mut q, &mut gt, &mut ct);
+    let g = gt.to_csr();
+    let c = ct.to_csr();
+    let bc: Vec<Complex> = b_ac.iter().map(|&v| Complex::from_re(v)).collect();
+    let mut solutions = Vec::with_capacity(freqs.len());
+    for &fq in freqs {
+        let omega = 2.0 * std::f64::consts::PI * fq;
+        let a = complex_system(&g, &c, omega);
+        let x = a.solve(&bc)?;
+        solutions.push(x);
+    }
+    Ok(AcResult { freqs: freqs.to_vec(), solutions, nn: n })
+}
+
+/// Logarithmically spaced frequency grid (inclusive of endpoints).
+///
+/// # Panics
+/// Panics unless `0 < f_start < f_stop` and `points ≥ 2`.
+pub fn log_sweep(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> {
+    assert!(f_start > 0.0 && f_stop > f_start && points >= 2, "invalid sweep");
+    let l0 = f_start.ln();
+    let l1 = f_stop.ln();
+    (0..points)
+        .map(|i| (l0 + (l1 - l0) * i as f64 / (points - 1) as f64).exp())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use crate::Circuit;
+
+    #[test]
+    fn rc_lowpass_bode() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(VSource::dc("V1", a, Circuit::GROUND, 0.0));
+        ckt.add(Resistor::new("R1", a, b, 1e3));
+        ckt.add(Capacitor::new("C1", b, Circuit::GROUND, 1e-9));
+        let dae = ckt.into_dae().unwrap();
+        let op = dc_operating_point(&dae, &DcOptions::default()).unwrap();
+        // Unit AC stimulus in the V1 branch equation row.
+        let mut b_ac = vec![0.0; dae.dim()];
+        b_ac[dae.branch_index("V1", 0).unwrap()] = 1.0;
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9); // ≈159 kHz
+        let freqs = vec![fc / 100.0, fc, fc * 100.0];
+        let res = ac_sweep(&dae, &op.x, &b_ac, &freqs).unwrap();
+        let g = res.gain_db(b);
+        assert!(g[0].abs() < 0.1, "passband gain {df}", df = g[0]);
+        assert!((g[1] + 3.0103).abs() < 0.1, "corner gain {}", g[1]);
+        assert!((g[2] + 40.0).abs() < 0.5, "stopband gain {}", g[2]);
+        // Phase at the corner is −45°.
+        let ph = res.voltage(1, b).arg().to_degrees();
+        assert!((ph + 45.0).abs() < 1.0, "phase {ph}");
+    }
+
+    #[test]
+    fn rlc_resonance_peak() {
+        // Series RLC: current peaks at resonance where |Z| = R.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let m = ckt.node("m");
+        let x = ckt.node("x");
+        ckt.add(VSource::dc("V1", a, Circuit::GROUND, 0.0));
+        ckt.add(Resistor::new("R1", a, m, 10.0));
+        ckt.add(Inductor::new("L1", m, x, 1e-6));
+        ckt.add(Capacitor::new("C1", x, Circuit::GROUND, 1e-9));
+        let dae = ckt.into_dae().unwrap();
+        let op = vec![0.0; dae.dim()];
+        let mut b_ac = vec![0.0; dae.dim()];
+        b_ac[dae.branch_index("V1", 0).unwrap()] = 1.0;
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-6f64 * 1e-9).sqrt());
+        let freqs = vec![f0 / 10.0, f0, f0 * 10.0];
+        let res = ac_sweep(&dae, &op, &b_ac, &freqs).unwrap();
+        // Branch current magnitude peaks at resonance (|Z| = R there).
+        let ib = dae.branch_index("V1", 0).unwrap();
+        let i_res = res.solutions[1][ib].abs();
+        assert!((i_res - 1.0 / 10.0).abs() < 1e-3, "i_res = {i_res}");
+        assert!(res.solutions[0][ib].abs() < i_res / 5.0);
+        assert!(res.solutions[2][ib].abs() < i_res / 5.0);
+    }
+
+    #[test]
+    fn log_sweep_endpoints() {
+        let f = log_sweep(1.0, 1e6, 7);
+        assert_eq!(f.len(), 7);
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        assert!((f[6] - 1e6).abs() < 1e-6);
+        assert!((f[3] - 1e3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,60 @@
+//! Device library: passives, independent sources, controlled sources, and
+//! nonlinear semiconductor devices with their noise models.
+//!
+//! Every device implements [`Device`](crate::netlist::Device) and stamps
+//! itself into the MNA system via [`LoadCtx`](crate::dae::LoadCtx) /
+//! [`SrcCtx`](crate::dae::SrcCtx). The set mirrors what the paper's RF IC
+//! studies require: linear passives and mutual coupling for matching
+//! networks and extracted parasitics, behavioral multipliers and switches
+//! for modulator/mixer chains, and diodes/BJTs/MOSFETs for the "majority
+//! nonlinear" device population of integrated RF designs.
+
+mod controlled;
+mod extra;
+mod nonlinear;
+mod passive;
+mod sources;
+
+pub use controlled::{Multiplier, Vccs, Vcvs};
+pub use extra::{Cccs, Ccvs, NonlinearConductance, Varactor};
+pub use nonlinear::{Bjt, BjtPolarity, Diode, Mosfet, MosPolarity};
+pub use passive::{Capacitor, CoupledInductors, CurrentProbe, Inductor, Resistor};
+pub use sources::{ISource, VSource};
+
+/// Minimum conductance added across semiconductor junctions to keep the
+/// Jacobian nonsingular when devices are off.
+pub const GMIN: f64 = 1e-12;
+
+/// Exponential with linear extension beyond `x = EXP_LIM` — the standard
+/// SPICE trick preventing overflow during Newton excursions. Returns
+/// `(value, derivative)`.
+pub(crate) fn limited_exp(x: f64) -> (f64, f64) {
+    const EXP_LIM: f64 = 80.0;
+    if x <= EXP_LIM {
+        let e = x.exp();
+        (e, e)
+    } else {
+        let e = EXP_LIM.exp();
+        (e * (1.0 + (x - EXP_LIM)), e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limited_exp_continuous_at_boundary() {
+        let (v1, d1) = limited_exp(79.999_999);
+        let (v2, d2) = limited_exp(80.000_001);
+        assert!((v1 - v2).abs() / v1 < 1e-5);
+        assert!((d1 - d2).abs() / d1 < 1e-5);
+    }
+
+    #[test]
+    fn limited_exp_no_overflow() {
+        let (v, d) = limited_exp(1e6);
+        assert!(v.is_finite());
+        assert!(d.is_finite());
+    }
+}

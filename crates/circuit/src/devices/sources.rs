@@ -1,0 +1,145 @@
+//! Independent voltage and current sources driven by a
+//! [`Stimulus`](crate::waveform::Stimulus).
+
+use crate::dae::{LoadCtx, SrcCtx, Var};
+use crate::netlist::{Device, NodeId};
+use crate::waveform::{Stimulus, TimeScale, Tone};
+
+/// An independent voltage source (one branch unknown).
+///
+/// Enforces `v_a − v_b = V(t)`; the branch current flows `a → b` through
+/// the source (positive current means the source delivers current out of
+/// its `a` terminal into the circuit... measured as leaving node `a`).
+#[derive(Debug, Clone)]
+pub struct VSource {
+    name: String,
+    a: NodeId,
+    b: NodeId,
+    stimulus: Stimulus,
+}
+
+impl VSource {
+    /// Creates a voltage source with an arbitrary stimulus.
+    pub fn new(name: &str, a: NodeId, b: NodeId, stimulus: Stimulus) -> Self {
+        VSource { name: name.into(), a, b, stimulus }
+    }
+
+    /// DC source of `volts`.
+    pub fn dc(name: &str, a: NodeId, b: NodeId, volts: f64) -> Self {
+        Self::new(name, a, b, Stimulus::Dc(volts))
+    }
+
+    /// Sinusoidal source on the slow time scale.
+    pub fn sine(name: &str, a: NodeId, b: NodeId, offset: f64, amplitude: f64, freq: f64) -> Self {
+        Self::new(name, a, b, Stimulus::sine(offset, amplitude, freq))
+    }
+
+    /// Sinusoidal source on the fast time scale (carrier / LO).
+    pub fn sine_fast(
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        offset: f64,
+        amplitude: f64,
+        freq: f64,
+    ) -> Self {
+        Self::new(name, a, b, Stimulus::sine_fast(offset, amplitude, freq))
+    }
+
+    /// Square-wave LO source of `amplitude` and `freq` on the fast scale.
+    pub fn square_lo(name: &str, a: NodeId, b: NodeId, amplitude: f64, freq: f64) -> Self {
+        Self::new(name, a, b, Stimulus::square_fast(amplitude, freq))
+    }
+
+    /// Two-tone source: `offset + Σ aᵢ·sin(2πfᵢt)`, each tone with a time
+    /// scale (used by intermodulation and MPDE studies).
+    pub fn multi_tone(
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        offset: f64,
+        tones: Vec<(Tone, TimeScale)>,
+    ) -> Self {
+        Self::new(name, a, b, Stimulus::MultiTone { offset, tones })
+    }
+
+    /// The stimulus waveform.
+    pub fn stimulus(&self) -> &Stimulus {
+        &self.stimulus
+    }
+}
+
+impl Device for VSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn branch_count(&self) -> usize {
+        1
+    }
+
+    fn load(&self, ctx: &mut LoadCtx<'_>) {
+        let i = ctx.branch_current(0);
+        ctx.add_f(Var::Node(self.a), i);
+        ctx.add_f(Var::Node(self.b), -i);
+        ctx.add_g(Var::Node(self.a), Var::Branch(0), 1.0);
+        ctx.add_g(Var::Node(self.b), Var::Branch(0), -1.0);
+        // Branch equation: v_a − v_b = V(t) (RHS stamped in `source`).
+        ctx.add_f(Var::Branch(0), ctx.v(self.a) - ctx.v(self.b));
+        ctx.add_g(Var::Branch(0), Var::Node(self.a), 1.0);
+        ctx.add_g(Var::Branch(0), Var::Node(self.b), -1.0);
+    }
+
+    fn source(&self, ctx: &mut SrcCtx<'_>) {
+        let v = self.stimulus.eval(ctx.time());
+        ctx.add_b_branch(0, v);
+    }
+}
+
+/// An independent current source.
+///
+/// Drives a current `I(t)` through itself from node `a` to node `b`: the
+/// current is extracted from node `a` and injected into node `b`.
+#[derive(Debug, Clone)]
+pub struct ISource {
+    name: String,
+    a: NodeId,
+    b: NodeId,
+    stimulus: Stimulus,
+}
+
+impl ISource {
+    /// Creates a current source with an arbitrary stimulus.
+    pub fn new(name: &str, a: NodeId, b: NodeId, stimulus: Stimulus) -> Self {
+        ISource { name: name.into(), a, b, stimulus }
+    }
+
+    /// DC source of `amps`.
+    pub fn dc(name: &str, a: NodeId, b: NodeId, amps: f64) -> Self {
+        Self::new(name, a, b, Stimulus::Dc(amps))
+    }
+
+    /// Sinusoidal source on the slow time scale.
+    pub fn sine(name: &str, a: NodeId, b: NodeId, offset: f64, amplitude: f64, freq: f64) -> Self {
+        Self::new(name, a, b, Stimulus::sine(offset, amplitude, freq))
+    }
+
+    /// The stimulus waveform.
+    pub fn stimulus(&self) -> &Stimulus {
+        &self.stimulus
+    }
+}
+
+impl Device for ISource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn load(&self, _ctx: &mut LoadCtx<'_>) {}
+
+    fn source(&self, ctx: &mut SrcCtx<'_>) {
+        let i = self.stimulus.eval(ctx.time());
+        ctx.add_b(self.a, -i);
+        ctx.add_b(self.b, i);
+    }
+}

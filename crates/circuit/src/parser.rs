@@ -1,0 +1,377 @@
+//! A SPICE-like netlist text parser.
+//!
+//! Supported card subset (case-insensitive, `*`/`;` comments, `.end`):
+//!
+//! ```text
+//! R<name> n+ n- <value>
+//! C<name> n+ n- <value>
+//! L<name> n+ n- <value>
+//! V<name> n+ n- DC <v> | SIN(<off> <amp> <freq>) | SINFAST(<off> <amp> <freq>)
+//!                      | SQUARE(<amp> <freq>) | PULSE(<lo> <hi> <td> <tr> <tf> <pw> <per>)
+//! I<name> n+ n- DC <v> | SIN(<off> <amp> <freq>)
+//! D<name> a c [IS=<v>] [N=<v>]
+//! Q<name> c b e [IS=<v>] [BF=<v>] [PNP]
+//! M<name> d g s [VTO=<v>] [KP=<v>] [LAMBDA=<v>] [PMOS]
+//! G<name> out+ out- in+ in- <gm>
+//! E<name> out+ out- in+ in- <gain>
+//! F<name> out+ out- sense+ sense- <gain>      (CCCS, internal 0 V sense)
+//! H<name> out+ out- sense+ sense- <r_trans>   (CCVS, internal 0 V sense)
+//! ```
+//!
+//! Values accept the usual engineering suffixes (`f p n u m k meg g t`).
+
+use crate::devices::{
+    Bjt, Capacitor, Cccs, Ccvs, Diode, ISource, Inductor, Mosfet, Resistor, VSource, Vccs, Vcvs,
+};
+use crate::netlist::Circuit;
+use crate::waveform::{Stimulus, TimeScale, Tone};
+use crate::{Error, Result};
+
+/// Parses an engineering-notation value such as `1k`, `2.2u`, `3meg`.
+///
+/// # Errors
+/// Returns a message naming the offending token.
+pub fn parse_value(tok: &str) -> std::result::Result<f64, String> {
+    let t = tok.trim().to_ascii_lowercase();
+    let (mult, stripped) = if let Some(s) = t.strip_suffix("meg") {
+        (1e6, s)
+    } else if let Some(s) = t.strip_suffix('f') {
+        (1e-15, s)
+    } else if let Some(s) = t.strip_suffix('p') {
+        (1e-12, s)
+    } else if let Some(s) = t.strip_suffix('n') {
+        (1e-9, s)
+    } else if let Some(s) = t.strip_suffix('u') {
+        (1e-6, s)
+    } else if let Some(s) = t.strip_suffix('m') {
+        (1e-3, s)
+    } else if let Some(s) = t.strip_suffix('k') {
+        (1e3, s)
+    } else if let Some(s) = t.strip_suffix('g') {
+        (1e9, s)
+    } else if let Some(s) = t.strip_suffix('t') {
+        (1e12, s)
+    } else {
+        (1.0, t.as_str())
+    };
+    stripped
+        .parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("cannot parse value `{tok}`"))
+}
+
+/// Splits `KEY=VAL` parameter tokens into a lookup, ignoring bare flags
+/// which are returned separately.
+fn split_params(tokens: &[&str]) -> (Vec<(String, f64)>, Vec<String>) {
+    let mut params = Vec::new();
+    let mut flags = Vec::new();
+    for t in tokens {
+        if let Some((k, v)) = t.split_once('=') {
+            if let Ok(val) = parse_value(v) {
+                params.push((k.to_ascii_lowercase(), val));
+            }
+        } else {
+            flags.push(t.to_ascii_lowercase());
+        }
+    }
+    (params, flags)
+}
+
+fn get_param(params: &[(String, f64)], key: &str, default: f64) -> f64 {
+    params.iter().find(|(k, _)| k == key).map_or(default, |(_, v)| *v)
+}
+
+/// Parses a source specification (the tokens after the two node names).
+fn parse_stimulus(tokens: &[&str], line: usize) -> Result<Stimulus> {
+    let joined = tokens.join(" ");
+    let upper = joined.to_ascii_uppercase();
+    let args_of = |s: &str| -> Result<Vec<f64>> {
+        let open = s.find('(').ok_or(Error::Parse { line, message: "missing (".into() })?;
+        let close = s.rfind(')').ok_or(Error::Parse { line, message: "missing )".into() })?;
+        s[open + 1..close]
+            .split_whitespace()
+            .map(|t| {
+                parse_value(t).map_err(|message| Error::Parse { line, message })
+            })
+            .collect()
+    };
+    if upper.starts_with("DC") {
+        let v = tokens.get(1).ok_or(Error::Parse { line, message: "DC needs a value".into() })?;
+        let v = parse_value(v).map_err(|message| Error::Parse { line, message })?;
+        Ok(Stimulus::Dc(v))
+    } else if upper.starts_with("SINFAST") {
+        let a = args_of(&joined)?;
+        if a.len() != 3 {
+            return Err(Error::Parse { line, message: "SINFAST(off amp freq)".into() });
+        }
+        Ok(Stimulus::sine_fast(a[0], a[1], a[2]))
+    } else if upper.starts_with("SIN") {
+        let a = args_of(&joined)?;
+        if a.len() != 3 {
+            return Err(Error::Parse { line, message: "SIN(off amp freq)".into() });
+        }
+        Ok(Stimulus::sine(a[0], a[1], a[2]))
+    } else if upper.starts_with("SQUARE") {
+        let a = args_of(&joined)?;
+        if a.len() != 2 {
+            return Err(Error::Parse { line, message: "SQUARE(amp freq)".into() });
+        }
+        Ok(Stimulus::square_fast(a[0], a[1]))
+    } else if upper.starts_with("PULSE") {
+        let a = args_of(&joined)?;
+        if a.len() != 7 {
+            return Err(Error::Parse {
+                line,
+                message: "PULSE(lo hi td tr tf pw per)".into(),
+            });
+        }
+        Ok(Stimulus::Pulse {
+            low: a[0],
+            high: a[1],
+            delay: a[2],
+            rise: a[3],
+            fall: a[4],
+            width: a[5],
+            period: a[6],
+            scale: TimeScale::Slow,
+        })
+    } else {
+        // Bare value → DC.
+        let v = parse_value(tokens[0]).map_err(|message| Error::Parse { line, message })?;
+        Ok(Stimulus::Dc(v))
+    }
+}
+
+/// Parses a netlist text into a [`Circuit`].
+///
+/// # Errors
+/// Returns [`Error::Parse`] with a line number on malformed input.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), rfsim_circuit::Error> {
+/// let ckt = rfsim_circuit::parser::parse_netlist(
+///     "* divider\n\
+///      V1 in 0 DC 10\n\
+///      R1 in out 3k\n\
+///      R2 out 0 1k\n\
+///      .end",
+/// )?;
+/// assert_eq!(ckt.device_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_netlist(text: &str) -> Result<Circuit> {
+    let mut ckt = Circuit::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('*') || trimmed.starts_with(';') {
+            continue;
+        }
+        if trimmed.to_ascii_lowercase().starts_with(".end") {
+            break;
+        }
+        if trimmed.starts_with('.') {
+            // Other dot-cards ignored (analyses are driven from code).
+            continue;
+        }
+        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+        if tokens.len() < 3 {
+            return Err(Error::Parse { line, message: "too few tokens".into() });
+        }
+        let name = tokens[0];
+        let kind = name.chars().next().map(|c| c.to_ascii_uppercase()).ok_or(Error::Parse {
+            line,
+            message: "empty device name".into(),
+        })?;
+        match kind {
+            'R' | 'C' | 'L' => {
+                if tokens.len() < 4 {
+                    return Err(Error::Parse { line, message: "need: name n+ n- value".into() });
+                }
+                let a = ckt.node(tokens[1]);
+                let b = ckt.node(tokens[2]);
+                let v = parse_value(tokens[3]).map_err(|message| Error::Parse { line, message })?;
+                match kind {
+                    'R' => ckt.add(Resistor::new(name, a, b, v)),
+                    'C' => ckt.add(Capacitor::new(name, a, b, v)),
+                    _ => ckt.add(Inductor::new(name, a, b, v)),
+                }
+            }
+            'V' | 'I' => {
+                let a = ckt.node(tokens[1]);
+                let b = ckt.node(tokens[2]);
+                let stim = parse_stimulus(&tokens[3..], line)?;
+                if kind == 'V' {
+                    ckt.add(VSource::new(name, a, b, stim));
+                } else {
+                    ckt.add(ISource::new(name, a, b, stim));
+                }
+            }
+            'D' => {
+                let a = ckt.node(tokens[1]);
+                let c = ckt.node(tokens[2]);
+                let (params, _) = split_params(&tokens[3..]);
+                let is = get_param(&params, "is", 1e-14);
+                let n = get_param(&params, "n", 1.0);
+                ckt.add(Diode::new(name, a, c, is).with_ideality(n));
+            }
+            'Q' => {
+                if tokens.len() < 4 {
+                    return Err(Error::Parse { line, message: "need: name c b e".into() });
+                }
+                let c = ckt.node(tokens[1]);
+                let b = ckt.node(tokens[2]);
+                let e = ckt.node(tokens[3]);
+                let (params, flags) = split_params(&tokens[4..]);
+                let is = get_param(&params, "is", 1e-16);
+                let bf = get_param(&params, "bf", 100.0);
+                let q = if flags.iter().any(|f| f == "pnp") {
+                    Bjt::pnp(name, c, b, e, is, bf)
+                } else {
+                    Bjt::npn(name, c, b, e, is, bf)
+                };
+                ckt.add(q);
+            }
+            'M' => {
+                if tokens.len() < 4 {
+                    return Err(Error::Parse { line, message: "need: name d g s".into() });
+                }
+                let d = ckt.node(tokens[1]);
+                let g = ckt.node(tokens[2]);
+                let s = ckt.node(tokens[3]);
+                let (params, flags) = split_params(&tokens[4..]);
+                let vto = get_param(&params, "vto", 0.7);
+                let kp = get_param(&params, "kp", 1e-3);
+                let lambda = get_param(&params, "lambda", 0.0);
+                let m = if flags.iter().any(|f| f == "pmos") {
+                    Mosfet::pmos(name, d, g, s, vto, kp)
+                } else {
+                    Mosfet::nmos(name, d, g, s, vto, kp)
+                }
+                .with_lambda(lambda);
+                ckt.add(m);
+            }
+            'G' | 'E' | 'F' | 'H' => {
+                if tokens.len() < 6 {
+                    return Err(Error::Parse {
+                        line,
+                        message: "need: name out+ out- ctl+ ctl- value".into(),
+                    });
+                }
+                let op = ckt.node(tokens[1]);
+                let on = ckt.node(tokens[2]);
+                let ip = ckt.node(tokens[3]);
+                let inn = ckt.node(tokens[4]);
+                let v = parse_value(tokens[5]).map_err(|message| Error::Parse { line, message })?;
+                match kind {
+                    'G' => ckt.add(Vccs::new(name, op, on, ip, inn, v)),
+                    'E' => ckt.add(Vcvs::new(name, op, on, ip, inn, v)),
+                    'F' => ckt.add(Cccs::new(name, op, on, ip, inn, v)),
+                    _ => ckt.add(Ccvs::new(name, op, on, ip, inn, v)),
+                }
+            }
+            other => {
+                return Err(Error::Parse {
+                    line,
+                    message: format!("unknown device type `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(ckt)
+}
+
+/// Parses tones like `1.0@1k` used by example CLIs: amplitude at frequency.
+///
+/// # Errors
+/// Returns a message for malformed specs.
+pub fn parse_tone(spec: &str) -> std::result::Result<Tone, String> {
+    let (a, f) = spec.split_once('@').ok_or_else(|| format!("tone `{spec}`: expected amp@freq"))?;
+    Ok(Tone::new(parse_value(a)?, parse_value(f)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn engineering_values() {
+        assert_eq!(parse_value("1k").unwrap(), 1e3);
+        assert!((parse_value("2.5u").unwrap() - 2.5e-6).abs() < 1e-18);
+        assert_eq!(parse_value("3meg").unwrap(), 3e6);
+        assert_eq!(parse_value("100").unwrap(), 100.0);
+        assert_eq!(parse_value("1.5p").unwrap(), 1.5e-12);
+        assert!(parse_value("abc").is_err());
+    }
+
+    #[test]
+    fn divider_parses_and_solves() {
+        let ckt = parse_netlist(
+            "* comment line\n\
+             V1 in 0 DC 10\n\
+             R1 in out 3k\n\
+             R2 out 0 1k\n\
+             .end\n\
+             R3 ignored 0 1k",
+        )
+        .unwrap();
+        let out = ckt.find_node("out").unwrap();
+        let dae = ckt.into_dae().unwrap();
+        let op = dc_operating_point(&dae, &DcOptions::default()).unwrap();
+        assert!((op.voltage(out) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sin_source_and_devices() {
+        let ckt = parse_netlist(
+            "V1 a 0 SIN(0 1 1meg)\n\
+             VLO b 0 SINFAST(0 1 1g)\n\
+             D1 a d IS=1e-15\n\
+             Q1 c b2 e IS=1e-16 BF=50\n\
+             M1 dd gg ss VTO=0.5 KP=2m\n\
+             G1 o 0 a 0 1m\n\
+             E1 p 0 a 0 2\n\
+             F1 q 0 a 0 3\n\
+             H1 r 0 a 0 50\n\
+             C1 d 0 1p\n\
+             L1 e 0 1n",
+        )
+        .unwrap();
+        assert_eq!(ckt.device_count(), 11);
+    }
+
+    #[test]
+    fn current_controlled_sources_parse_and_solve() {
+        let ckt = parse_netlist(
+            "I1 0 s DC 1m\n\
+             F1 0 o s 0 2\n\
+             RL o 0 1k",
+        )
+        .unwrap();
+        let o = ckt.find_node("o").unwrap();
+        let dae = ckt.into_dae().unwrap();
+        let op = dc_operating_point(&dae, &DcOptions::default()).unwrap();
+        assert!((op.voltage(o) - 2.0).abs() < 1e-9, "v_o = {}", op.voltage(o));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_netlist("V1 a 0 DC 1\nXBAD a b c").unwrap_err();
+        match err {
+            Error::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tone_spec() {
+        let t = parse_tone("0.1@900meg").unwrap();
+        assert_eq!(t.amplitude, 0.1);
+        assert_eq!(t.freq, 900e6);
+        assert!(parse_tone("nope").is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! 3-D geometry: points, rectangular surface panels, and meshers for the
+//! structures used in the extraction experiments (plates, plate stacks,
+//! bus crossings, planar spirals).
+
+/// A point (or vector) in 3-D space, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point3 {
+    /// x coordinate (m).
+    pub x: f64,
+    /// y coordinate (m).
+    pub y: f64,
+    /// z coordinate (m).
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Vector addition.
+    pub fn add(&self, o: &Point3) -> Point3 {
+        Point3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+
+    /// Scales by a factor.
+    pub fn scale(&self, s: f64) -> Point3 {
+        Point3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+/// A flat rectangular charge panel: center, two in-plane edge lengths, the
+/// in-plane direction of the first edge, and which conductor it belongs to.
+///
+/// All panels in this crate lie in horizontal (`z`-normal) planes — the
+/// structures extracted (plates, buses, planar spirals) are planar metal —
+/// so the second edge direction is implied (`ẑ × axis_a`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Panel {
+    /// Centroid.
+    pub center: Point3,
+    /// Full edge length along `axis_a` (m).
+    pub len_a: f64,
+    /// Full edge length along the perpendicular in-plane axis (m).
+    pub len_b: f64,
+    /// Unit vector of the first edge (in the xy plane).
+    pub axis_a: Point3,
+    /// Conductor index this panel belongs to.
+    pub conductor: usize,
+}
+
+impl Panel {
+    /// Panel area (m²).
+    pub fn area(&self) -> f64 {
+        self.len_a * self.len_b
+    }
+
+    /// Panel diameter (diagonal).
+    pub fn diameter(&self) -> f64 {
+        self.len_a.hypot(self.len_b)
+    }
+}
+
+/// Meshes a rectangle in the `z = z0` plane spanning
+/// `[x0, x0+w] × [y0, y0+h]` into `nx × ny` panels for conductor `cond`.
+#[allow(clippy::too_many_arguments)] // mirrors the geometric parameter list
+pub fn mesh_plate(
+    x0: f64,
+    y0: f64,
+    z0: f64,
+    w: f64,
+    h: f64,
+    nx: usize,
+    ny: usize,
+    cond: usize,
+) -> Vec<Panel> {
+    let mut panels = Vec::with_capacity(nx * ny);
+    let dx = w / nx as f64;
+    let dy = h / ny as f64;
+    for i in 0..nx {
+        for j in 0..ny {
+            panels.push(Panel {
+                center: Point3::new(
+                    x0 + (i as f64 + 0.5) * dx,
+                    y0 + (j as f64 + 0.5) * dy,
+                    z0,
+                ),
+                len_a: dx,
+                len_b: dy,
+                axis_a: Point3::new(1.0, 0.0, 0.0),
+                conductor: cond,
+            });
+        }
+    }
+    panels
+}
+
+/// A parallel-plate capacitor: two `side × side` plates separated by `gap`
+/// along z, `n × n` panels each. Conductors 0 (bottom) and 1 (top).
+pub fn mesh_parallel_plates(side: f64, gap: f64, n: usize) -> Vec<Panel> {
+    let mut p = mesh_plate(0.0, 0.0, 0.0, side, side, n, n, 0);
+    p.extend(mesh_plate(0.0, 0.0, gap, side, side, n, n, 1));
+    p
+}
+
+/// Two perpendicular bus wires crossing at different heights — the classic
+/// coupling-extraction structure. Conductors 0 and 1.
+pub fn mesh_bus_crossing(width: f64, length: f64, z_sep: f64, n_len: usize, n_w: usize) -> Vec<Panel> {
+    // Wire 0 along x at z=0, wire 1 along y at z=z_sep, crossing above the
+    // center.
+    let mut p = mesh_plate(-length / 2.0, -width / 2.0, 0.0, length, width, n_len, n_w, 0);
+    p.extend(mesh_plate(-width / 2.0, -length / 2.0, z_sep, width, length, n_w, n_len, 1));
+    p
+}
+
+/// A straight conductor segment of a spiral trace (for inductance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub start: Point3,
+    /// End point.
+    pub end: Point3,
+    /// Trace width (m).
+    pub width: f64,
+    /// Trace thickness (m).
+    pub thickness: f64,
+}
+
+impl Segment {
+    /// Segment length (m).
+    pub fn length(&self) -> f64 {
+        self.start.distance(&self.end)
+    }
+
+    /// Midpoint.
+    pub fn midpoint(&self) -> Point3 {
+        self.start.add(&self.end).scale(0.5)
+    }
+
+    /// Unit direction vector.
+    pub fn direction(&self) -> Point3 {
+        let l = self.length();
+        Point3::new(
+            (self.end.x - self.start.x) / l,
+            (self.end.y - self.start.y) / l,
+            (self.end.z - self.start.z) / l,
+        )
+    }
+}
+
+/// Generates a square planar spiral inductor: `turns` turns of trace
+/// `width` with `spacing` between turns, outer dimension `outer`, at
+/// height `z0`. Returns the segment chain from the outer terminal inward.
+pub fn spiral_segments(
+    outer: f64,
+    turns: usize,
+    width: f64,
+    spacing: f64,
+    thickness: f64,
+    z0: f64,
+) -> Vec<Segment> {
+    let mut segs = Vec::new();
+    let pitch = width + spacing;
+    let mut half = outer / 2.0;
+    // Start at the right edge, wind counterclockwise, shrinking every two
+    // sides to keep a square spiral.
+    let mut cur = Point3::new(half, -half, z0);
+    let mut dir = 0usize; // 0:+y, 1:-x, 2:-y, 3:+x
+    let sides = turns * 4;
+    for side in 0..sides {
+        // Every two sides, the run length shrinks by one pitch.
+        let run = 2.0 * half - if side % 2 == 1 { pitch } else { 0.0 };
+        if run <= pitch {
+            break;
+        }
+        let next = match dir {
+            0 => Point3::new(cur.x, cur.y + run, z0),
+            1 => Point3::new(cur.x - run, cur.y, z0),
+            2 => Point3::new(cur.x, cur.y - run, z0),
+            _ => Point3::new(cur.x + run, cur.y, z0),
+        };
+        segs.push(Segment { start: cur, end: next, width, thickness });
+        cur = next;
+        dir = (dir + 1) % 4;
+        if side % 2 == 1 {
+            half -= pitch / 2.0;
+        }
+    }
+    segs
+}
+
+/// Meshes the footprint of a spiral's segments into surface panels (for
+/// the capacitance-to-substrate extraction), `per_seg` panels per segment.
+pub fn spiral_panels(segs: &[Segment], per_seg: usize, cond: usize) -> Vec<Panel> {
+    let mut panels = Vec::new();
+    for seg in segs {
+        let l = seg.length();
+        let d = seg.direction();
+        for k in 0..per_seg {
+            let t = (k as f64 + 0.5) / per_seg as f64;
+            let c = Point3::new(
+                seg.start.x + d.x * l * t,
+                seg.start.y + d.y * l * t,
+                seg.start.z,
+            );
+            // Panel oriented along the segment.
+            let (la, lb) = (l / per_seg as f64, seg.width);
+            panels.push(Panel {
+                center: c,
+                len_a: la,
+                len_b: lb,
+                axis_a: Point3::new(d.x, d.y, 0.0),
+                conductor: cond,
+            });
+        }
+    }
+    panels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plate_mesh_covers_area() {
+        let panels = mesh_plate(0.0, 0.0, 0.0, 2.0, 1.0, 4, 2, 0);
+        assert_eq!(panels.len(), 8);
+        let total: f64 = panels.iter().map(Panel::area).sum();
+        assert!((total - 2.0).abs() < 1e-12);
+        // Centroids inside the plate.
+        for p in &panels {
+            assert!(p.center.x > 0.0 && p.center.x < 2.0);
+            assert!(p.center.y > 0.0 && p.center.y < 1.0);
+        }
+    }
+
+    #[test]
+    fn parallel_plates_two_conductors() {
+        let panels = mesh_parallel_plates(1e-3, 1e-4, 3);
+        assert_eq!(panels.len(), 18);
+        assert_eq!(panels.iter().filter(|p| p.conductor == 0).count(), 9);
+        assert_eq!(panels.iter().filter(|p| p.conductor == 1).count(), 9);
+    }
+
+    #[test]
+    fn spiral_winds_inward() {
+        let segs = spiral_segments(200e-6, 3, 10e-6, 5e-6, 1e-6, 0.0);
+        assert!(segs.len() >= 8, "got {} segments", segs.len());
+        // Later segments are shorter (winding inward).
+        assert!(segs.last().unwrap().length() < segs[0].length());
+        // Chain continuity.
+        for w in segs.windows(2) {
+            assert!(w[0].end.distance(&w[1].start) < 1e-12);
+        }
+        let panels = spiral_panels(&segs, 4, 0);
+        assert_eq!(panels.len(), segs.len() * 4);
+    }
+
+    #[test]
+    fn point_ops() {
+        let a = Point3::new(1.0, 2.0, 2.0);
+        let b = Point3::new(1.0, 2.0, 0.0);
+        assert_eq!(a.distance(&b), 2.0);
+        assert_eq!(a.add(&b).scale(0.5).z, 1.0);
+    }
+}

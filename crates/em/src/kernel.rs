@@ -1,0 +1,205 @@
+//! Electrostatic Green's functions: free space, grounded plane, and a
+//! single-image dielectric half-space (the lossy-substrate approximation
+//! used for on-chip structures, after Michalski-style layered-media
+//! kernels \[32\]).
+
+use crate::geom::{Panel, Point3};
+use crate::EPS0;
+
+/// Green's function selection for the integral-equation kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GreenFn {
+    /// Homogeneous medium with relative permittivity `eps_r`.
+    FreeSpace {
+        /// Relative permittivity.
+        eps_r: f64,
+    },
+    /// Grounded conducting plane at `z = z0` (perfect image, k = 1).
+    GroundPlane {
+        /// Relative permittivity above the plane.
+        eps_r: f64,
+        /// Plane height (m).
+        z0: f64,
+    },
+    /// Dielectric half-space below `z = z0`: single image charge with
+    /// reflection coefficient `k = (eps_sub − eps_top)/(eps_sub + eps_top)`.
+    /// A lossy silicon substrate at quasi-static frequencies behaves
+    /// between this and a ground plane; `k → 1` recovers the grounded case.
+    HalfSpace {
+        /// Relative permittivity above the interface.
+        eps_r: f64,
+        /// Interface height (m).
+        z0: f64,
+        /// Image reflection coefficient in `[0, 1]`.
+        k: f64,
+    },
+}
+
+impl GreenFn {
+    /// Background permittivity (F/m).
+    pub fn eps(&self) -> f64 {
+        let er = match self {
+            GreenFn::FreeSpace { eps_r } => *eps_r,
+            GreenFn::GroundPlane { eps_r, .. } => *eps_r,
+            GreenFn::HalfSpace { eps_r, .. } => *eps_r,
+        };
+        EPS0 * er
+    }
+
+    /// Potential at `obs` due to a unit point charge at `src`
+    /// (collocation kernel, excludes the self term).
+    pub fn potential(&self, obs: &Point3, src: &Point3) -> f64 {
+        let eps = self.eps();
+        let direct = 1.0 / (4.0 * std::f64::consts::PI * eps * obs.distance(src).max(1e-300));
+        match self {
+            GreenFn::FreeSpace { .. } => direct,
+            GreenFn::GroundPlane { z0, .. } => {
+                let img = Point3::new(src.x, src.y, 2.0 * z0 - src.z);
+                direct - 1.0 / (4.0 * std::f64::consts::PI * eps * obs.distance(&img).max(1e-300))
+            }
+            GreenFn::HalfSpace { z0, k, .. } => {
+                let img = Point3::new(src.x, src.y, 2.0 * z0 - src.z);
+                direct
+                    - k / (4.0 * std::f64::consts::PI * eps * obs.distance(&img).max(1e-300))
+            }
+        }
+    }
+
+    /// Potential-coefficient entry `P[i][j]`: potential at panel `i`'s
+    /// centroid per unit **total** charge spread uniformly on panel `j`.
+    ///
+    /// Every interaction — self, near-field, far-field, and every image
+    /// term — uses the exact analytic integral of `1/r` over the source
+    /// rectangle ([`rect_integral`]), so the method stays accurate when
+    /// panels are much larger than their separation (close plates, traces
+    /// a micron above their substrate image).
+    pub fn coefficient(&self, pi: &Panel, pj: &Panel, _i: usize, _j: usize) -> f64 {
+        let eps = self.eps();
+        let direct = panel_potential(&pi.center, pj, pj.center.z);
+        let scale = 1.0 / (4.0 * std::f64::consts::PI * eps * pj.area());
+        match self {
+            GreenFn::FreeSpace { .. } => scale * direct,
+            GreenFn::GroundPlane { z0, .. } => {
+                let image = panel_potential(&pi.center, pj, 2.0 * z0 - pj.center.z);
+                scale * (direct - image)
+            }
+            GreenFn::HalfSpace { z0, k, .. } => {
+                let image = panel_potential(&pi.center, pj, 2.0 * z0 - pj.center.z);
+                scale * (direct - k * image)
+            }
+        }
+    }
+}
+
+/// `∫∫ dx·dy / √(x² + y² + z²)` over `[x0, x1] × [y0, y1]` (exact).
+///
+/// The antiderivative is
+/// `F(x, y) = x·asinh(y/√(x²+z²)) + y·asinh(x/√(y²+z²))
+///            − |z|·atan(x·y / (|z|·√(x²+y²+z²)))`,
+/// evaluated at the four corners with alternating signs.
+pub fn rect_integral(x0: f64, x1: f64, y0: f64, y1: f64, z: f64) -> f64 {
+    let f = |x: f64, y: f64| -> f64 {
+        let az = z.abs();
+        let hx = (x * x + z * z).sqrt();
+        let hy = (y * y + z * z).sqrt();
+        let r = (x * x + y * y + z * z).sqrt();
+        let mut acc = 0.0;
+        if hx > 0.0 {
+            acc += x * (y / hx).asinh();
+        }
+        if hy > 0.0 {
+            acc += y * (x / hy).asinh();
+        }
+        if az > 0.0 {
+            acc -= az * (x * y / (az * r)).atan();
+        }
+        acc
+    };
+    f(x1, y1) - f(x0, y1) - f(x1, y0) + f(x0, y0)
+}
+
+/// `∫ 1/|obs − r'| dA'` over the source panel, with the source plane
+/// placed at height `src_z` (pass the mirrored height for image terms).
+/// The panel's in-plane frame is `(axis_a, ẑ × axis_a)`.
+fn panel_potential(obs: &Point3, src: &Panel, src_z: f64) -> f64 {
+    let ax = src.axis_a;
+    // In-plane relative coordinates of the observation point.
+    let rx = obs.x - src.center.x;
+    let ry = obs.y - src.center.y;
+    let du = rx * ax.x + ry * ax.y;
+    // Second axis = ẑ × axis_a = (−ax.y, ax.x).
+    let dv = -rx * ax.y + ry * ax.x;
+    let dz = obs.z - src_z;
+    rect_integral(
+        du - src.len_a / 2.0,
+        du + src.len_a / 2.0,
+        dv - src.len_b / 2.0,
+        dv + src.len_b / 2.0,
+        dz,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_charge_potential_scale() {
+        let g = GreenFn::FreeSpace { eps_r: 1.0 };
+        let v = g.potential(&Point3::new(0.0, 0.0, 1.0), &Point3::new(0.0, 0.0, 0.0));
+        // 1/(4πε·r) at r = 1 m ≈ 8.99e9 V per coulomb.
+        assert!((v - 8.988e9).abs() / 8.99e9 < 1e-3);
+    }
+
+    #[test]
+    fn ground_plane_image_cancels_at_plane() {
+        let g = GreenFn::GroundPlane { eps_r: 1.0, z0: 0.0 };
+        // Observation on the plane: potential must vanish.
+        let v = g.potential(&Point3::new(0.3, 0.1, 0.0), &Point3::new(0.0, 0.0, 0.5));
+        assert!(v.abs() < 1e-6);
+    }
+
+    #[test]
+    fn half_space_between_free_and_grounded() {
+        let obs = Point3::new(0.0, 0.0, 2e-6);
+        let src = Point3::new(1e-6, 0.0, 1e-6);
+        let vf = GreenFn::FreeSpace { eps_r: 1.0 }.potential(&obs, &src);
+        let vh = GreenFn::HalfSpace { eps_r: 1.0, z0: 0.0, k: 0.6 }.potential(&obs, &src);
+        let vg = GreenFn::GroundPlane { eps_r: 1.0, z0: 0.0 }.potential(&obs, &src);
+        assert!(vg < vh && vh < vf, "{vg} < {vh} < {vf}");
+    }
+
+    #[test]
+    fn self_coefficient_matches_fine_subdivision() {
+        // The analytic self term should equal the limit of subdividing the
+        // panel and using point-charge interactions.
+        let g = GreenFn::FreeSpace { eps_r: 1.0 };
+        let panel = Panel {
+            center: Point3::new(0.0, 0.0, 0.0),
+            len_a: 1e-3,
+            len_b: 1e-3,
+            axis_a: Point3::new(1.0, 0.0, 0.0),
+            conductor: 0,
+        };
+        let analytic = g.coefficient(&panel, &panel, 0, 0);
+        // Numeric: subdivide into m×m point charges, average potential at
+        // the center.
+        let m = 101;
+        let mut acc = 0.0;
+        let da = panel.len_a / m as f64;
+        for i in 0..m {
+            for j in 0..m {
+                let x = -panel.len_a / 2.0 + (i as f64 + 0.5) * da;
+                let y = -panel.len_b / 2.0 + (j as f64 + 0.5) * da;
+                if x == 0.0 && y == 0.0 {
+                    continue;
+                }
+                acc += 1.0
+                    / (4.0 * std::f64::consts::PI * EPS0 * (x * x + y * y).sqrt());
+            }
+        }
+        let numeric = acc / (m * m) as f64;
+        // Center-point sampling underestimates the singular cell slightly.
+        assert!((analytic - numeric).abs() / analytic < 0.05, "{analytic} vs {numeric}");
+    }
+}

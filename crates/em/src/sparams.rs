@@ -1,0 +1,125 @@
+//! Network-parameter conversions: Z/Y/S for 1- and 2-port networks.
+//!
+//! "Output from the simulator is typically an S parameter matrix, which
+//! can be used directly in a frequency-domain simulation" (paper, §4).
+
+use rfsim_numerics::dense::Mat;
+use rfsim_numerics::Complex;
+
+/// Converts a 1-port impedance to the reflection coefficient `S₁₁`.
+pub fn z_to_s11(z: Complex, z0: f64) -> Complex {
+    (z - Complex::from_re(z0)) / (z + Complex::from_re(z0))
+}
+
+/// Converts `S₁₁` back to an input impedance.
+pub fn s11_to_z(s: Complex, z0: f64) -> Complex {
+    Complex::from_re(z0) * (Complex::ONE + s) / (Complex::ONE - s)
+}
+
+/// Converts an `n×n` impedance matrix to S-parameters in a real `z0`
+/// system: `S = (Z − z0·I)(Z + z0·I)⁻¹`.
+///
+/// # Errors
+/// Propagates singularity of `Z + z0·I`.
+pub fn z_to_s(z: &Mat<Complex>, z0: f64) -> rfsim_numerics::Result<Mat<Complex>> {
+    let n = z.rows();
+    let z0c = Complex::from_re(z0);
+    let mut zp = z.clone();
+    let mut zm = z.clone();
+    for i in 0..n {
+        zp[(i, i)] += z0c;
+        zm[(i, i)] -= z0c;
+    }
+    let zp_inv = zp.inverse()?;
+    Ok(zm.matmul(&zp_inv))
+}
+
+/// Converts an admittance matrix to S-parameters:
+/// `S = (I − z0·Y)(I + z0·Y)⁻¹`.
+///
+/// # Errors
+/// Propagates singularity of `I + z0·Y`.
+pub fn y_to_s(y: &Mat<Complex>, z0: f64) -> rfsim_numerics::Result<Mat<Complex>> {
+    let n = y.rows();
+    let mut p: Mat<Complex> = Mat::identity(n);
+    let mut m: Mat<Complex> = Mat::identity(n);
+    for i in 0..n {
+        for j in 0..n {
+            let s = y[(i, j)].scale(z0);
+            p[(i, j)] += s;
+            m[(i, j)] -= s;
+        }
+    }
+    let p_inv = p.inverse()?;
+    Ok(m.matmul(&p_inv))
+}
+
+/// Magnitude in dB.
+pub fn db(x: Complex) -> f64 {
+    20.0 * x.abs().max(1e-300).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matched_load_has_zero_reflection() {
+        let s = z_to_s11(Complex::from_re(50.0), 50.0);
+        assert!(s.abs() < 1e-15);
+    }
+
+    #[test]
+    fn open_and_short() {
+        let open = z_to_s11(Complex::from_re(1e12), 50.0);
+        assert!((open - Complex::ONE).abs() < 1e-9);
+        let short = z_to_s11(Complex::ZERO, 50.0);
+        assert!((short + Complex::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn s11_z_roundtrip() {
+        let z = Complex::new(30.0, 70.0);
+        let s = z_to_s11(z, 50.0);
+        let back = s11_to_z(s, 50.0);
+        assert!((back - z).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_port_series_impedance() {
+        // A series impedance Zs between ports: Z-matrix = [[Zs, Zs],[Zs, Zs]]
+        // is singular; use the Y form: Y = (1/Zs)·[[1, −1],[−1, 1]].
+        let zs = Complex::new(10.0, 50.0);
+        let ys = zs.recip();
+        let y = Mat::from_rows(&[&[ys, -ys], &[-ys, ys]]);
+        let s = y_to_s(&y, 50.0).unwrap();
+        // Known result: S21 = 2·z0/(2·z0 + Zs).
+        let expect = Complex::from_re(100.0) / (Complex::from_re(100.0) + zs);
+        assert!((s[(1, 0)] - expect).abs() < 1e-12, "{} vs {}", s[(1, 0)], expect);
+        // Reciprocity and symmetry.
+        assert!((s[(0, 1)] - s[(1, 0)]).abs() < 1e-12);
+        assert!((s[(0, 0)] - s[(1, 1)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_to_s_matches_y_to_s() {
+        // Shunt impedance to ground at each port + coupling.
+        let z = Mat::from_rows(&[
+            &[Complex::new(60.0, 10.0), Complex::new(20.0, 5.0)],
+            &[Complex::new(20.0, 5.0), Complex::new(80.0, -15.0)],
+        ]);
+        let s1 = z_to_s(&z, 50.0).unwrap();
+        let y = z.inverse().unwrap();
+        let s2 = y_to_s(&y, 50.0).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((s1[(i, j)] - s2[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn db_scale() {
+        assert!((db(Complex::from_re(0.1)) + 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,272 @@
+//! Shared biperiodic grid Newton solver used by MFDTD and MMFT.
+//!
+//! Both methods solve the MPDE on an `n1 × n2` collocation grid with
+//! biperiodic boundary conditions; they differ only in the slow-axis
+//! (`t₁`) differentiation operator: backward differences (MFDTD) or a
+//! dense spectral matrix (MMFT). The fast axis (`t₂`) always uses backward
+//! differences, which is what lets both methods handle strongly nonlinear
+//! switching waveforms along `t₂`.
+
+use crate::bivariate::BivariateWaveform;
+use crate::{Error, Result};
+use rfsim_circuit::dae::{Dae, TwoTime};
+use rfsim_circuit::dc::{dc_operating_point, DcOptions};
+use rfsim_numerics::dense::Mat;
+use rfsim_numerics::sparse::{Csr, Triplets};
+use rfsim_numerics::{norm2, norm_inf, Complex};
+
+/// Slow-axis differentiation operator.
+pub(crate) enum SlowOp {
+    /// First-order periodic backward difference with step `T₁/n1`.
+    BackwardDiff,
+    /// Dense spectral differentiation matrix (`n1 × n1`).
+    Spectral(Mat<f64>),
+}
+
+/// Builds the periodic spectral differentiation matrix for `n` (odd)
+/// samples of a period-`t` function.
+pub(crate) fn spectral_diff_matrix(n: usize, period: f64) -> Mat<f64> {
+    let omega = 2.0 * std::f64::consts::PI / period;
+    let h = n / 2;
+    Mat::from_fn(n, n, |i, j| {
+        // D[i,j] = (1/n)·Σ_k jkω·e^{j2πk(i−j)/n}, real by symmetry.
+        let mut acc = Complex::ZERO;
+        for k in 1..=h {
+            let phase = 2.0 * std::f64::consts::PI * k as f64 * (i as f64 - j as f64) / n as f64;
+            let e = Complex::from_polar(1.0, phase);
+            acc += Complex::new(0.0, k as f64 * omega) * e;
+            acc += Complex::new(0.0, -(k as f64) * omega) * e.conj();
+        }
+        acc.re / n as f64
+    })
+}
+
+/// Per-grid-point cached linearization.
+struct PointLin {
+    g: Csr<f64>,
+    c: Csr<f64>,
+}
+
+pub(crate) struct GridProblem<'a> {
+    pub dae: &'a dyn Dae,
+    pub t1_period: f64,
+    pub t2_period: f64,
+    pub n1: usize,
+    pub n2: usize,
+    pub slow: SlowOp,
+}
+
+/// Statistics from the grid Newton solve.
+#[derive(Debug, Clone, Default)]
+pub struct GridStats {
+    /// Newton iterations.
+    pub newton_iterations: usize,
+    /// Total grid unknowns.
+    pub unknowns: usize,
+    /// Nonzeros in the assembled Jacobian (last iteration).
+    pub jacobian_nnz: usize,
+}
+
+impl GridProblem<'_> {
+    fn eval_all(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<PointLin>) {
+        let n = self.dae.dim();
+        let total = self.n1 * self.n2;
+        let mut fall = vec![0.0; total * n];
+        let mut qall = vec![0.0; total * n];
+        let mut lins = Vec::with_capacity(total);
+        let mut f = vec![0.0; n];
+        let mut q = vec![0.0; n];
+        let mut gt = Triplets::new(n, n);
+        let mut ct = Triplets::new(n, n);
+        for s in 0..total {
+            self.dae.eval(&x[s * n..(s + 1) * n], &mut f, &mut q, &mut gt, &mut ct);
+            fall[s * n..(s + 1) * n].copy_from_slice(&f);
+            qall[s * n..(s + 1) * n].copy_from_slice(&q);
+            lins.push(PointLin { g: gt.to_csr(), c: ct.to_csr() });
+        }
+        (fall, qall, lins)
+    }
+
+    fn time(&self, i1: usize, i2: usize) -> TwoTime {
+        TwoTime::new(
+            i1 as f64 * self.t1_period / self.n1 as f64,
+            i2 as f64 * self.t2_period / self.n2 as f64,
+        )
+    }
+
+    fn residual(&self, fall: &[f64], qall: &[f64], b: &[f64]) -> Vec<f64> {
+        let n = self.dae.dim();
+        let (n1, n2) = (self.n1, self.n2);
+        let h1 = self.t1_period / n1 as f64;
+        let h2 = self.t2_period / n2 as f64;
+        let mut r = vec![0.0; fall.len()];
+        for i1 in 0..n1 {
+            for i2 in 0..n2 {
+                let s = i1 * n2 + i2;
+                let sp2 = i1 * n2 + (i2 + n2 - 1) % n2;
+                for k in 0..n {
+                    let mut acc = fall[s * n + k] - b[s * n + k];
+                    // Fast axis: backward difference, periodic.
+                    acc += (qall[s * n + k] - qall[sp2 * n + k]) / h2;
+                    // Slow axis.
+                    match &self.slow {
+                        SlowOp::BackwardDiff => {
+                            let sp1 = ((i1 + n1 - 1) % n1) * n2 + i2;
+                            acc += (qall[s * n + k] - qall[sp1 * n + k]) / h1;
+                        }
+                        SlowOp::Spectral(d) => {
+                            for i1p in 0..n1 {
+                                let sp = i1p * n2 + i2;
+                                acc += d[(i1, i1p)] * qall[sp * n + k];
+                            }
+                        }
+                    }
+                    r[s * n + k] = acc;
+                }
+            }
+        }
+        r
+    }
+
+    fn jacobian(&self, lins: &[PointLin]) -> Csr<f64> {
+        let n = self.dae.dim();
+        let (n1, n2) = (self.n1, self.n2);
+        let total = n1 * n2;
+        let h1 = self.t1_period / n1 as f64;
+        let h2 = self.t2_period / n2 as f64;
+        let mut t = Triplets::new(total * n, total * n);
+        for i1 in 0..n1 {
+            for i2 in 0..n2 {
+                let s = i1 * n2 + i2;
+                // f and fast-axis diagonal parts.
+                for (r, c, v) in lins[s].g.iter() {
+                    t.push(s * n + r, s * n + c, v);
+                }
+                for (r, c, v) in lins[s].c.iter() {
+                    t.push(s * n + r, s * n + c, v / h2);
+                }
+                let sp2 = i1 * n2 + (i2 + n2 - 1) % n2;
+                for (r, c, v) in lins[sp2].c.iter() {
+                    t.push(s * n + r, sp2 * n + c, -v / h2);
+                }
+                match &self.slow {
+                    SlowOp::BackwardDiff => {
+                        for (r, c, v) in lins[s].c.iter() {
+                            t.push(s * n + r, s * n + c, v / h1);
+                        }
+                        let sp1 = ((i1 + n1 - 1) % n1) * n2 + i2;
+                        for (r, c, v) in lins[sp1].c.iter() {
+                            t.push(s * n + r, sp1 * n + c, -v / h1);
+                        }
+                    }
+                    SlowOp::Spectral(d) => {
+                        for i1p in 0..n1 {
+                            let sp = i1p * n2 + i2;
+                            let coeff = d[(i1, i1p)];
+                            if coeff == 0.0 {
+                                continue;
+                            }
+                            for (r, c, v) in lins[sp].c.iter() {
+                                t.push(s * n + r, sp * n + c, coeff * v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    /// Runs the global Newton iteration; returns the bivariate waveform.
+    pub(crate) fn solve(
+        &self,
+        tol: f64,
+        max_newton: usize,
+        dc: &DcOptions,
+    ) -> Result<(BivariateWaveform, GridStats)> {
+        let n = self.dae.dim();
+        let total = self.n1 * self.n2;
+        let op = dc_operating_point(self.dae, dc)?;
+        let mut x = vec![0.0; total * n];
+        for s in 0..total {
+            x[s * n..(s + 1) * n].copy_from_slice(&op.x);
+        }
+        // Excitation samples.
+        let mut b = vec![0.0; total * n];
+        {
+            let mut bs = vec![0.0; n];
+            for i1 in 0..self.n1 {
+                for i2 in 0..self.n2 {
+                    let s = i1 * self.n2 + i2;
+                    self.dae.eval_b(self.time(i1, i2), &mut bs);
+                    b[s * n..(s + 1) * n].copy_from_slice(&bs);
+                }
+            }
+        }
+        let mut stats = GridStats { unknowns: total * n, ..Default::default() };
+        let mut last_res = f64::INFINITY;
+        for _it in 0..max_newton {
+            let (fall, qall, lins) = self.eval_all(&x);
+            let r = self.residual(&fall, &qall, &b);
+            let res = norm_inf(&r);
+            last_res = res;
+            if res < tol {
+                let w = BivariateWaveform {
+                    t1_period: self.t1_period,
+                    t2_period: self.t2_period,
+                    n1: self.n1,
+                    n2: self.n2,
+                    n,
+                    data: x,
+                };
+                return Ok((w, stats));
+            }
+            stats.newton_iterations += 1;
+            let jac = self.jacobian(&lins);
+            stats.jacobian_nnz = jac.nnz();
+            let dx = jac.solve(&r).map_err(Error::Numerics)?;
+            // Damped update.
+            let mut alpha = 1.0;
+            for _ in 0..8 {
+                let xt: Vec<f64> = x.iter().zip(&dx).map(|(xi, di)| xi - alpha * di).collect();
+                let (ft, qt, _) = self.eval_all(&xt);
+                let rt = self.residual(&ft, &qt, &b);
+                if norm2(&rt).is_finite() && (norm2(&rt) <= norm2(&r) || alpha < 0.05) {
+                    x = xt;
+                    break;
+                }
+                alpha *= 0.5;
+            }
+        }
+        Err(Error::NoConvergence { iterations: max_newton, residual: last_res })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectral_matrix_differentiates_sine() {
+        let n = 9;
+        let period = 2.0;
+        let d = spectral_diff_matrix(n, period);
+        let omega = 2.0 * std::f64::consts::PI / period;
+        let xs: Vec<f64> = (0..n).map(|i| (omega * i as f64 * period / n as f64).sin()).collect();
+        let dx = d.matvec(&xs);
+        for (i, v) in dx.iter().enumerate() {
+            let expect = omega * (omega * i as f64 * period / n as f64).cos();
+            assert!((v - expect).abs() < 1e-9, "i={i}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn spectral_matrix_kills_constants() {
+        let d = spectral_diff_matrix(7, 1.0);
+        let ones = vec![1.0; 7];
+        let dx = d.matvec(&ones);
+        for v in dx {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+}

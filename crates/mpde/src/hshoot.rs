@@ -1,0 +1,292 @@
+//! Hierarchical Shooting (HS): "a generalization of the traditional
+//! shooting method to multiple time scales".
+//!
+//! The fast axis is handled by genuine shooting — Newton on the fast-period
+//! map with monodromy sensitivities, via [`rfsim_steady::shooting()`] — while
+//! the slow axis couples the per-line problems through a backward-Euler
+//! slow derivative with periodic wrap, relaxed by Gauss–Seidel sweeps
+//! until the biperiodic solution settles. Like MFDTD, HS makes no
+//! smoothness assumption on either axis.
+
+use crate::bivariate::BivariateWaveform;
+use crate::{Error, Result};
+use rfsim_circuit::dae::{Dae, NoiseSource, TwoTime};
+use rfsim_numerics::sparse::Triplets;
+use rfsim_steady::shooting::{shooting, ShootingOptions};
+
+/// Options for [`hierarchical_shooting`].
+#[derive(Debug, Clone)]
+pub struct HsOptions {
+    /// Slow-axis lines.
+    pub n1: usize,
+    /// Fast-axis shooting steps per period (also the stored sample count).
+    pub n2: usize,
+    /// Gauss–Seidel sweep convergence tolerance (max line change).
+    pub tol: f64,
+    /// Maximum sweeps.
+    pub max_sweeps: usize,
+    /// Inner shooting options (`steps_per_period` is overridden by `n2`).
+    pub shooting: ShootingOptions,
+}
+
+impl Default for HsOptions {
+    fn default() -> Self {
+        HsOptions {
+            n1: 8,
+            n2: 32,
+            tol: 1e-6,
+            max_sweeps: 30,
+            shooting: ShootingOptions::default(),
+        }
+    }
+}
+
+/// A DAE view of one slow line: the base system at frozen slow time `t₁`
+/// augmented with the backward-Euler slow derivative
+/// `(q(x) − q_prev(t₂))/h₁`.
+struct LineDae<'a> {
+    base: &'a dyn Dae,
+    t1: f64,
+    /// `None` disables the slow term (quasi-static initialization).
+    h1: Option<f64>,
+    /// Previous line's `q` at the `n2` fast samples.
+    q_prev: Vec<f64>,
+    t2_period: f64,
+    n2: usize,
+}
+
+impl LineDae<'_> {
+    fn q_prev_at(&self, t2: f64, out: &mut [f64]) {
+        let n = self.base.dim();
+        let pos = (t2 / self.t2_period).rem_euclid(1.0) * self.n2 as f64;
+        let j0 = (pos.floor() as usize) % self.n2;
+        let j1 = (j0 + 1) % self.n2;
+        let w = pos - pos.floor();
+        for k in 0..n {
+            out[k] = self.q_prev[j0 * n + k] * (1.0 - w) + self.q_prev[j1 * n + k] * w;
+        }
+    }
+}
+
+impl Dae for LineDae<'_> {
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn eval(
+        &self,
+        x: &[f64],
+        f: &mut [f64],
+        q: &mut [f64],
+        g: &mut Triplets<f64>,
+        c: &mut Triplets<f64>,
+    ) {
+        self.base.eval(x, f, q, g, c);
+        if let Some(h1) = self.h1 {
+            for i in 0..f.len() {
+                f[i] += q[i] / h1;
+            }
+            // G ← G + C/h₁ (same sparsity as C).
+            let extra: Vec<(usize, usize, f64)> =
+                c.entries().iter().map(|&(r, cc, v)| (r, cc, v / h1)).collect();
+            for (r, cc, v) in extra {
+                g.push(r, cc, v);
+            }
+        }
+    }
+
+    fn eval_b(&self, t: TwoTime, b: &mut [f64]) {
+        self.base.eval_b(TwoTime::new(self.t1, t.t2), b);
+        if let Some(h1) = self.h1 {
+            let n = self.base.dim();
+            let mut qp = vec![0.0; n];
+            self.q_prev_at(t.t2, &mut qp);
+            for i in 0..n {
+                b[i] += qp[i] / h1;
+            }
+        }
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        self.base.is_nonlinear()
+    }
+
+    fn noise_sources(&self, x_op: &[f64]) -> Vec<NoiseSource> {
+        self.base.noise_sources(x_op)
+    }
+}
+
+/// Evaluates `q` at each of a line's fast samples.
+fn line_q(dae: &dyn Dae, line: &[f64]) -> Vec<f64> {
+    let n = dae.dim();
+    let n2 = line.len() / n;
+    let mut out = vec![0.0; line.len()];
+    let mut f = vec![0.0; n];
+    let mut q = vec![0.0; n];
+    let mut gt = Triplets::new(n, n);
+    let mut ct = Triplets::new(n, n);
+    for j in 0..n2 {
+        dae.eval(&line[j * n..(j + 1) * n], &mut f, &mut q, &mut gt, &mut ct);
+        out[j * n..(j + 1) * n].copy_from_slice(&q);
+    }
+    out
+}
+
+/// Solves the biperiodic MPDE by hierarchical shooting. Returns the
+/// bivariate waveform and the number of Gauss–Seidel sweeps used.
+///
+/// # Errors
+/// [`Error::NoConvergence`] if the sweeps fail to settle; propagates inner
+/// shooting failures.
+pub fn hierarchical_shooting(
+    dae: &dyn Dae,
+    t1_period: f64,
+    t2_period: f64,
+    opts: &HsOptions,
+) -> Result<(BivariateWaveform, usize)> {
+    let n = dae.dim();
+    let (n1, n2) = (opts.n1, opts.n2);
+    let h1 = t1_period / n1 as f64;
+    let mut sh_opts = opts.shooting.clone();
+    sh_opts.steps_per_period = n2;
+    // Quasi-static initialization: each line solved with the slow
+    // derivative disabled.
+    let mut lines: Vec<Vec<f64>> = Vec::with_capacity(n1);
+    for i in 0..n1 {
+        let line_dae = LineDae {
+            base: dae,
+            t1: i as f64 * h1,
+            h1: None,
+            q_prev: vec![0.0; n2 * n],
+            t2_period,
+            n2,
+        };
+        let res = shooting(&line_dae, t2_period, &sh_opts)?;
+        let mut flat = vec![0.0; n2 * n];
+        for j in 0..n2 {
+            flat[j * n..(j + 1) * n].copy_from_slice(&res.states[j]);
+        }
+        lines.push(flat);
+    }
+    // Gauss–Seidel sweeps with the slow derivative active.
+    for sweep in 0..opts.max_sweeps {
+        let mut max_change = 0.0f64;
+        for i in 0..n1 {
+            let prev_idx = (i + n1 - 1) % n1;
+            let q_prev = line_q(dae, &lines[prev_idx]);
+            let line_dae = LineDae {
+                base: dae,
+                t1: i as f64 * h1,
+                h1: Some(h1),
+                q_prev,
+                t2_period,
+                n2,
+            };
+            let res = shooting(&line_dae, t2_period, &sh_opts)?;
+            let mut flat = vec![0.0; n2 * n];
+            for j in 0..n2 {
+                flat[j * n..(j + 1) * n].copy_from_slice(&res.states[j]);
+            }
+            for (a, b) in lines[i].iter().zip(&flat) {
+                max_change = max_change.max((a - b).abs());
+            }
+            lines[i] = flat;
+        }
+        if max_change < opts.tol {
+            let mut data = vec![0.0; n1 * n2 * n];
+            for (i, line) in lines.iter().enumerate() {
+                data[i * n2 * n..(i + 1) * n2 * n].copy_from_slice(line);
+            }
+            let wave = BivariateWaveform { t1_period, t2_period, n1, n2, n, data };
+            return Ok((wave, sweep + 1));
+        }
+    }
+    Err(Error::NoConvergence { iterations: opts.max_sweeps, residual: f64::NAN })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsim_circuit::prelude::*;
+    use rfsim_circuit::Circuit;
+
+    /// Two-tone RC: HS must agree with MFDTD on the same problem.
+    #[test]
+    fn agrees_with_mfdtd() {
+        let (f1, f2) = (1e4, 1e6);
+        let build = || {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let out = ckt.node("out");
+            ckt.add(VSource::multi_tone(
+                "V1",
+                a,
+                Circuit::GROUND,
+                0.0,
+                vec![
+                    (Tone::new(0.7, f1), TimeScale::Slow),
+                    (Tone::new(0.3, f2), TimeScale::Fast),
+                ],
+            ));
+            ckt.add(Resistor::new("R1", a, out, 1e3));
+            ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 2e-10));
+            ckt.into_dae().unwrap()
+        };
+        let dae = build();
+        let opts = HsOptions { n1: 16, n2: 32, ..Default::default() };
+        let (hs, sweeps) = hierarchical_shooting(&dae, 1.0 / f1, 1.0 / f2, &opts).unwrap();
+        assert!(sweeps <= 30);
+        let mf_opts = crate::mfdtd::MfdtdOptions { n1: 16, n2: 32, ..Default::default() };
+        let (mf, _) = crate::mfdtd::solve_mfdtd(&dae, 1.0 / f1, 1.0 / f2, &mf_opts).unwrap();
+        let oi = dae.node_index(build_out()).unwrap_or(1);
+        let mut worst = 0.0f64;
+        for i1 in 0..16 {
+            for i2 in 0..32 {
+                worst = worst.max((hs.at(i1, i2, oi) - mf.at(i1, i2, oi)).abs());
+            }
+        }
+        // Different discretizations of the same MPDE: close but not equal
+        // (HS uses trap+BE shooting along t₂, MFDTD pure BE).
+        assert!(worst < 0.05, "worst {worst}");
+    }
+
+    fn build_out() -> NodeId {
+        // Node ids are deterministic: ground=0, a=1, out=2.
+        let mut ckt = Circuit::new();
+        ckt.node("a");
+        ckt.node("out")
+    }
+
+    /// A chopper (square LO) with slow sine input: HS handles the
+    /// discontinuous fast axis via time stepping.
+    #[test]
+    fn chopper_amplitude() {
+        let (f1, f2) = (1e3, 1e6);
+        let mut ckt = Circuit::new();
+        let sw = ckt.node("sw");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add(VSource::sine("VIN", inp, Circuit::GROUND, 0.0, 1.0, f1));
+        ckt.add(VSource::square_lo("VLO", sw, Circuit::GROUND, 1.0, f2));
+        ckt.add(Multiplier::new(
+            "CHOP",
+            out,
+            Circuit::GROUND,
+            inp,
+            Circuit::GROUND,
+            sw,
+            Circuit::GROUND,
+            -1e-3,
+        ));
+        ckt.add(Resistor::new("RL", out, Circuit::GROUND, 1e3).noiseless());
+        let dae = ckt.into_dae().unwrap();
+        let opts = HsOptions { n1: 8, n2: 20, ..Default::default() };
+        let (wave, _) = hierarchical_shooting(&dae, 1.0 / f1, 1.0 / f2, &opts).unwrap();
+        let oi = dae.node_index(out).unwrap();
+        // At the slow peak (i1 = 2 of 8), fast waveform is ±1 square.
+        let hi = wave.at(2, 2, oi);
+        let lo = wave.at(2, 15, oi);
+        assert!(hi > 0.8, "hi = {hi}");
+        assert!(lo < -0.8, "lo = {lo}");
+    }
+}

@@ -1,0 +1,315 @@
+//! Multivariate Mixed Frequency–Time (MMFT): a short Fourier series along
+//! the nearly-linear slow axis combined with time-domain collocation along
+//! the strongly nonlinear fast axis.
+//!
+//! "In some circuits, the slow-scale signal path is often almost linear,
+//! while the fast-scale action is highly nonlinear. The linearity of the
+//! signal path can be exploited by expressing the slow scale components in
+//! a short Fourier series" — so a switching mixer needs only `2K+1` slow
+//! samples for `K` RF harmonics (the paper's Fig. 4 run used `K = 3`),
+//! while the square-wave LO axis keeps a robust backward-difference
+//! discretization.
+//!
+//! The method's natural output is the set of **time-varying harmonics**
+//! `X_k(t₂)` — periodic in the fast time — from which any mix product
+//! `k·f₁ + m·f₂` is read off directly ([`MmftSolution::mix_amplitude`]).
+
+use crate::bivariate::BivariateWaveform;
+use crate::grid::{spectral_diff_matrix, GridProblem, GridStats, SlowOp};
+use crate::Result;
+use rfsim_circuit::dae::Dae;
+use rfsim_circuit::dc::DcOptions;
+use rfsim_numerics::Complex;
+
+/// Options for [`solve_mmft`].
+#[derive(Debug, Clone)]
+pub struct MmftOptions {
+    /// Slow-axis harmonics `K` (`2K+1` collocation samples).
+    pub slow_harmonics: usize,
+    /// Fast-axis time steps per period.
+    pub n2: usize,
+    /// Newton residual tolerance.
+    pub tol: f64,
+    /// Maximum Newton iterations.
+    pub max_newton: usize,
+    /// DC options for the initial guess.
+    pub dc: DcOptions,
+}
+
+impl Default for MmftOptions {
+    fn default() -> Self {
+        MmftOptions {
+            slow_harmonics: 3,
+            n2: 50,
+            tol: 1e-8,
+            max_newton: 40,
+            dc: DcOptions::default(),
+        }
+    }
+}
+
+/// A converged MMFT solution.
+#[derive(Debug, Clone)]
+pub struct MmftSolution {
+    /// The bivariate waveform on the collocation grid.
+    pub wave: BivariateWaveform,
+    /// Solver statistics.
+    pub stats: GridStats,
+    /// Slow fundamental `f₁` (Hz).
+    pub f1: f64,
+    /// Fast fundamental `f₂` (Hz).
+    pub f2: f64,
+}
+
+impl MmftSolution {
+    /// The time-varying slow-harmonic waveform `X_k(t₂)` of unknown `i`:
+    /// one complex sample per fast-axis grid point. `k = 1` is the
+    /// waveform plotted in the paper's Fig. 4(a), `k = 3` Fig. 4(b).
+    pub fn harmonic_waveform(&self, i: usize, k: i32) -> Vec<Complex> {
+        let n1 = self.wave.n1;
+        let n2 = self.wave.n2;
+        (0..n2)
+            .map(|j| {
+                let mut acc = Complex::ZERO;
+                for s in 0..n1 {
+                    let phase = -2.0 * std::f64::consts::PI * k as f64 * s as f64 / n1 as f64;
+                    acc += Complex::from_polar(1.0, phase).scale(self.wave.at(s, j, i));
+                }
+                acc.scale(1.0 / n1 as f64)
+            })
+            .collect()
+    }
+
+    /// Peak amplitude of the real mix product at `k·f₁ + m·f₂` for unknown
+    /// `i`. The paper reads "the main mix component … is found by taking
+    /// the fundamental component of the waveform in Figure 4(a)": this is
+    /// exactly the `m`-th fast-axis Fourier coefficient of `X_k(t₂)`.
+    pub fn mix_amplitude(&self, i: usize, k: i32, m: i32) -> f64 {
+        let xk = self.harmonic_waveform(i, k);
+        let n2 = xk.len();
+        let spec = rfsim_numerics::fft::dft(&xk);
+        let bin = if m >= 0 { m as usize } else { (n2 as i32 + m) as usize };
+        let c = spec[bin].scale(1.0 / n2 as f64);
+        if k == 0 && m == 0 {
+            c.abs()
+        } else {
+            2.0 * c.abs()
+        }
+    }
+
+    /// The frequency (Hz) of mix `(k, m)`.
+    pub fn mix_freq(&self, k: i32, m: i32) -> f64 {
+        k as f64 * self.f1 + m as f64 * self.f2
+    }
+
+    /// Evaluates the bivariate waveform using MMFT's native representation:
+    /// **trigonometric** interpolation along the slow axis (the solution
+    /// *is* a short Fourier series there — a handful of collocation
+    /// samples represent the slow sinusoids exactly) and periodic linear
+    /// interpolation along the fast time-stepping axis.
+    pub fn eval(&self, t1: f64, t2: f64, i: usize) -> f64 {
+        let n1 = self.wave.n1;
+        let n2 = self.wave.n2;
+        let h = n1 / 2; // n1 = 2K+1
+        // Fast-axis interpolation weights.
+        let pos = (t2 * self.f2).rem_euclid(1.0) * n2 as f64;
+        let j0 = (pos.floor() as usize) % n2;
+        let j1 = (j0 + 1) % n2;
+        let w = pos - pos.floor();
+        // Σ_k X_k(t2)·e^{j2πk·f1·t1}, exploiting conjugate symmetry.
+        let mut acc = 0.0;
+        for k in 0..=h as i32 {
+            // X_k at the two bracketing fast samples.
+            let xk_at = |j: usize| -> Complex {
+                let mut c = Complex::ZERO;
+                for s in 0..n1 {
+                    let phase =
+                        -2.0 * std::f64::consts::PI * k as f64 * s as f64 / n1 as f64;
+                    c += Complex::from_polar(1.0, phase).scale(self.wave.at(s, j, i));
+                }
+                c.scale(1.0 / n1 as f64)
+            };
+            let xk = xk_at(j0).scale(1.0 - w) + xk_at(j1).scale(w);
+            let e = Complex::from_polar(1.0, 2.0 * std::f64::consts::PI * k as f64 * self.f1 * t1);
+            let term = xk * e;
+            acc += if k == 0 { term.re } else { 2.0 * term.re };
+        }
+        acc
+    }
+}
+
+/// Solves the MPDE with a spectral slow axis and a backward-difference
+/// fast axis.
+///
+/// # Errors
+/// [`crate::Error::NoConvergence`] if the Newton iteration stalls.
+pub fn solve_mmft(dae: &dyn Dae, f1: f64, f2: f64, opts: &MmftOptions) -> Result<MmftSolution> {
+    let n1 = 2 * opts.slow_harmonics + 1;
+    let d = spectral_diff_matrix(n1, 1.0 / f1);
+    let problem = GridProblem {
+        dae,
+        t1_period: 1.0 / f1,
+        t2_period: 1.0 / f2,
+        n1,
+        n2: opts.n2,
+        slow: SlowOp::Spectral(d),
+    };
+    let (wave, stats) = problem.solve(opts.tol, opts.max_newton, &opts.dc)?;
+    Ok(MmftSolution { wave, stats, f1, f2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsim_circuit::prelude::*;
+    use rfsim_circuit::Circuit;
+
+    /// Linear two-tone RC: MMFT with K=1 must reproduce the AC answer for
+    /// both tones.
+    #[test]
+    fn linear_two_tone_matches_ac() {
+        let (f1, f2) = (1e4, 1e7);
+        let (r, c) = (1e3, 2e-12);
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        ckt.add(VSource::multi_tone(
+            "V1",
+            a,
+            Circuit::GROUND,
+            0.0,
+            vec![
+                (Tone::new(1.0, f1), TimeScale::Slow),
+                (Tone::new(0.5, f2), TimeScale::Fast),
+            ],
+        ));
+        ckt.add(Resistor::new("R1", a, out, r));
+        ckt.add(Capacitor::new("C1", out, Circuit::GROUND, c));
+        let dae = ckt.into_dae().unwrap();
+        let opts = MmftOptions { slow_harmonics: 1, n2: 64, ..Default::default() };
+        let sol = solve_mmft(&dae, f1, f2, &opts).unwrap();
+        let oi = dae.node_index(out).unwrap();
+        let gain = |f: f64| 1.0 / (1.0 + (2.0 * std::f64::consts::PI * f * r * c).powi(2)).sqrt();
+        let a_slow = sol.mix_amplitude(oi, 1, 0);
+        let a_fast = sol.mix_amplitude(oi, 0, 1);
+        assert!((a_slow - gain(f1)).abs() < 1e-3, "slow {a_slow} vs {}", gain(f1));
+        // Fast axis is first-order BE: allow a few percent.
+        assert!((a_fast - 0.5 * gain(f2)).abs() < 0.03, "fast {a_fast} vs {}", 0.5 * gain(f2));
+        // No intermodulation in a linear circuit.
+        assert!(sol.mix_amplitude(oi, 1, 1) < 1e-6);
+    }
+
+    /// The paper's Fig. 4 setup, scaled: double-balanced switching mixer
+    /// with a mild RF nonlinearity. The desired mix at f₂+f₁ dominates and
+    /// the third-harmonic mix (3f₁+f₂) sits tens of dB down.
+    #[test]
+    fn switching_mixer_mix_components() {
+        let (f1, f2) = (1e5, 9e8); // 100 kHz RF, 900 MHz LO (paper values)
+        let mut ckt = Circuit::new();
+        let rf = ckt.node("rf");
+        let lo = ckt.node("lo");
+        let out = ckt.node("out");
+        ckt.add(VSource::sine("VRF", rf, Circuit::GROUND, 0.0, 0.1, f1));
+        ckt.add(VSource::square_lo("VLO", lo, Circuit::GROUND, 1.0, f2));
+        // Mildly nonlinear RF path: cubic via a diode pair would be heavy;
+        // compose multiplier (RF×LO) plus a small RF³ contribution through
+        // cascaded multipliers.
+        let rfsq = ckt.node("rfsq");
+        ckt.add(Multiplier::new(
+            "SQ",
+            rfsq,
+            Circuit::GROUND,
+            rf,
+            Circuit::GROUND,
+            rf,
+            Circuit::GROUND,
+            1e-3,
+        ));
+        ckt.add(Resistor::new("RSQ", rfsq, Circuit::GROUND, 1e3).noiseless());
+        let rf3 = ckt.node("rf3");
+        ckt.add(Multiplier::new(
+            "CUBE",
+            rf3,
+            Circuit::GROUND,
+            rfsq,
+            Circuit::GROUND,
+            rf,
+            Circuit::GROUND,
+            1e-3,
+        ));
+        ckt.add(Resistor::new("RC3", rf3, Circuit::GROUND, 1e3).noiseless());
+        // Mixer drive: current-sum RF and ε·RF³ into a load resistor, so
+        // v(drive) = v_rf + 7.2·v_rf³ (a mildly nonlinear RF path giving
+        // ≈35 dB HD3 at 100 mV drive, the paper's Fig. 4 numbers).
+        let drive = ckt.node("drive");
+        ckt.add(Resistor::new("RDRV", drive, Circuit::GROUND, 1e3).noiseless());
+        ckt.add(Vccs::new("V2I", drive, Circuit::GROUND, rf, Circuit::GROUND, -1e-3));
+        ckt.add(Vccs::new("ADD3", drive, Circuit::GROUND, rf3, Circuit::GROUND, -7.2e-3));
+        let mixed = ckt.node("mixed");
+        ckt.add(Multiplier::new(
+            "MIX",
+            mixed,
+            Circuit::GROUND,
+            drive,
+            Circuit::GROUND,
+            lo,
+            Circuit::GROUND,
+            1.2e-3,
+        ));
+        ckt.add(Resistor::new("RMIX", mixed, Circuit::GROUND, 1e3).noiseless());
+        // Output RC filter.
+        ckt.add(Resistor::new("RF1", mixed, out, 100.0).noiseless());
+        ckt.add(Capacitor::new("CF1", out, Circuit::GROUND, 1e-13));
+        let dae = ckt.into_dae().unwrap();
+        let opts = MmftOptions { slow_harmonics: 3, n2: 50, ..Default::default() };
+        let sol = solve_mmft(&dae, f1, f2, &opts).unwrap();
+        let oi = dae.node_index(out).unwrap();
+        let main = sol.mix_amplitude(oi, 1, 1); // f2 + f1
+        let hd3 = sol.mix_amplitude(oi, 3, 1); // f2 + 3f1
+        assert!(main > 0.01, "main mix {main}");
+        let ratio_db = 20.0 * (main / hd3.max(1e-30)).log10();
+        // Distortion well below the main component (paper: ~35 dB).
+        assert!(ratio_db > 20.0 && ratio_db < 60.0, "ratio {ratio_db} dB");
+        // Frequencies reported correctly.
+        assert!((sol.mix_freq(1, 1) - 900.1e6).abs() < 1.0);
+        assert!((sol.mix_freq(3, 1) - 900.3e6).abs() < 1.0);
+    }
+
+    /// Time-varying harmonic extraction: a pure product signal has all its
+    /// slow-harmonic-1 energy in the fast fundamental.
+    #[test]
+    fn harmonic_waveform_shape() {
+        let (f1, f2) = (1e4, 1e6);
+        let mut ckt = Circuit::new();
+        let rf = ckt.node("rf");
+        let lo = ckt.node("lo");
+        let out = ckt.node("out");
+        ckt.add(VSource::sine("VRF", rf, Circuit::GROUND, 0.0, 1.0, f1));
+        ckt.add(VSource::sine_fast("VLO", lo, Circuit::GROUND, 0.0, 1.0, f2));
+        ckt.add(Multiplier::new(
+            "MIX",
+            out,
+            Circuit::GROUND,
+            rf,
+            Circuit::GROUND,
+            lo,
+            Circuit::GROUND,
+            1e-3,
+        ));
+        ckt.add(Resistor::new("RL", out, Circuit::GROUND, 1e3).noiseless());
+        let dae = ckt.into_dae().unwrap();
+        let opts = MmftOptions { slow_harmonics: 2, n2: 64, ..Default::default() };
+        let sol = solve_mmft(&dae, f1, f2, &opts).unwrap();
+        let oi = dae.node_index(out).unwrap();
+        let x1 = sol.harmonic_waveform(oi, 1);
+        // X₁(t₂) for out = sin(ω₁t₁)·sin(ω₂t₂): the k=1 coefficient of
+        // sin(ω₁t₁) is 1/(2j), so X₁(t₂) = sin(ω₂t₂)/(2j) — oscillates at
+        // the fast rate with peak 0.5·(mixer gain·R)=0.5.
+        let peak = x1.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+        assert!((peak - 0.5).abs() < 0.05, "peak {peak}");
+        // And k=2 empty (no second slow harmonic in a bilinear mixer).
+        let x2 = sol.harmonic_waveform(oi, 2);
+        let peak2 = x2.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+        assert!(peak2 < 1e-6, "peak2 {peak2}");
+    }
+}

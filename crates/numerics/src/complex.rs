@@ -1,0 +1,336 @@
+//! Double-precision complex arithmetic.
+//!
+//! The workspace deliberately avoids external numerics crates, so this module
+//! provides the `Complex` type used throughout harmonic balance, AC analysis,
+//! S-parameter conversion, and reduced-order modeling.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// ```
+/// use rfsim_numerics::Complex;
+///
+/// let j = Complex::I;
+/// assert_eq!(j * j, Complex::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity, `0 + 0j`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0j`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1j`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub const fn from_re(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar form `r·e^{jθ}`.
+    ///
+    /// ```
+    /// use rfsim_numerics::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z - Complex::new(0.0, 2.0)).abs() < 1e-15);
+    /// ```
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Magnitude `|z|`, computed with `hypot` for robustness against
+    /// overflow/underflow.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²` (no square root).
+    pub fn abs_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns infinities when `z == 0`, mirroring `1.0 / 0.0` semantics.
+    pub fn recip(self) -> Self {
+        let d = self.abs_sq();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    ///
+    /// ```
+    /// use rfsim_numerics::Complex;
+    /// let z = Complex::new(-4.0, 0.0).sqrt();
+    /// assert!((z - Complex::new(0.0, 2.0)).abs() < 1e-15);
+    /// ```
+    pub fn sqrt(self) -> Self {
+        Complex::from_polar(self.abs().sqrt(), 0.5 * self.arg())
+    }
+
+    /// Natural logarithm (principal branch).
+    pub fn ln(self) -> Self {
+        Complex::new(self.abs().ln(), self.arg())
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `true` if either part is NaN.
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Returns `true` if both parts are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_re(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        // Smith's algorithm avoids overflow for widely scaled operands.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            Complex::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            Complex::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+/// Euclidean norm of a complex vector.
+pub fn cnorm2(v: &[Complex]) -> f64 {
+    v.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt()
+}
+
+/// Conjugated dot product `⟨a, b⟩ = Σ āᵢ bᵢ` (conjugate-linear in `a`).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn cdot(a: &[Complex], b: &[Complex]) -> Complex {
+    assert_eq!(a.len(), b.len(), "cdot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x.conj() * *y).sum()
+}
+
+/// `y ← y + alpha·x` for complex vectors.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn caxpy(alpha: Complex, x: &[Complex], y: &mut [Complex]) {
+    assert_eq!(x.len(), y.len(), "caxpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * *xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert!(close(z + Complex::ZERO, z));
+        assert!(close(z * Complex::ONE, z));
+        assert!(close(z * z.recip(), Complex::ONE));
+        assert!(close(z / z, Complex::ONE));
+        assert!(close(-(-z), z));
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.abs_sq(), 25.0);
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = Complex::new(1.5, 2.5);
+        let b = Complex::new(-0.5, 3.0);
+        assert!(close((a * b).conj(), a.conj() * b.conj()));
+        assert!(close(a * a.conj(), Complex::from_re(a.abs_sq())));
+    }
+
+    #[test]
+    fn division_widely_scaled() {
+        // Smith's algorithm should survive component magnitudes near overflow.
+        let a = Complex::new(1e300, 1e300);
+        let b = Complex::new(1e300, 1e-300);
+        let q = a / b;
+        assert!(q.is_finite());
+        assert!((q.re - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exp_ln_sqrt_roundtrip() {
+        let z = Complex::new(0.3, 1.2);
+        assert!(close(z.ln().exp(), z));
+        assert!(close(z.sqrt() * z.sqrt(), z));
+        // Euler's identity.
+        let e = Complex::new(0.0, std::f64::consts::PI).exp();
+        assert!((e + Complex::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < 1e-15);
+        assert!((z.arg() - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        let a = [Complex::new(1.0, 1.0), Complex::new(0.0, -1.0)];
+        let b = [Complex::ONE, Complex::I];
+        // ⟨a,b⟩ = conj(1+j)*1 + conj(-j)*j = (1-j) + (j*j) = -j... compute:
+        // conj(0,-1) = (0,1); (0,1)*(0,1) = (-1,0). total = (1,-1)+(-1,0) = (0,-1)
+        let d = cdot(&a, &b);
+        assert!(close(d, Complex::new(0.0, -1.0)));
+        assert!((cnorm2(&b) - 2f64.sqrt()).abs() < 1e-15);
+        let mut y = [Complex::ZERO, Complex::ZERO];
+        caxpy(Complex::I, &b, &mut y);
+        assert!(close(y[0], Complex::I));
+        assert!(close(y[1], Complex::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2j");
+    }
+}

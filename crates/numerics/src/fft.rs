@@ -1,0 +1,337 @@
+//! Discrete Fourier transforms: radix-2 FFT, Bluestein's algorithm for
+//! arbitrary lengths, 2-D transforms, and spectrum utilities (dBc scaling,
+//! windows).
+//!
+//! Harmonic balance shuttles waveforms between the time grid and the
+//! harmonic domain every Newton iteration (the Γ/Γ⁻¹ operators); the MPDE
+//! engines use the 2-D transform; the transient-vs-HB dynamic-range study
+//! (Fig 1 / §2.1) uses the windowed spectrum utilities.
+
+use crate::Complex;
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two (use [`dft`] for arbitrary
+/// lengths).
+pub fn fft_pow2(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft_pow2: length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place inverse radix-2 FFT (normalized by 1/n).
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft_pow2(data: &mut [Complex]) {
+    let n = data.len();
+    for z in data.iter_mut() {
+        *z = z.conj();
+    }
+    fft_pow2(data);
+    let scale = 1.0 / n as f64;
+    for z in data.iter_mut() {
+        *z = z.conj().scale(scale);
+    }
+}
+
+/// Forward DFT of arbitrary length: radix-2 FFT when possible, otherwise
+/// Bluestein's chirp-z algorithm (O(n log n)).
+pub fn dft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut d = input.to_vec();
+        fft_pow2(&mut d);
+        return d;
+    }
+    bluestein(input, false)
+}
+
+/// Inverse DFT of arbitrary length (normalized by 1/n).
+pub fn idft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut d = input.to_vec();
+        ifft_pow2(&mut d);
+        return d;
+    }
+    let mut out = bluestein(input, true);
+    let scale = 1.0 / n as f64;
+    for z in &mut out {
+        *z = z.scale(scale);
+    }
+    out
+}
+
+/// Bluestein chirp-z transform; `inverse` flips the twiddle sign
+/// (unnormalized).
+fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let m = (2 * n - 1).next_power_of_two();
+    // Chirp w_k = exp(sign·jπk²/n).
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            // k² mod 2n avoids precision loss for large k.
+            let kk = (k as u128 * k as u128) % (2 * n as u128);
+            Complex::from_polar(1.0, sign * std::f64::consts::PI * kk as f64 / n as f64)
+        })
+        .collect();
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        b[k] = chirp[k].conj();
+        b[m - k] = chirp[k].conj();
+    }
+    fft_pow2(&mut a);
+    fft_pow2(&mut b);
+    for k in 0..m {
+        a[k] *= b[k];
+    }
+    ifft_pow2(&mut a);
+    (0..n).map(|k| a[k] * chirp[k]).collect()
+}
+
+/// Forward DFT of a real signal; returns the full complex spectrum.
+pub fn dft_real(input: &[f64]) -> Vec<Complex> {
+    dft(&input.iter().map(|&x| Complex::from_re(x)).collect::<Vec<_>>())
+}
+
+/// Row–column 2-D DFT of a `rows × cols` row-major grid.
+pub fn dft2(data: &[Complex], rows: usize, cols: usize) -> Vec<Complex> {
+    assert_eq!(data.len(), rows * cols, "dft2: size mismatch");
+    let mut tmp = vec![Complex::ZERO; rows * cols];
+    // Transform rows.
+    for r in 0..rows {
+        let row = dft(&data[r * cols..(r + 1) * cols]);
+        tmp[r * cols..(r + 1) * cols].copy_from_slice(&row);
+    }
+    // Transform columns.
+    let mut out = vec![Complex::ZERO; rows * cols];
+    let mut col = vec![Complex::ZERO; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = tmp[r * cols + c];
+        }
+        let t = dft(&col);
+        for r in 0..rows {
+            out[r * cols + c] = t[r];
+        }
+    }
+    out
+}
+
+/// Inverse row–column 2-D DFT.
+pub fn idft2(data: &[Complex], rows: usize, cols: usize) -> Vec<Complex> {
+    assert_eq!(data.len(), rows * cols, "idft2: size mismatch");
+    let mut tmp = vec![Complex::ZERO; rows * cols];
+    for r in 0..rows {
+        let row = idft(&data[r * cols..(r + 1) * cols]);
+        tmp[r * cols..(r + 1) * cols].copy_from_slice(&row);
+    }
+    let mut out = vec![Complex::ZERO; rows * cols];
+    let mut col = vec![Complex::ZERO; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = tmp[r * cols + c];
+        }
+        let t = idft(&col);
+        for r in 0..rows {
+            out[r * cols + c] = t[r];
+        }
+    }
+    out
+}
+
+/// Hann window of length `n` (periodic form, for spectral estimation).
+pub fn hann_window(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 0.5 * (1.0 - (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos()))
+        .collect()
+}
+
+/// Single-sided amplitude spectrum of a real signal (windowless), returning
+/// `(frequency_bin_index, amplitude)` pairs for bins `0..n/2`.
+///
+/// Amplitudes are scaled so a pure tone `A·cos` reports `A`.
+pub fn amplitude_spectrum(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let spec = dft_real(signal);
+    let half = n / 2 + 1;
+    (0..half)
+        .map(|k| {
+            let scale = if k == 0 || (n.is_multiple_of(2) && k == n / 2) { 1.0 } else { 2.0 };
+            spec[k].abs() * scale / n as f64
+        })
+        .collect()
+}
+
+/// Converts an amplitude ratio to dB relative to a carrier amplitude
+/// ("dBc"): `20·log₁₀(a / carrier)`. Returns `-inf` dB for zero amplitude.
+pub fn dbc(amplitude: f64, carrier: f64) -> f64 {
+    if amplitude <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        20.0 * (amplitude / carrier).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    /// O(n²) reference DFT.
+    fn slow_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|t| {
+                        x[t] * Complex::from_polar(
+                            1.0,
+                            -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64,
+                        )
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_slow_dft_pow2() {
+        let x: Vec<Complex> =
+            (0..16).map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos())).collect();
+        let fast = dft(&x);
+        let slow = slow_dft(&x);
+        assert_close(&fast, &slow, 1e-10);
+    }
+
+    #[test]
+    fn bluestein_matches_slow_dft_odd_lengths() {
+        for n in [3usize, 5, 7, 9, 15, 21, 33] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 1.7).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let fast = dft(&x);
+            let slow = slow_dft(&x);
+            assert_close(&fast, &slow, 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_lengths() {
+        for n in [1usize, 2, 3, 4, 5, 8, 12, 17, 32, 63] {
+            let x: Vec<Complex> =
+                (0..n).map(|i| Complex::new(i as f64, -(i as f64) * 0.25)).collect();
+            let back = idft(&dft(&x));
+            assert_close(&back, &x, 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_single_bin() {
+        let n = 64;
+        let f = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let amp = amplitude_spectrum(&x);
+        assert!((amp[f] - 1.0).abs() < 1e-10);
+        for (k, a) in amp.iter().enumerate() {
+            if k != f {
+                assert!(*a < 1e-10, "leakage at bin {k}: {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn dft2_matches_nested_1d() {
+        let (r, c) = (4, 6);
+        let grid: Vec<Complex> =
+            (0..r * c).map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0)).collect();
+        let f2 = dft2(&grid, r, c);
+        let back = idft2(&f2, r, c);
+        assert_close(&back, &grid, 1e-9);
+        // Parseval for the 2-D transform.
+        let energy_t: f64 = grid.iter().map(|z| z.abs_sq()).sum();
+        let energy_f: f64 = f2.iter().map(|z| z.abs_sq()).sum::<f64>() / (r * c) as f64;
+        assert!((energy_t - energy_f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parseval_1d() {
+        let x: Vec<Complex> = (0..40).map(|i| Complex::new((i as f64).cos(), 0.0)).collect();
+        let f = dft(&x);
+        let et: f64 = x.iter().map(|z| z.abs_sq()).sum();
+        let ef: f64 = f.iter().map(|z| z.abs_sq()).sum::<f64>() / 40.0;
+        assert!((et - ef).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbc_scaling() {
+        assert!((dbc(0.1, 1.0) + 20.0).abs() < 1e-12);
+        assert!((dbc(1.0, 1.0)).abs() < 1e-12);
+        assert_eq!(dbc(0.0, 1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn hann_window_endpoints() {
+        let w = hann_window(8);
+        assert!(w[0].abs() < 1e-15);
+        assert!((w[4] - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,190 @@
+//! Interpolation utilities: linear, natural cubic spline, and periodic
+//! bivariate grid evaluation.
+//!
+//! The MPDE post-processing step reconstructs the univariate waveform from
+//! bivariate samples via `x(t) = x̂(t, t)` using the periodicity of `x̂` in
+//! each argument (paper, Section 2.2); [`bilinear_periodic`] implements that
+//! evaluation.
+
+/// Piecewise-linear interpolation of `(xs, ys)` at `x`. Extrapolates with
+/// the end segments.
+///
+/// # Panics
+/// Panics if `xs` and `ys` differ in length, are empty, or `xs` is not
+/// strictly increasing (debug builds).
+pub fn lerp(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "lerp: length mismatch");
+    assert!(!xs.is_empty(), "lerp: empty input");
+    debug_assert!(xs.windows(2).all(|w| w[0] < w[1]), "lerp: xs not increasing");
+    if xs.len() == 1 {
+        return ys[0];
+    }
+    let i = match xs.partition_point(|&v| v <= x) {
+        0 => 0,
+        p if p >= xs.len() => xs.len() - 2,
+        p => p - 1,
+    };
+    let t = (x - xs[i]) / (xs[i + 1] - xs[i]);
+    ys[i] + t * (ys[i + 1] - ys[i])
+}
+
+/// Natural cubic spline through `(xs, ys)`.
+///
+/// ```
+/// use rfsim_numerics::interp::CubicSpline;
+///
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [0.0, 1.0, 8.0, 27.0];
+/// let s = CubicSpline::new(&xs, &ys);
+/// // Interpolates the knots exactly.
+/// assert!((s.eval(2.0) - 8.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CubicSpline {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Second derivatives at the knots.
+    m: Vec<f64>,
+}
+
+impl CubicSpline {
+    /// Fits a natural spline (zero second derivative at the ends).
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 points or lengths mismatch or `xs` is not
+    /// strictly increasing.
+    pub fn new(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "spline: length mismatch");
+        assert!(xs.len() >= 2, "spline: need at least 2 points");
+        assert!(xs.windows(2).all(|w| w[0] < w[1]), "spline: xs not increasing");
+        let n = xs.len();
+        let mut m = vec![0.0; n];
+        if n > 2 {
+            // Tridiagonal system for interior second derivatives (Thomas).
+            let mut sub = vec![0.0; n];
+            let mut diag = vec![0.0; n];
+            let mut sup = vec![0.0; n];
+            let mut rhs = vec![0.0; n];
+            for i in 1..n - 1 {
+                let h0 = xs[i] - xs[i - 1];
+                let h1 = xs[i + 1] - xs[i];
+                sub[i] = h0;
+                diag[i] = 2.0 * (h0 + h1);
+                sup[i] = h1;
+                rhs[i] = 6.0 * ((ys[i + 1] - ys[i]) / h1 - (ys[i] - ys[i - 1]) / h0);
+            }
+            for i in 2..n - 1 {
+                let w = sub[i] / diag[i - 1];
+                diag[i] -= w * sup[i - 1];
+                rhs[i] -= w * rhs[i - 1];
+            }
+            m[n - 2] = rhs[n - 2] / diag[n - 2];
+            for i in (1..n - 2).rev() {
+                m[i] = (rhs[i] - sup[i] * m[i + 1]) / diag[i];
+            }
+        }
+        CubicSpline { xs: xs.to_vec(), ys: ys.to_vec(), m }
+    }
+
+    /// Evaluates the spline (clamped extrapolation outside the knot range).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        let i = match self.xs.partition_point(|&v| v <= x) {
+            0 => 0,
+            p if p >= n => n - 2,
+            p => p - 1,
+        };
+        let h = self.xs[i + 1] - self.xs[i];
+        let a = (self.xs[i + 1] - x) / h;
+        let b = (x - self.xs[i]) / h;
+        a * self.ys[i]
+            + b * self.ys[i + 1]
+            + ((a * a * a - a) * self.m[i] + (b * b * b - b) * self.m[i + 1]) * h * h / 6.0
+    }
+}
+
+/// Evaluates a biperiodic grid `g` (`rows × cols`, row-major; row `i` is
+/// coordinate `t1 = i/rows·T1`, column `j` is `t2 = j/cols·T2`) at an
+/// arbitrary `(t1, t2)` by bilinear interpolation with periodic wrap.
+///
+/// This is the `x(t) = x̂(t mod T1, t mod T2)` evaluation of the MPDE
+/// formulation.
+pub fn bilinear_periodic(g: &[f64], rows: usize, cols: usize, t1: f64, t2: f64) -> f64 {
+    assert_eq!(g.len(), rows * cols, "bilinear_periodic: size mismatch");
+    let fx = (t1.rem_euclid(1.0)) * rows as f64;
+    let fy = (t2.rem_euclid(1.0)) * cols as f64;
+    let i0 = fx.floor() as usize % rows;
+    let j0 = fy.floor() as usize % cols;
+    let i1 = (i0 + 1) % rows;
+    let j1 = (j0 + 1) % cols;
+    let a = fx - fx.floor();
+    let b = fy - fy.floor();
+    g[i0 * cols + j0] * (1.0 - a) * (1.0 - b)
+        + g[i1 * cols + j0] * a * (1.0 - b)
+        + g[i0 * cols + j1] * (1.0 - a) * b
+        + g[i1 * cols + j1] * a * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_recovers_lines() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [1.0, 3.0, 5.0];
+        assert!((lerp(&xs, &ys, 0.5) - 2.0).abs() < 1e-15);
+        assert!((lerp(&xs, &ys, 1.75) - 4.5).abs() < 1e-15);
+        // Extrapolation continues the end segments.
+        assert!((lerp(&xs, &ys, 3.0) - 7.0).abs() < 1e-15);
+        assert!((lerp(&xs, &ys, -1.0) + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spline_exact_on_cubic_interior() {
+        // Natural spline reproduces knots and is C² smooth; check knots and
+        // midpoint accuracy on a smooth function.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.3).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (x).sin()).collect();
+        let s = CubicSpline::new(&xs, &ys);
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((s.eval(*x) - y).abs() < 1e-12);
+        }
+        let x = 2.45;
+        assert!((s.eval(x) - x.sin()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn spline_two_points_is_linear() {
+        let s = CubicSpline::new(&[0.0, 2.0], &[0.0, 4.0]);
+        assert!((s.eval(1.0) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bilinear_periodic_wraps() {
+        // 2x2 grid; value at (0,0)=1 else 0.
+        let g = [1.0, 0.0, 0.0, 0.0];
+        assert_eq!(bilinear_periodic(&g, 2, 2, 0.0, 0.0), 1.0);
+        // Exactly periodic: (1.0, 1.0) ≡ (0,0).
+        assert_eq!(bilinear_periodic(&g, 2, 2, 1.0, 1.0), 1.0);
+        // Halfway in both directions mixes all four corners equally.
+        let v = bilinear_periodic(&g, 2, 2, 0.25, 0.25);
+        assert!((v - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bilinear_reproduces_separable_product() {
+        // Smooth separable function sampled on a fine grid should be
+        // reproduced to second order.
+        let (r, c) = (64, 64);
+        let mut g = vec![0.0; r * c];
+        let f = |t1: f64, t2: f64| (2.0 * std::f64::consts::PI * t1).sin() * (2.0 * std::f64::consts::PI * t2).cos();
+        for i in 0..r {
+            for j in 0..c {
+                g[i * c + j] = f(i as f64 / r as f64, j as f64 / c as f64);
+            }
+        }
+        let (t1, t2) = (0.3137, 0.7211);
+        assert!((bilinear_periodic(&g, r, c, t1, t2) - f(t1, t2)).abs() < 5e-3);
+    }
+}

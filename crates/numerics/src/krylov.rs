@@ -1,0 +1,743 @@
+//! Krylov-subspace iterative solvers: restarted GMRES and BiCGStab, generic
+//! over real/complex scalars, with pluggable preconditioning.
+//!
+//! These are the "iterative linear algebra techniques" (\[12\] in the paper)
+//! that let harmonic balance "handle integrated designs containing many more
+//! nonlinear components than traditional implementations": the HB Jacobian
+//! is never formed — only its action on a vector — and GMRES solves the
+//! Newton correction through a [`LinearOperator`].
+
+use crate::scalar::{gdot, gnorm2, Scalar};
+use crate::{Error, Result};
+
+/// Abstract linear operator `y = A·x` for matrix-free Krylov methods.
+///
+/// Implemented by dense matrices, sparse matrices, the HB Jacobian
+/// (FFT-based application), and the IES³ compressed MoM matrix.
+pub trait LinearOperator<T: Scalar> {
+    /// Operator dimension (square).
+    fn dim(&self) -> usize;
+    /// Applies the operator: `y ← A·x`. `y` is pre-sized to `dim()`.
+    fn apply(&self, x: &[T], y: &mut [T]);
+}
+
+impl<T: Scalar> LinearOperator<T> for crate::dense::Mat<T> {
+    fn dim(&self) -> usize {
+        self.rows()
+    }
+    fn apply(&self, x: &[T], y: &mut [T]) {
+        y.copy_from_slice(&self.matvec(x));
+    }
+}
+
+impl<T: Scalar> LinearOperator<T> for crate::sparse::Csr<T> {
+    fn dim(&self) -> usize {
+        self.rows()
+    }
+    fn apply(&self, x: &[T], y: &mut [T]) {
+        y.copy_from_slice(&self.matvec(x));
+    }
+}
+
+/// A function wrapper implementing [`LinearOperator`].
+pub struct FnOperator<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F> FnOperator<F> {
+    /// Wraps a closure `f(x, y)` computing `y = A·x` for vectors of length
+    /// `dim`.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnOperator { dim, f }
+    }
+}
+
+impl<T: Scalar, F: Fn(&[T], &mut [T])> LinearOperator<T> for FnOperator<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn apply(&self, x: &[T], y: &mut [T]) {
+        (self.f)(x, y)
+    }
+}
+
+/// Left preconditioner `z = M⁻¹·r`.
+pub trait Preconditioner<T: Scalar> {
+    /// Applies the preconditioner: `z ← M⁻¹ r`. `z` is pre-sized.
+    fn apply(&self, r: &[T], z: &mut [T]);
+}
+
+/// Identity (no) preconditioning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityPrecond;
+
+impl<T: Scalar> Preconditioner<T> for IdentityPrecond {
+    fn apply(&self, r: &[T], z: &mut [T]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Jacobi (diagonal) preconditioning.
+#[derive(Debug, Clone)]
+pub struct JacobiPrecond<T> {
+    inv_diag: Vec<T>,
+}
+
+impl<T: Scalar> JacobiPrecond<T> {
+    /// Builds from a diagonal; zero entries are treated as 1 (no scaling).
+    pub fn from_diagonal(diag: &[T]) -> Self {
+        let inv_diag = diag
+            .iter()
+            .map(|&d| if d == T::ZERO { T::ONE } else { T::ONE / d })
+            .collect();
+        JacobiPrecond { inv_diag }
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for JacobiPrecond<T> {
+    fn apply(&self, r: &[T], z: &mut [T]) {
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = *ri * *di;
+        }
+    }
+}
+
+/// Incomplete LU factorization with zero fill-in (ILU(0)): the classic
+/// preconditioner for the sparse differential-formulation matrices of
+/// Table 1 (FD/FE volume discretizations), where the exact factors would
+/// fill in but the no-fill approximation already clusters the spectrum.
+pub struct Ilu0<T> {
+    /// Row-major storage mirroring the input pattern: strictly-lower
+    /// entries hold L (unit diagonal implicit), diagonal + upper hold U.
+    rows: Vec<Vec<(usize, T)>>,
+    n: usize,
+}
+
+impl<T: Scalar> Ilu0<T> {
+    /// Computes the ILU(0) factorization of a sparse matrix.
+    ///
+    /// # Errors
+    /// Returns [`Error::Singular`] when a zero pivot appears (the
+    /// factorization exists only for matrices with a nonzero diagonal).
+    pub fn new(a: &crate::sparse::Csr<T>) -> Result<Self> {
+        let n = a.rows();
+        let mut rows: Vec<Vec<(usize, T)>> = vec![Vec::new(); n];
+        for (i, j, v) in a.iter() {
+            rows[i].push((j, v));
+        }
+        for r in &mut rows {
+            r.sort_by_key(|&(j, _)| j);
+        }
+        // IKJ-variant incomplete elimination restricted to the pattern.
+        for i in 0..n {
+            // Work on a copy of row i to avoid aliasing issues.
+            let mut row_i = rows[i].clone();
+            for idx in 0..row_i.len() {
+                let (k, _) = row_i[idx];
+                if k >= i {
+                    break;
+                }
+                // Pivot U[k][k].
+                let pivot = rows[k]
+                    .iter()
+                    .find(|&&(j, _)| j == k)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(T::ZERO);
+                if pivot.modulus() < 1e-300 {
+                    return Err(Error::Singular(k));
+                }
+                let lik = row_i[idx].1 / pivot;
+                row_i[idx].1 = lik;
+                // row_i ← row_i − lik·U_row(k), restricted to the pattern.
+                for &(j, ukj) in &rows[k] {
+                    if j <= k {
+                        continue;
+                    }
+                    if let Ok(pos) = row_i.binary_search_by_key(&j, |&(c, _)| c) {
+                        let delta = lik * ukj;
+                        row_i[pos].1 -= delta;
+                    }
+                }
+            }
+            rows[i] = row_i;
+        }
+        // Verify diagonals exist.
+        for (i, r) in rows.iter().enumerate() {
+            let ok = r
+                .iter()
+                .any(|&(j, v)| j == i && v.modulus() > 1e-300);
+            if !ok {
+                return Err(Error::Singular(i));
+            }
+        }
+        Ok(Ilu0 { rows, n })
+    }
+
+    /// Applies `(LU)⁻¹` to a vector.
+    fn solve_into(&self, r: &[T], z: &mut [T]) {
+        z.copy_from_slice(r);
+        // Forward: L z = r (unit diagonal).
+        for i in 0..self.n {
+            let mut acc = z[i];
+            for &(j, v) in &self.rows[i] {
+                if j >= i {
+                    break;
+                }
+                acc -= v * z[j];
+            }
+            z[i] = acc;
+        }
+        // Backward: U z = y.
+        for i in (0..self.n).rev() {
+            let mut acc = z[i];
+            let mut diag = T::ONE;
+            for &(j, v) in &self.rows[i] {
+                if j < i {
+                    continue;
+                }
+                if j == i {
+                    diag = v;
+                } else {
+                    acc -= v * z[j];
+                }
+            }
+            z[i] = acc / diag;
+        }
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for Ilu0<T> {
+    fn apply(&self, r: &[T], z: &mut [T]) {
+        self.solve_into(r, z);
+    }
+}
+
+/// Block-diagonal preconditioner built from dense blocks (pre-factored).
+///
+/// This is the classic HB preconditioner: one block per harmonic, each the
+/// circuit-sized linearization at that frequency.
+pub struct BlockDiagPrecond<T> {
+    blocks: Vec<crate::dense::Lu<T>>,
+    offsets: Vec<usize>,
+}
+
+impl<T: Scalar> BlockDiagPrecond<T> {
+    /// Factors the given dense blocks. Blocks are applied contiguously in
+    /// order.
+    ///
+    /// # Errors
+    /// Propagates [`Error::Singular`] from a block factorization.
+    pub fn new(blocks: &[crate::dense::Mat<T>]) -> Result<Self> {
+        let mut lus = Vec::with_capacity(blocks.len());
+        let mut offsets = Vec::with_capacity(blocks.len() + 1);
+        let mut off = 0;
+        for b in blocks {
+            offsets.push(off);
+            off += b.rows();
+            lus.push(b.lu()?);
+        }
+        offsets.push(off);
+        Ok(BlockDiagPrecond { blocks: lus, offsets })
+    }
+
+    /// Total dimension covered by the blocks.
+    pub fn dim(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0)
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for BlockDiagPrecond<T> {
+    fn apply(&self, r: &[T], z: &mut [T]) {
+        for (k, lu) in self.blocks.iter().enumerate() {
+            let lo = self.offsets[k];
+            let hi = self.offsets[k + 1];
+            let x = lu.solve(&r[lo..hi]).expect("block precond solve");
+            z[lo..hi].copy_from_slice(&x);
+        }
+    }
+}
+
+/// Convergence/diagnostic report from an iterative solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterStats {
+    /// Iterations performed (total inner iterations for GMRES).
+    pub iterations: usize,
+    /// Final preconditioned residual norm.
+    pub residual: f64,
+    /// Number of operator applications.
+    pub matvecs: usize,
+}
+
+/// Options controlling the iterative solvers.
+#[derive(Debug, Clone, Copy)]
+pub struct KrylovOptions {
+    /// Relative residual target (‖r‖/‖b‖).
+    pub tol: f64,
+    /// Maximum total iterations.
+    pub max_iters: usize,
+    /// GMRES restart length.
+    pub restart: usize,
+}
+
+impl Default for KrylovOptions {
+    fn default() -> Self {
+        KrylovOptions { tol: 1e-10, max_iters: 2000, restart: 60 }
+    }
+}
+
+/// Restarted GMRES(m) with left preconditioning.
+///
+/// Solves `A·x = b`, returning the solution and iteration statistics.
+///
+/// # Errors
+/// Returns [`Error::NoConvergence`] if the iteration budget is exhausted
+/// before the tolerance is met.
+pub fn gmres<T: Scalar>(
+    a: &dyn LinearOperator<T>,
+    b: &[T],
+    x0: Option<&[T]>,
+    precond: &dyn Preconditioner<T>,
+    opts: &KrylovOptions,
+) -> Result<(Vec<T>, IterStats)> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(Error::DimensionMismatch { expected: n, found: b.len() });
+    }
+    let m = opts.restart.max(1).min(n.max(1));
+    let mut x = x0.map_or_else(|| vec![T::ZERO; n], <[T]>::to_vec);
+    let mut matvecs = 0usize;
+    let mut total_iters = 0usize;
+
+    // Preconditioned RHS norm for the relative criterion.
+    let mut zb = vec![T::ZERO; n];
+    precond.apply(b, &mut zb);
+    let bnorm = gnorm2(&zb).max(1e-300);
+
+    let mut work = vec![T::ZERO; n];
+    let mut resid_norm = f64::INFINITY;
+    while total_iters < opts.max_iters {
+        // r = M⁻¹(b − A·x)
+        a.apply(&x, &mut work);
+        matvecs += 1;
+        let mut r = vec![T::ZERO; n];
+        for i in 0..n {
+            r[i] = b[i] - work[i];
+        }
+        let mut z = vec![T::ZERO; n];
+        precond.apply(&r, &mut z);
+        let beta = gnorm2(&z);
+        resid_norm = beta / bnorm;
+        if resid_norm <= opts.tol {
+            return Ok((x, IterStats { iterations: total_iters, residual: resid_norm, matvecs }));
+        }
+        // Arnoldi with Givens-rotated Hessenberg least squares.
+        let mut v: Vec<Vec<T>> = Vec::with_capacity(m + 1);
+        let mut h = vec![vec![T::ZERO; m]; m + 1];
+        let mut cs = vec![T::ZERO; m];
+        let mut sn = vec![T::ZERO; m];
+        let mut g = vec![T::ZERO; m + 1];
+        g[0] = T::from_f64(beta);
+        let mut v0 = z;
+        for e in &mut v0 {
+            *e = e.scale_by(1.0 / beta);
+        }
+        v.push(v0);
+        let mut k_used = 0;
+        for k in 0..m {
+            if total_iters >= opts.max_iters {
+                break;
+            }
+            total_iters += 1;
+            a.apply(&v[k], &mut work);
+            matvecs += 1;
+            let mut w = vec![T::ZERO; n];
+            precond.apply(&work, &mut w);
+            // Modified Gram–Schmidt.
+            for i in 0..=k {
+                let hik = gdot(&v[i], &w);
+                h[i][k] = hik;
+                for (wj, vj) in w.iter_mut().zip(&v[i]) {
+                    *wj -= hik * *vj;
+                }
+            }
+            let hk1 = gnorm2(&w);
+            h[k + 1][k] = T::from_f64(hk1);
+            // Apply accumulated Givens rotations to the new column.
+            for i in 0..k {
+                let t = cs[i].conj() * h[i][k] + sn[i].conj() * h[i + 1][k];
+                h[i + 1][k] = -sn[i] * h[i][k] + cs[i] * h[i + 1][k];
+                h[i][k] = t;
+            }
+            // New rotation eliminating h[k+1][k]. Convention: with
+            // c = a/r, s = b/r for the pair (a, b), the rotation maps
+            // top ← c̄·top + s̄·bottom and bottom ← −s·top + c·bottom,
+            // which sends (a, b) to (r, 0) and is unitary.
+            let denom = (h[k][k].modulus().powi(2) + hk1 * hk1).sqrt();
+            if denom == 0.0 {
+                cs[k] = T::ONE;
+                sn[k] = T::ZERO;
+            } else {
+                cs[k] = h[k][k].scale_by(1.0 / denom);
+                sn[k] = T::from_f64(hk1 / denom);
+                h[k][k] = T::from_f64(denom);
+                h[k + 1][k] = T::ZERO;
+            }
+            let gk = g[k];
+            g[k] = cs[k].conj() * gk;
+            g[k + 1] = -sn[k] * gk;
+            k_used = k + 1;
+            resid_norm = g[k + 1].modulus() / bnorm;
+            if hk1 < 1e-300 {
+                // Happy breakdown: exact solution in the current space.
+                break;
+            }
+            if resid_norm <= opts.tol {
+                break;
+            }
+            let mut vk1 = w;
+            for e in &mut vk1 {
+                *e = e.scale_by(1.0 / hk1);
+            }
+            v.push(vk1);
+        }
+        // Solve the small triangular system h[0..k_used][..]·y = g.
+        let mut y = vec![T::ZERO; k_used];
+        for i in (0..k_used).rev() {
+            let mut acc = g[i];
+            for j in i + 1..k_used {
+                acc -= h[i][j] * y[j];
+            }
+            if h[i][i] == T::ZERO {
+                y[i] = T::ZERO;
+            } else {
+                y[i] = acc / h[i][i];
+            }
+        }
+        for (j, yj) in y.iter().enumerate() {
+            for i in 0..n {
+                x[i] += *yj * v[j][i];
+            }
+        }
+        if resid_norm <= opts.tol {
+            return Ok((x, IterStats { iterations: total_iters, residual: resid_norm, matvecs }));
+        }
+    }
+    Err(Error::NoConvergence { iterations: total_iters, residual: resid_norm })
+}
+
+/// BiCGStab with left preconditioning.
+///
+/// # Errors
+/// Returns [`Error::NoConvergence`] on budget exhaustion and
+/// [`Error::Breakdown`] on ρ-breakdown.
+pub fn bicgstab<T: Scalar>(
+    a: &dyn LinearOperator<T>,
+    b: &[T],
+    x0: Option<&[T]>,
+    precond: &dyn Preconditioner<T>,
+    opts: &KrylovOptions,
+) -> Result<(Vec<T>, IterStats)> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(Error::DimensionMismatch { expected: n, found: b.len() });
+    }
+    let mut x = x0.map_or_else(|| vec![T::ZERO; n], <[T]>::to_vec);
+    let mut work = vec![T::ZERO; n];
+    a.apply(&x, &mut work);
+    let mut matvecs = 1usize;
+    let mut r: Vec<T> = b.iter().zip(&work).map(|(bi, wi)| *bi - *wi).collect();
+    let rhat = r.clone();
+    let bnorm = gnorm2(b).max(1e-300);
+    let mut rho = T::ONE;
+    let mut alpha = T::ONE;
+    let mut omega = T::ONE;
+    let mut vv = vec![T::ZERO; n];
+    let mut p = vec![T::ZERO; n];
+    let mut resid = gnorm2(&r) / bnorm;
+    for it in 0..opts.max_iters {
+        if resid <= opts.tol {
+            return Ok((x, IterStats { iterations: it, residual: resid, matvecs }));
+        }
+        let rho_new = gdot(&rhat, &r);
+        if rho_new.modulus() < 1e-300 {
+            return Err(Error::Breakdown("bicgstab: rho = 0"));
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * vv[i]);
+        }
+        let mut phat = vec![T::ZERO; n];
+        precond.apply(&p, &mut phat);
+        a.apply(&phat, &mut vv);
+        matvecs += 1;
+        alpha = rho / gdot(&rhat, &vv);
+        let s: Vec<T> = r.iter().zip(&vv).map(|(ri, vi)| *ri - alpha * *vi).collect();
+        if gnorm2(&s) / bnorm <= opts.tol {
+            for i in 0..n {
+                x[i] += alpha * phat[i];
+            }
+            return Ok((x, IterStats { iterations: it + 1, residual: gnorm2(&s) / bnorm, matvecs }));
+        }
+        let mut shat = vec![T::ZERO; n];
+        precond.apply(&s, &mut shat);
+        let mut t = vec![T::ZERO; n];
+        a.apply(&shat, &mut t);
+        matvecs += 1;
+        let tt = gdot(&t, &t);
+        if tt.modulus() < 1e-300 {
+            return Err(Error::Breakdown("bicgstab: t = 0"));
+        }
+        omega = gdot(&t, &s) / tt;
+        for i in 0..n {
+            x[i] += alpha * phat[i] + omega * shat[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        resid = gnorm2(&r) / bnorm;
+    }
+    Err(Error::NoConvergence { iterations: opts.max_iters, residual: resid })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Mat;
+    use crate::sparse::Triplets;
+    use crate::Complex;
+
+    fn spd_system(n: usize) -> (Mat<f64>, Vec<f64>, Vec<f64>) {
+        // Diagonally dominant SPD-ish system with known solution.
+        let a = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                4.0
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let xref: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+        let b = a.matvec(&xref);
+        (a, b, xref)
+    }
+
+    #[test]
+    fn gmres_solves_real() {
+        let (a, b, xref) = spd_system(40);
+        let (x, stats) = gmres(&a, &b, None, &IdentityPrecond, &KrylovOptions::default()).unwrap();
+        assert!(stats.residual <= 1e-10);
+        for (xi, ri) in x.iter().zip(&xref) {
+            assert!((xi - ri).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn gmres_with_jacobi_converges_faster() {
+        // Badly scaled diagonal: Jacobi should cut iterations dramatically.
+        let n = 50;
+        let a = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                10.0_f64.powi((i % 5) as i32)
+            } else if i.abs_diff(j) == 1 {
+                0.1
+            } else {
+                0.0
+            }
+        });
+        let xref: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.05)).collect();
+        let b = a.matvec(&xref);
+        let opts = KrylovOptions { restart: 50, ..Default::default() };
+        let (_, s_plain) = gmres(&a, &b, None, &IdentityPrecond, &opts).unwrap();
+        let diag: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+        let pc = JacobiPrecond::from_diagonal(&diag);
+        let (x, s_pc) = gmres(&a, &b, None, &pc, &opts).unwrap();
+        assert!(s_pc.iterations < s_plain.iterations, "{} !< {}", s_pc.iterations, s_plain.iterations);
+        for (xi, ri) in x.iter().zip(&xref) {
+            assert!((xi - ri).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gmres_complex_system() {
+        let n = 20;
+        let a = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                Complex::new(3.0, 1.0)
+            } else if i.abs_diff(j) == 1 {
+                Complex::new(-0.5, 0.2)
+            } else {
+                Complex::ZERO
+            }
+        });
+        let xref: Vec<Complex> =
+            (0..n).map(|i| Complex::from_polar(1.0, i as f64 * 0.3)).collect();
+        let b = a.matvec(&xref);
+        let (x, _) = gmres(&a, &b, None, &IdentityPrecond, &KrylovOptions::default()).unwrap();
+        for (xi, ri) in x.iter().zip(&xref) {
+            assert!((*xi - *ri).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn gmres_matrix_free_operator() {
+        // Operator defined purely as a closure (like the HB Jacobian).
+        let n = 16;
+        let op = FnOperator::new(n, move |x: &[f64], y: &mut [f64]| {
+            for i in 0..n {
+                y[i] = 2.0 * x[i] - if i > 0 { 0.5 * x[i - 1] } else { 0.0 };
+            }
+        });
+        let b = vec![1.0; n];
+        let (x, _) = gmres(&op, &b, None, &IdentityPrecond, &KrylovOptions::default()).unwrap();
+        let mut y = vec![0.0; n];
+        op.apply(&x, &mut y);
+        for (yi, bi) in y.iter().zip(&b) {
+            assert!((yi - bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gmres_restart_still_converges() {
+        let (a, b, xref) = spd_system(60);
+        let opts = KrylovOptions { restart: 5, max_iters: 5000, ..Default::default() };
+        let (x, _) = gmres(&a, &b, None, &IdentityPrecond, &opts).unwrap();
+        for (xi, ri) in x.iter().zip(&xref) {
+            assert!((xi - ri).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn bicgstab_solves_sparse() {
+        let n = 80;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -1.2);
+            }
+        }
+        let a = t.to_csr();
+        let xref: Vec<f64> = (0..n).map(|i| ((i * i) % 7) as f64 - 3.0).collect();
+        let b = a.matvec(&xref);
+        let (x, stats) =
+            bicgstab(&a, &b, None, &IdentityPrecond, &KrylovOptions::default()).unwrap();
+        assert!(stats.residual <= 1e-10);
+        for (xi, ri) in x.iter().zip(&xref) {
+            assert!((xi - ri).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn block_diag_precond_is_exact_for_block_diag_matrix() {
+        let b1 = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b2 = Mat::from_rows(&[&[5.0]]);
+        let pc = BlockDiagPrecond::new(&[b1.clone(), b2.clone()]).unwrap();
+        assert_eq!(pc.dim(), 3);
+        // Full matrix equal to the block diagonal: GMRES should converge in
+        // one iteration with the exact preconditioner.
+        let a = Mat::from_rows(&[
+            &[2.0, 1.0, 0.0],
+            &[1.0, 3.0, 0.0],
+            &[0.0, 0.0, 5.0],
+        ]);
+        let b = [1.0, 2.0, 3.0];
+        let (x, stats) = gmres(&a, &b, None, &pc, &KrylovOptions::default()).unwrap();
+        assert!(stats.iterations <= 2, "iterations = {}", stats.iterations);
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ilu0_exact_for_no_fill_patterns() {
+        // A tridiagonal matrix factors with no fill, so ILU(0) is the
+        // exact LU and GMRES converges in one iteration.
+        let n = 60;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+            }
+        }
+        let a = t.to_csr();
+        let pc = Ilu0::new(&a).unwrap();
+        let xref: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).cos()).collect();
+        let b = a.matvec(&xref);
+        let (x, stats) = gmres(&a, &b, None, &pc, &KrylovOptions::default()).unwrap();
+        assert!(stats.iterations <= 2, "iterations = {}", stats.iterations);
+        for (xi, ri) in x.iter().zip(&xref) {
+            assert!((xi - ri).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ilu0_accelerates_grid_laplacian() {
+        // 2-D Laplacian has fill, so ILU(0) is inexact but still cuts the
+        // iteration count well below unpreconditioned GMRES.
+        let m = 14;
+        let n = m * m;
+        let mut t = Triplets::new(n, n);
+        for i in 0..m {
+            for j in 0..m {
+                let r = i * m + j;
+                t.push(r, r, 4.0);
+                if i > 0 {
+                    t.push(r, r - m, -1.0);
+                }
+                if i + 1 < m {
+                    t.push(r, r + m, -1.0);
+                }
+                if j > 0 {
+                    t.push(r, r - 1, -1.0);
+                }
+                if j + 1 < m {
+                    t.push(r, r + 1, -1.0);
+                }
+            }
+        }
+        let a = t.to_csr();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let opts = KrylovOptions { tol: 1e-9, ..Default::default() };
+        let (_, plain) = gmres(&a, &b, None, &IdentityPrecond, &opts).unwrap();
+        let pc = Ilu0::new(&a).unwrap();
+        let (x, with) = gmres(&a, &b, None, &pc, &opts).unwrap();
+        assert!(
+            with.iterations * 2 < plain.iterations,
+            "ilu0 {} vs plain {}",
+            with.iterations,
+            plain.iterations
+        );
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ilu0_rejects_zero_diagonal() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        let a = t.to_csr();
+        assert!(matches!(Ilu0::new(&a), Err(Error::Singular(_))));
+    }
+
+    #[test]
+    fn no_convergence_reports_error() {
+        let (a, b, _) = spd_system(30);
+        let opts = KrylovOptions { tol: 1e-14, max_iters: 2, ..Default::default() };
+        match gmres(&a, &b, None, &IdentityPrecond, &opts) {
+            Err(Error::NoConvergence { iterations, .. }) => assert!(iterations <= 2),
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,165 @@
+#![warn(missing_docs)]
+// Index-based loops are deliberate throughout: they mirror the
+// subscripted linear-algebra notation of the algorithms implemented.
+#![allow(clippy::needless_range_loop)]
+//! Numerical foundation for the `rfsim` RF IC design toolkit.
+//!
+//! The RF CAD algorithms reproduced from the DAC'98 Bell Labs paper —
+//! harmonic balance, multi-rate PDE methods, phase-noise characterisation,
+//! method-of-moments extraction with IES³ compression, and Krylov-subspace
+//! reduced-order modeling — all sit on the same small set of numerical
+//! kernels. This crate provides those kernels from scratch:
+//!
+//! - [`Complex`] arithmetic ([`complex`]),
+//! - dense real/complex matrices with LU, QR, SVD and eigenvalue
+//!   decompositions ([`dense`], [`svd`], [`eig`]),
+//! - sparse matrices (triplet/CSR) with a Gilbert–Peierls sparse LU
+//!   ([`sparse`]),
+//! - Krylov-subspace iterative solvers (GMRES, BiCGStab) with pluggable
+//!   preconditioners ([`krylov`]),
+//! - FFT/DFT (radix-2 + Bluestein) and spectrum utilities ([`fft`]),
+//! - interpolation and quadrature helpers ([`interp`], [`quad`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rfsim_numerics::dense::Mat;
+//!
+//! # fn main() -> Result<(), rfsim_numerics::Error> {
+//! let a = Mat::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let x = a.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod complex;
+pub mod dense;
+pub mod eig;
+pub mod fft;
+pub mod interp;
+pub mod krylov;
+pub mod quad;
+pub mod scalar;
+pub mod sparse;
+pub mod svd;
+
+pub use complex::Complex;
+pub use dense::Mat;
+pub use scalar::Scalar;
+
+/// Errors produced by the numerical kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A factorization encountered an (numerically) singular matrix.
+    /// Carries the pivot index at which breakdown occurred.
+    Singular(usize),
+    /// Dimensions of the operands do not agree.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension found.
+        found: usize,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    /// Carries the final residual norm achieved.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+    },
+    /// A Krylov process broke down (e.g. Lanczos serious breakdown).
+    Breakdown(&'static str),
+    /// Invalid argument (empty matrix, non-square where square required, …).
+    InvalidArgument(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Singular(k) => write!(f, "matrix is singular at pivot {k}"),
+            Error::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            Error::NoConvergence { iterations, residual } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            Error::Breakdown(what) => write!(f, "numerical breakdown: {what}"),
+            Error::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Euclidean norm of a real vector.
+///
+/// ```
+/// assert_eq!(rfsim_numerics::norm2(&[3.0, 4.0]), 5.0);
+/// ```
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Infinity norm of a real vector (0 for the empty vector).
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// Dot product of two real vectors.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y ← y + alpha * x` for real vectors.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_and_dot() {
+        assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+        assert_eq!(norm_inf(&[-2.0, 1.0]), 2.0);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            Error::Singular(3),
+            Error::DimensionMismatch { expected: 2, found: 5 },
+            Error::NoConvergence { iterations: 7, residual: 1e-3 },
+            Error::Breakdown("lanczos"),
+            Error::InvalidArgument("empty"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Quadrature helpers: trapezoid/Simpson rules on uniform grids and
+//! periodic-function averaging.
+//!
+//! Used by the phase-noise diffusion-constant integral
+//! `c = (1/T)∫₀ᵀ v₁ᵀ(t)·B(t)·Bᵀ(t)·v₁(t) dt` and the EM panel integrals.
+
+/// Trapezoid rule over uniformly spaced samples with spacing `h`.
+///
+/// Returns 0 for fewer than two samples.
+pub fn trapezoid(ys: &[f64], h: f64) -> f64 {
+    if ys.len() < 2 {
+        return 0.0;
+    }
+    let inner: f64 = ys[1..ys.len() - 1].iter().sum();
+    h * (0.5 * (ys[0] + ys[ys.len() - 1]) + inner)
+}
+
+/// Simpson's rule over uniformly spaced samples with spacing `h`.
+/// Requires an odd number of samples ≥ 3; falls back to trapezoid otherwise.
+pub fn simpson(ys: &[f64], h: f64) -> f64 {
+    let n = ys.len();
+    if n < 3 || n.is_multiple_of(2) {
+        return trapezoid(ys, h);
+    }
+    let mut s = ys[0] + ys[n - 1];
+    for (i, y) in ys.iter().enumerate().take(n - 1).skip(1) {
+        s += if i % 2 == 1 { 4.0 * y } else { 2.0 * y };
+    }
+    s * h / 3.0
+}
+
+/// Mean of samples of a `T`-periodic function over one period, where the
+/// samples cover `[0, T)` uniformly (endpoint excluded). This equals the
+/// periodic trapezoid rule divided by `T`.
+pub fn periodic_mean(ys: &[f64]) -> f64 {
+    if ys.is_empty() {
+        return 0.0;
+    }
+    ys.iter().sum::<f64>() / ys.len() as f64
+}
+
+/// Integrates a function over `[a, b]` with `n` Simpson panels.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn integrate(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n > 0, "integrate: need at least one panel");
+    let samples = 2 * n + 1;
+    let h = (b - a) / (samples - 1) as f64;
+    let ys: Vec<f64> = (0..samples).map(|i| f(a + i as f64 * h)).collect();
+    simpson(&ys, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_linear_exact() {
+        let ys = [0.0, 1.0, 2.0, 3.0];
+        assert!((trapezoid(&ys, 1.0) - 4.5).abs() < 1e-15);
+        assert_eq!(trapezoid(&[1.0], 1.0), 0.0);
+    }
+
+    #[test]
+    fn simpson_cubic_exact() {
+        // Simpson integrates cubics exactly: ∫₀¹ x³ dx = 1/4.
+        let n = 9;
+        let h = 1.0 / (n - 1) as f64;
+        let ys: Vec<f64> = (0..n).map(|i| (i as f64 * h).powi(3)).collect();
+        assert!((simpson(&ys, h) - 0.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn integrate_sin() {
+        let v = integrate(f64::sin, 0.0, std::f64::consts::PI, 50);
+        assert!((v - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn periodic_mean_of_cosine_is_zero() {
+        let n = 128;
+        let ys: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos())
+            .collect();
+        assert!(periodic_mean(&ys).abs() < 1e-14);
+        assert_eq!(periodic_mean(&[]), 0.0);
+    }
+}

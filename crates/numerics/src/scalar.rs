@@ -1,0 +1,152 @@
+//! The [`Scalar`] abstraction that lets dense/sparse factorizations and
+//! Krylov solvers be written once for both `f64` and [`Complex`].
+
+use crate::Complex;
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Field element usable by the generic linear-algebra kernels.
+///
+/// Implemented for `f64` and [`Complex`]. The trait is sealed: downstream
+/// crates consume it but cannot implement it, which keeps us free to extend
+/// it without breaking changes.
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Send
+    + Sync
+    + 'static
+    + private::Sealed
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Magnitude (absolute value / modulus) as a non-negative real.
+    fn modulus(self) -> f64;
+    /// Complex conjugate (identity for reals).
+    fn conj(self) -> Self;
+    /// Embeds a real number.
+    fn from_f64(x: f64) -> Self;
+    /// Real part.
+    fn real(self) -> f64;
+    /// Scales by a real factor.
+    fn scale_by(self, s: f64) -> Self;
+    /// Returns `true` if the value contains a NaN component.
+    fn is_nan(self) -> bool;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for crate::Complex {}
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+    fn conj(self) -> Self {
+        self
+    }
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn real(self) -> f64 {
+        self
+    }
+    fn scale_by(self, s: f64) -> Self {
+        self * s
+    }
+    fn is_nan(self) -> bool {
+        f64::is_nan(self)
+    }
+}
+
+impl Scalar for Complex {
+    const ZERO: Self = Complex::ZERO;
+    const ONE: Self = Complex::ONE;
+
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+    fn conj(self) -> Self {
+        Complex::conj(self)
+    }
+    fn from_f64(x: f64) -> Self {
+        Complex::from_re(x)
+    }
+    fn real(self) -> f64 {
+        self.re
+    }
+    fn scale_by(self, s: f64) -> Self {
+        self.scale(s)
+    }
+    fn is_nan(self) -> bool {
+        Complex::is_nan(self)
+    }
+}
+
+/// Euclidean norm of a generic scalar vector.
+pub fn gnorm2<T: Scalar>(v: &[T]) -> f64 {
+    v.iter().map(|x| x.modulus() * x.modulus()).sum::<f64>().sqrt()
+}
+
+/// Conjugated dot product `Σ conj(aᵢ)·bᵢ`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn gdot<T: Scalar>(a: &[T], b: &[T]) -> T {
+    assert_eq!(a.len(), b.len(), "gdot: length mismatch");
+    let mut acc = T::ZERO;
+    for (x, y) in a.iter().zip(b) {
+        acc += x.conj() * *y;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_scalar_semantics() {
+        assert_eq!(<f64 as Scalar>::conj(-2.0), -2.0);
+        assert_eq!((-2.0f64).modulus(), 2.0);
+        assert_eq!(f64::from_f64(3.0), 3.0);
+        assert_eq!(3.0f64.scale_by(2.0), 6.0);
+    }
+
+    #[test]
+    fn complex_scalar_semantics() {
+        let z = Complex::new(1.0, -2.0);
+        assert_eq!(Scalar::conj(z), Complex::new(1.0, 2.0));
+        assert_eq!(z.real(), 1.0);
+        assert_eq!(Complex::from_f64(2.0), Complex::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn generic_helpers_match_specialized() {
+        let v = [3.0f64, 4.0];
+        assert_eq!(gnorm2(&v), 5.0);
+        assert_eq!(gdot(&v, &v), 25.0);
+        let c = [Complex::I, Complex::ONE];
+        assert!((gnorm2(&c) - 2f64.sqrt()).abs() < 1e-15);
+        assert_eq!(gdot(&c, &c), Complex::new(2.0, 0.0));
+    }
+}

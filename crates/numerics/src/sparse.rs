@@ -1,0 +1,634 @@
+//! Sparse matrices: triplet assembly, CSR storage, and a Gilbert–Peierls
+//! left-looking sparse LU with partial pivoting.
+//!
+//! The differential-equation formulations surveyed in Section 4 of the paper
+//! (and the circuit MNA systems of Section 2) "generate sparse matrices with
+//! near diagonal or block-diagonal structure". This module provides the
+//! storage and direct factorization those engines use; the companion
+//! [`krylov`](crate::krylov) module provides the iterative alternatives.
+
+use crate::scalar::Scalar;
+use crate::{Error, Result};
+
+/// Triplet (COO) matrix builder. Duplicate entries are summed on conversion,
+/// matching the accumulate-by-stamping style of MNA assembly.
+///
+/// ```
+/// use rfsim_numerics::sparse::Triplets;
+///
+/// let mut t = Triplets::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // accumulates
+/// t.push(1, 1, 5.0);
+/// let a = t.to_csr();
+/// assert_eq!(a.get(0, 0), 3.0);
+/// assert_eq!(a.nnz(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Triplets<T = f64> {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> Triplets<T> {
+    /// Creates an empty builder for an `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Triplets { rows, cols, entries: Vec::new() }
+    }
+
+    /// Adds `v` at `(i, j)`. Duplicates accumulate.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of bounds.
+    pub fn push(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.rows && j < self.cols, "triplet index out of bounds");
+        self.entries.push((i, j, v));
+    }
+
+    /// Number of raw (pre-deduplication) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Raw `(row, col, value)` entries as pushed (duplicates not merged).
+    pub fn entries(&self) -> &[(usize, usize, T)] {
+        &self.entries
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Converts to CSR, summing duplicates and dropping exact zeros.
+    pub fn to_csr(&self) -> Csr<T> {
+        let mut counts = vec![0usize; self.rows + 1];
+        for &(i, _, _) in &self.entries {
+            counts[i + 1] += 1;
+        }
+        for i in 0..self.rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_idx = vec![0usize; self.entries.len()];
+        let mut vals = vec![T::ZERO; self.entries.len()];
+        let mut next = counts.clone();
+        for &(i, j, v) in &self.entries {
+            let k = next[i];
+            col_idx[k] = j;
+            vals[k] = v;
+            next[i] += 1;
+        }
+        // Sort each row by column and merge duplicates.
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut out_cols = Vec::with_capacity(self.entries.len());
+        let mut out_vals = Vec::with_capacity(self.entries.len());
+        for i in 0..self.rows {
+            let lo = counts[i];
+            let hi = counts[i + 1];
+            let mut row: Vec<(usize, T)> =
+                (lo..hi).map(|k| (col_idx[k], vals[k])).collect();
+            row.sort_by_key(|&(c, _)| c);
+            let mut idx = 0;
+            while idx < row.len() {
+                let c = row[idx].0;
+                let mut v = row[idx].1;
+                let mut k = idx + 1;
+                while k < row.len() && row[k].0 == c {
+                    v += row[k].1;
+                    k += 1;
+                }
+                if v != T::ZERO {
+                    out_cols.push(c);
+                    out_vals.push(v);
+                }
+                idx = k;
+            }
+            row_ptr[i + 1] = out_cols.len();
+        }
+        Csr { rows: self.rows, cols: self.cols, row_ptr, col_idx: out_cols, vals: out_vals }
+    }
+}
+
+/// Compressed-sparse-row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr<T = f64> {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, T::ONE);
+        }
+        t.to_csr()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Fill density `nnz / (rows·cols)`, the quantity contrasted in the
+    /// paper's Table 1 between differential (sparse) and integral (dense)
+    /// formulations.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// Value at `(i, j)` (zero if not stored).
+    pub fn get(&self, i: usize, j: usize) -> T {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(k) => self.vals[lo + k],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Iterates over `(row, col, value)` of stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            (self.row_ptr[i]..self.row_ptr[i + 1])
+                .map(move |k| (i, self.col_idx[k], self.vals[k]))
+        })
+    }
+
+    /// Sparse matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
+        let mut y = vec![T::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = T::ZERO;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.vals[k] * x[self.col_idx[k]];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Transposed product `Aᵀ·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.rows()`.
+    pub fn matvec_transposed(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.rows, "matvec_transposed: length mismatch");
+        let mut y = vec![T::ZERO; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == T::ZERO {
+                continue;
+            }
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                y[self.col_idx[k]] += self.vals[k] * xi;
+            }
+        }
+        y
+    }
+
+    /// Transpose as a new CSR matrix.
+    pub fn transpose(&self) -> Csr<T> {
+        let mut t = Triplets::new(self.cols, self.rows);
+        for (i, j, v) in self.iter() {
+            t.push(j, i, v);
+        }
+        t.to_csr()
+    }
+
+    /// Returns `alpha·A + beta·B` (shapes must match).
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn add_scaled(&self, alpha: f64, other: &Csr<T>, beta: f64) -> Csr<T> {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add_scaled: shape mismatch");
+        let mut t = Triplets::new(self.rows, self.cols);
+        for (i, j, v) in self.iter() {
+            t.push(i, j, v.scale_by(alpha));
+        }
+        for (i, j, v) in other.iter() {
+            t.push(i, j, v.scale_by(beta));
+        }
+        t.to_csr()
+    }
+
+    /// Dense conversion (for tests and small-problem fallbacks).
+    pub fn to_dense(&self) -> crate::dense::Mat<T> {
+        let mut m = crate::dense::Mat::zeros(self.rows, self.cols);
+        for (i, j, v) in self.iter() {
+            m[(i, j)] = v;
+        }
+        m
+    }
+
+    /// Extracts the diagonal.
+    pub fn diagonal(&self) -> Vec<T> {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Sparse LU factorization (Gilbert–Peierls, partial pivoting).
+    ///
+    /// # Errors
+    /// Returns [`Error::Singular`] if no acceptable pivot exists in some
+    /// column and [`Error::InvalidArgument`] for non-square matrices.
+    pub fn lu(&self) -> Result<SparseLu<T>> {
+        SparseLu::new(self)
+    }
+
+    /// Solves `A·x = b` through a fresh sparse LU.
+    ///
+    /// # Errors
+    /// Propagates factorization errors; see [`Csr::lu`].
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>> {
+        self.lu()?.solve(b)
+    }
+}
+
+/// Sparse LU factors from the Gilbert–Peierls algorithm: `P·A = L·U` with
+/// unit-diagonal `L`, both stored column-wise.
+#[derive(Debug, Clone)]
+pub struct SparseLu<T> {
+    n: usize,
+    l_colptr: Vec<usize>,
+    l_rowidx: Vec<usize>,
+    l_vals: Vec<T>,
+    u_colptr: Vec<usize>,
+    u_rowidx: Vec<usize>,
+    u_vals: Vec<T>,
+    u_diag: Vec<T>,
+    /// `pinv[orig_row] = pivoted position`.
+    pinv: Vec<usize>,
+}
+
+const UNSET: usize = usize::MAX;
+
+impl<T: Scalar> SparseLu<T> {
+    /// Factors a square CSR matrix.
+    ///
+    /// # Errors
+    /// Returns [`Error::Singular`] on pivot breakdown,
+    /// [`Error::InvalidArgument`] if not square.
+    pub fn new(a: &Csr<T>) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(Error::InvalidArgument("sparse lu: matrix must be square"));
+        }
+        let n = a.rows();
+        // Column-compressed view of A (we need columns).
+        let at = a.transpose(); // rows of aᵗ are columns of a
+        let mut lu = SparseLu {
+            n,
+            l_colptr: vec![0],
+            l_rowidx: Vec::new(),
+            l_vals: Vec::new(),
+            u_colptr: vec![0],
+            u_rowidx: Vec::new(),
+            u_vals: Vec::new(),
+            u_diag: vec![T::ZERO; n],
+            pinv: vec![UNSET; n],
+        };
+        // Work arrays.
+        let mut x = vec![T::ZERO; n]; // numeric values by original row index
+        let mut pattern: Vec<usize> = Vec::with_capacity(n); // topo order (orig rows)
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+
+        for j in 0..n {
+            // --- Symbolic: reachability DFS from the pattern of A(:,j). ---
+            pattern.clear();
+            for k in at.row_ptr[j]..at.row_ptr[j + 1] {
+                let root = at.col_idx[k];
+                if visited[root] {
+                    continue;
+                }
+                stack.push((root, 0));
+                visited[root] = true;
+                while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+                    let pj = lu.pinv[node];
+                    let (lo, hi) = if pj == UNSET {
+                        (0, 0)
+                    } else {
+                        (lu.l_colptr[pj], lu.l_colptr[pj + 1])
+                    };
+                    if lo + *child < hi {
+                        let next = lu.l_rowidx[lo + *child];
+                        *child += 1;
+                        if !visited[next] {
+                            visited[next] = true;
+                            stack.push((next, 0));
+                        }
+                    } else {
+                        pattern.push(node);
+                        stack.pop();
+                    }
+                }
+            }
+            // pattern is in reverse topological order; reverse for the solve.
+            pattern.reverse();
+            for &p in &pattern {
+                visited[p] = false;
+            }
+            // --- Numeric: scatter A(:,j), then eliminate in topo order. ---
+            for k in at.row_ptr[j]..at.row_ptr[j + 1] {
+                x[at.col_idx[k]] = at.vals[k];
+            }
+            for &node in &pattern {
+                let pj = lu.pinv[node];
+                if pj == UNSET {
+                    continue;
+                }
+                let xv = x[node];
+                if xv == T::ZERO {
+                    continue;
+                }
+                for k in lu.l_colptr[pj]..lu.l_colptr[pj + 1] {
+                    let r = lu.l_rowidx[k];
+                    x[r] -= lu.l_vals[k] * xv;
+                }
+            }
+            // --- Pivot: largest modulus among not-yet-pivotal rows. ---
+            let mut ipiv = UNSET;
+            let mut pmax = 0.0f64;
+            for &node in &pattern {
+                if lu.pinv[node] == UNSET {
+                    let m = x[node].modulus();
+                    if m > pmax {
+                        pmax = m;
+                        ipiv = node;
+                    }
+                }
+            }
+            if ipiv == UNSET || pmax == 0.0 {
+                return Err(Error::Singular(j));
+            }
+            let pivot = x[ipiv];
+            lu.pinv[ipiv] = j;
+            lu.u_diag[j] = pivot;
+            // --- Store U(:, j): pivotal rows; L(:, j): the rest, scaled. ---
+            for &node in &pattern {
+                let pj = lu.pinv[node];
+                let xv = x[node];
+                x[node] = T::ZERO;
+                if node == ipiv {
+                    continue;
+                }
+                if pj != UNSET && pj < j {
+                    if xv != T::ZERO {
+                        lu.u_rowidx.push(pj);
+                        lu.u_vals.push(xv);
+                    }
+                } else if xv != T::ZERO {
+                    lu.l_rowidx.push(node); // original index; remapped below
+                    lu.l_vals.push(xv / pivot);
+                }
+            }
+            lu.u_colptr.push(lu.u_rowidx.len());
+            lu.l_colptr.push(lu.l_rowidx.len());
+        }
+        Ok(lu)
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Total stored nonzeros in `L + U` (a fill-in measure).
+    pub fn factor_nnz(&self) -> usize {
+        self.l_vals.len() + self.u_vals.len() + self.n
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    /// Returns [`Error::DimensionMismatch`] for a wrong-sized `b`.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>> {
+        if b.len() != self.n {
+            return Err(Error::DimensionMismatch { expected: self.n, found: b.len() });
+        }
+        // z = P·b in pivoted coordinates: z[pinv[i]] = b[i].
+        let mut z = vec![T::ZERO; self.n];
+        for i in 0..self.n {
+            z[self.pinv[i]] = b[i];
+        }
+        // Forward solve L·y = z (unit diagonal), L columns hold original row
+        // indices: remap through pinv.
+        for j in 0..self.n {
+            let zj = z[j];
+            if zj == T::ZERO {
+                continue;
+            }
+            for k in self.l_colptr[j]..self.l_colptr[j + 1] {
+                let r = self.pinv[self.l_rowidx[k]];
+                z[r] -= self.l_vals[k] * zj;
+            }
+        }
+        // Backward solve U·x = y, U stored by columns with separate diagonal.
+        for j in (0..self.n).rev() {
+            z[j] /= self.u_diag[j];
+            let xj = z[j];
+            if xj == T::ZERO {
+                continue;
+            }
+            for k in self.u_colptr[j]..self.u_colptr[j + 1] {
+                z[self.u_rowidx[k]] -= self.u_vals[k] * xj;
+            }
+        }
+        Ok(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex;
+
+    fn laplacian_1d(n: usize) -> Csr<f64> {
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn triplets_accumulate_and_drop_zero() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, 2.0);
+        t.push(0, 1, -2.0); // cancels to zero → dropped
+        t.push(1, 0, 5.0);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(1, 0), 5.0);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = laplacian_1d(6);
+        let x: Vec<f64> = (0..6).map(|i| (i as f64 + 1.0).sin()).collect();
+        let y = a.matvec(&x);
+        let yd = a.to_dense().matvec(&x);
+        for (s, d) in y.iter().zip(&yd) {
+            assert!((s - d).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut t = Triplets::new(3, 2);
+        t.push(0, 1, 1.0);
+        t.push(2, 0, 4.0);
+        let a = t.to_csr();
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+    }
+
+    #[test]
+    fn sparse_lu_tridiagonal() {
+        let a = laplacian_1d(50);
+        let xref: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).cos()).collect();
+        let b = a.matvec(&xref);
+        let x = a.solve(&b).unwrap();
+        for (xi, ri) in x.iter().zip(&xref) {
+            assert!((xi - ri).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sparse_lu_needs_pivoting() {
+        // Zero diagonal forces off-diagonal pivoting.
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 2, 2.0);
+        t.push(2, 2, 1.0);
+        let a = t.to_csr();
+        let b = [1.0, 3.0, 1.0];
+        let x = a.solve(&b).unwrap();
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 2.0);
+        // Column 1 is empty → structurally singular.
+        let a = t.to_csr();
+        assert!(matches!(a.lu(), Err(Error::Singular(_))));
+    }
+
+    #[test]
+    fn complex_sparse_solve() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, Complex::new(1.0, 1.0));
+        t.push(0, 1, Complex::I);
+        t.push(1, 1, Complex::new(2.0, -1.0));
+        let a = t.to_csr();
+        let xref = vec![Complex::new(0.5, -0.5), Complex::new(1.0, 2.0)];
+        let b = a.matvec(&xref);
+        let x = a.solve(&b).unwrap();
+        for (xi, ri) in x.iter().zip(&xref) {
+            assert!((*xi - *ri).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_pattern_vs_dense() {
+        // Deterministic pseudo-random sparse matrix compared against the
+        // dense LU on the same system.
+        let n = 25;
+        let mut t = Triplets::new(n, n);
+        let mut seed = 12345u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64 / 2.0) - 1.0
+        };
+        for i in 0..n {
+            t.push(i, i, 4.0 + rnd());
+            for _ in 0..3 {
+                let j = ((rnd().abs() * n as f64) as usize).min(n - 1);
+                t.push(i, j, rnd());
+            }
+        }
+        let a = t.to_csr();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let xs = a.solve(&b).unwrap();
+        let xd = a.to_dense().solve(&b).unwrap();
+        for (s, d) in xs.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-9, "sparse {s} dense {d}");
+        }
+    }
+
+    #[test]
+    fn density_and_fill() {
+        let a = laplacian_1d(100);
+        assert!(a.density() < 0.03);
+        let lu = a.lu().unwrap();
+        // Tridiagonal LU has no fill-in beyond the band.
+        assert!(lu.factor_nnz() <= 3 * 100);
+    }
+
+    #[test]
+    fn add_scaled_combines() {
+        let a = laplacian_1d(4);
+        let id = Csr::identity(4);
+        let c = a.add_scaled(2.0, &id, 3.0);
+        assert_eq!(c.get(0, 0), 7.0);
+        assert_eq!(c.get(0, 1), -2.0);
+    }
+
+    #[test]
+    fn matvec_transposed_matches() {
+        let mut t = Triplets::new(2, 3);
+        t.push(0, 2, 1.5);
+        t.push(1, 0, -2.0);
+        let a = t.to_csr();
+        let x = [1.0, 2.0];
+        let y = a.matvec_transposed(&x);
+        let yd = a.to_dense().transpose().matvec(&x);
+        assert_eq!(y, yd);
+    }
+}

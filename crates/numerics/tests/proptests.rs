@@ -1,0 +1,137 @@
+//! Property-based tests for the numerical kernels.
+
+use proptest::prelude::*;
+use rfsim_numerics::complex::{cdot, cnorm2};
+use rfsim_numerics::dense::Mat;
+use rfsim_numerics::fft::{dft, idft};
+use rfsim_numerics::krylov::{gmres, IdentityPrecond, KrylovOptions};
+use rfsim_numerics::sparse::Triplets;
+use rfsim_numerics::svd::Svd;
+use rfsim_numerics::Complex;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-1e3f64..1e3).prop_filter("nonzero-ish", |x| x.abs() > 1e-9 || *x == 0.0)
+}
+
+fn complex_vec(n: usize) -> impl Strategy<Value = Vec<Complex>> {
+    proptest::collection::vec((finite_f64(), finite_f64()), n)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+/// Well-conditioned matrix: diagonally dominant with bounded off-diagonals.
+fn dd_matrix(n: usize) -> impl Strategy<Value = Mat<f64>> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |v| {
+        let mut m = Mat::from_fn(n, n, |i, j| v[i * n + j]);
+        for i in 0..n {
+            m[(i, i)] = n as f64 + 1.0 + v[i * n + i];
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn complex_mul_commutes(a in (finite_f64(), finite_f64()), b in (finite_f64(), finite_f64())) {
+        let x = Complex::new(a.0, a.1);
+        let y = Complex::new(b.0, b.1);
+        let d = x * y - y * x;
+        prop_assert!(d.abs() <= 1e-9 * (x.abs() * y.abs()).max(1.0));
+    }
+
+    #[test]
+    fn complex_abs_triangle_inequality(a in (finite_f64(), finite_f64()), b in (finite_f64(), finite_f64())) {
+        let x = Complex::new(a.0, a.1);
+        let y = Complex::new(b.0, b.1);
+        prop_assert!((x + y).abs() <= x.abs() + y.abs() + 1e-9);
+    }
+
+    #[test]
+    fn lu_solve_residual_small(m in dd_matrix(8), b in proptest::collection::vec(-10.0f64..10.0, 8)) {
+        let x = m.solve(&b).unwrap();
+        let ax = m.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn det_of_product_is_product_of_dets(a in dd_matrix(5), b in dd_matrix(5)) {
+        let dab = a.matmul(&b).det();
+        let dadb = a.det() * b.det();
+        prop_assert!((dab - dadb).abs() <= 1e-6 * dadb.abs().max(1.0));
+    }
+
+    #[test]
+    fn dft_linearity(x in complex_vec(24), y in complex_vec(24), s in finite_f64()) {
+        let combined: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| *a + b.scale(s)).collect();
+        let lhs = dft(&combined);
+        let fx = dft(&x);
+        let fy = dft(&y);
+        for k in 0..24 {
+            let rhs = fx[k] + fy[k].scale(s);
+            prop_assert!((lhs[k] - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
+        }
+    }
+
+    #[test]
+    fn dft_parseval(x in complex_vec(20)) {
+        let f = dft(&x);
+        let et: f64 = x.iter().map(|z| z.abs_sq()).sum();
+        let ef: f64 = f.iter().map(|z| z.abs_sq()).sum::<f64>() / 20.0;
+        prop_assert!((et - ef).abs() <= 1e-6 * et.max(1.0));
+    }
+
+    #[test]
+    fn idft_inverts_dft(x in complex_vec(17)) {
+        let back = idft(&dft(&x));
+        for (a, b) in back.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn svd_values_nonnegative_sorted(vals in proptest::collection::vec(-5.0f64..5.0, 12)) {
+        let m = Mat::from_fn(4, 3, |i, j| vals[i * 3 + j]);
+        let svd = Svd::new(&m).unwrap();
+        for w in svd.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        for s in &svd.sigma {
+            prop_assert!(*s >= 0.0);
+        }
+        // Frobenius norm equals the 2-norm of the singular values.
+        let fro2: f64 = svd.sigma.iter().map(|s| s * s).sum();
+        prop_assert!((fro2 - m.norm_fro().powi(2)).abs() < 1e-8 * fro2.max(1.0));
+    }
+
+    #[test]
+    fn gmres_matches_lu(m in dd_matrix(10), b in proptest::collection::vec(-5.0f64..5.0, 10)) {
+        let xd = m.solve(&b).unwrap();
+        let (xi, _) = gmres(&m, &b, None, &IdentityPrecond, &KrylovOptions::default()).unwrap();
+        for (a, c) in xi.iter().zip(&xd) {
+            prop_assert!((a - c).abs() < 1e-6 * (1.0 + c.abs()));
+        }
+    }
+
+    #[test]
+    fn sparse_matvec_matches_dense(entries in proptest::collection::vec((0usize..12, 0usize..12, -3.0f64..3.0), 1..60)) {
+        let mut t = Triplets::new(12, 12);
+        for &(i, j, v) in &entries {
+            t.push(i, j, v);
+        }
+        let a = t.to_csr();
+        let x: Vec<f64> = (0..12).map(|i| (i as f64 * 0.37).sin()).collect();
+        let ys = a.matvec(&x);
+        let yd = a.to_dense().matvec(&x);
+        for (s, d) in ys.iter().zip(&yd) {
+            prop_assert!((s - d).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cdot_conjugate_symmetry(x in complex_vec(9), y in complex_vec(9)) {
+        let a = cdot(&x, &y);
+        let b = cdot(&y, &x).conj();
+        prop_assert!((a - b).abs() <= 1e-9 * (cnorm2(&x) * cnorm2(&y)).max(1.0));
+    }
+}

@@ -1,0 +1,290 @@
+//! Phase-noise analysis of **circuit-level** oscillators.
+//!
+//! The paper's §3 numerics are "efficient for practical circuits", not just
+//! textbook ODEs. [`CircuitOscillator`] adapts an autonomous MNA circuit
+//! whose capacitance/inductance matrix `C` is constant and nonsingular
+//! (an index-0 DAE, i.e. an implicit ODE `C·ẋ = b − f(x)`) into the
+//! explicit form `ẋ = C⁻¹(b − f(x))` that the RK4-based PSS/PPV/Monte-Carlo
+//! pipeline consumes — so the whole §3 toolchain runs unchanged on a
+//! transistor-level netlist.
+//!
+//! Noise columns are transformed consistently: a device current-noise
+//! column `w` enters the explicit state equation as `C⁻¹·w`.
+
+use crate::{Error, Result};
+use rfsim_circuit::dae::{Dae, NoiseSource, TwoTime};
+use rfsim_numerics::dense::{Lu, Mat};
+use rfsim_numerics::sparse::Triplets;
+
+/// An autonomous circuit reinterpreted as an explicit ODE oscillator.
+pub struct CircuitOscillator {
+    inner: rfsim_circuit::CircuitDae,
+    c_lu: Lu<f64>,
+    /// Constant excitation (bias sources), already `C⁻¹`-transformed.
+    b0: Vec<f64>,
+    /// Noise columns in original (charge-equation) coordinates.
+    noise_cols: Vec<(String, Vec<f64>)>,
+}
+
+impl std::fmt::Debug for CircuitOscillator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CircuitOscillator({:?})", self.inner)
+    }
+}
+
+impl CircuitOscillator {
+    /// Wraps an autonomous circuit.
+    ///
+    /// # Errors
+    /// [`Error::InvalidSetup`] if the circuit's `C` matrix is singular at
+    /// the origin (the circuit has algebraic unknowns — every node needs a
+    /// capacitive path, every branch an inductive one) or if `C` is
+    /// state-dependent (checked at a probe point).
+    pub fn new(inner: rfsim_circuit::CircuitDae) -> Result<Self> {
+        let n = inner.dim();
+        let x0 = vec![0.0; n];
+        let (_, c0) = inner.linearize(&x0);
+        // Probe state-dependence of C at a second point.
+        let x1: Vec<f64> = (0..n).map(|i| 0.37 + 0.11 * i as f64).collect();
+        let (_, c1) = inner.linearize(&x1);
+        let diff = c0.add_scaled(1.0, &c1, -1.0);
+        let scale = c0.to_dense().norm_max().max(1e-300);
+        if diff.to_dense().norm_max() > 1e-9 * scale {
+            return Err(Error::InvalidSetup(
+                "circuit C matrix is state-dependent (nonlinear reactances unsupported)".into(),
+            ));
+        }
+        let c_dense = c0.to_dense();
+        let c_lu = c_dense.lu().map_err(|_| {
+            Error::InvalidSetup(
+                "circuit C matrix is singular: the oscillator has algebraic unknowns".into(),
+            )
+        })?;
+        let mut b = vec![0.0; n];
+        inner.eval_b(TwoTime::uni(0.0), &mut b);
+        let b0 = c_lu.solve(&b).map_err(Error::Numerics)?;
+        // Collect and pre-transform nothing here: noise columns depend on
+        // the operating point, so they are built per call; but capture the
+        // structure once for the label list.
+        let noise_cols = Vec::new();
+        Ok(CircuitOscillator { inner, c_lu, b0, noise_cols })
+    }
+
+    /// The wrapped circuit DAE.
+    pub fn inner(&self) -> &rfsim_circuit::CircuitDae {
+        &self.inner
+    }
+
+    /// Noise columns at the operating point, transformed by `C⁻¹`
+    /// (explicit-ODE coordinates). Each entry is `(label, column)` with
+    /// the column already carrying `√S`.
+    pub fn noise_columns(&self, x_op: &[f64]) -> Vec<(String, Vec<f64>)> {
+        let n = self.inner.dim();
+        self.inner
+            .noise_sources(x_op)
+            .into_iter()
+            .map(|src| {
+                let col = src.column(n, 1.0);
+                let t = self.c_lu.solve(&col).expect("C factor is nonsingular");
+                (src.label, t)
+            })
+            .collect()
+    }
+}
+
+impl Dae for CircuitOscillator {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn eval(
+        &self,
+        x: &[f64],
+        f: &mut [f64],
+        q: &mut [f64],
+        g: &mut Triplets<f64>,
+        c: &mut Triplets<f64>,
+    ) {
+        let n = self.dim();
+        // Inner evaluation.
+        let mut fi = vec![0.0; n];
+        let mut qi = vec![0.0; n];
+        let mut gi = Triplets::new(n, n);
+        let mut ci = Triplets::new(n, n);
+        self.inner.eval(x, &mut fi, &mut qi, &mut gi, &mut ci);
+        // Explicit form: q(x) = x, f'(x) = C⁻¹·f(x) (b handled in eval_b).
+        q.copy_from_slice(x);
+        *c = Triplets::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 1.0);
+        }
+        let ft = self.c_lu.solve(&fi).expect("C factor is nonsingular");
+        f.copy_from_slice(&ft);
+        // G' = C⁻¹·G, computed column-wise through the dense factor.
+        let g_sparse = gi.to_csr();
+        let gd = g_sparse.to_dense();
+        let mut gt = Mat::zeros(n, n);
+        for j in 0..n {
+            let col = gd.col(j);
+            let t = self.c_lu.solve(&col).expect("C factor is nonsingular");
+            gt.set_col(j, &t);
+        }
+        *g = Triplets::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = gt[(i, j)];
+                if v != 0.0 {
+                    g.push(i, j, v);
+                }
+            }
+        }
+    }
+
+    fn eval_b(&self, _t: TwoTime, b: &mut [f64]) {
+        b.copy_from_slice(&self.b0);
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
+    fn noise_sources(&self, _x_op: &[f64]) -> Vec<NoiseSource> {
+        // The transformed columns are dense and cannot be expressed as
+        // (from, to) pairs; use `noise_columns` instead. Returning the raw
+        // sources here would double-count the C⁻¹ factor.
+        let _ = &self.noise_cols;
+        Vec::new()
+    }
+}
+
+/// Builds the canonical circuit-level negative-resistance LC oscillator:
+/// tank `L ∥ C` at node `v` with a cubic active conductance
+/// `i = −g1·v + g3·v³` carrying white noise of PSD `noise` (A²/Hz).
+/// Returns the adapter plus a shooting guess.
+///
+/// # Errors
+/// Propagates adapter construction failures (none for this topology).
+pub fn lc_oscillator_circuit(
+    l: f64,
+    c: f64,
+    g1: f64,
+    g3: f64,
+    noise: f64,
+) -> Result<(CircuitOscillator, (Vec<f64>, f64))> {
+    use rfsim_circuit::prelude::*;
+    use rfsim_circuit::Circuit;
+    let mut ckt = Circuit::new();
+    let v = ckt.node("tank");
+    ckt.add(Capacitor::new("C1", v, Circuit::GROUND, c));
+    ckt.add(Inductor::new("L1", v, Circuit::GROUND, l));
+    ckt.add(NonlinearConductance::new("GN", v, Circuit::GROUND, -g1, g3).with_noise(noise));
+    let dae = ckt.into_dae().map_err(Error::Circuit)?;
+    let osc = CircuitOscillator::new(dae)?;
+    let amp = 2.0 * (g1 / (3.0 * g3)).sqrt();
+    let period = 2.0 * std::f64::consts::PI * (l * c).sqrt();
+    Ok((osc, (vec![amp, 0.0], period)))
+}
+
+/// Computes the diffusion constant `c` for a circuit oscillator from its
+/// PSS and PPV, using the `C⁻¹`-transformed noise columns.
+pub fn circuit_diffusion_constant(
+    osc: &CircuitOscillator,
+    pss: &crate::pss::PssResult,
+    ppv: &crate::ppv::Ppv,
+) -> (f64, Vec<(String, f64)>) {
+    let samples = ppv.vecs.len() - 1;
+    let mut labels: Vec<String> = Vec::new();
+    let mut acc: Vec<f64> = Vec::new();
+    for s in 0..samples {
+        let cols = osc.noise_columns(&pss.states[s]);
+        if labels.is_empty() {
+            labels = cols.iter().map(|(l, _)| l.clone()).collect();
+            acc = vec![0.0; cols.len()];
+        }
+        let v1 = &ppv.vecs[s];
+        for (i, (_, col)) in cols.iter().enumerate() {
+            let dot: f64 = v1.iter().zip(col).map(|(a, b)| a * b).sum();
+            acc[i] += dot * dot;
+        }
+    }
+    let contributions: Vec<(String, f64)> = labels
+        .into_iter()
+        .zip(acc.iter().map(|v| v / samples as f64))
+        .collect();
+    let total = contributions.iter().map(|(_, v)| v).sum();
+    (total, contributions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oscillator::LcOscillator;
+    use crate::ppv::compute_ppv;
+    use crate::pss::{oscillator_pss, PssOptions};
+
+    #[test]
+    fn circuit_lc_matches_analytic_model() {
+        // Same physical oscillator, once as a circuit netlist and once as
+        // the analytic ODE: frequency, amplitude and diffusion constant
+        // must agree.
+        let (l, c, g1, g3, noise) = (1e-6, 1e-9, 1e-3, 1e-4, 1e-24);
+        let (osc, guess) = lc_oscillator_circuit(l, c, g1, g3, noise).unwrap();
+        let pss = oscillator_pss(&osc, guess, &PssOptions::default()).unwrap();
+        let reference = LcOscillator::new(l, c, g1, g3, noise);
+        let pss_ref =
+            oscillator_pss(&reference, reference.initial_guess(), &PssOptions::default())
+                .unwrap();
+        assert!(
+            (pss.freq() - pss_ref.freq()).abs() / pss_ref.freq() < 1e-3,
+            "circuit f0 {} vs analytic {}",
+            pss.freq(),
+            pss_ref.freq()
+        );
+        assert!((pss.amplitude(0, 1) - pss_ref.amplitude(0, 1)).abs() < 0.02);
+        // Diffusion constants agree.
+        let ppv = compute_ppv(&osc, &pss).unwrap();
+        let (c_circ, contribs) = circuit_diffusion_constant(&osc, &pss, &ppv);
+        let ppv_ref = compute_ppv(&reference, &pss_ref).unwrap();
+        let pn_ref =
+            crate::spectrum::PhaseNoiseAnalysis::new(&reference, &pss_ref, &ppv_ref, 0).unwrap();
+        assert!(
+            (c_circ - pn_ref.c).abs() / pn_ref.c < 0.05,
+            "circuit c {c_circ:.3e} vs analytic {:.3e}",
+            pn_ref.c
+        );
+        assert_eq!(contribs.len(), 1);
+    }
+
+    #[test]
+    fn algebraic_circuit_rejected() {
+        use rfsim_circuit::prelude::*;
+        use rfsim_circuit::Circuit;
+        // A resistive divider node has no capacitive path → algebraic.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(Capacitor::new("C1", a, Circuit::GROUND, 1e-9));
+        ckt.add(Resistor::new("R1", a, b, 1e3));
+        ckt.add(Resistor::new("R2", b, Circuit::GROUND, 1e3));
+        let dae = ckt.into_dae().unwrap();
+        assert!(matches!(
+            CircuitOscillator::new(dae),
+            Err(Error::InvalidSetup(_))
+        ));
+    }
+
+    #[test]
+    fn varactor_circuit_rejected_as_state_dependent() {
+        use rfsim_circuit::prelude::*;
+        use rfsim_circuit::Circuit;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Varactor::new("CV", a, Circuit::GROUND, 1e-12));
+        ckt.add(Inductor::new("L1", a, Circuit::GROUND, 1e-6));
+        let dae = ckt.into_dae().unwrap();
+        assert!(matches!(
+            CircuitOscillator::new(dae),
+            Err(Error::InvalidSetup(_))
+        ));
+    }
+}

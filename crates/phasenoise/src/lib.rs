@@ -1,0 +1,114 @@
+#![warn(missing_docs)]
+// Index-based loops are deliberate throughout: they mirror the
+// subscripted linear-algebra notation of the algorithms implemented.
+#![allow(clippy::needless_range_loop)]
+//! Phase noise in oscillators (paper, Section 3): the unifying nonlinear
+//! perturbation theory of Demir, Mehrotra and Roychowdhury \[5\], with
+//! numerical methods that "require only a knowledge of the steady state of
+//! the unperturbed oscillator and the values of the noise generators".
+//!
+//! The pipeline:
+//!
+//! 1. [`pss`]: autonomous shooting finds the orbit `x_s(t)` **and** the
+//!    period `T` (the period is an unknown — oscillators supply no external
+//!    time reference);
+//! 2. [`ppv`]: Floquet analysis of the monodromy matrix yields the
+//!    perturbation projection vector `v₁(t)` — the left Floquet
+//!    eigenvector for the characteristic multiplier 1, normalized so that
+//!    `v₁ᵀ(t)·ẋ_s(t) = 1`;
+//! 3. [`spectrum`]: the scalar diffusion constant
+//!    `c = (1/T)∫₀ᵀ v₁ᵀB·Bᵀv₁ dt` gives linearly growing jitter
+//!    `σ²(t) = c·t`, a **Lorentzian** spectrum with finite power at the
+//!    carrier, and total carrier power preserved — where LTI/LTV analyses
+//!    "erroneously predict infinite noise power density at the carrier";
+//! 4. [`montecarlo`]: Euler–Maruyama ensemble simulation of the noisy
+//!    oscillator SDE is the measurement surrogate the theory is validated
+//!    against.
+//!
+//! The oscillator library ([`oscillator`]) provides van der Pol,
+//! negative-resistance LC, and ring oscillators as analytic ODE systems
+//! implementing the circuit [`Dae`](rfsim_circuit::dae::Dae) trait.
+
+pub mod circuit_osc;
+pub mod montecarlo;
+pub mod oscillator;
+pub mod ppv;
+pub mod pss;
+pub mod spectrum;
+
+pub use circuit_osc::{circuit_diffusion_constant, lc_oscillator_circuit, CircuitOscillator};
+pub use montecarlo::{monte_carlo_ensemble, McOptions, McResult};
+pub use oscillator::{LcOscillator, RingOscillator, VanDerPol};
+pub use ppv::{compute_ppv, Ppv};
+pub use pss::{oscillator_pss, PssOptions, PssResult};
+pub use spectrum::{
+    jitter_variance, lorentzian_psd, ltv_psd, phase_noise_dbc, total_sideband_power,
+    PhaseNoiseAnalysis,
+};
+
+/// Errors from phase-noise analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Autonomous shooting failed to converge to an orbit.
+    NoConvergence {
+        /// Newton iterations performed.
+        iterations: usize,
+        /// Final boundary residual.
+        residual: f64,
+    },
+    /// The monodromy matrix has no Floquet multiplier near 1 (the system
+    /// is not an orbitally stable oscillator at the found solution).
+    NotAnOscillator {
+        /// Magnitude of the Floquet multiplier nearest to 1.
+        closest_multiplier: f64,
+    },
+    /// Underlying numerical failure.
+    Numerics(rfsim_numerics::Error),
+    /// Underlying circuit failure.
+    Circuit(rfsim_circuit::Error),
+    /// Bad options (zero ensemble, non-positive period guess, …).
+    InvalidSetup(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::NoConvergence { iterations, residual } => write!(
+                f,
+                "oscillator shooting failed after {iterations} iterations (residual {residual:.3e})"
+            ),
+            Error::NotAnOscillator { closest_multiplier } => write!(
+                f,
+                "no unit floquet multiplier (closest |mu| = {closest_multiplier:.6})"
+            ),
+            Error::Numerics(e) => write!(f, "numerics error: {e}"),
+            Error::Circuit(e) => write!(f, "circuit error: {e}"),
+            Error::InvalidSetup(msg) => write!(f, "invalid setup: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Numerics(e) => Some(e),
+            Error::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rfsim_numerics::Error> for Error {
+    fn from(e: rfsim_numerics::Error) -> Self {
+        Error::Numerics(e)
+    }
+}
+
+impl From<rfsim_circuit::Error> for Error {
+    fn from(e: rfsim_circuit::Error) -> Self {
+        Error::Circuit(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

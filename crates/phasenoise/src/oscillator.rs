@@ -1,0 +1,336 @@
+//! Analytic oscillator models as ODE systems implementing the circuit
+//! [`Dae`] trait: `ẋ + f(x) = 0` with `q(x) = x`.
+//!
+//! These are the test vehicles for the phase-noise theory — the theory is
+//! "applicable to any oscillatory system, electrical or otherwise"
+//! (paper, §3), so alongside the negative-resistance LC tank and ring
+//! oscillator we include the canonical van der Pol system.
+
+use rfsim_circuit::dae::{Dae, NoiseSource, Psd, TwoTime};
+use rfsim_numerics::sparse::Triplets;
+
+/// The van der Pol oscillator
+/// `ẍ − μ(1 − x²)ẋ + x = 0`, as the first-order system
+/// `ẋ₁ = x₂`, `ẋ₂ = μ(1 − x₁²)x₂ − x₁` (time normalized so the small-μ
+/// period is 2π).
+#[derive(Debug, Clone)]
+pub struct VanDerPol {
+    /// Nonlinearity parameter μ.
+    pub mu: f64,
+    /// White-noise intensity added to the `x₂` equation (A²/Hz analog).
+    pub noise: f64,
+}
+
+impl VanDerPol {
+    /// Creates a van der Pol oscillator with noise intensity `noise` on
+    /// the velocity state.
+    pub fn new(mu: f64, noise: f64) -> Self {
+        VanDerPol { mu, noise }
+    }
+
+    /// A reasonable starting point and period guess for shooting.
+    pub fn initial_guess(&self) -> (Vec<f64>, f64) {
+        (vec![2.0, 0.0], 2.0 * std::f64::consts::PI * (1.0 + self.mu * self.mu / 16.0))
+    }
+}
+
+impl Dae for VanDerPol {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn eval(
+        &self,
+        x: &[f64],
+        f: &mut [f64],
+        q: &mut [f64],
+        g: &mut Triplets<f64>,
+        c: &mut Triplets<f64>,
+    ) {
+        // q = x, f = −g(x) so that q̇ + f = 0 reproduces ẋ = g(x).
+        q.copy_from_slice(x);
+        *c = Triplets::new(2, 2);
+        c.push(0, 0, 1.0);
+        c.push(1, 1, 1.0);
+        f[0] = -x[1];
+        f[1] = -(self.mu * (1.0 - x[0] * x[0]) * x[1] - x[0]);
+        *g = Triplets::new(2, 2);
+        g.push(0, 1, -1.0);
+        g.push(1, 0, -(-2.0 * self.mu * x[0] * x[1] - 1.0));
+        g.push(1, 1, -(self.mu * (1.0 - x[0] * x[0])));
+    }
+
+    fn eval_b(&self, _t: TwoTime, b: &mut [f64]) {
+        b.fill(0.0);
+    }
+
+    fn noise_sources(&self, _x_op: &[f64]) -> Vec<NoiseSource> {
+        vec![NoiseSource {
+            label: "vdp velocity noise".into(),
+            from: Some(1),
+            to: None,
+            psd: Psd::White(self.noise),
+        }]
+    }
+}
+
+/// A negative-resistance LC oscillator: tank `L ∥ C` with a cubic
+/// active conductance `i_nl(v) = −g₁·v + g₃·v³`.
+///
+/// States: `x₀ = v` (tank voltage), `x₁ = i_L` (inductor current).
+///
+/// ```text
+/// C·v̇ = −i_L + g₁·v − g₃·v³ (+ noise)
+/// L·i̇_L = v
+/// ```
+///
+/// Steady amplitude `v ≈ 2√(g₁/(3g₃))`, frequency `≈ 1/(2π√(LC))`.
+#[derive(Debug, Clone)]
+pub struct LcOscillator {
+    /// Tank inductance (H).
+    pub l: f64,
+    /// Tank capacitance (F).
+    pub c: f64,
+    /// Small-signal negative conductance magnitude (S).
+    pub g1: f64,
+    /// Cubic limiting coefficient (S/V²).
+    pub g3: f64,
+    /// White current-noise PSD injected at the tank node (A²/Hz).
+    pub noise: f64,
+}
+
+impl LcOscillator {
+    /// Creates the oscillator.
+    pub fn new(l: f64, c: f64, g1: f64, g3: f64, noise: f64) -> Self {
+        LcOscillator { l, c, g1, g3, noise }
+    }
+
+    /// Natural frequency `1/(2π√(LC))` (Hz).
+    pub fn natural_freq(&self) -> f64 {
+        1.0 / (2.0 * std::f64::consts::PI * (self.l * self.c).sqrt())
+    }
+
+    /// Predicted steady amplitude `2√(g₁/(3g₃))` (V).
+    pub fn amplitude_estimate(&self) -> f64 {
+        2.0 * (self.g1 / (3.0 * self.g3)).sqrt()
+    }
+
+    /// Starting point and period guess for shooting.
+    pub fn initial_guess(&self) -> (Vec<f64>, f64) {
+        (vec![self.amplitude_estimate(), 0.0], 1.0 / self.natural_freq())
+    }
+}
+
+impl Dae for LcOscillator {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn eval(
+        &self,
+        x: &[f64],
+        f: &mut [f64],
+        q: &mut [f64],
+        g: &mut Triplets<f64>,
+        c: &mut Triplets<f64>,
+    ) {
+        let (v, il) = (x[0], x[1]);
+        // v̇ = (−i_L + g₁v − g₃v³)/C ;  i̇ = v/L
+        q.copy_from_slice(x);
+        *c = Triplets::new(2, 2);
+        c.push(0, 0, 1.0);
+        c.push(1, 1, 1.0);
+        f[0] = -(-il + self.g1 * v - self.g3 * v * v * v) / self.c;
+        f[1] = -v / self.l;
+        *g = Triplets::new(2, 2);
+        g.push(0, 0, -(self.g1 - 3.0 * self.g3 * v * v) / self.c);
+        g.push(0, 1, 1.0 / self.c);
+        g.push(1, 0, -1.0 / self.l);
+    }
+
+    fn eval_b(&self, _t: TwoTime, b: &mut [f64]) {
+        b.fill(0.0);
+    }
+
+    fn noise_sources(&self, _x_op: &[f64]) -> Vec<NoiseSource> {
+        // Current noise at the tank node enters v̇ scaled by 1/C.
+        vec![NoiseSource {
+            label: "tank current noise".into(),
+            from: Some(0),
+            to: None,
+            psd: Psd::White(self.noise / (self.c * self.c)),
+        }]
+    }
+}
+
+/// An N-stage ring oscillator: `τ·ẋᵢ = −xᵢ − K·tanh(x_{i−1})` with the ring
+/// closed through an inverting connection (odd N sustains oscillation).
+#[derive(Debug, Clone)]
+pub struct RingOscillator {
+    /// Number of stages (odd).
+    pub stages: usize,
+    /// Stage gain `K > 1`.
+    pub gain: f64,
+    /// Stage time constant τ (s).
+    pub tau: f64,
+    /// Per-stage white noise intensity.
+    pub noise: f64,
+}
+
+impl RingOscillator {
+    /// Creates a ring oscillator.
+    ///
+    /// # Panics
+    /// Panics if `stages` is even or < 3.
+    pub fn new(stages: usize, gain: f64, tau: f64, noise: f64) -> Self {
+        assert!(stages >= 3 && stages % 2 == 1, "ring needs an odd stage count >= 3");
+        RingOscillator { stages, gain, tau, noise }
+    }
+
+    /// Starting point and period guess (period ≈ 2·N·τ·ln(…) ~ use 2Nτ).
+    pub fn initial_guess(&self) -> (Vec<f64>, f64) {
+        let mut x0 = vec![0.0; self.stages];
+        for (i, v) in x0.iter_mut().enumerate() {
+            *v = if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        (x0, 2.0 * self.stages as f64 * self.tau)
+    }
+}
+
+impl Dae for RingOscillator {
+    fn dim(&self) -> usize {
+        self.stages
+    }
+
+    fn eval(
+        &self,
+        x: &[f64],
+        f: &mut [f64],
+        q: &mut [f64],
+        g: &mut Triplets<f64>,
+        c: &mut Triplets<f64>,
+    ) {
+        let n = self.stages;
+        q.copy_from_slice(x);
+        *c = Triplets::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 1.0);
+        }
+        *g = Triplets::new(n, n);
+        for i in 0..n {
+            let prev = (i + n - 1) % n;
+            let drive = -self.gain * x[prev].tanh();
+            f[i] = -(-x[i] + drive) / self.tau;
+            g.push(i, i, 1.0 / self.tau);
+            let sech2 = 1.0 - x[prev].tanh().powi(2);
+            g.push(i, prev, self.gain * sech2 / self.tau);
+        }
+    }
+
+    fn eval_b(&self, _t: TwoTime, b: &mut [f64]) {
+        b.fill(0.0);
+    }
+
+    fn noise_sources(&self, _x_op: &[f64]) -> Vec<NoiseSource> {
+        (0..self.stages)
+            .map(|i| NoiseSource {
+                label: format!("stage {i} noise"),
+                from: Some(i),
+                to: None,
+                psd: Psd::White(self.noise),
+            })
+            .collect()
+    }
+}
+
+/// Evaluates the autonomous vector field `ẋ = g(x) = b(0) − f(x)` of an
+/// ODE-form DAE (identity `q`). Shared by the RK4 integrators in this
+/// crate.
+pub(crate) fn vector_field(dae: &dyn Dae, x: &[f64], out: &mut [f64]) {
+    let n = dae.dim();
+    let mut f = vec![0.0; n];
+    let mut q = vec![0.0; n];
+    let mut gt = Triplets::new(n, n);
+    let mut ct = Triplets::new(n, n);
+    dae.eval(x, &mut f, &mut q, &mut gt, &mut ct);
+    let mut b = vec![0.0; n];
+    dae.eval_b(TwoTime::uni(0.0), &mut b);
+    for i in 0..n {
+        out[i] = b[i] - f[i];
+    }
+}
+
+/// Evaluates the state Jacobian `∂g/∂x = −G` of an ODE-form DAE as a dense
+/// matrix.
+pub(crate) fn state_jacobian(dae: &dyn Dae, x: &[f64]) -> rfsim_numerics::dense::Mat<f64> {
+    let n = dae.dim();
+    let mut f = vec![0.0; n];
+    let mut q = vec![0.0; n];
+    let mut gt = Triplets::new(n, n);
+    let mut ct = Triplets::new(n, n);
+    dae.eval(x, &mut f, &mut q, &mut gt, &mut ct);
+    let g = gt.to_csr();
+    let mut j = rfsim_numerics::dense::Mat::zeros(n, n);
+    for (r, c, v) in g.iter() {
+        j[(r, c)] = -v;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vdp_vector_field_signs() {
+        let osc = VanDerPol::new(0.5, 0.0);
+        let mut out = vec![0.0; 2];
+        vector_field(&osc, &[1.0, 0.0], &mut out);
+        // ẋ1 = x2 = 0, ẋ2 = −x1 = −1.
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], -1.0);
+    }
+
+    #[test]
+    fn lc_frequency_and_amplitude_estimates() {
+        let osc = LcOscillator::new(1e-9, 1e-12, 1e-3, 1e-4, 0.0);
+        assert!((osc.natural_freq() - 5.0329e9).abs() / 5.03e9 < 1e-3);
+        assert!((osc.amplitude_estimate() - 2.0 * (10.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_requires_odd_stages() {
+        let r = RingOscillator::new(3, 2.0, 1e-9, 0.0);
+        assert_eq!(r.dim(), 3);
+        let res = std::panic::catch_unwind(|| RingOscillator::new(4, 2.0, 1e-9, 0.0));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn state_jacobian_matches_finite_difference() {
+        let osc = VanDerPol::new(1.3, 0.0);
+        let x = [0.7, -0.4];
+        let j = state_jacobian(&osc, &x);
+        let eps = 1e-7;
+        for col in 0..2 {
+            let mut xp = x;
+            xp[col] += eps;
+            let mut gp = vec![0.0; 2];
+            let mut gm = vec![0.0; 2];
+            vector_field(&osc, &xp, &mut gp);
+            vector_field(&osc, &x, &mut gm);
+            for row in 0..2 {
+                let fd = (gp[row] - gm[row]) / eps;
+                assert!((j[(row, col)] - fd).abs() < 1e-5, "({row},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_sources_present() {
+        let osc = LcOscillator::new(1e-9, 1e-12, 1e-3, 1e-4, 1e-20);
+        assert_eq!(osc.noise_sources(&[0.0, 0.0]).len(), 1);
+        let ring = RingOscillator::new(5, 2.0, 1e-9, 1e-18);
+        assert_eq!(ring.noise_sources(&[0.0; 5]).len(), 5);
+    }
+}

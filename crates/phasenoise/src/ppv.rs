@@ -1,0 +1,166 @@
+//! The perturbation projection vector (PPV) `v₁(t)`: the left Floquet
+//! eigenvector of the linearized oscillator dynamics for the unit
+//! characteristic multiplier, normalized so `v₁ᵀ(t)·ẋ_s(t) = 1`.
+//!
+//! `v₁` projects a perturbation onto the phase direction — the direction
+//! in which deviations neither grow nor decay but accumulate, which is why
+//! "the phase deviation will, in general, keep increasing with time even
+//! if the perturbation is always small, but the orbital deviation will
+//! always remain small" (paper, §3).
+
+use crate::oscillator::vector_field;
+use crate::pss::PssResult;
+use crate::{Error, Result};
+use rfsim_circuit::dae::Dae;
+use rfsim_numerics::dense::Mat;
+use rfsim_numerics::eig::{eigenvalues, left_eigenvector_for};
+
+/// The PPV sampled along the orbit.
+#[derive(Debug, Clone)]
+pub struct Ppv {
+    /// Sample times (aligned with the PSS trajectory).
+    pub times: Vec<f64>,
+    /// `v₁` at each sample.
+    pub vecs: Vec<Vec<f64>>,
+}
+
+impl Ppv {
+    /// Maximum deviation of the invariant `v₁ᵀ(t)·ẋ_s(t)` from 1 across
+    /// the orbit — a built-in correctness diagnostic.
+    pub fn normalization_error(&self, dae: &dyn Dae, states: &[Vec<f64>]) -> f64 {
+        let n = dae.dim();
+        let mut worst = 0.0f64;
+        let mut g = vec![0.0; n];
+        for (v, x) in self.vecs.iter().zip(states) {
+            vector_field(dae, x, &mut g);
+            let dot: f64 = v.iter().zip(&g).map(|(a, b)| a * b).sum();
+            worst = worst.max((dot - 1.0).abs());
+        }
+        worst
+    }
+}
+
+/// Computes the PPV along a converged PSS orbit.
+///
+/// Method: the left eigenvector `u` of the monodromy matrix for the
+/// multiplier 1 gives `v₁(0) = u / (uᵀ·ẋ(0))`; along the orbit,
+/// `v₁(t) = Φ(t,0)⁻ᵀ·v₁(0)` using the state-transition matrices stored
+/// while re-integrating the orbit.
+///
+/// # Errors
+/// [`Error::NotAnOscillator`] if no Floquet multiplier is within 1e-3 of
+/// 1; numerical errors from the eigensolver/LU.
+pub fn compute_ppv(dae: &dyn Dae, pss: &PssResult) -> Result<Ppv> {
+    let n = dae.dim();
+    // Verify the unit multiplier exists.
+    let eigs = eigenvalues(&pss.monodromy).map_err(Error::Numerics)?;
+    let closest = eigs
+        .iter()
+        .map(|z| (z.re - 1.0).hypot(z.im))
+        .fold(f64::INFINITY, f64::min);
+    if closest > 1e-3 {
+        let mag = eigs.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+        return Err(Error::NotAnOscillator { closest_multiplier: mag });
+    }
+    // v1(0): left eigenvector for multiplier 1, normalized against ẋ(0).
+    let u = left_eigenvector_for(&pss.monodromy, 1.0).map_err(Error::Numerics)?;
+    let mut g0 = vec![0.0; n];
+    vector_field(dae, &pss.x0, &mut g0);
+    let denom: f64 = u.iter().zip(&g0).map(|(a, b)| a * b).sum();
+    if denom.abs() < 1e-300 {
+        return Err(Error::Numerics(rfsim_numerics::Error::Breakdown(
+            "ppv normalization: v1(0) orthogonal to the flow",
+        )));
+    }
+    let v0: Vec<f64> = u.iter().map(|x| x / denom).collect();
+    // Re-integrate, collecting Φ(t_k, 0) and solving Φᵀ v = v0 at each
+    // sample.
+    let steps = pss.times.len() - 1;
+    let (_, times, _) = crate::pss::integrate_period(dae, &pss.x0, pss.period, steps);
+    // integrate_period gives only the final monodromy; we need partials, so
+    // redo the walk accumulating per-sample transition matrices.
+    let mut vecs = Vec::with_capacity(steps + 1);
+    vecs.push(v0.clone());
+    let mut x = pss.x0.clone();
+    let mut phi: Mat<f64> = Mat::identity(n);
+    let h = pss.period / steps as f64;
+    for _ in 0..steps {
+        crate::pss::rk4_step_pub(dae, &mut x, &mut phi, h);
+        let vt = phi.transpose().solve(&v0).map_err(Error::Numerics)?;
+        vecs.push(vt);
+    }
+    Ok(Ppv { times, vecs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oscillator::{LcOscillator, VanDerPol};
+    use crate::pss::{oscillator_pss, PssOptions};
+
+    #[test]
+    fn ppv_normalization_invariant_vdp() {
+        let osc = VanDerPol::new(0.5, 0.0);
+        let pss = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).unwrap();
+        let ppv = compute_ppv(&osc, &pss).unwrap();
+        let err = ppv.normalization_error(&osc, &pss.states);
+        assert!(err < 1e-4, "normalization error {err}");
+    }
+
+    #[test]
+    fn ppv_periodicity() {
+        let osc = VanDerPol::new(1.0, 0.0);
+        let pss = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).unwrap();
+        let ppv = compute_ppv(&osc, &pss).unwrap();
+        let first = &ppv.vecs[0];
+        let last = ppv.vecs.last().unwrap();
+        for (a, b) in first.iter().zip(last) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn harmonic_lc_ppv_matches_analytic() {
+        // For a nearly harmonic LC oscillator v = A·cos(ωt), phase
+        // perturbations project as v₁ ≈ (−sin/ (Aω), …): check magnitude
+        // scaling |v₁| ~ 1/(Aω).
+        let osc = LcOscillator::new(1e-6, 1e-9, 1e-3, 1e-4, 0.0);
+        let pss = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).unwrap();
+        let ppv = compute_ppv(&osc, &pss).unwrap();
+        let omega = 2.0 * std::f64::consts::PI * pss.freq();
+        let a = pss.amplitude(0, 1);
+        let vmax = ppv
+            .vecs
+            .iter()
+            .map(|v| v[0].abs())
+            .fold(0.0f64, f64::max);
+        let expect = 1.0 / (a * omega);
+        // Loose: the LC is not perfectly harmonic.
+        assert!(
+            (vmax - expect).abs() / expect < 0.5,
+            "vmax {vmax}, analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn non_oscillator_detected() {
+        // A damped (non-oscillating) "LC" with positive-resistance: g1 < 0.
+        let osc = LcOscillator::new(1e-6, 1e-9, -1e-3, 1e-4, 0.0);
+        // Fake a PSS result via one period of integration from a decaying
+        // start: the monodromy has no unit multiplier.
+        let (states, times, m) =
+            crate::pss::integrate_period(&osc, &[0.1, 0.0], 1.0 / osc.natural_freq(), 200);
+        let pss = crate::pss::PssResult {
+            period: 1.0 / osc.natural_freq(),
+            x0: vec![0.1, 0.0],
+            times,
+            states,
+            monodromy: m,
+            newton_iterations: 0,
+        };
+        assert!(matches!(
+            compute_ppv(&osc, &pss),
+            Err(crate::Error::NotAnOscillator { .. })
+        ));
+    }
+}

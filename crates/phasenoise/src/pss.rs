@@ -1,0 +1,335 @@
+//! Autonomous periodic steady state: shooting with the period as an
+//! unknown.
+//!
+//! Forced-circuit shooting fixes the period from the drive; an oscillator
+//! has no drive, so the boundary-value problem is
+//!
+//! ```text
+//!   φ_T(x₀) − x₀ = 0            (n equations)
+//!   g_p(x₀)      = 0            (phase condition: component p at an extremum)
+//! ```
+//!
+//! in the `n+1` unknowns `(x₀, T)`. The trajectory and monodromy are
+//! integrated with RK4 on the oscillator ODE and its variational equation.
+
+use crate::oscillator::{state_jacobian, vector_field};
+use crate::{Error, Result};
+use rfsim_circuit::dae::Dae;
+use rfsim_numerics::dense::Mat;
+use rfsim_numerics::{norm2, norm_inf};
+
+/// Options for [`oscillator_pss`].
+#[derive(Debug, Clone)]
+pub struct PssOptions {
+    /// RK4 steps per period.
+    pub steps_per_period: usize,
+    /// Newton tolerance on the boundary residual.
+    pub tol: f64,
+    /// Maximum Newton iterations.
+    pub max_newton: usize,
+    /// State component used for the phase condition (`ẋ_p(0) = 0`).
+    pub phase_index: usize,
+}
+
+impl Default for PssOptions {
+    fn default() -> Self {
+        PssOptions { steps_per_period: 400, tol: 1e-10, max_newton: 60, phase_index: 0 }
+    }
+}
+
+/// A converged oscillator orbit.
+#[derive(Debug, Clone)]
+pub struct PssResult {
+    /// Oscillation period `T` (s) — found by the solver, not assumed.
+    pub period: f64,
+    /// Initial state on the orbit.
+    pub x0: Vec<f64>,
+    /// Time samples over one period (length `steps + 1`).
+    pub times: Vec<f64>,
+    /// States along the orbit.
+    pub states: Vec<Vec<f64>>,
+    /// Monodromy matrix `Φ(T, 0)`.
+    pub monodromy: Mat<f64>,
+    /// Newton iterations used.
+    pub newton_iterations: usize,
+}
+
+impl PssResult {
+    /// Oscillation frequency (Hz).
+    pub fn freq(&self) -> f64 {
+        1.0 / self.period
+    }
+
+    /// Waveform of state `i` (without the duplicated endpoint).
+    pub fn waveform(&self, i: usize) -> Vec<f64> {
+        self.states[..self.states.len() - 1].iter().map(|s| s[i]).collect()
+    }
+
+    /// Peak amplitude of harmonic `k` of state `i`.
+    pub fn amplitude(&self, i: usize, k: i32) -> f64 {
+        let w = self.waveform(i);
+        let ns = w.len();
+        let line: Vec<rfsim_numerics::Complex> =
+            w.iter().map(|&v| rfsim_numerics::Complex::from_re(v)).collect();
+        let spec = rfsim_numerics::fft::dft(&line);
+        let bin = if k >= 0 { k as usize } else { (ns as i32 + k) as usize };
+        let c = spec[bin].scale(1.0 / ns as f64).abs();
+        if k == 0 {
+            c
+        } else {
+            2.0 * c
+        }
+    }
+}
+
+/// One RK4 step of the state and the variational (monodromy) equation.
+fn rk4_step(dae: &dyn Dae, x: &mut [f64], m: &mut Mat<f64>, h: f64) {
+    let n = x.len();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let j1 = state_jacobian(dae, x);
+    vector_field(dae, x, &mut k1);
+    let x2: Vec<f64> = (0..n).map(|i| x[i] + 0.5 * h * k1[i]).collect();
+    let j2 = state_jacobian(dae, &x2);
+    vector_field(dae, &x2, &mut k2);
+    let x3: Vec<f64> = (0..n).map(|i| x[i] + 0.5 * h * k2[i]).collect();
+    let j3 = state_jacobian(dae, &x3);
+    vector_field(dae, &x3, &mut k3);
+    let x4: Vec<f64> = (0..n).map(|i| x[i] + h * k3[i]).collect();
+    let j4 = state_jacobian(dae, &x4);
+    vector_field(dae, &x4, &mut k4);
+    for i in 0..n {
+        x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    // Variational: Ṁ = J(x(t))·M, RK4 with the same stage Jacobians.
+    let m1 = j1.matmul(m);
+    let mut tmp = m.clone();
+    add_scaled(&mut tmp, &m1, 0.5 * h);
+    let m2 = j2.matmul(&tmp);
+    let mut tmp = m.clone();
+    add_scaled(&mut tmp, &m2, 0.5 * h);
+    let m3 = j3.matmul(&tmp);
+    let mut tmp = m.clone();
+    add_scaled(&mut tmp, &m3, h);
+    let m4 = j4.matmul(&tmp);
+    let mut acc = m1;
+    add_scaled(&mut acc, &m2, 2.0);
+    add_scaled(&mut acc, &m3, 2.0);
+    add_scaled(&mut acc, &m4, 1.0);
+    add_scaled(m, &acc, h / 6.0);
+}
+
+/// Crate-visible RK4 step (used by the PPV propagation).
+pub(crate) fn rk4_step_pub(dae: &dyn Dae, x: &mut [f64], m: &mut Mat<f64>, h: f64) {
+    rk4_step(dae, x, m, h);
+}
+
+fn add_scaled(dst: &mut Mat<f64>, src: &Mat<f64>, s: f64) {
+    for (d, v) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
+        *d += s * v;
+    }
+}
+
+/// Integrates one period, returning the trajectory and monodromy.
+pub(crate) fn integrate_period(
+    dae: &dyn Dae,
+    x0: &[f64],
+    period: f64,
+    steps: usize,
+) -> (Vec<Vec<f64>>, Vec<f64>, Mat<f64>) {
+    let n = x0.len();
+    let h = period / steps as f64;
+    let mut x = x0.to_vec();
+    let mut m: Mat<f64> = Mat::identity(n);
+    let mut states = Vec::with_capacity(steps + 1);
+    let mut times = Vec::with_capacity(steps + 1);
+    states.push(x.clone());
+    times.push(0.0);
+    for k in 0..steps {
+        rk4_step(dae, &mut x, &mut m, h);
+        states.push(x.clone());
+        times.push((k + 1) as f64 * h);
+    }
+    (states, times, m)
+}
+
+/// Finds the periodic orbit and period of an autonomous oscillator.
+///
+/// `guess` is `(x0, period)`; the oscillator models in
+/// [`oscillator`](crate::oscillator) provide `initial_guess()`.
+///
+/// # Errors
+/// [`Error::NoConvergence`] if Newton stalls;
+/// [`Error::InvalidSetup`] for a non-positive period guess.
+pub fn oscillator_pss(
+    dae: &dyn Dae,
+    guess: (Vec<f64>, f64),
+    opts: &PssOptions,
+) -> Result<PssResult> {
+    let n = dae.dim();
+    let (mut x0, mut period) = guess;
+    if period <= 0.0 {
+        return Err(Error::InvalidSetup("period guess must be positive".into()));
+    }
+    // Settle transient: integrate a number of periods so x0 is near the
+    // limit cycle before Newton, and refine the period guess from the
+    // observed upward zero-crossings of the phase component (the user's
+    // period guess only needs to be order-of-magnitude correct).
+    {
+        let settle_steps = 20 * opts.steps_per_period;
+        let (states, times, _) = integrate_period(dae, &x0, 20.0 * period, settle_steps);
+        x0 = states.last().expect("nonempty").clone();
+        let p = opts.phase_index;
+        let mean: f64 =
+            states.iter().map(|s| s[p]).sum::<f64>() / states.len() as f64;
+        let mut crossings = Vec::new();
+        for k in 1..states.len() {
+            let (a, b) = (states[k - 1][p] - mean, states[k][p] - mean);
+            if a <= 0.0 && b > 0.0 {
+                let frac = a / (a - b);
+                crossings.push(times[k - 1] + frac * (times[k] - times[k - 1]));
+            }
+        }
+        if crossings.len() >= 3 {
+            // Average the last few whole-cycle intervals.
+            let tail = &crossings[crossings.len().saturating_sub(4)..];
+            let mut acc = 0.0;
+            for w in tail.windows(2) {
+                acc += w[1] - w[0];
+            }
+            let est = acc / (tail.len() - 1) as f64;
+            if est.is_finite() && est > 0.0 {
+                period = est;
+            }
+        }
+    }
+    let mut last_res = f64::INFINITY;
+    for it in 0..opts.max_newton {
+        let (states, times, m) = integrate_period(dae, &x0, period, opts.steps_per_period);
+        let x_end = states.last().expect("nonempty");
+        // Residual: periodicity plus phase anchor ẋ_p(0) = 0.
+        let mut g0 = vec![0.0; n];
+        vector_field(dae, &x0, &mut g0);
+        let mut r = vec![0.0; n + 1];
+        for i in 0..n {
+            r[i] = x_end[i] - x0[i];
+        }
+        r[n] = g0[opts.phase_index];
+        let res = norm_inf(&r);
+        last_res = res;
+        let scale = norm2(&x0).max(1.0);
+        if res < opts.tol * scale {
+            // Reject the trivial equilibrium "orbit" (ẋ ≈ 0 everywhere):
+            // every period satisfies periodicity there, but it is not an
+            // oscillation.
+            let flow = norm2(&g0);
+            if flow < 1e-9 * scale / period {
+                return Err(Error::NotAnOscillator { closest_multiplier: 1.0 });
+            }
+            return Ok(PssResult {
+                period,
+                x0,
+                times,
+                states,
+                monodromy: m,
+                newton_iterations: it,
+            });
+        }
+        // Jacobian: [[M − I, g(x_T)], [∂g_p/∂x(x₀), 0]].
+        let mut g_end = vec![0.0; n];
+        vector_field(dae, x_end, &mut g_end);
+        let jp = state_jacobian(dae, &x0);
+        let mut jac = Mat::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..n {
+                jac[(i, j)] = m[(i, j)] - if i == j { 1.0 } else { 0.0 };
+            }
+            jac[(i, n)] = g_end[i];
+            jac[(n, i)] = jp[(opts.phase_index, i)];
+        }
+        let dx = jac.solve(&r).map_err(Error::Numerics)?;
+        // Damped update (period especially must not go negative).
+        let mut alpha = 1.0f64;
+        while alpha > 1e-4 && period - alpha * dx[n] <= 0.0 {
+            alpha *= 0.5;
+        }
+        for i in 0..n {
+            x0[i] -= alpha * dx[i];
+        }
+        period -= alpha * dx[n];
+    }
+    Err(Error::NoConvergence { iterations: opts.max_newton, residual: last_res })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oscillator::{LcOscillator, RingOscillator, VanDerPol};
+
+    #[test]
+    fn vdp_small_mu_period_near_2pi() {
+        let osc = VanDerPol::new(0.1, 0.0);
+        let res = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).unwrap();
+        assert!(
+            (res.period - 2.0 * std::f64::consts::PI).abs() < 0.01,
+            "period {}",
+            res.period
+        );
+        // Amplitude close to the classical 2.0.
+        assert!((res.amplitude(0, 1) - 2.0).abs() < 0.05);
+        // Orbit closes.
+        let first = &res.states[0];
+        let last = res.states.last().unwrap();
+        for (a, b) in first.iter().zip(last) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn vdp_monodromy_has_unit_multiplier() {
+        let osc = VanDerPol::new(1.0, 0.0);
+        let res = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).unwrap();
+        let eigs = rfsim_numerics::eig::eigenvalues(&res.monodromy).unwrap();
+        let closest = eigs
+            .iter()
+            .map(|z| (z.re - 1.0).hypot(z.im))
+            .fold(f64::INFINITY, f64::min);
+        assert!(closest < 1e-5, "distance from 1: {closest}");
+        // The other multiplier is inside the unit circle (orbital
+        // stability).
+        let inner = eigs.iter().map(|z| z.abs()).fold(f64::INFINITY, f64::min);
+        assert!(inner < 0.9, "second multiplier {inner}");
+    }
+
+    #[test]
+    fn lc_oscillator_frequency() {
+        // 1 GHz-class LC tank.
+        let osc = LcOscillator::new(5e-9, 5e-12, 2e-3, 2e-4, 0.0);
+        let res = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).unwrap();
+        let f_natural = osc.natural_freq();
+        assert!(
+            (res.freq() - f_natural).abs() / f_natural < 0.02,
+            "freq {} vs natural {}",
+            res.freq(),
+            f_natural
+        );
+        // Amplitude near the describing-function estimate.
+        let est = osc.amplitude_estimate();
+        assert!((res.amplitude(0, 1) - est).abs() / est < 0.1);
+    }
+
+    #[test]
+    fn ring_oscillator_runs() {
+        let osc = RingOscillator::new(3, 3.0, 1e-9, 0.0);
+        let res = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).unwrap();
+        assert!(res.period > 1e-10 && res.period < 1e-7, "period {}", res.period);
+        // All three stages swing with the same amplitude (symmetry).
+        let a0 = res.amplitude(0, 1);
+        let a1 = res.amplitude(1, 1);
+        let a2 = res.amplitude(2, 1);
+        assert!((a0 - a1).abs() < 0.02 * a0);
+        assert!((a0 - a2).abs() < 0.02 * a0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Asymptotic Waveform Evaluation: the **explicit** moment-matching Padé
+//! construction [35, 36].
+//!
+//! Included as the paper's negative example: "the direct computation of
+//! Padé approximations is numerically unstable. Therefore, the preferred
+//! methods … are Krylov-subspace techniques." The instability is
+//! structural — successive moments align with the dominant eigendirection,
+//! so the Hankel moment matrix loses rank in floating point around order
+//! 8–10. The E11 experiment measures exactly where this breaks down
+//! relative to [`pvl`](crate::pvl).
+
+use crate::statespace::{check_order, DescriptorSystem, PoleResidueModel};
+use crate::Result;
+use rfsim_numerics::dense::Mat;
+use rfsim_numerics::Complex;
+
+/// Builds an order-`q` AWE model about `s0` by explicit moment matching:
+/// solve the `q×q` Hankel system for the denominator, root it for the
+/// poles, then fit residues.
+///
+/// # Errors
+/// [`crate::Error::Numerics`] (singular Hankel matrix) once the moments have
+/// numerically collapsed — this *is* the phenomenon under study — plus
+/// order validation errors.
+pub fn awe_rom(sys: &DescriptorSystem, s0: f64, q: usize) -> Result<PoleResidueModel> {
+    check_order(q, sys.order())?;
+    let m_raw = sys.moments(s0, 2 * q)?;
+    // Frequency scaling (standard AWE practice): the raw moments decay
+    // geometrically with the circuit time constant, so the Hankel matrix
+    // underflows immediately. Scale m̂_j = m_j·αʲ with α ≈ |m₀/m₁| to make
+    // the sequence O(1); the recurrence roots scale back by 1/α.
+    let alpha = if m_raw.len() > 1 && m_raw[1].abs() > 0.0 {
+        (m_raw[0] / m_raw[1]).abs().max(1e-300)
+    } else {
+        1.0
+    };
+    let mut pw = 1.0;
+    let m: Vec<f64> = m_raw
+        .iter()
+        .map(|&v| {
+            let out = v * pw;
+            pw *= alpha;
+            out
+        })
+        .collect();
+    // Denominator: Σ_{i=0..q-1} a_i·m_{j+i} = −m_{j+q},  j = 0..q−1.
+    let hank = Mat::from_fn(q, q, |j, i| m[j + i]);
+    let rhs: Vec<f64> = (0..q).map(|j| -m[j + q]).collect();
+    let a = hank.solve(&rhs)?;
+    // Characteristic polynomial λ^q + a_{q−1}λ^{q−1} + … + a_0 with roots
+    // λ_i: the moment recurrence gives m_k = Σ c_i λ_i^k. Build the
+    // companion matrix to find the λ.
+    let mut comp = Mat::zeros(q, q);
+    for i in 0..q {
+        comp[(0, i)] = -a[q - 1 - i];
+    }
+    for i in 1..q {
+        comp[(i, i - 1)] = 1.0;
+    }
+    // Roots of the scaled recurrence; un-scale back to the true λ.
+    let lambdas: Vec<Complex> = rfsim_numerics::eig::eigenvalues(&comp)?
+        .into_iter()
+        .map(|z| z / alpha)
+        .collect();
+    // Residues: Vandermonde fit to the first q scaled moments,
+    // m̂_k = Σ_i k_i·(λ_i·α)^k (residues are scale-invariant).
+    let vand = Mat::from_fn(q, q, |k, i| {
+        let mut p = Complex::ONE;
+        for _ in 0..k {
+            p *= lambdas[i].scale(alpha);
+        }
+        p
+    });
+    let rhs_c: Vec<Complex> = m[..q].iter().map(|&v| Complex::from_re(v)).collect();
+    let residues = vand.solve(&rhs_c)?;
+    Ok(PoleResidueModel { lambdas, residues, direct: 0.0, s0 })
+}
+
+/// Finds the largest AWE order (up to `q_max`) at which the construction
+/// still succeeds *and* improves accuracy on the given band; returns
+/// `(best_order, errors_per_order)`. Orders that fail numerically are
+/// recorded as `f64::INFINITY` — this is the breakdown curve of E11.
+pub fn awe_breakdown_study(
+    sys: &DescriptorSystem,
+    s0: f64,
+    q_max: usize,
+    freqs: &[f64],
+) -> (usize, Vec<f64>) {
+    use crate::statespace::{relative_error, TransferFunction as _};
+    let mut errors = Vec::with_capacity(q_max);
+    let mut best = 1;
+    let mut best_err = f64::INFINITY;
+    for q in 1..=q_max {
+        let err = match awe_rom(sys, s0, q) {
+            Ok(model) => {
+                let e = relative_error(sys, &model, freqs);
+                // NaN (evaluation blow-up) counts as failure.
+                if e.is_finite() {
+                    e
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Err(_) => f64::INFINITY,
+        };
+        if err < best_err {
+            best_err = err;
+            best = q;
+        }
+        errors.push(err);
+        let _ = &sys.eval(Complex::ZERO); // keep trait import used
+    }
+    (best, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statespace::{log_freqs, rc_line, relative_error, TransferFunction};
+
+    #[test]
+    fn low_order_awe_is_accurate() {
+        let sys = rc_line(40, 100.0, 1e-12);
+        let model = awe_rom(&sys, 0.0, 3).unwrap();
+        let freqs = log_freqs(1e3, 1e9, 40);
+        let err = relative_error(&sys, &model, &freqs);
+        assert!(err < 0.05, "err = {err}");
+        // Matches the DC value.
+        let h0 = sys.eval(Complex::ZERO);
+        let m0 = model.eval(Complex::ZERO);
+        assert!((h0 - m0).abs() < 1e-6 * h0.abs());
+    }
+
+    #[test]
+    fn awe_poles_stable_at_low_order() {
+        let sys = rc_line(40, 100.0, 1e-12);
+        let model = awe_rom(&sys, 0.0, 4).unwrap();
+        for p in model.poles() {
+            assert!(p.re < 0.0, "unstable pole {p}");
+        }
+    }
+
+    #[test]
+    fn awe_stagnates_while_pvl_converges() {
+        // The headline instability: in floating point the explicit
+        // moments carry no information beyond the first handful of
+        // orders, so AWE's error *stagnates* (around 1e-4 here) no matter
+        // how many moments are matched — while PVL at the same order
+        // keeps converging. (This is the precise sense in which "direct
+        // computation of Padé approximations is numerically unstable".)
+        let sys = rc_line(120, 50.0, 1e-12);
+        let freqs = log_freqs(1e3, 1e10, 50);
+        let (_best, errors) = awe_breakdown_study(&sys, 0.0, 20, &freqs);
+        let awe_floor = errors[5..].iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            awe_floor > 1e-5,
+            "AWE kept converging past order 6 (floor {awe_floor:.2e}) — no stagnation?"
+        );
+        let pvl = crate::pvl::pvl_rom(&sys, 0.0, 14).unwrap();
+        let pvl_err = relative_error(&sys, &pvl, &freqs);
+        assert!(
+            pvl_err < awe_floor / 100.0,
+            "pvl {pvl_err:.2e} not ≪ awe floor {awe_floor:.2e}"
+        );
+    }
+}

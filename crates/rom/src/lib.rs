@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+//! Reduced-order modeling of large linear sub-blocks (paper, Section 5).
+//!
+//! RF ICs "often contain large linear sub-blocks" — extracted parasitics,
+//! packages, distribution networks — whose size makes direct simulation
+//! infeasible and whose frequency-domain models only harmonic balance can
+//! consume natively. Padé-type approximation of the transfer function
+//! solves both the size and the mixed-domain problem; the numerically sound
+//! way to compute the Padé approximant is through Krylov subspaces:
+//!
+//! - [`awe`]: explicit moment matching (AWE) — included deliberately as the
+//!   paper's negative example ("the direct computation of Padé
+//!   approximations is numerically unstable");
+//! - [`pvl`]: Padé via Lanczos — matches `2q` moments with `q` iterations,
+//!   "the most efficient approximations";
+//! - [`arnoldi`]: the Arnoldi alternative — `q` moments for the same work,
+//!   half PVL's efficiency (the comparison quantified in refs [6, 34, 42]);
+//! - [`prima`]: congruence-transform projection that **preserves
+//!   passivity** by construction, where "Lanczos-based methods may produce
+//!   non-passive reduced-order models" ([`passivity`] detects and
+//!   post-processes those);
+//! - [`noise_rom`]: the Padé-accelerated wideband noise evaluation of
+//!   Feldmann & Freund \[7\].
+
+pub mod arnoldi;
+pub mod macromodel;
+pub mod awe;
+pub mod noise_rom;
+pub mod passivity;
+pub mod prima;
+pub mod pvl;
+pub mod statespace;
+
+pub use arnoldi::arnoldi_rom;
+pub use macromodel::RomImpedance;
+pub use awe::awe_rom;
+pub use passivity::{enforce_passivity, is_passive, PassivityReport};
+pub use prima::prima_rom;
+pub use pvl::pvl_rom;
+pub use statespace::{DescriptorSystem, ReducedModel};
+
+/// Errors from the model-reduction algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Krylov process breakdown (Lanczos deflation etc.).
+    Breakdown(&'static str),
+    /// Underlying numerical failure.
+    Numerics(rfsim_numerics::Error),
+    /// Invalid setup (zero order, order beyond dimension, …).
+    InvalidSetup(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Breakdown(what) => write!(f, "krylov breakdown: {what}"),
+            Error::Numerics(e) => write!(f, "numerics error: {e}"),
+            Error::InvalidSetup(msg) => write!(f, "invalid setup: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rfsim_numerics::Error> for Error {
+    fn from(e: rfsim_numerics::Error) -> Self {
+        Error::Numerics(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,187 @@
+//! Passivity checking and post-processing enforcement.
+//!
+//! "In certain cases, Lanczos-based methods may produce non-passive
+//! reduced-order models of passive linear systems. In these cases
+//! post-processing is required to enforce the desired properties"
+//! (paper, §5). For driving-point (immittance) transfer functions,
+//! passivity of a stable rational model means `Re H(jω) ≥ 0` for all ω.
+
+use crate::statespace::{PoleResidueModel, ReducedModel, TransferFunction};
+use crate::Result;
+use rfsim_numerics::dense::Mat;
+use rfsim_numerics::Complex;
+
+/// Result of a passivity scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassivityReport {
+    /// All poles strictly in the left half plane.
+    pub stable: bool,
+    /// Minimum of `Re H(jω)` over the scanned band.
+    pub min_real: f64,
+    /// Frequency (Hz) at which the minimum occurs.
+    pub worst_freq: f64,
+}
+
+impl PassivityReport {
+    /// Passive: stable and non-negative real part (small tolerance).
+    pub fn is_passive(&self) -> bool {
+        self.stable && self.min_real >= -1e-12
+    }
+}
+
+/// Scans a model's poles and `Re H(jω)` over a log band.
+pub fn is_passive(
+    tf: &dyn TransferFunction,
+    poles: &[Complex],
+    f_lo: f64,
+    f_hi: f64,
+    points: usize,
+) -> PassivityReport {
+    let stable = poles.iter().all(|p| p.re < 1e-9);
+    let mut min_real = f64::INFINITY;
+    let mut worst = f_lo;
+    for i in 0..points {
+        let f = (f_lo.ln() + (f_hi.ln() - f_lo.ln()) * i as f64 / (points - 1) as f64).exp();
+        let h = tf.eval(Complex::new(0.0, 2.0 * std::f64::consts::PI * f));
+        if h.re < min_real {
+            min_real = h.re;
+            worst = f;
+        }
+    }
+    PassivityReport { stable, min_real, worst_freq: worst }
+}
+
+/// Converts a projection-form reduced model to pole/residue form by
+/// eigen-decomposition of `A_r` plus a least-squares residue fit at
+/// sample points on the imaginary axis.
+///
+/// # Errors
+/// Propagates eigensolver/solve failures.
+pub fn to_pole_residue(model: &ReducedModel, f_scale: f64) -> Result<PoleResidueModel> {
+    let lambdas: Vec<Complex> = rfsim_numerics::eig::eigenvalues(&model.a_r)?
+        .into_iter()
+        .collect();
+    let q = lambdas.len();
+    // Fit residues: H(σ_i) = Σ_j k_j/(1 − σ_i·λ_j) at q well-spread
+    // sample points σ_i = j·ω_i.
+    let mut sigmas = Vec::with_capacity(q);
+    for i in 0..q {
+        let f = f_scale * 10f64.powf(-2.0 + 4.0 * i as f64 / q.max(1) as f64);
+        sigmas.push(Complex::new(0.0, 2.0 * std::f64::consts::PI * f));
+    }
+    let a = Mat::from_fn(q, q, |i, j| (Complex::ONE - sigmas[i] * lambdas[j]).recip());
+    let rhs: Vec<Complex> = sigmas
+        .iter()
+        .map(|&s| model.eval(Complex::from_re(model.s0) + s))
+        .collect();
+    let residues = a.solve(&rhs)?;
+    Ok(PoleResidueModel { lambdas, residues, direct: 0.0, s0: model.s0 })
+}
+
+/// Post-processes a pole/residue model into a stable, (weakly) passive
+/// one:
+///
+/// 1. right-half-plane poles are reflected across the imaginary axis
+///    (standard vector-fitting-style enforcement);
+/// 2. if `Re H(jω)` still dips negative on the scanned band, a constant
+///    conductance shift lifts it to zero (guaranteed-passive but lossy —
+///    documented trade-off of simple post-processing).
+pub fn enforce_passivity(
+    model: &PoleResidueModel,
+    f_lo: f64,
+    f_hi: f64,
+    points: usize,
+) -> PoleResidueModel {
+    // Reflect unstable poles: s_p = s0 + 1/λ; flip Re(s_p) to −|Re|.
+    let lambdas: Vec<Complex> = model
+        .lambdas
+        .iter()
+        .map(|&l| {
+            if l.abs() < 1e-14 {
+                return l;
+            }
+            let sp = Complex::from_re(model.s0) + l.recip();
+            if sp.re > 0.0 {
+                let reflected = Complex::new(-sp.re, sp.im);
+                (reflected - Complex::from_re(model.s0)).recip()
+            } else {
+                l
+            }
+        })
+        .collect();
+    let mut out = PoleResidueModel {
+        lambdas,
+        residues: model.residues.clone(),
+        direct: model.direct,
+        s0: model.s0,
+    };
+    // Lift any residual negative real part.
+    let poles = out.poles();
+    let rep = is_passive(&out, &poles, f_lo, f_hi, points);
+    if rep.min_real < 0.0 {
+        out.direct -= rep.min_real;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pvl::pvl_rom;
+    use crate::statespace::{log_freqs, rc_line, relative_error};
+
+    #[test]
+    fn rc_line_driving_point_is_passive() {
+        let mut sys = rc_line(30, 100.0, 1e-12);
+        sys.l = sys.b.clone(); // driving-point impedance
+        let model = pvl_rom(&sys, 0.0, 6).unwrap();
+        let poles = model.poles().unwrap();
+        let rep = is_passive(&model, &poles, 1e3, 1e10, 80);
+        assert!(rep.is_passive(), "report: {rep:?}");
+    }
+
+    #[test]
+    fn synthetic_nonpassive_model_detected_and_fixed() {
+        // Hand-built model with an RHP pole and a negative-real dip.
+        let bad = PoleResidueModel {
+            lambdas: vec![
+                Complex::from_re(1.0 / 2e3), // pole at s = +2e3 (unstable)
+                Complex::from_re(-1.0 / 1e4),
+            ],
+            residues: vec![Complex::from_re(-0.5), Complex::from_re(1.0)],
+            direct: 0.0,
+            s0: 0.0,
+        };
+        let poles = bad.poles();
+        let rep = is_passive(&bad, &poles, 1.0, 1e6, 60);
+        assert!(!rep.is_passive());
+        let fixed = enforce_passivity(&bad, 1.0, 1e6, 200);
+        let fixed_poles = fixed.poles();
+        let rep2 = is_passive(&fixed, &fixed_poles, 1.0, 1e6, 200);
+        assert!(rep2.stable, "poles after reflection: {fixed_poles:?}");
+        assert!(rep2.min_real >= -1e-9, "min Re after lift: {}", rep2.min_real);
+    }
+
+    #[test]
+    fn pole_residue_conversion_faithful() {
+        let sys = rc_line(40, 100.0, 1e-12);
+        let model = pvl_rom(&sys, 0.0, 6).unwrap();
+        // Pick the fit scale near the line's bandwidth.
+        let pr = to_pole_residue(&model, 1e7).unwrap();
+        let freqs = log_freqs(1e4, 1e9, 40);
+        let err = relative_error(&model, &pr, &freqs);
+        assert!(err < 1e-5, "conversion err = {err}");
+    }
+
+    #[test]
+    fn enforcement_preserves_already_passive_models() {
+        let mut sys = rc_line(20, 100.0, 1e-12);
+        sys.l = sys.b.clone();
+        let model = pvl_rom(&sys, 0.0, 5).unwrap();
+        let pr = to_pole_residue(&model, 1e7).unwrap();
+        let fixed = enforce_passivity(&pr, 1e3, 1e10, 100);
+        let freqs = log_freqs(1e3, 1e10, 40);
+        let err = relative_error(&pr, &fixed, &freqs);
+        assert!(err < 1e-9, "enforcement changed a passive model: {err}");
+    }
+}

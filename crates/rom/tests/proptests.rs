@@ -1,0 +1,79 @@
+//! Property-based tests for model reduction: moment matching, monotone
+//! convergence, and passivity invariants on randomly parameterized
+//! interconnect.
+
+use proptest::prelude::*;
+use rfsim_rom::arnoldi::arnoldi_rom;
+use rfsim_rom::passivity::is_passive;
+use rfsim_rom::prima::prima_rom;
+use rfsim_rom::pvl::pvl_rom;
+use rfsim_rom::statespace::{log_freqs, rc_line, relative_error};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// PVL matches the first 2q−1 moments for random line parameters and
+    /// random (small) orders.
+    #[test]
+    fn pvl_moment_matching(n in 15usize..60, r in 10.0f64..1e3,
+                           c_pf in 0.1f64..10.0, q in 2usize..6) {
+        let sys = rc_line(n, r, c_pf * 1e-12);
+        let model = pvl_rom(&sys, 0.0, q).expect("pvl");
+        let exact = sys.moments(0.0, 2 * q - 1).expect("moments");
+        let reduced = model.moments(2 * q - 1);
+        for (k, (e, m)) in exact.iter().zip(&reduced).enumerate() {
+            let rel = (e - m).abs() / e.abs().max(1e-300);
+            prop_assert!(rel < 1e-5, "moment {k}: {e:.4e} vs {m:.4e} (rel {rel:.1e})");
+        }
+    }
+
+    /// Arnoldi matches exactly q moments for the same random systems.
+    #[test]
+    fn arnoldi_moment_matching(n in 15usize..60, r in 10.0f64..1e3, q in 2usize..7) {
+        let sys = rc_line(n, r, 1e-12);
+        let model = arnoldi_rom(&sys, 0.0, q).expect("arnoldi");
+        let exact = sys.moments(0.0, q).expect("moments");
+        let reduced = model.moments(q);
+        for (k, (e, m)) in exact.iter().zip(&reduced).enumerate() {
+            let rel = (e - m).abs() / e.abs().max(1e-300);
+            prop_assert!(rel < 1e-6, "moment {k}: rel {rel:.1e}");
+        }
+    }
+
+    /// Reduction error does not increase when the order grows (PVL, same
+    /// system, q vs q+2).
+    #[test]
+    fn pvl_error_monotone_in_order(n in 40usize..100, q in 3usize..8) {
+        let sys = rc_line(n, 100.0, 1e-12);
+        let freqs = log_freqs(1e4, 1e9, 30);
+        let e_small = relative_error(&sys, &pvl_rom(&sys, 0.0, q).expect("pvl"), &freqs);
+        let e_large = relative_error(&sys, &pvl_rom(&sys, 0.0, q + 2).expect("pvl"), &freqs);
+        prop_assert!(
+            e_large <= e_small * 1.5 + 1e-12,
+            "q={q}: error grew {e_small:.2e} → {e_large:.2e}"
+        );
+    }
+
+    /// PRIMA models of driving-point RC impedances are passive for any
+    /// parameters and orders.
+    #[test]
+    fn prima_always_passive(n in 20usize..60, r in 10.0f64..5e3, q in 3usize..9) {
+        let mut sys = rc_line(n, r, 1e-12);
+        sys.l = sys.b.clone();
+        let model = prima_rom(&sys, 0.0, q).expect("prima");
+        let poles = model.poles().expect("poles");
+        let rep = is_passive(&model, &poles, 1e3, 1e10, 60);
+        prop_assert!(rep.is_passive(), "report {rep:?}");
+    }
+
+    /// All reduced poles of stable RC systems lie in the closed left half
+    /// plane (PVL on symmetric RC is provably stable).
+    #[test]
+    fn pvl_poles_stable_for_rc(n in 20usize..80, q in 3usize..9) {
+        let sys = rc_line(n, 100.0, 1e-12);
+        let model = pvl_rom(&sys, 0.0, q).expect("pvl");
+        for p in model.poles().expect("poles") {
+            prop_assert!(p.re < 1e-6, "pole {p}");
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Spectral grids for harmonic balance: collocation samples along one or
+//! more periodic time axes, spectral differentiation, and harmonic
+//! extraction.
+//!
+//! A [`SpectralGrid`] with one axis underlies single-tone HB; two axes give
+//! the multi-tone (quasi-periodic) analysis, equivalent to representing the
+//! waveforms in their bivariate MPDE form (paper, §2.2) and applying the
+//! `∂/∂t₁ + ∂/∂t₂` operator spectrally. Axis sizes are odd so the sample
+//! count per axis is `2·H + 1` for `H` harmonics, with no ambiguous Nyquist
+//! term.
+
+use crate::{Error, Result};
+use rfsim_circuit::dae::TwoTime;
+use rfsim_numerics::fft::{dft, idft};
+use rfsim_numerics::Complex;
+
+/// One periodic analysis axis: a fundamental frequency and a harmonic
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToneAxis {
+    /// Fundamental frequency in Hz.
+    pub freq: f64,
+    /// Number of harmonics `H` retained (`2H + 1` samples).
+    pub harmonics: usize,
+}
+
+impl ToneAxis {
+    /// Creates an axis.
+    pub fn new(freq: f64, harmonics: usize) -> Self {
+        ToneAxis { freq, harmonics }
+    }
+
+    /// Samples along this axis.
+    pub fn samples(&self) -> usize {
+        2 * self.harmonics + 1
+    }
+
+    /// Period in seconds.
+    pub fn period(&self) -> f64 {
+        1.0 / self.freq
+    }
+}
+
+/// A collocation grid over one or two periodic time axes.
+///
+/// Sample layout is row-major over axes (axis 0 slowest), with the DAE's
+/// `n` unknowns contiguous at each sample: `x[s·n + i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralGrid {
+    axes: Vec<ToneAxis>,
+}
+
+impl SpectralGrid {
+    /// Single-tone grid: `harmonics` harmonics of `freq`.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidSetup`] for a non-positive frequency.
+    pub fn single_tone(freq: f64, harmonics: usize) -> Result<Self> {
+        if freq <= 0.0 {
+            return Err(Error::InvalidSetup("tone frequency must be positive".into()));
+        }
+        Ok(SpectralGrid { axes: vec![ToneAxis::new(freq, harmonics)] })
+    }
+
+    /// Two-tone quasi-periodic grid. Axis 0 is the slow tone (`t₁`), axis 1
+    /// the fast tone (`t₂`).
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidSetup`] for non-positive frequencies.
+    pub fn two_tone(slow: ToneAxis, fast: ToneAxis) -> Result<Self> {
+        if slow.freq <= 0.0 || fast.freq <= 0.0 {
+            return Err(Error::InvalidSetup("tone frequencies must be positive".into()));
+        }
+        Ok(SpectralGrid { axes: vec![slow, fast] })
+    }
+
+    /// The analysis axes.
+    pub fn axes(&self) -> &[ToneAxis] {
+        &self.axes
+    }
+
+    /// Total collocation samples (product over axes).
+    pub fn samples(&self) -> usize {
+        self.axes.iter().map(ToneAxis::samples).product()
+    }
+
+    /// Total HB unknowns for a DAE of dimension `n`.
+    pub fn unknowns(&self, n: usize) -> usize {
+        self.samples() * n
+    }
+
+    /// The (possibly bivariate) evaluation time of sample `s`.
+    pub fn time(&self, s: usize) -> TwoTime {
+        match self.axes.len() {
+            1 => {
+                let ax = &self.axes[0];
+                TwoTime::uni(s as f64 * ax.period() / ax.samples() as f64)
+            }
+            2 => {
+                let n1 = self.axes[1].samples();
+                let i0 = s / n1;
+                let i1 = s % n1;
+                TwoTime::new(
+                    i0 as f64 * self.axes[0].period() / self.axes[0].samples() as f64,
+                    i1 as f64 * self.axes[1].period() / n1 as f64,
+                )
+            }
+            _ => unreachable!("grids have 1 or 2 axes"),
+        }
+    }
+
+    /// Applies the spectral time-derivative operator to a sample-major
+    /// field of `n` unknowns: `out[s·n+i] += Σ_axes (∂/∂t_axis field)`.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths do not equal `samples()·n`.
+    pub fn add_dt(&self, field: &[f64], out: &mut [f64], n: usize) {
+        let total = self.samples();
+        assert_eq!(field.len(), total * n, "add_dt: field length");
+        assert_eq!(out.len(), total * n, "add_dt: out length");
+        match self.axes.len() {
+            1 => {
+                let ax = self.axes[0];
+                let ns = ax.samples();
+                let omega = 2.0 * std::f64::consts::PI * ax.freq;
+                let mut line = vec![Complex::ZERO; ns];
+                for i in 0..n {
+                    for s in 0..ns {
+                        line[s] = Complex::from_re(field[s * n + i]);
+                    }
+                    differentiate_line(&mut line, omega);
+                    for s in 0..ns {
+                        out[s * n + i] += line[s].re;
+                    }
+                }
+            }
+            2 => {
+                let (a0, a1) = (self.axes[0], self.axes[1]);
+                let (n0, n1) = (a0.samples(), a1.samples());
+                let w0 = 2.0 * std::f64::consts::PI * a0.freq;
+                let w1 = 2.0 * std::f64::consts::PI * a1.freq;
+                // Axis 1 (fast): contiguous lines.
+                let mut line = vec![Complex::ZERO; n1];
+                for i0 in 0..n0 {
+                    for i in 0..n {
+                        for s in 0..n1 {
+                            line[s] = Complex::from_re(field[(i0 * n1 + s) * n + i]);
+                        }
+                        differentiate_line(&mut line, w1);
+                        for s in 0..n1 {
+                            out[(i0 * n1 + s) * n + i] += line[s].re;
+                        }
+                    }
+                }
+                // Axis 0 (slow): strided lines.
+                let mut line = vec![Complex::ZERO; n0];
+                for i1 in 0..n1 {
+                    for i in 0..n {
+                        for s in 0..n0 {
+                            line[s] = Complex::from_re(field[(s * n1 + i1) * n + i]);
+                        }
+                        differentiate_line(&mut line, w0);
+                        for s in 0..n0 {
+                            out[(s * n1 + i1) * n + i] += line[s].re;
+                        }
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Fourier coefficient of one unknown's waveform at the mix index
+    /// `k` (one entry per axis, each in `-H..=H`). For a real waveform the
+    /// coefficient at `-k` is the conjugate.
+    ///
+    /// The returned value is the complex amplitude `c_k` in
+    /// `x(t) = Σ c_k·e^{j2π(k·f)·t}`; a real cosine of amplitude `A` at a
+    /// nonzero mix has `|c_k| = A/2`.
+    ///
+    /// # Panics
+    /// Panics if `field.len() != samples()·n`, `i ≥ n`, or `k` is out of
+    /// range.
+    pub fn coefficient(&self, field: &[f64], n: usize, i: usize, k: &[i32]) -> Complex {
+        assert_eq!(field.len(), self.samples() * n, "coefficient: field length");
+        assert_eq!(k.len(), self.axes.len(), "coefficient: mix index arity");
+        assert!(i < n, "coefficient: unknown index");
+        match self.axes.len() {
+            1 => {
+                let ns = self.axes[0].samples();
+                let line: Vec<Complex> =
+                    (0..ns).map(|s| Complex::from_re(field[s * n + i])).collect();
+                let spec = dft(&line);
+                pick_bin(&spec, k[0], ns)
+            }
+            2 => {
+                let (n0, n1) = (self.axes[0].samples(), self.axes[1].samples());
+                // 2-D DFT of this unknown's grid.
+                let grid: Vec<Complex> = (0..n0 * n1)
+                    .map(|s| Complex::from_re(field[s * n + i]))
+                    .collect();
+                let f2 = rfsim_numerics::fft::dft2(&grid, n0, n1);
+                let b0 = bin_of(k[0], n0);
+                let b1 = bin_of(k[1], n1);
+                f2[b0 * n1 + b1].scale(1.0 / (n0 * n1) as f64)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Amplitude (peak, not RMS) of the real sinusoid at mix index `k`:
+    /// `2·|c_k|` for nonzero mixes, `|c_0|` for DC.
+    pub fn amplitude(&self, field: &[f64], n: usize, i: usize, k: &[i32]) -> f64 {
+        let c = self.coefficient(field, n, i, k);
+        if k.iter().all(|&x| x == 0) {
+            c.abs()
+        } else {
+            2.0 * c.abs()
+        }
+    }
+
+    /// The frequency (Hz) of mix index `k`.
+    pub fn mix_freq(&self, k: &[i32]) -> f64 {
+        k.iter()
+            .zip(&self.axes)
+            .map(|(&ki, ax)| ki as f64 * ax.freq)
+            .sum()
+    }
+}
+
+/// Spectrally differentiates a periodic sample line in place
+/// (`x̂_k ← jkω·x̂_k` for `k = −H..H`, odd length).
+fn differentiate_line(line: &mut [Complex], omega: f64) {
+    let ns = line.len();
+    let spec = dft(line);
+    let mut ds = vec![Complex::ZERO; ns];
+    let h = ns / 2;
+    for (b, s) in spec.iter().enumerate() {
+        // Bin b corresponds to harmonic k: b for b ≤ H, b − ns for b > H.
+        let k = if b <= h { b as i64 } else { b as i64 - ns as i64 };
+        ds[b] = *s * Complex::new(0.0, k as f64 * omega);
+    }
+    let back = idft(&ds);
+    line.copy_from_slice(&back);
+}
+
+fn bin_of(k: i32, ns: usize) -> usize {
+    if k >= 0 {
+        k as usize
+    } else {
+        (ns as i32 + k) as usize
+    }
+}
+
+fn pick_bin(spec: &[Complex], k: i32, ns: usize) -> Complex {
+    spec[bin_of(k, ns)].scale(1.0 / ns as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tone_sample_times() {
+        let g = SpectralGrid::single_tone(100.0, 2).unwrap();
+        assert_eq!(g.samples(), 5);
+        let t1 = g.time(1);
+        assert!((t1.t1 - 0.01 / 5.0).abs() < 1e-15);
+        assert_eq!(t1.t1, t1.t2);
+    }
+
+    #[test]
+    fn spectral_derivative_of_sine_is_cosine() {
+        let f0 = 50.0;
+        let g = SpectralGrid::single_tone(f0, 4).unwrap();
+        let ns = g.samples();
+        let omega = 2.0 * std::f64::consts::PI * f0;
+        // Field with n = 1 unknown: sin(ωt).
+        let field: Vec<f64> = (0..ns).map(|s| (omega * g.time(s).t1).sin()).collect();
+        let mut out = vec![0.0; ns];
+        g.add_dt(&field, &mut out, 1);
+        for s in 0..ns {
+            let expect = omega * (omega * g.time(s).t1).cos();
+            assert!((out[s] - expect).abs() < 1e-6 * omega, "s={s}: {} vs {expect}", out[s]);
+        }
+    }
+
+    #[test]
+    fn coefficient_extraction_single() {
+        let f0 = 10.0;
+        let g = SpectralGrid::single_tone(f0, 3).unwrap();
+        let ns = g.samples();
+        // x(t) = 0.5 + 2cos(ωt) + 0.3 sin(2ωt)
+        let field: Vec<f64> = (0..ns)
+            .map(|s| {
+                let t = g.time(s).t1;
+                let w = 2.0 * std::f64::consts::PI * f0;
+                0.5 + 2.0 * (w * t).cos() + 0.3 * (2.0 * w * t).sin()
+            })
+            .collect();
+        assert!((g.amplitude(&field, 1, 0, &[0]) - 0.5).abs() < 1e-12);
+        assert!((g.amplitude(&field, 1, 0, &[1]) - 2.0).abs() < 1e-12);
+        assert!((g.amplitude(&field, 1, 0, &[2]) - 0.3).abs() < 1e-12);
+        assert!(g.amplitude(&field, 1, 0, &[3]) < 1e-12);
+        assert!((g.mix_freq(&[2]) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_tone_grid_and_mixes() {
+        let slow = ToneAxis::new(1.0, 2);
+        let fast = ToneAxis::new(100.0, 3);
+        let g = SpectralGrid::two_tone(slow, fast).unwrap();
+        assert_eq!(g.samples(), 5 * 7);
+        // Product waveform sin(2πt₁)·cos(2π·100·t₂) has mixes (±1, ±1)
+        // with |c| = 1/4 each.
+        let field: Vec<f64> = (0..g.samples())
+            .map(|s| {
+                let t = g.time(s);
+                (2.0 * std::f64::consts::PI * t.t1).sin()
+                    * (2.0 * std::f64::consts::PI * 100.0 * t.t2).cos()
+            })
+            .collect();
+        let c11 = g.coefficient(&field, 1, 0, &[1, 1]);
+        assert!((c11.abs() - 0.25).abs() < 1e-10, "c11 = {c11}");
+        assert!((g.mix_freq(&[1, 1]) - 101.0).abs() < 1e-12);
+        assert!((g.mix_freq(&[-1, 1]) - 99.0).abs() < 1e-12);
+        // No energy at (2, 1).
+        assert!(g.coefficient(&field, 1, 0, &[2, 1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn two_tone_derivative_matches_analytic() {
+        // x̂(t1,t2) = sin(2πf1·t1)·sin(2πf2·t2):
+        // (∂1+∂2)x̂ = 2πf1 cos(·)sin(·) + 2πf2 sin(·)cos(·).
+        let (f1, f2) = (2.0, 30.0);
+        let g = SpectralGrid::two_tone(ToneAxis::new(f1, 3), ToneAxis::new(f2, 3)).unwrap();
+        let w1 = 2.0 * std::f64::consts::PI * f1;
+        let w2 = 2.0 * std::f64::consts::PI * f2;
+        let field: Vec<f64> = (0..g.samples())
+            .map(|s| {
+                let t = g.time(s);
+                (w1 * t.t1).sin() * (w2 * t.t2).sin()
+            })
+            .collect();
+        let mut out = vec![0.0; g.samples()];
+        g.add_dt(&field, &mut out, 1);
+        for s in 0..g.samples() {
+            let t = g.time(s);
+            let expect = w1 * (w1 * t.t1).cos() * (w2 * t.t2).sin()
+                + w2 * (w1 * t.t1).sin() * (w2 * t.t2).cos();
+            assert!((out[s] - expect).abs() < 1e-6 * w2, "s={s}");
+        }
+    }
+
+    #[test]
+    fn invalid_setup_rejected() {
+        assert!(SpectralGrid::single_tone(0.0, 3).is_err());
+        assert!(SpectralGrid::two_tone(ToneAxis::new(1.0, 1), ToneAxis::new(-1.0, 1)).is_err());
+    }
+}

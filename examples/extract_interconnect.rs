@@ -1,0 +1,65 @@
+//! Extract and reduce an interconnect structure: MoM capacitance of a bus
+//! crossing (dense vs IES³-compressed), then a PVL macromodel of a long
+//! RC line ready for reuse in circuit simulation.
+//!
+//! Run with `cargo run --release --example extract_interconnect`.
+
+use rfsim::em::geom::mesh_bus_crossing;
+use rfsim::em::ies3::{CompressedMatrix, Ies3Options};
+use rfsim::em::mom::{capacitance_matrix, MomProblem};
+use rfsim::em::GreenFn;
+use rfsim::numerics::krylov::KrylovOptions;
+use rfsim::numerics::Complex;
+use rfsim::rom::pvl::pvl_rom;
+use rfsim::rom::statespace::{log_freqs, rc_line, relative_error, TransferFunction};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Coupling capacitance of two crossing buses. ---
+    let panels = mesh_bus_crossing(5e-6, 200e-6, 2e-6, 48, 4);
+    println!("bus crossing: {} surface panels", panels.len());
+    let p = MomProblem::new(panels, GreenFn::HalfSpace { eps_r: 3.9, z0: -1e-6, k: 0.6 })?;
+    let c = capacitance_matrix(&p)?;
+    println!(
+        "Maxwell C (fF): C11 = {:.2}, C22 = {:.2}, coupling C12 = {:.3}",
+        c[(0, 0)] * 1e15,
+        c[(1, 1)] * 1e15,
+        -c[(0, 1)] * 1e15
+    );
+
+    // --- 2. The same solve through the IES³-compressed operator. ---
+    let cm = CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default())?;
+    let dense_bytes = p.len() * p.len() * 8;
+    println!(
+        "IES³: {} B vs dense {} B ({:.1}× compression, {} low-rank blocks)",
+        cm.memory_bytes(),
+        dense_bytes,
+        dense_bytes as f64 / cm.memory_bytes() as f64,
+        cm.low_rank_blocks()
+    );
+    let (q, stats) = p.solve_iterative(&cm, &[1.0, 0.0], &KrylovOptions::default())?;
+    let charges = p.conductor_charges(&q);
+    println!(
+        "compressed GMRES solve: {} iterations, C11 = {:.2} fF (dense: {:.2} fF)",
+        stats.iterations,
+        charges[0] * 1e15,
+        c[(0, 0)] * 1e15
+    );
+
+    // --- 3. Macromodel a 500-node RC line with PVL. ---
+    let line = rc_line(500, 20.0, 50e-15);
+    let model = pvl_rom(&line, 0.0, 10)?;
+    let freqs = log_freqs(1e5, 1e10, 50);
+    let err = relative_error(&line, &model, &freqs);
+    println!(
+        "\nRC line macromodel: 500 states → order {}, max rel error {:.2e} over 5 decades",
+        model.order(),
+        err
+    );
+    println!("poles of the reduced model (rad/s):");
+    for p in model.poles()?.iter().take(4) {
+        println!("  {:.4e} {:+.4e}j", p.re, p.im);
+    }
+    let h_dc = model.eval(Complex::ZERO);
+    println!("DC transfer resistance: {:.3} Ω (exact: {:.3} Ω)", h_dc.re, line.eval(Complex::ZERO).re);
+    Ok(())
+}

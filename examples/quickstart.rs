@@ -1,0 +1,73 @@
+//! Quickstart: build a circuit, find its operating point, run AC,
+//! transient and harmonic-balance analyses, and print what each sees.
+//!
+//! Run with `cargo run --release --example quickstart`.
+//!
+//! The circuit is a diode limiter driven hard enough to clip: a classic
+//! case where small-signal AC misses everything interesting and the
+//! steady-state engines earn their keep.
+
+use rfsim::circuit::ac::{ac_sweep, log_sweep};
+use rfsim::circuit::prelude::*;
+use rfsim::circuit::Circuit;
+use rfsim::steady::{solve_hb, HbOptions, SpectralGrid};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Build: 1 MHz source → 1 kΩ → diode clamp ∥ load. ---
+    let f0 = 1e6;
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.add(VSource::sine("V1", inp, Circuit::GROUND, 0.0, 2.0, f0));
+    ckt.add(Resistor::new("R1", inp, out, 1e3));
+    ckt.add(Diode::new("D1", out, Circuit::GROUND, 1e-14));
+    ckt.add(Resistor::new("RL", out, Circuit::GROUND, 10e3));
+    ckt.add(Capacitor::new("CL", out, Circuit::GROUND, 10e-12));
+    let dae = ckt.into_dae()?;
+    let oi = dae.node_index(out).expect("out is not ground");
+
+    // --- DC operating point. ---
+    let op = dc_operating_point(&dae, &DcOptions::default())?;
+    println!("DC operating point: v(out) = {:.4} V", op.voltage(out));
+
+    // --- Small-signal AC (linearized at the OP — blind to clipping). ---
+    let mut b_ac = vec![0.0; {
+        use rfsim::circuit::dae::Dae as _;
+        dae.dim()
+    }];
+    b_ac[dae.branch_index("V1", 0).expect("V1 exists")] = 1.0;
+    let ac = ac_sweep(&dae, &op.x, &b_ac, &log_sweep(1e4, 1e8, 5))?;
+    println!("\nAC small-signal gain at out (dB):");
+    for (f, g) in ac.freqs.iter().zip(ac.gain_db(out)) {
+        println!("  {f:>10.3e} Hz: {g:7.2} dB");
+    }
+
+    // --- Transient: see the clipping in the time domain. ---
+    let tran = transient(
+        &dae,
+        0.0,
+        4.0 / f0,
+        &TranOptions { dt: 1.0 / (f0 * 200.0), ..Default::default() },
+    )?;
+    let v = tran.unknown(oi);
+    let peak_pos = v.iter().copied().fold(f64::MIN, f64::max);
+    let peak_neg = v.iter().copied().fold(f64::MAX, f64::min);
+    println!(
+        "\nTransient: out swings {:.3} V / {:+.3} V — the diode clamps the top.",
+        peak_pos, peak_neg
+    );
+
+    // --- Harmonic balance: the clipped spectrum, directly. ---
+    let grid = SpectralGrid::single_tone(f0, 9)?;
+    let sol = solve_hb(&dae, &grid, &HbOptions { source_steps: 3, ..Default::default() })?;
+    println!("\nHarmonic balance spectrum at out:");
+    for k in 0..=5 {
+        println!("  harmonic {k}: {:.4e} V", sol.amplitude(oi, &[k]));
+    }
+    println!(
+        "\nclipping ⇒ strong even+odd harmonics and a DC shift ({:.3} V) that\n\
+         the linearized AC analysis cannot see.",
+        sol.amplitude(oi, &[0])
+    );
+    Ok(())
+}

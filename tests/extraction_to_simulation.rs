@@ -1,0 +1,167 @@
+//! Field solver → circuit simulation integration: capacitances extracted
+//! by MoM/IES³/FD feed circuit analyses, and ROM macromodels stand in for
+//! the systems they reduce.
+
+use rfsim::circuit::ac::{ac_sweep, log_sweep};
+use rfsim::circuit::prelude::*;
+use rfsim::circuit::Circuit;
+use rfsim::em::fd::{FdConductor, FdProblem};
+use rfsim::em::geom::mesh_parallel_plates;
+use rfsim::em::ies3::{CompressedMatrix, Ies3Options};
+use rfsim::em::mom::{capacitance_matrix, MomProblem};
+use rfsim::em::GreenFn;
+use rfsim::numerics::krylov::KrylovOptions;
+use rfsim::numerics::Complex;
+use rfsim::rom::pvl::pvl_rom;
+use rfsim::rom::statespace::{rc_line, TransferFunction};
+
+/// Extract a plate capacitor with MoM, build an RC filter around it, and
+/// check the AC corner frequency lands where the extracted C says.
+#[test]
+fn extracted_capacitance_sets_the_rc_corner() {
+    let (side, gap) = (200e-6, 20e-6);
+    let panels = mesh_parallel_plates(side, gap, 8);
+    let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 3.9 }).expect("mom");
+    let cmat = capacitance_matrix(&p).expect("cap");
+    let c_extracted = -cmat[(0, 1)];
+    assert!(c_extracted > 0.0);
+
+    let r = 10e3;
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let out = ckt.node("out");
+    ckt.add(VSource::dc("V1", a, Circuit::GROUND, 0.0));
+    ckt.add(Resistor::new("R1", a, out, r));
+    ckt.add(Capacitor::new("CEXT", out, Circuit::GROUND, c_extracted));
+    let dae = ckt.into_dae().expect("netlist");
+    let mut b_ac = vec![0.0; rfsim::circuit::dae::Dae::dim(&dae)];
+    b_ac[dae.branch_index("V1", 0).expect("branch")] = 1.0;
+    let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c_extracted);
+    let res = ac_sweep(&dae, &[0.0; 3], &b_ac, &[fc]).expect("ac");
+    let gain = res.voltage(0, out).abs();
+    // At the corner the magnitude is 1/√2.
+    assert!(
+        (gain - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6,
+        "gain at extracted corner = {gain}"
+    );
+}
+
+/// Dense MoM, IES³-compressed MoM and the FD volume solver agree on the
+/// same structure (within discretization error).
+#[test]
+fn three_solvers_one_capacitance() {
+    let (side, gap) = (60e-6, 12e-6);
+    let panels = mesh_parallel_plates(side, gap, 8);
+    let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).expect("mom");
+    // Dense: both the mutual capacitance (for the FD comparison) and the
+    // conductor-0 self charge at [1, 0] V (for the IES³ comparison).
+    let c_mutual = -capacitance_matrix(&p).expect("cap")[(0, 1)];
+    let q_dense = p.solve_dense(&[1.0, 0.0]).expect("dense");
+    let c_dense = p.conductor_charges(&q_dense)[0];
+    // IES³ + GMRES (same excitation → same quantity).
+    let cm = CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default()).expect("ies3");
+    let (q, _) = p
+        .solve_iterative(&cm, &[1.0, 0.0], &KrylovOptions { tol: 1e-9, ..Default::default() })
+        .expect("gmres");
+    let c_ies3 = p.conductor_charges(&q)[0];
+    assert!(
+        (c_ies3 - c_dense).abs() / c_dense < 1e-3,
+        "dense {c_dense:.4e} vs ies3 {c_ies3:.4e}"
+    );
+    // FD (coarser physics: grounded box adds fringing; same order).
+    let nf = 18;
+    let h = 3.0 * side / nf as f64;
+    let cell_of = |x: f64| ((x + 1.5 * side) / h).round() as usize;
+    let (plo, phi) = (cell_of(-side / 2.0), cell_of(side / 2.0));
+    let (zlo, zhi) = (cell_of(-gap / 2.0), cell_of(gap / 2.0));
+    let fd = FdProblem {
+        nx: nf,
+        ny: nf,
+        nz: nf,
+        h,
+        eps_r: 1.0,
+        conductors: vec![
+            FdConductor { x: (plo, phi), y: (plo, phi), z: (zlo, zlo + 1) },
+            FdConductor { x: (plo, phi), y: (plo, phi), z: (zhi, zhi + 1) },
+        ],
+    };
+    let sol = fd.solve(&[1.0, 0.0]).expect("fd");
+    let c_fd = 2.0 * fd.field_energy(&sol.phi);
+    let ratio = c_fd / c_mutual;
+    assert!(
+        ratio > 0.7 && ratio < 2.5,
+        "fd {c_fd:.4e} vs mutual {c_mutual:.4e} (ratio {ratio:.2})"
+    );
+}
+
+/// A PVL macromodel of an RC line reproduces the full line's response as
+/// computed by the *circuit* simulator (not just by its own descriptor
+/// evaluation) — the two crates implement the same physics independently.
+#[test]
+fn rom_macromodel_matches_circuit_simulator() {
+    let n = 40;
+    let (r_per, c_per) = (100.0, 1e-12);
+    // ROM side: descriptor RC line driven by a 1 A current source.
+    let sys = rc_line(n, r_per, c_per);
+    let model = pvl_rom(&sys, 0.0, 8).expect("pvl");
+    // Circuit side: build the same line from devices.
+    let mut ckt = Circuit::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| ckt.node(&format!("n{i}"))).collect();
+    ckt.add(ISource::dc("I1", Circuit::GROUND, nodes[0], 1.0));
+    // The descriptor generator grounds the input through r_per.
+    ckt.add(Resistor::new("RG", nodes[0], Circuit::GROUND, r_per));
+    for i in 0..n - 1 {
+        ckt.add(Resistor::new(&format!("R{i}"), nodes[i], nodes[i + 1], r_per));
+    }
+    for (i, &node) in nodes.iter().enumerate() {
+        ckt.add(Capacitor::new(&format!("C{i}"), node, Circuit::GROUND, c_per));
+    }
+    let dae = ckt.into_dae().expect("netlist");
+    let op = dc_operating_point(&dae, &DcOptions::default()).expect("dc");
+    // AC: unit current injection.
+    let mut b_ac = vec![0.0; rfsim::circuit::dae::Dae::dim(&dae)];
+    b_ac[dae.node_index(nodes[0]).expect("node")] = 1.0;
+    let freqs = log_sweep(1e4, 1e9, 12);
+    let ac = ac_sweep(&dae, &op.x, &b_ac, &freqs).expect("ac");
+    // Error referenced to the peak response (as in §5 ROM practice):
+    // pointwise relative error deep in the stopband is not meaningful for
+    // a moment-matched model.
+    let h_max = ac.voltage(0, nodes[n - 1]).abs();
+    for (k, &f) in freqs.iter().enumerate() {
+        let v_circuit = ac.voltage(k, nodes[n - 1]);
+        let v_rom = model.eval(Complex::new(0.0, 2.0 * std::f64::consts::PI * f));
+        assert!(
+            (v_circuit - v_rom).abs() < 1e-3 * h_max,
+            "f = {f:.2e}: circuit {v_circuit} vs rom {v_rom}"
+        );
+    }
+}
+
+/// Spiral-inductor extraction feeding AC analysis: the extracted L and the
+/// circuit simulator agree on the LC resonance with a known capacitor.
+#[test]
+fn extracted_inductor_resonates_where_predicted() {
+    let spiral = rfsim::em::inductor::SpiralInductor::default();
+    let model = spiral.extract(2, 6).expect("extract");
+    let l = model.l_series;
+    let c = 1e-12;
+    let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let m = ckt.node("m");
+    let x = ckt.node("x");
+    ckt.add(VSource::dc("V1", a, Circuit::GROUND, 0.0));
+    ckt.add(Resistor::new("RS", a, m, 50.0));
+    ckt.add(Inductor::new("LSP", m, x, l));
+    ckt.add(Capacitor::new("CT", x, Circuit::GROUND, c));
+    let dae = ckt.into_dae().expect("netlist");
+    let mut b_ac = vec![0.0; rfsim::circuit::dae::Dae::dim(&dae)];
+    b_ac[dae.branch_index("V1", 0).expect("branch")] = 1.0;
+    let freqs = [f0 * 0.5, f0, f0 * 2.0];
+    let res = ac_sweep(&dae, &[0.0; 5], &b_ac, &freqs).expect("ac");
+    let i_branch = dae.branch_index("V1", 0).expect("branch");
+    let mags: Vec<f64> = (0..3).map(|k| res.solutions[k][i_branch].abs()).collect();
+    // Series resonance: current maximal at f0.
+    assert!(mags[1] > mags[0] && mags[1] > mags[2], "{mags:?}");
+    assert!((mags[1] - 1.0 / 50.0).abs() < 1e-3);
+}

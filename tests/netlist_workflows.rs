@@ -1,0 +1,108 @@
+//! Text-netlist-driven workflows: the SPICE-like parser front end feeding
+//! each analysis engine, as a downstream user would.
+
+#![allow(clippy::needless_range_loop)]
+
+use rfsim::circuit::ac::{ac_sweep, log_sweep};
+use rfsim::circuit::dc::{dc_operating_point, DcOptions};
+use rfsim::circuit::noise::noise_sweep;
+use rfsim::circuit::parser::parse_netlist;
+use rfsim::circuit::transient::{transient, TranOptions};
+use rfsim::steady::{solve_hb, HbOptions, SpectralGrid};
+
+#[test]
+fn parsed_amplifier_dc_ac_noise() {
+    let ckt = parse_netlist(
+        "* one-transistor amplifier\n\
+         VCC vcc 0 DC 5\n\
+         VIN in 0 DC 0.75\n\
+         RC vcc out 2k\n\
+         RB in b 5k\n\
+         Q1 out b 0 IS=1e-16 BF=120\n\
+         CL out 0 1p\n\
+         .end",
+    )
+    .expect("parse");
+    let out = ckt.find_node("out").expect("out node");
+    let inp = ckt.find_node("in").expect("in node");
+    let _ = inp;
+    let dae = ckt.into_dae().expect("netlist");
+    let op = dc_operating_point(&dae, &DcOptions::default()).expect("dc");
+    let vout = op.voltage(out);
+    // Biased into the active region.
+    assert!(vout > 0.5 && vout < 4.8, "vout = {vout}");
+    // AC gain from the input source.
+    let mut b_ac = vec![0.0; rfsim::circuit::dae::Dae::dim(&dae)];
+    b_ac[dae.branch_index("VIN", 0).expect("vin")] = 1.0;
+    let freqs = log_sweep(1e3, 1e9, 7);
+    let ac = ac_sweep(&dae, &op.x, &b_ac, &freqs).expect("ac");
+    let g = ac.gain_db(out);
+    // Midband gain > 20 dB, rolling off at high frequency.
+    assert!(g[0] > 20.0, "midband gain {} dB", g[0]);
+    assert!(g[6] < g[0] - 10.0, "no rolloff: {g:?}");
+    // Noise: collector shot + resistors present.
+    let noise = noise_sweep(&dae, &op.x, out, &[1e6]).expect("noise");
+    assert!(noise.total[0] > 0.0);
+    assert!(noise.labels.iter().any(|l| l.contains("shot")));
+    assert!(noise.labels.iter().any(|l| l.contains("thermal")));
+}
+
+#[test]
+fn parsed_rectifier_transient_vs_hb() {
+    let ckt = parse_netlist(
+        "V1 in 0 SIN(0 1 1meg)\n\
+         R1 in out 1k\n\
+         D1 out 0 IS=1e-14\n\
+         C1 out 0 0.2n",
+    )
+    .expect("parse");
+    let out = ckt.find_node("out").expect("out");
+    let dae = ckt.into_dae().expect("netlist");
+    let oi = dae.node_index(out).expect("index");
+    let f0 = 1e6;
+    let hb = solve_hb(
+        &dae,
+        &SpectralGrid::single_tone(f0, 10).expect("grid"),
+        &HbOptions { source_steps: 3, ..Default::default() },
+    )
+    .expect("hb");
+    let tr = transient(
+        &dae,
+        0.0,
+        15.0 / f0,
+        &TranOptions { dt: 1.0 / (f0 * 300.0), ..Default::default() },
+    )
+    .expect("tran");
+    let samples = tr.resample(oi, 14.0 / f0, 15.0 / f0, 128);
+    let spec = rfsim::numerics::fft::amplitude_spectrum(&samples);
+    for k in 0..3usize {
+        assert!(
+            (hb.amplitude(oi, &[k as i32]) - spec[k]).abs() < 2e-2,
+            "harmonic {k}: hb {} vs tran {}",
+            hb.amplitude(oi, &[k as i32]),
+            spec[k]
+        );
+    }
+}
+
+#[test]
+fn parsed_lc_filter_resonance() {
+    let ckt = parse_netlist(
+        "V1 in 0 DC 0\n\
+         RS in m 50\n\
+         L1 m x 100n\n\
+         C1 x 0 10p\n\
+         RL x 0 10k",
+    )
+    .expect("parse");
+    let x = ckt.find_node("x").expect("x");
+    let dae = ckt.into_dae().expect("netlist");
+    let f0 = 1.0 / (2.0 * std::f64::consts::PI * (100e-9f64 * 10e-12).sqrt());
+    let mut b_ac = vec![0.0; rfsim::circuit::dae::Dae::dim(&dae)];
+    b_ac[dae.branch_index("V1", 0).expect("v1")] = 1.0;
+    let res = ac_sweep(&dae, &vec![0.0; rfsim::circuit::dae::Dae::dim(&dae)], &b_ac, &[f0 / 5.0, f0, f0 * 5.0]).expect("ac");
+    let mags: Vec<f64> = (0..3).map(|k| res.voltage(k, x).abs()).collect();
+    assert!(mags[1] > mags[0] && mags[1] > mags[2], "no resonance peak: {mags:?}");
+    // Q of the series-R-loaded tank boosts the peak above the drive.
+    assert!(mags[1] > 1.5, "peak {mags:?}");
+}

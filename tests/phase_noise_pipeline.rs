@@ -1,0 +1,97 @@
+//! Full phase-noise pipeline integration: PSS → PPV → spectrum → Monte
+//! Carlo, with the §3 claims asserted end to end.
+
+use rfsim::phasenoise::montecarlo::{monte_carlo_ensemble, McOptions};
+use rfsim::phasenoise::oscillator::{LcOscillator, RingOscillator, VanDerPol};
+use rfsim::phasenoise::ppv::compute_ppv;
+use rfsim::phasenoise::pss::{oscillator_pss, PssOptions};
+use rfsim::phasenoise::spectrum::{
+    lorentzian_psd, ltv_psd, total_sideband_power, PhaseNoiseAnalysis,
+};
+
+#[test]
+fn lc_pipeline_matches_analytic_theory() {
+    let noise = 1e-22;
+    let osc = LcOscillator::new(1e-6, 1e-9, 1e-3, 1e-4, noise);
+    let pss = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).expect("pss");
+    // Frequency within 2% of 1/(2π√LC).
+    assert!((pss.freq() - osc.natural_freq()).abs() / osc.natural_freq() < 0.02);
+    let ppv = compute_ppv(&osc, &pss).expect("ppv");
+    assert!(ppv.normalization_error(&osc, &pss.states) < 1e-4);
+    let pn = PhaseNoiseAnalysis::new(&osc, &pss, &ppv, 0).expect("analysis");
+    // Analytic harmonic-oscillator c.
+    let a = pss.amplitude(0, 1);
+    let omega = 2.0 * std::f64::consts::PI * pss.freq();
+    let c_analytic = (noise / (1e-9f64 * 1e-9)) / (2.0 * a * a * omega * omega);
+    assert!((pn.c - c_analytic).abs() / c_analytic < 0.2, "c {} vs {}", pn.c, c_analytic);
+    // Carrier power conservation of the Lorentzian.
+    let p1 = a * a / 2.0;
+    let gamma = std::f64::consts::PI * pn.f0 * pn.f0 * pn.c;
+    let total = total_sideband_power(
+        |df| lorentzian_psd(df, 1, pn.c, pn.f0, p1),
+        gamma * 1e-4,
+        gamma * 1e7,
+        3000,
+    );
+    assert!((total - p1).abs() / p1 < 0.03);
+    // LTV divergence vs Lorentzian finiteness at the carrier.
+    assert!(lorentzian_psd(0.0, 1, pn.c, pn.f0, p1).is_finite());
+    assert!(ltv_psd(gamma * 1e-9, 1, pn.c, pn.f0, p1) > 1e6 * lorentzian_psd(0.0, 1, pn.c, pn.f0, p1));
+}
+
+#[test]
+fn vdp_monte_carlo_confirms_ppv() {
+    let osc = VanDerPol::new(1.0, 2e-5);
+    let pss = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).expect("pss");
+    let ppv = compute_ppv(&osc, &pss).expect("ppv");
+    let pn = PhaseNoiseAnalysis::new(&osc, &pss, &ppv, 0).expect("analysis");
+    let mc = monte_carlo_ensemble(
+        &osc,
+        &pss.x0,
+        pss.period,
+        &McOptions { ensemble: 64, periods: 50, ..Default::default() },
+    )
+    .expect("mc");
+    let ratio = mc.c_estimate / pn.c;
+    assert!(ratio > 0.4 && ratio < 2.5, "MC/PPV ratio {ratio}");
+    // Linear growth: late/early variance ratio tracks the time ratio.
+    let early = &mc.jitter[mc.jitter.len() / 3];
+    let late = mc.jitter.last().expect("nonempty");
+    let growth = late.1 / early.1;
+    let t_ratio = late.0 / early.0;
+    assert!((growth / t_ratio - 1.0).abs() < 0.7, "growth {growth:.2} vs time {t_ratio:.2}");
+}
+
+#[test]
+fn ring_oscillator_contributions_symmetric() {
+    let osc = RingOscillator::new(3, 3.0, 1e-9, 1e-20);
+    let pss = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).expect("pss");
+    let ppv = compute_ppv(&osc, &pss).expect("ppv");
+    let pn = PhaseNoiseAnalysis::new(&osc, &pss, &ppv, 0).expect("analysis");
+    assert_eq!(pn.contributions.len(), 3);
+    let vals: Vec<f64> = pn.contributions.iter().map(|(_, v)| *v).collect();
+    for v in &vals {
+        assert!((v - vals[0]).abs() / vals[0] < 0.05, "asymmetric contributions {vals:?}");
+    }
+    // Doubling the gain changes the orbit; the analysis still runs and c
+    // stays positive (robustness).
+    let osc2 = RingOscillator::new(3, 6.0, 1e-9, 1e-20);
+    let pss2 = oscillator_pss(&osc2, osc2.initial_guess(), &PssOptions::default()).expect("pss2");
+    let ppv2 = compute_ppv(&osc2, &pss2).expect("ppv2");
+    let pn2 = PhaseNoiseAnalysis::new(&osc2, &pss2, &ppv2, 0).expect("analysis2");
+    assert!(pn2.c > 0.0);
+}
+
+#[test]
+fn noise_scaling_is_linear_in_source_intensity() {
+    // c is linear in the source PSD — doubling the noise doubles c.
+    let c_of = |noise: f64| {
+        let osc = VanDerPol::new(0.7, noise);
+        let pss = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).expect("pss");
+        let ppv = compute_ppv(&osc, &pss).expect("ppv");
+        PhaseNoiseAnalysis::new(&osc, &pss, &ppv, 0).expect("analysis").c
+    };
+    let c1 = c_of(1e-6);
+    let c2 = c_of(2e-6);
+    assert!((c2 / c1 - 2.0).abs() < 1e-6, "c2/c1 = {}", c2 / c1);
+}

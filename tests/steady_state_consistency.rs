@@ -1,0 +1,209 @@
+//! Cross-engine integration tests: every steady-state/multi-rate method in
+//! the workspace must agree on shared circuits — HB, shooting, transient,
+//! MFDTD, MMFT and hierarchical shooting are different discretizations of
+//! the same mathematics.
+
+#![allow(clippy::needless_range_loop)]
+
+use rfsim::circuit::prelude::*;
+use rfsim::circuit::Circuit;
+use rfsim::mpde::{
+    hierarchical_shooting, solve_mfdtd, solve_mmft, HsOptions, MfdtdOptions, MmftOptions,
+};
+use rfsim::steady::{shooting, solve_hb, HbOptions, ShootingOptions, SpectralGrid, ToneAxis};
+
+/// A driven nonlinear circuit: diode rectifier with output filter.
+fn rectifier(f0: f64) -> (rfsim::circuit::CircuitDae, NodeId) {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let out = ckt.node("out");
+    ckt.add(VSource::sine("V1", a, Circuit::GROUND, 0.0, 1.0, f0));
+    ckt.add(Resistor::new("R1", a, out, 500.0));
+    ckt.add(Diode::new("D1", out, Circuit::GROUND, 1e-13));
+    ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 3e-10));
+    let dae = ckt.into_dae().expect("netlist");
+    (dae, out)
+}
+
+#[test]
+fn hb_shooting_transient_agree_on_rectifier() {
+    let f0 = 1e6;
+    let (dae, out) = rectifier(f0);
+    let oi = dae.node_index(out).expect("node");
+    // HB.
+    let grid = SpectralGrid::single_tone(f0, 12).expect("grid");
+    let hb = solve_hb(&dae, &grid, &HbOptions { source_steps: 3, ..Default::default() })
+        .expect("hb");
+    // Shooting.
+    let sh = shooting(
+        &dae,
+        1.0 / f0,
+        &ShootingOptions { steps_per_period: 500, ..Default::default() },
+    )
+    .expect("shooting");
+    // Transient run to steady state (20 periods), then harmonics by DFT.
+    let tr = transient(
+        &dae,
+        0.0,
+        20.0 / f0,
+        &TranOptions { dt: 1.0 / (f0 * 400.0), ..Default::default() },
+    )
+    .expect("transient");
+    let samples = tr.resample(oi, 19.0 / f0, 20.0 / f0, 256);
+    let spec = rfsim::numerics::fft::amplitude_spectrum(&samples);
+    for k in 0..4usize {
+        let a_hb = hb.amplitude(oi, &[k as i32]);
+        let a_sh = sh.amplitude(oi, k as i32);
+        let a_tr = spec[k];
+        assert!(
+            (a_hb - a_sh).abs() < 6e-3,
+            "harmonic {k}: hb {a_hb:.5} vs shooting {a_sh:.5}"
+        );
+        assert!(
+            (a_hb - a_tr).abs() < 1.5e-2,
+            "harmonic {k}: hb {a_hb:.5} vs transient {a_tr:.5}"
+        );
+    }
+}
+
+/// The three MPDE discretizations on the same two-tone problem.
+#[test]
+fn mpde_methods_agree() {
+    let (f1, f2) = (1e4, 1e6);
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let out = ckt.node("out");
+    ckt.add(VSource::multi_tone(
+        "V1",
+        a,
+        Circuit::GROUND,
+        0.0,
+        vec![
+            (Tone::new(0.6, f1), TimeScale::Slow),
+            (Tone::new(0.4, f2), TimeScale::Fast),
+        ],
+    ));
+    ckt.add(Resistor::new("R1", a, out, 1e3));
+    ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 3e-10));
+    let dae = ckt.into_dae().expect("netlist");
+    let oi = dae.node_index(out).expect("node");
+
+    let (mf, _) = solve_mfdtd(
+        &dae,
+        1.0 / f1,
+        1.0 / f2,
+        &MfdtdOptions { n1: 32, n2: 32, ..Default::default() },
+    )
+    .expect("mfdtd");
+    let (hs, _) = hierarchical_shooting(
+        &dae,
+        1.0 / f1,
+        1.0 / f2,
+        &HsOptions { n1: 32, n2: 32, ..Default::default() },
+    )
+    .expect("hshoot");
+    let mm = solve_mmft(
+        &dae,
+        f1,
+        f2,
+        &MmftOptions { slow_harmonics: 2, n2: 32, ..Default::default() },
+    )
+    .expect("mmft");
+    // Compare all three on the diagonal waveform at scattered times.
+    for j in 0..24 {
+        let t = j as f64 * (1.0 / f1) / 24.0;
+        let v_mf = mf.eval(t, t, oi);
+        let v_hs = hs.eval(t, t, oi);
+        let v_mm = mm.eval(t, t, oi);
+        // MFDTD and HS share the first-order slow axis → close; MMFT is
+        // spectral slow axis is more accurate, so the gap to it is the
+        // MFDTD slow-axis truncation error (O(T1/n1) ≈ 4% at n1 = 32).
+        assert!((v_mf - v_hs).abs() < 0.03, "t={t:.2e}: mfdtd {v_mf:.4} vs hs {v_hs:.4}");
+        assert!((v_mf - v_mm).abs() < 0.05, "t={t:.2e}: mfdtd {v_mf:.4} vs mmft {v_mm:.4}");
+    }
+}
+
+/// Two-tone HB and MMFT must report the same mix amplitudes for a mixer.
+#[test]
+fn hb_and_mmft_mix_amplitudes_agree() {
+    let (f1, f2) = (1e5, 1e7);
+    let mut ckt = Circuit::new();
+    let rf = ckt.node("rf");
+    let lo = ckt.node("lo");
+    let out = ckt.node("out");
+    ckt.add(VSource::sine("VRF", rf, Circuit::GROUND, 0.0, 0.2, f1));
+    ckt.add(VSource::sine_fast("VLO", lo, Circuit::GROUND, 0.0, 1.0, f2));
+    ckt.add(Multiplier::new(
+        "MIX",
+        out,
+        Circuit::GROUND,
+        rf,
+        Circuit::GROUND,
+        lo,
+        Circuit::GROUND,
+        -1e-3,
+    ));
+    ckt.add(Resistor::new("RL", out, Circuit::GROUND, 1e3).noiseless());
+    let dae = ckt.into_dae().expect("netlist");
+    let oi = dae.node_index(out).expect("node");
+    let grid = SpectralGrid::two_tone(ToneAxis::new(f1, 2), ToneAxis::new(f2, 2)).expect("grid");
+    let hb = solve_hb(&dae, &grid, &HbOptions::default()).expect("hb");
+    let mm = solve_mmft(
+        &dae,
+        f1,
+        f2,
+        &MmftOptions { slow_harmonics: 2, n2: 64, ..Default::default() },
+    )
+    .expect("mmft");
+    for (k, m) in [(1i32, 1i32), (-1, 1)] {
+        let a_hb = hb.amplitude(oi, &[k, m]);
+        let a_mm = mm.mix_amplitude(oi, k, m);
+        assert!(
+            (a_hb - a_mm).abs() < 3e-3,
+            "mix ({k},{m}): hb {a_hb:.5} vs mmft {a_mm:.5}"
+        );
+    }
+}
+
+/// Envelope following reproduces HB's quasi-static amplitude when the
+/// envelope varies slowly.
+#[test]
+fn envelope_matches_quasistatic_hb() {
+    let (f1, f2) = (1e3, 1e6);
+    let mut ckt = Circuit::new();
+    let am = ckt.node("am");
+    let car = ckt.node("car");
+    let out = ckt.node("out");
+    ckt.add(VSource::sine("VAM", am, Circuit::GROUND, 0.5, 0.25, f1));
+    ckt.add(VSource::sine_fast("VC", car, Circuit::GROUND, 0.0, 1.0, f2));
+    ckt.add(Multiplier::new(
+        "MOD",
+        out,
+        Circuit::GROUND,
+        am,
+        Circuit::GROUND,
+        car,
+        Circuit::GROUND,
+        -1e-3,
+    ));
+    ckt.add(Resistor::new("RL", out, Circuit::GROUND, 1e3).noiseless());
+    let dae = ckt.into_dae().expect("netlist");
+    let oi = dae.node_index(out).expect("node");
+    let env = rfsim::mpde::envelope_follow(
+        &dae,
+        1.0 / f2,
+        1.0 / f1,
+        20,
+        &rfsim::mpde::EnvelopeOptions { n2: 16, ..Default::default() },
+    )
+    .expect("envelope");
+    let amps = env.harmonic_envelope(oi, 1);
+    for (i, &t1) in env.t1_times.iter().enumerate() {
+        let expect = (0.5 + 0.25 * (2.0 * std::f64::consts::PI * f1 * t1).sin()).abs();
+        assert!(
+            (amps[i] - expect).abs() < 0.05,
+            "t1 = {t1:.2e}: envelope {} vs quasi-static {expect}",
+            amps[i]
+        );
+    }
+}
