@@ -20,20 +20,17 @@ fn bench_ies3(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("ies3_build", n), &p, |b, p| {
             b.iter(|| {
-                CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default())
-                    .expect("ies3")
+                CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default()).expect("ies3")
             })
         });
         let dense = p.assemble_dense();
-        let cm = CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default())
-            .expect("ies3");
+        let cm =
+            CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default()).expect("ies3");
         let x = vec![1.0; n];
         g.bench_with_input(BenchmarkId::new("dense_matvec", n), &x, |b, x| {
             b.iter(|| dense.matvec(x))
         });
-        g.bench_with_input(BenchmarkId::new("ies3_matvec", n), &x, |b, x| {
-            b.iter(|| cm.matvec(x))
-        });
+        g.bench_with_input(BenchmarkId::new("ies3_matvec", n), &x, |b, x| b.iter(|| cm.matvec(x)));
     }
     g.finish();
 }

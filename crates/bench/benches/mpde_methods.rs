@@ -53,11 +53,7 @@ fn bench_mpde(c: &mut Criterion) {
             shooting(
                 &dae,
                 1.0 / spec.f_rf,
-                &ShootingOptions {
-                    steps_per_period: 30 * 50,
-                    tol: 1e-7,
-                    ..Default::default()
-                },
+                &ShootingOptions { steps_per_period: 30 * 50, tol: 1e-7, ..Default::default() },
             )
             .expect("shooting")
         })

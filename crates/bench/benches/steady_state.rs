@@ -23,7 +23,10 @@ fn bench_hb_solvers(c: &mut Criterion) {
             solve_hb(
                 &dae,
                 &grid,
-                &HbOptions { solver: HbSolver::Gmres { precondition: false }, ..Default::default() },
+                &HbOptions {
+                    solver: HbSolver::Gmres { precondition: false },
+                    ..Default::default()
+                },
             )
             .expect("hb")
         })

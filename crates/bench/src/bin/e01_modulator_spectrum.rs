@@ -44,10 +44,7 @@ fn main() {
         rows.push(([k, 1], sol.amplitude(oi, &[k, 1])));
     }
     rows.sort_by(|a, b| {
-        sol.grid
-            .mix_freq(&a.0)
-            .partial_cmp(&sol.grid.mix_freq(&b.0))
-            .expect("finite freq")
+        sol.grid.mix_freq(&a.0).partial_cmp(&sol.grid.mix_freq(&b.0)).expect("finite freq")
     });
     for (mix, amp) in &rows {
         println!(
@@ -125,4 +122,5 @@ fn main() {
          amplitudes; the transient estimate is at the mercy of windowing\n\
          leakage and integration error — the paper's §2.1 dynamic-range claim."
     );
+    rfsim_bench::emit_telemetry("e01_modulator_spectrum");
 }

@@ -74,4 +74,5 @@ fn main() {
     } else {
         println!("\n(pass --ablate for the HB linear-solver ablation)");
     }
+    rfsim_bench::emit_telemetry("e02_hb_vs_transient");
 }

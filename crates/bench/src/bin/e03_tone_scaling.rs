@@ -23,10 +23,7 @@ fn main() {
     let h = 4usize; // harmonics per tone
 
     heading("measured");
-    println!(
-        "{:>7} {:>12} {:>12} {:>12}",
-        "tones", "unknowns", "memory (B)", "time (s)"
-    );
+    println!("{:>7} {:>12} {:>12} {:>12}", "tones", "unknowns", "memory (B)", "time (s)");
     // 1 tone: LO only (RF source amplitude effectively a perturbation —
     // single-tone analysis at the LO).
     let grid1 = SpectralGrid::single_tone(spec.f_lo, h).expect("grid");
@@ -69,4 +66,5 @@ fn main() {
     });
     println!("1-or-N-tone transient: {} steps in {:.3} s (cost set by the", r1.times.len(), tt1);
     println!("fastest tone and the observation window, not by the tone count).");
+    rfsim_bench::emit_telemetry("e03_tone_scaling");
 }

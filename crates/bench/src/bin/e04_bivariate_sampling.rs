@@ -80,4 +80,5 @@ fn main() {
         }
         println!("{:>10} {:>12} {:>12.3e}", format!("{g1}x{g2}"), g1 * g2, max_err);
     }
+    rfsim_bench::emit_telemetry("e04_bivariate_sampling");
 }

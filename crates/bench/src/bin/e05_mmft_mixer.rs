@@ -70,6 +70,7 @@ fn main() {
     } else {
         println!("\n(pass --ablate for the slow-harmonic-count ablation)");
     }
+    rfsim_bench::emit_telemetry("e05_mmft_mixer");
 }
 
 /// Prints a coarse amplitude profile of a complex envelope over `t₂`.

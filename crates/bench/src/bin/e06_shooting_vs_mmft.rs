@@ -58,4 +58,5 @@ fn main() {
         );
         println!("(run with --paper-scale to measure the full ratio directly)");
     }
+    rfsim_bench::emit_telemetry("e06_shooting_vs_mmft");
 }

@@ -81,7 +81,10 @@ fn main() {
 
     heading("cross-check: both classes extract the same capacitance");
     let c12 = -c_mom[(0, 1)];
-    println!("MoM plate-to-plate C: {:.3e} F ({:.3} s assemble + {:.3} s solve)", c12, t_asm, t_solve);
+    println!(
+        "MoM plate-to-plate C: {:.3e} F ({:.3} s assemble + {:.3} s solve)",
+        c12, t_asm, t_solve
+    );
     println!("FD  energy-method C:  {:.3e} F ({:.3} s)", cap_fd, t_fd);
     println!(
         "ratio FD/MoM: {:.2} (FD includes plate-to-wall fringing of the\n\
@@ -94,4 +97,5 @@ fn main() {
          grow (the gap widens as (size/h)³ vs (size/h)²).",
         sol.unknowns / n_mom
     );
+    rfsim_bench::emit_telemetry("e07_table1_classes");
 }

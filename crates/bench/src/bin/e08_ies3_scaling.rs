@@ -41,15 +41,7 @@ fn main() {
     let mut times = Vec::new();
     for n_side in [8usize, 12, 16, 24, 32] {
         let (n, mem, tb, ts, c) = run_case(n_side, &opts);
-        println!(
-            "{:>7} {:>13} {:>13} {:>10.3} {:>10.3} {:>13.4e}",
-            n,
-            mem,
-            n * n * 8,
-            tb,
-            ts,
-            c
-        );
+        println!("{:>7} {:>13} {:>13} {:>10.3} {:>10.3} {:>13.4e}", n, mem, n * n * 8, tb, ts, c);
         sizes.push(n as f64);
         mems.push(mem as f64);
         times.push(tb + ts);
@@ -75,7 +67,11 @@ fn main() {
             let o = Ies3Options { tol, ..Default::default() };
             let cm = CompressedMatrix::build(&p.panels, &p.green, &o).expect("ies3");
             let (q, _) = p
-                .solve_iterative(&cm, &[1.0, 0.0], &KrylovOptions { tol: 1e-10, ..Default::default() })
+                .solve_iterative(
+                    &cm,
+                    &[1.0, 0.0],
+                    &KrylovOptions { tol: 1e-10, ..Default::default() },
+                )
                 .expect("gmres");
             let c = p.conductor_charges(&q)[0];
             println!(
@@ -89,4 +85,5 @@ fn main() {
     } else {
         println!("\n(pass --ablate for the rank-tolerance ablation)");
     }
+    rfsim_bench::emit_telemetry("e08_ies3_scaling");
 }

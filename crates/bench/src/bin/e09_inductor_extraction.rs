@@ -55,9 +55,8 @@ fn main() {
         "f (GHz)", "L_sim(nH)", "L_mea(nH)", "Q_sim", "Q_mea", "S11_sim", "S11_mea"
     );
     let fsr = sim.self_resonance();
-    let freqs: Vec<f64> = (0..14)
-        .map(|i| 0.2e9 * (fsr * 1.6 / 0.2e9).powf(i as f64 / 13.0))
-        .collect();
+    let freqs: Vec<f64> =
+        (0..14).map(|i| 0.2e9 * (fsr * 1.6 / 0.2e9).powf(i as f64 / 13.0)).collect();
     let mut max_dev: f64 = 0.0;
     for (i, &f) in freqs.iter().enumerate() {
         let ls = sim.l_eff(f);
@@ -101,9 +100,8 @@ fn main() {
     let mut panels = spiral_panels(&segs, 3, 0); // conductor 0: the spiral
     panels.extend(mesh_plate(-250e-6, -60e-6, 1e-6, 120e-6, 120e-6, 6, 6, 1));
     panels.extend(mesh_plate(130e-6, -60e-6, 1e-6, 120e-6, 120e-6, 6, 6, 2));
-    let assembly =
-        MomProblem::new(panels, GreenFn::HalfSpace { eps_r: 3.9, z0: 0.0, k: 0.7 })
-            .expect("assembly");
+    let assembly = MomProblem::new(panels, GreenFn::HalfSpace { eps_r: 3.9, z0: 0.0, k: 0.7 })
+        .expect("assembly");
     let cm = CompressedMatrix::build(&assembly.panels, &assembly.green, &Ies3Options::default())
         .expect("ies3");
     println!(
@@ -120,8 +118,8 @@ fn main() {
             .solve_iterative(&cm, &volts, &KrylovOptions { tol: 1e-8, ..Default::default() })
             .expect("gmres");
         let charges = assembly.conductor_charges(&q);
-        for i in 0..3 {
-            cap[i][j] = charges[i];
+        for (row, &charge) in cap.iter_mut().zip(&charges) {
+            row[j] = charge;
         }
         if j == 0 {
             println!("GMRES iterations per excitation: {}", stats.iterations);
@@ -129,12 +127,7 @@ fn main() {
     }
     println!("coupled Maxwell capacitance matrix (fF):");
     for row in &cap {
-        println!(
-            "  {:>9.3} {:>9.3} {:>9.3}",
-            row[0] * 1e15,
-            row[1] * 1e15,
-            row[2] * 1e15
-        );
+        println!("  {:>9.3} {:>9.3} {:>9.3}", row[0] * 1e15, row[1] * 1e15, row[2] * 1e15);
     }
     println!(
         "spiral↔plate coupling C01 = {:.3} fF, plate↔plate C12 = {:.3} fF —\n\
@@ -143,4 +136,5 @@ fn main() {
         -cap[0][1] * 1e15,
         -cap[1][2] * 1e15
     );
+    rfsim_bench::emit_telemetry("e09_inductor_extraction");
 }

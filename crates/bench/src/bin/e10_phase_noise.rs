@@ -10,6 +10,7 @@
 //!   at the carrier, as well as infinite total integrated power";
 //! - per-source contributions fall out of the same computation.
 
+use rfsim::circuit::dae::Dae;
 use rfsim::phasenoise::montecarlo::{monte_carlo_ensemble, McOptions};
 use rfsim::phasenoise::oscillator::{LcOscillator, RingOscillator, VanDerPol};
 use rfsim::phasenoise::ppv::compute_ppv;
@@ -17,7 +18,6 @@ use rfsim::phasenoise::pss::{oscillator_pss, PssOptions};
 use rfsim::phasenoise::spectrum::{
     lorentzian_psd, ltv_psd, phase_noise_dbc, total_sideband_power, PhaseNoiseAnalysis,
 };
-use rfsim::circuit::dae::Dae;
 use rfsim_bench::{heading, timed};
 
 fn analyze(name: &str, dae: &dyn Dae, guess: (Vec<f64>, f64)) -> Option<PhaseNoiseAnalysis> {
@@ -156,4 +156,5 @@ fn main() {
         }
         Err(e) => println!("circuit adapter failed: {e}"),
     }
+    rfsim_bench::emit_telemetry("e10_phase_noise");
 }

@@ -48,12 +48,7 @@ fn main() {
     println!("{:>4} {:>13} {:>13} {:>13}", "j", "exact", "PVL rel err", "Arnoldi rel err");
     for j in 0..2 * q {
         let rel = |m: &[f64]| ((m[j] - exact[j]) / exact[j]).abs();
-        println!(
-            "{j:>4} {:>13.4e} {:>13.2e} {:>13.2e}",
-            exact[j],
-            rel(&m_pvl),
-            rel(&m_arn)
-        );
+        println!("{j:>4} {:>13.4e} {:>13.2e} {:>13.2e}", exact[j], rel(&m_pvl), rel(&m_arn));
     }
     println!("PVL matches ~2q = 8 moments; Arnoldi only q = 4 — the §5 claim.");
 
@@ -119,4 +114,5 @@ fn main() {
     let (pr, t) = timed(|| to_pole_residue(&pvl_dp, 1e7).expect("convert"));
     let err = relative_error(&pvl_dp, &pr, &log_freqs(1e4, 1e9, 40));
     println!("pole/residue form reproduces the PVL model to {err:.2e} ({t:.3} s)");
+    rfsim_bench::emit_telemetry("e11_rom_accuracy");
 }

@@ -49,4 +49,5 @@ fn main() {
         "\nthe reduced per-source models are the 'compact form' the paper says\n\
          'can be used hierarchically in system-level simulations'."
     );
+    rfsim_bench::emit_telemetry("e12_noise_rom");
 }

@@ -173,10 +173,42 @@ pub fn switching_mixer(spec: &MixerSpec) -> (CircuitDae, NodeId) {
 }
 
 /// Wall-clock of a closure in seconds, with its result.
+///
+/// Thin wrapper over a telemetry span: the duration also lands in the
+/// `bench.timed` node of the span tree when telemetry is on.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    timed_span("bench.timed", f)
+}
+
+/// Like [`timed`], under an explicit span name (shows up as its own node
+/// in the telemetry span tree).
+pub fn timed_span<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
+    let span = rfsim::telemetry::span(name);
     let t0 = std::time::Instant::now();
     let out = f();
-    (out, t0.elapsed().as_secs_f64())
+    let secs = t0.elapsed().as_secs_f64();
+    drop(span);
+    (out, secs)
+}
+
+/// Flushes telemetry at the end of an experiment harness.
+///
+/// With `RFSIM_TELEMETRY=json` (no explicit path) the artifact is written
+/// to `<experiment>.telemetry.json` next to the results; `report` prints
+/// to stderr; `off` (the default) does nothing.
+pub fn emit_telemetry(experiment: &str) {
+    let default = format!("{experiment}.telemetry.json");
+    match rfsim::telemetry::flush(Some(&default)) {
+        Ok(Some(path)) => eprintln!("telemetry: wrote {}", path.display()),
+        Ok(None) => {}
+        Err(e) => {
+            let target = match rfsim::telemetry::mode() {
+                rfsim::telemetry::Mode::Json { path: Some(p) } => p,
+                _ => default,
+            };
+            eprintln!("telemetry: failed to write {target}: {e}");
+        }
+    }
 }
 
 /// Prints a header row for one of the experiment tables.
@@ -215,11 +247,8 @@ mod tests {
         // ratio-independent.
         let spec = ModulatorSpec { f_bb: 1e6, f_lo: 100e6, ..Default::default() };
         let (dae, out) = quadrature_modulator(&spec);
-        let grid = SpectralGrid::two_tone(
-            ToneAxis::new(spec.f_bb, 2),
-            ToneAxis::new(spec.f_lo, 2),
-        )
-        .unwrap();
+        let grid = SpectralGrid::two_tone(ToneAxis::new(spec.f_bb, 2), ToneAxis::new(spec.f_lo, 2))
+            .unwrap();
         let sol = solve_hb(&dae, &grid, &HbOptions::default()).unwrap();
         let oi = dae.node_index(out).unwrap();
         let wanted = sol.amplitude(oi, &[-1, 1]); // lower sideband

@@ -1,0 +1,49 @@
+//! End-to-end check that a real harmonic-balance solve on the bench
+//! modulator leaves a usable telemetry record: a nonempty Newton
+//! residual trace, solver counters, and the span tree path
+//! `hb.solve -> hb.newton -> krylov.gmres`.
+
+use rfsim::steady::{solve_hb, HbOptions, SpectralGrid, ToneAxis};
+use rfsim::telemetry;
+use rfsim_bench::{quadrature_modulator, ModulatorSpec};
+
+#[test]
+fn solve_hb_records_newton_trace() {
+    telemetry::set_mode(telemetry::Mode::Report);
+    telemetry::reset();
+
+    // Scaled-down tone ratio for test speed, same structure as e02.
+    let spec = ModulatorSpec { f_bb: 1e6, f_lo: 100e6, ..Default::default() };
+    let (dae, _out) = quadrature_modulator(&spec);
+    let grid =
+        SpectralGrid::two_tone(ToneAxis::new(spec.f_bb, 2), ToneAxis::new(spec.f_lo, 2)).unwrap();
+    solve_hb(&dae, &grid, &HbOptions::default()).expect("HB converges on the modulator");
+
+    let snap = telemetry::snapshot();
+    telemetry::set_mode(telemetry::Mode::Off);
+    telemetry::reset();
+
+    let newton = snap
+        .traces
+        .iter()
+        .find(|t| t.solver == "hb.newton")
+        .expect("solve_hb records an hb.newton convergence trace");
+    assert!(!newton.residuals.is_empty(), "Newton trace has residuals");
+    assert!(newton.converged);
+    // The trajectory must actually descend to the HB tolerance.
+    let first = newton.residuals.first().copied().unwrap();
+    let last = newton.residuals.last().copied().unwrap();
+    assert!(last < first, "residuals decrease: {first} -> {last}");
+    assert!(last < 1e-6, "final residual meets tolerance: {last}");
+    assert!(newton.label.contains("unknowns"), "label carries the problem size: {}", newton.label);
+
+    assert!(snap.counters["hb.newton.iterations"] > 0);
+    assert!(snap.counters["krylov.gmres.iterations"] > 0);
+    assert!(snap.counters["krylov.gmres.matvecs"] > 0);
+
+    let gmres = snap
+        .spans
+        .descend(&["hb.solve", "hb.newton", "krylov.gmres"])
+        .expect("span path hb.solve -> hb.newton -> krylov.gmres");
+    assert!(gmres.count > 0);
+}

@@ -56,12 +56,7 @@ pub fn complex_system(g: &Csr<f64>, c: &Csr<f64>, omega: f64) -> Csr<Complex> {
 ///
 /// # Errors
 /// Propagates singular-matrix errors from the per-frequency solves.
-pub fn ac_sweep(
-    dae: &dyn Dae,
-    x_op: &[f64],
-    b_ac: &[f64],
-    freqs: &[f64],
-) -> Result<AcResult> {
+pub fn ac_sweep(dae: &dyn Dae, x_op: &[f64], b_ac: &[f64], freqs: &[f64]) -> Result<AcResult> {
     let n = dae.dim();
     let mut f = vec![0.0; n];
     let mut q = vec![0.0; n];
@@ -89,9 +84,7 @@ pub fn log_sweep(f_start: f64, f_stop: f64, points: usize) -> Vec<f64> {
     assert!(f_start > 0.0 && f_stop > f_start && points >= 2, "invalid sweep");
     let l0 = f_start.ln();
     let l1 = f_stop.ln();
-    (0..points)
-        .map(|i| (l0 + (l1 - l0) * i as f64 / (points - 1) as f64).exp())
-        .collect()
+    (0..points).map(|i| (l0 + (l1 - l0) * i as f64 / (points - 1) as f64).exp()).collect()
 }
 
 #[cfg(test)]

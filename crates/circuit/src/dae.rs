@@ -340,10 +340,7 @@ impl CircuitDae {
 
     /// Unknown index of the `k`-th branch current of the named device.
     pub fn branch_index(&self, device: &str, k: usize) -> Option<usize> {
-        self.devices
-            .iter()
-            .position(|d| d.name() == device)
-            .map(|di| self.branch_offsets[di] + k)
+        self.devices.iter().position(|d| d.name() == device).map(|di| self.branch_offsets[di] + k)
     }
 
     /// Number of node-voltage unknowns.
@@ -388,15 +385,7 @@ impl Dae for CircuitDae {
         *g = Triplets::new(self.dim, self.dim);
         *c = Triplets::new(self.dim, self.dim);
         for (di, d) in self.devices.iter().enumerate() {
-            let mut ctx = LoadCtx {
-                x,
-                nn: self.nn,
-                branch0: self.branch_offsets[di],
-                f,
-                q,
-                g,
-                c,
-            };
+            let mut ctx = LoadCtx { x, nn: self.nn, branch0: self.branch_offsets[di], f, q, g, c };
             d.load(&mut ctx);
         }
     }
@@ -510,12 +499,8 @@ mod tests {
 
     #[test]
     fn noise_source_column() {
-        let ns = NoiseSource {
-            label: "test".into(),
-            from: Some(0),
-            to: Some(2),
-            psd: Psd::White(4.0),
-        };
+        let ns =
+            NoiseSource { label: "test".into(), from: Some(0), to: Some(2), psd: Psd::White(4.0) };
         let col = ns.column(3, 1.0);
         assert_eq!(col, vec![2.0, 0.0, -2.0]);
     }

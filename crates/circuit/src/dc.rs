@@ -6,6 +6,7 @@ use crate::netlist::NodeId;
 use crate::{Error, Result};
 use rfsim_numerics::sparse::Triplets;
 use rfsim_numerics::{norm2, norm_inf};
+use rfsim_telemetry as telemetry;
 
 /// Options controlling the DC Newton iteration.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +72,8 @@ pub fn newton_solve(
     gmin_extra: f64,
 ) -> Result<(Vec<f64>, usize)> {
     let n = dae.dim();
+    let _span = telemetry::span("dc.newton");
+    let mut trace = telemetry::TraceBuf::new("dc.newton");
     let mut x = x0.to_vec();
     let mut f = vec![0.0; n];
     let mut q = vec![0.0; n];
@@ -88,7 +91,10 @@ pub fn newton_solve(
         }
         let res = norm_inf(&r);
         last_res = res;
+        trace.push(res);
         if res < opts.abstol {
+            telemetry::counter_add("dc.newton.iterations", it as u64);
+            trace.commit(true);
             return Ok((x, it));
         }
         let mut jac = g.clone();
@@ -122,9 +128,13 @@ pub fn newton_solve(
         let dx_norm = norm_inf(&dx) * alpha;
         let x_norm = norm_inf(&x).max(1.0);
         if dx_norm < opts.reltol * x_norm && res < 1e3 * opts.abstol {
+            telemetry::counter_add("dc.newton.iterations", it as u64 + 1);
+            trace.commit(true);
             return Ok((x, it + 1));
         }
     }
+    telemetry::counter_add("dc.newton.iterations", opts.max_iters as u64);
+    trace.commit(false);
     Err(Error::NewtonNoConvergence { iterations: opts.max_iters, residual: last_res })
 }
 
@@ -137,6 +147,8 @@ pub fn newton_solve(
 /// # Errors
 /// [`Error::NewtonNoConvergence`] if every strategy fails.
 pub fn dc_operating_point(dae: &dyn Dae, opts: &DcOptions) -> Result<OperatingPoint> {
+    let _span = telemetry::span("dc.operating_point");
+    telemetry::counter_add("dc.operating_point.solves", 1);
     let n = dae.dim();
     let b = {
         let mut b = vec![0.0; n];
@@ -145,7 +157,7 @@ pub fn dc_operating_point(dae: &dyn Dae, opts: &DcOptions) -> Result<OperatingPo
     };
     let x0 = vec![0.0; n];
     let nn = n; // for OperatingPoint::voltage bounds check we only need an upper bound
-    // 1. Plain Newton.
+                // 1. Plain Newton.
     if let Ok((x, iters)) = newton_solve(dae, &x0, &b, opts, 0.0) {
         return Ok(OperatingPoint { x, iterations: iters, nn });
     }

@@ -112,10 +112,7 @@ impl Device for Ccvs {
         ctx.add_f(Var::Node(self.out_n), -i_o);
         ctx.add_g(Var::Node(self.out_p), Var::Branch(1), 1.0);
         ctx.add_g(Var::Node(self.out_n), Var::Branch(1), -1.0);
-        ctx.add_f(
-            Var::Branch(1),
-            ctx.v(self.out_p) - ctx.v(self.out_n) - self.r_trans * i_s,
-        );
+        ctx.add_f(Var::Branch(1), ctx.v(self.out_p) - ctx.v(self.out_n) - self.r_trans * i_s);
         ctx.add_g(Var::Branch(1), Var::Node(self.out_p), 1.0);
         ctx.add_g(Var::Branch(1), Var::Node(self.out_n), -1.0);
         ctx.add_g(Var::Branch(1), Var::Branch(0), -self.r_trans);
@@ -253,11 +250,7 @@ impl Device for NonlinearConductance {
         ctx.add_g(Var::Node(self.b), Var::Node(self.b), g);
     }
 
-    fn noise(
-        &self,
-        _x_op: &[f64],
-        ctx: &crate::dae::NoiseCtx<'_>,
-    ) -> Vec<crate::dae::NoiseSource> {
+    fn noise(&self, _x_op: &[f64], ctx: &crate::dae::NoiseCtx<'_>) -> Vec<crate::dae::NoiseSource> {
         if self.noise_psd <= 0.0 {
             return Vec::new();
         }

@@ -17,7 +17,7 @@ mod sources;
 
 pub use controlled::{Multiplier, Vccs, Vcvs};
 pub use extra::{Cccs, Ccvs, NonlinearConductance, Varactor};
-pub use nonlinear::{Bjt, BjtPolarity, Diode, Mosfet, MosPolarity};
+pub use nonlinear::{Bjt, BjtPolarity, Diode, MosPolarity, Mosfet};
 pub use passive::{Capacitor, CoupledInductors, CurrentProbe, Inductor, Resistor};
 pub use sources::{ISource, VSource};
 

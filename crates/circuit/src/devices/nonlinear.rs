@@ -126,7 +126,14 @@ pub struct Bjt {
 impl Bjt {
     /// Creates an NPN transistor with saturation current `is` and forward
     /// beta `beta_f` (reverse beta defaults to 1).
-    pub fn npn(name: &str, collector: NodeId, base: NodeId, emitter: NodeId, is: f64, beta_f: f64) -> Self {
+    pub fn npn(
+        name: &str,
+        collector: NodeId,
+        base: NodeId,
+        emitter: NodeId,
+        is: f64,
+        beta_f: f64,
+    ) -> Self {
         Bjt {
             name: name.into(),
             collector,
@@ -141,7 +148,14 @@ impl Bjt {
     }
 
     /// Creates a PNP transistor.
-    pub fn pnp(name: &str, collector: NodeId, base: NodeId, emitter: NodeId, is: f64, beta_f: f64) -> Self {
+    pub fn pnp(
+        name: &str,
+        collector: NodeId,
+        base: NodeId,
+        emitter: NodeId,
+        is: f64,
+        beta_f: f64,
+    ) -> Self {
         Bjt { polarity: BjtPolarity::Pnp, ..Self::npn(name, collector, base, emitter, is, beta_f) }
     }
 
@@ -303,7 +317,14 @@ pub struct Mosfet {
 impl Mosfet {
     /// Creates an NMOS with threshold `vto` (V) and transconductance factor
     /// `kp = μCox·W/L` (A/V²).
-    pub fn nmos(name: &str, drain: NodeId, gate: NodeId, source: NodeId, vto: f64, kp: f64) -> Self {
+    pub fn nmos(
+        name: &str,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        vto: f64,
+        kp: f64,
+    ) -> Self {
         Mosfet {
             name: name.into(),
             drain,
@@ -319,7 +340,14 @@ impl Mosfet {
 
     /// Creates a PMOS. The model normalizes polarity internally, so pass
     /// the threshold magnitude (e.g. `0.7` for a −0.7 V PMOS threshold).
-    pub fn pmos(name: &str, drain: NodeId, gate: NodeId, source: NodeId, vto: f64, kp: f64) -> Self {
+    pub fn pmos(
+        name: &str,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        vto: f64,
+        kp: f64,
+    ) -> Self {
         Mosfet { polarity: MosPolarity::Pmos, ..Self::nmos(name, drain, gate, source, vto, kp) }
     }
 
@@ -348,8 +376,8 @@ impl Mosfet {
             // Triode.
             let id = self.kp * (vov * vds - 0.5 * vds * vds) * clm;
             let gm = self.kp * vds * clm;
-            let gds = self.kp * (vov - vds) * clm
-                + self.kp * (vov * vds - 0.5 * vds * vds) * self.lambda;
+            let gds =
+                self.kp * (vov - vds) * clm + self.kp * (vov * vds - 0.5 * vds * vds) * self.lambda;
             (id + GMIN * vds, gm, gds + GMIN)
         } else {
             // Saturation.
@@ -407,11 +435,8 @@ impl Device for Mosfet {
         // Map back: d(id)/d(vg_raw) = sgn·gm·sgn = gm, etc. — polarity signs
         // cancel for conductances; only current direction flips.
         let id = if swapped { -sgn * id_n } else { sgn * id_n };
-        let (dnode, snode) = if swapped {
-            (self.source, self.drain)
-        } else {
-            (self.drain, self.source)
-        };
+        let (dnode, snode) =
+            if swapped { (self.source, self.drain) } else { (self.drain, self.source) };
         // id_n depends on (vg_n − v_seff) and (v_deff − v_seff):
         //   ∂id_n/∂vg_n = gm, ∂id_n/∂v_deff = gds, ∂id_n/∂v_seff = −gm − gds.
         // f at raw drain node = ±id; work in effective nodes then assign.
@@ -423,11 +448,7 @@ impl Device for Mosfet {
         // current itself is re-signed, giving:
         let s_eff = if swapped { -sgn } else { sgn }; // d(id)/d(id_n)
         let dg = s_eff * sgn; // derivative of id w.r.t. raw voltage of each terminal
-        let stamps = [
-            (self.gate, gm),
-            (dnode, gds),
-            (snode, -gm - gds),
-        ];
+        let stamps = [(self.gate, gm), (dnode, gds), (snode, -gm - gds)];
         for (var, val) in stamps {
             ctx.add_g(Var::Node(self.drain), Var::Node(var), dg * val);
             ctx.add_g(Var::Node(self.source), Var::Node(var), -dg * val);

@@ -74,12 +74,7 @@ impl Default for Circuit {
 
 impl std::fmt::Debug for Circuit {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "Circuit({} nodes, {} devices)",
-            self.node_names.len(),
-            self.devices.len()
-        )
+        write!(f, "Circuit({} nodes, {} devices)", self.node_names.len(), self.devices.len())
     }
 }
 

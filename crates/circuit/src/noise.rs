@@ -51,12 +51,7 @@ impl NoiseResult {
 ///
 /// # Errors
 /// Propagates singular-matrix errors from the adjoint solves.
-pub fn noise_sweep(
-    dae: &dyn Dae,
-    x_op: &[f64],
-    out: NodeId,
-    freqs: &[f64],
-) -> Result<NoiseResult> {
+pub fn noise_sweep(dae: &dyn Dae, x_op: &[f64], out: NodeId, freqs: &[f64]) -> Result<NoiseResult> {
     let n = dae.dim();
     let mut f = vec![0.0; n];
     let mut q = vec![0.0; n];

@@ -54,10 +54,7 @@ pub fn parse_value(tok: &str) -> std::result::Result<f64, String> {
     } else {
         (1.0, t.as_str())
     };
-    stripped
-        .parse::<f64>()
-        .map(|v| v * mult)
-        .map_err(|_| format!("cannot parse value `{tok}`"))
+    stripped.parse::<f64>().map(|v| v * mult).map_err(|_| format!("cannot parse value `{tok}`"))
 }
 
 /// Splits `KEY=VAL` parameter tokens into a lookup, ignoring bare flags
@@ -90,9 +87,7 @@ fn parse_stimulus(tokens: &[&str], line: usize) -> Result<Stimulus> {
         let close = s.rfind(')').ok_or(Error::Parse { line, message: "missing )".into() })?;
         s[open + 1..close]
             .split_whitespace()
-            .map(|t| {
-                parse_value(t).map_err(|message| Error::Parse { line, message })
-            })
+            .map(|t| parse_value(t).map_err(|message| Error::Parse { line, message }))
             .collect()
     };
     if upper.starts_with("DC") {
@@ -120,10 +115,7 @@ fn parse_stimulus(tokens: &[&str], line: usize) -> Result<Stimulus> {
     } else if upper.starts_with("PULSE") {
         let a = args_of(&joined)?;
         if a.len() != 7 {
-            return Err(Error::Parse {
-                line,
-                message: "PULSE(lo hi td tr tf pw per)".into(),
-            });
+            return Err(Error::Parse { line, message: "PULSE(lo hi td tr tf pw per)".into() });
         }
         Ok(Stimulus::Pulse {
             low: a[0],
@@ -182,10 +174,11 @@ pub fn parse_netlist(text: &str) -> Result<Circuit> {
             return Err(Error::Parse { line, message: "too few tokens".into() });
         }
         let name = tokens[0];
-        let kind = name.chars().next().map(|c| c.to_ascii_uppercase()).ok_or(Error::Parse {
-            line,
-            message: "empty device name".into(),
-        })?;
+        let kind = name
+            .chars()
+            .next()
+            .map(|c| c.to_ascii_uppercase())
+            .ok_or(Error::Parse { line, message: "empty device name".into() })?;
         match kind {
             'R' | 'C' | 'L' => {
                 if tokens.len() < 4 {

@@ -8,6 +8,7 @@ use crate::dae::{Dae, TwoTime};
 use crate::{Error, Result};
 use rfsim_numerics::sparse::Triplets;
 use rfsim_numerics::{norm2, norm_inf};
+use rfsim_telemetry as telemetry;
 
 /// Time integration formula.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -137,6 +138,7 @@ fn implicit_step(
 /// Propagates Newton convergence failures (after step-size rescue when
 /// adaptive) and singular-matrix errors.
 pub fn transient(dae: &dyn Dae, t0: f64, t1: f64, opts: &TranOptions) -> Result<TranResult> {
+    let _span = telemetry::span("transient.run");
     let n = dae.dim();
     let x0 = if opts.start_from_dc {
         crate::dc::dc_operating_point(dae, &opts.newton)?.x
@@ -251,6 +253,13 @@ pub fn transient(dae: &dyn Dae, t0: f64, t1: f64, opts: &TranOptions) -> Result<
         x_prev = x_new;
         h_prev = h_eff;
     }
+    telemetry::counter_add("transient.steps", times.len() as u64 - 1);
+    telemetry::counter_add("transient.rejected_steps", rejected as u64);
+    telemetry::counter_add("transient.newton.iterations", newton_total as u64);
+    telemetry::histogram_record(
+        "transient.newton.iterations_per_step",
+        if times.len() > 1 { newton_total as f64 / (times.len() - 1) as f64 } else { 0.0 },
+    );
     Ok(TranResult { times, states, newton_iterations: newton_total, rejected_steps: rejected })
 }
 

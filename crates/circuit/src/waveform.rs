@@ -200,9 +200,7 @@ impl Stimulus {
             Stimulus::Square { period, scale, .. } => vec![(1.0 / period, *scale)],
             Stimulus::Pulse { period, scale, .. } => vec![(1.0 / period, *scale)],
             Stimulus::Pwl { .. } => Vec::new(),
-            Stimulus::MultiTone { tones, .. } => {
-                tones.iter().map(|(t, s)| (t.freq, *s)).collect()
-            }
+            Stimulus::MultiTone { tones, .. } => tones.iter().map(|(t, s)| (t.freq, *s)).collect(),
         }
     }
 }

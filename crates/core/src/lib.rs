@@ -55,6 +55,7 @@ pub use rfsim_numerics as numerics;
 pub use rfsim_phasenoise as phasenoise;
 pub use rfsim_rom as rom;
 pub use rfsim_steady as steady;
+pub use rfsim_telemetry as telemetry;
 
 /// Version of the toolkit.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

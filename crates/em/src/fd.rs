@@ -244,10 +244,7 @@ mod tests {
         let p =
             crate::mom::MomProblem::new(panels, crate::GreenFn::FreeSpace { eps_r: 1.0 }).unwrap();
         let cond_mom = rfsim_numerics::svd::Svd::new(&p.assemble_dense()).unwrap().cond2();
-        assert!(
-            cond_fd > 2.0 * cond_mom,
-            "cond FD {cond_fd:.1} vs MoM {cond_mom:.1}"
-        );
+        assert!(cond_fd > 2.0 * cond_mom, "cond FD {cond_fd:.1} vs MoM {cond_mom:.1}");
     }
 
     #[test]
@@ -286,10 +283,7 @@ mod tests {
         let sol = prob.solve(&[1.0]).unwrap();
         let est = cond2_estimate(&sol.matrix, 120).unwrap();
         let exact = rfsim_numerics::svd::Svd::new(&sol.matrix.to_dense()).unwrap().cond2();
-        assert!(
-            (est / exact - 1.0).abs() < 0.3,
-            "estimate {est:.1} vs exact {exact:.1}"
-        );
+        assert!((est / exact - 1.0).abs() < 0.3, "estimate {est:.1} vs exact {exact:.1}");
     }
 
     #[test]

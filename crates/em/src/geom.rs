@@ -89,11 +89,7 @@ pub fn mesh_plate(
     for i in 0..nx {
         for j in 0..ny {
             panels.push(Panel {
-                center: Point3::new(
-                    x0 + (i as f64 + 0.5) * dx,
-                    y0 + (j as f64 + 0.5) * dy,
-                    z0,
-                ),
+                center: Point3::new(x0 + (i as f64 + 0.5) * dx, y0 + (j as f64 + 0.5) * dy, z0),
                 len_a: dx,
                 len_b: dy,
                 axis_a: Point3::new(1.0, 0.0, 0.0),
@@ -114,7 +110,13 @@ pub fn mesh_parallel_plates(side: f64, gap: f64, n: usize) -> Vec<Panel> {
 
 /// Two perpendicular bus wires crossing at different heights — the classic
 /// coupling-extraction structure. Conductors 0 and 1.
-pub fn mesh_bus_crossing(width: f64, length: f64, z_sep: f64, n_len: usize, n_w: usize) -> Vec<Panel> {
+pub fn mesh_bus_crossing(
+    width: f64,
+    length: f64,
+    z_sep: f64,
+    n_len: usize,
+    n_w: usize,
+) -> Vec<Panel> {
     // Wire 0 along x at z=0, wire 1 along y at z=z_sep, crossing above the
     // center.
     let mut p = mesh_plate(-length / 2.0, -width / 2.0, 0.0, length, width, n_len, n_w, 0);
@@ -207,11 +209,7 @@ pub fn spiral_panels(segs: &[Segment], per_seg: usize, cond: usize) -> Vec<Panel
         let d = seg.direction();
         for k in 0..per_seg {
             let t = (k as f64 + 0.5) / per_seg as f64;
-            let c = Point3::new(
-                seg.start.x + d.x * l * t,
-                seg.start.y + d.y * l * t,
-                seg.start.z,
-            );
+            let c = Point3::new(seg.start.x + d.x * l * t, seg.start.y + d.y * l * t, seg.start.z);
             // Panel oriented along the segment.
             let (la, lb) = (l / per_seg as f64, seg.width);
             panels.push(Panel {

@@ -20,6 +20,7 @@ use crate::{Error, Result};
 use rfsim_numerics::dense::{Mat, Qr};
 use rfsim_numerics::krylov::LinearOperator;
 use rfsim_numerics::svd::Svd;
+use rfsim_telemetry as telemetry;
 
 /// Options controlling the compression.
 #[derive(Debug, Clone, Copy)]
@@ -63,9 +64,8 @@ impl Cluster {
     fn distance(&self, other: &Cluster) -> f64 {
         let mut d2 = 0.0;
         for k in 0..3 {
-            let gap = (self.bb_min[k] - other.bb_max[k])
-                .max(other.bb_min[k] - self.bb_max[k])
-                .max(0.0);
+            let gap =
+                (self.bb_min[k] - other.bb_max[k]).max(other.bb_min[k] - self.bb_max[k]).max(0.0);
             d2 += gap * gap;
         }
         d2.sqrt()
@@ -116,11 +116,7 @@ fn bbox(panels: &[Panel], idx: &[usize]) -> ([f64; 3], [f64; 3]) {
 
 /// Builds the cluster tree; returns (clusters, root index) with `perm`
 /// reordered so each cluster owns a contiguous range.
-fn build_tree(
-    panels: &[Panel],
-    perm: &mut Vec<usize>,
-    leaf_size: usize,
-) -> (Vec<Cluster>, usize) {
+fn build_tree(panels: &[Panel], perm: &mut Vec<usize>, leaf_size: usize) -> (Vec<Cluster>, usize) {
     let mut clusters = Vec::new();
     // Recursive worklist: (lo, hi) ranges into perm.
     fn recurse(
@@ -294,6 +290,7 @@ impl CompressedMatrix {
         if panels.is_empty() {
             return Err(Error::Geometry("no panels".into()));
         }
+        let _span = telemetry::span("ies3.build");
         let n = panels.len();
         let mut perm: Vec<usize> = (0..n).collect();
         let (clusters, root) = build_tree(panels, &mut perm, opts.leaf_size);
@@ -335,7 +332,18 @@ impl CompressedMatrix {
                 }
             }
         }
-        Ok(CompressedMatrix { n, perm, blocks })
+        let cm = CompressedMatrix { n, perm, blocks };
+        if telemetry::enabled() {
+            let lr = cm.low_rank_blocks();
+            let bytes = cm.memory_bytes();
+            telemetry::counter_add("ies3.builds", 1);
+            telemetry::counter_add("ies3.low_rank_blocks", lr as u64);
+            telemetry::counter_add("ies3.dense_blocks", (cm.blocks.len() - lr) as u64);
+            telemetry::gauge_set("ies3.compressed_bytes", bytes as f64);
+            telemetry::gauge_set("ies3.dense_bytes", (n * n * 8) as f64);
+            telemetry::gauge_set("ies3.compression_ratio", bytes as f64 / (n * n * 8) as f64);
+        }
+        Ok(cm)
     }
 
     /// Matrix dimension.

@@ -114,7 +114,14 @@ pub fn mutual_inductance(a: &Segment, b: &Segment, nq: usize) -> f64 {
 impl SpiralInductor {
     /// The trace segments of this spiral.
     pub fn segments(&self) -> Vec<Segment> {
-        spiral_segments(self.outer, self.turns, self.width, self.spacing, self.thickness, self.oxide)
+        spiral_segments(
+            self.outer,
+            self.turns,
+            self.width,
+            self.spacing,
+            self.thickness,
+            self.oxide,
+        )
     }
 
     /// Extracts the lumped model. `panels_per_seg` controls the MoM mesh
@@ -261,11 +268,7 @@ mod tests {
         let sp = SpiralInductor::default();
         let model = sp.extract(2, 6).unwrap();
         // A 200 µm 3–4 turn spiral is a few nH.
-        assert!(
-            model.l_series > 0.5e-9 && model.l_series < 20e-9,
-            "L = {:.3e}",
-            model.l_series
-        );
+        assert!(model.l_series > 0.5e-9 && model.l_series < 20e-9, "L = {:.3e}", model.l_series);
         assert!(model.r_dc > 0.1 && model.r_dc < 100.0, "R = {}", model.r_dc);
         assert!(model.c_ox > 1e-15 && model.c_ox < 1e-11, "C = {:.3e}", model.c_ox);
     }

@@ -59,8 +59,7 @@ impl GreenFn {
             }
             GreenFn::HalfSpace { z0, k, .. } => {
                 let img = Point3::new(src.x, src.y, 2.0 * z0 - src.z);
-                direct
-                    - k / (4.0 * std::f64::consts::PI * eps * obs.distance(&img).max(1e-300))
+                direct - k / (4.0 * std::f64::consts::PI * eps * obs.distance(&img).max(1e-300))
             }
         }
     }
@@ -194,8 +193,7 @@ mod tests {
                 if x == 0.0 && y == 0.0 {
                     continue;
                 }
-                acc += 1.0
-                    / (4.0 * std::f64::consts::PI * EPS0 * (x * x + y * y).sqrt());
+                acc += 1.0 / (4.0 * std::f64::consts::PI * EPS0 * (x * x + y * y).sqrt());
             }
         }
         let numeric = acc / (m * m) as f64;

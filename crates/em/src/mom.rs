@@ -54,9 +54,7 @@ impl MomProblem {
     /// the "traditional" representation IES³ compresses away).
     pub fn assemble_dense(&self) -> Mat<f64> {
         let n = self.panels.len();
-        Mat::from_fn(n, n, |i, j| {
-            self.green.coefficient(&self.panels[i], &self.panels[j], i, j)
-        })
+        Mat::from_fn(n, n, |i, j| self.green.coefficient(&self.panels[i], &self.panels[j], i, j))
     }
 
     /// Solves for panel charges given conductor potentials (dense LU).
@@ -112,8 +110,7 @@ pub fn capacitance_matrix(problem: &MomProblem) -> Result<Mat<f64>> {
     let mut c = Mat::zeros(nc, nc);
     for j in 0..nc {
         let volts: Vec<f64> = (0..nc).map(|k| if k == j { 1.0 } else { 0.0 }).collect();
-        let v: Vec<f64> =
-            problem.panels.iter().map(|p| volts[p.conductor]).collect();
+        let v: Vec<f64> = problem.panels.iter().map(|p| volts[p.conductor]).collect();
         let q = lu.solve(&v)?;
         let charges = problem.conductor_charges(&q);
         for i in 0..nc {
@@ -184,9 +181,7 @@ mod tests {
         let volts = [1.0, 0.0];
         let qd = p.solve_dense(&volts).unwrap();
         let dense = p.assemble_dense();
-        let (qi, stats) = p
-            .solve_iterative(&dense, &volts, &KrylovOptions::default())
-            .unwrap();
+        let (qi, stats) = p.solve_iterative(&dense, &volts, &KrylovOptions::default()).unwrap();
         assert!(stats.iterations < 100);
         for (a, b) in qd.iter().zip(&qi) {
             assert!((a - b).abs() < 1e-8 * qd.iter().map(|x| x.abs()).fold(0.0, f64::max));

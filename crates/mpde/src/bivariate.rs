@@ -73,28 +73,18 @@ impl BivariateWaveform {
     pub fn eval(&self, t1: f64, t2: f64, k: usize) -> f64 {
         // Extract unknown k's scalar grid lazily (cheap for small grids;
         // for hot loops use `eval_diagonal_series`).
-        let grid: Vec<f64> = (0..self.n1 * self.n2)
-            .map(|s| self.data[s * self.n + k])
-            .collect();
+        let grid: Vec<f64> = (0..self.n1 * self.n2).map(|s| self.data[s * self.n + k]).collect();
         bilinear_periodic(&grid, self.n1, self.n2, t1 / self.t1_period, t2 / self.t2_period)
     }
 
     /// The univariate waveform `x(t) = x̂(t, t)` of unknown `k`, sampled at
     /// `m` uniform points over `[0, t_end]`.
     pub fn eval_diagonal_series(&self, k: usize, t_end: f64, m: usize) -> Vec<f64> {
-        let grid: Vec<f64> = (0..self.n1 * self.n2)
-            .map(|s| self.data[s * self.n + k])
-            .collect();
+        let grid: Vec<f64> = (0..self.n1 * self.n2).map(|s| self.data[s * self.n + k]).collect();
         (0..m)
             .map(|j| {
                 let t = t_end * j as f64 / m as f64;
-                bilinear_periodic(
-                    &grid,
-                    self.n1,
-                    self.n2,
-                    t / self.t1_period,
-                    t / self.t2_period,
-                )
+                bilinear_periodic(&grid, self.n1, self.n2, t / self.t1_period, t / self.t2_period)
             })
             .collect()
     }

@@ -195,6 +195,7 @@ pub fn envelope_follow(
     n1_steps: usize,
     opts: &EnvelopeOptions,
 ) -> Result<EnvelopeResult> {
+    let _span = rfsim_telemetry::span("mpde.envelope");
     let n = dae.dim();
     let n2 = opts.n2;
     let op = dc_operating_point(dae, &opts.dc)?;
@@ -259,11 +260,7 @@ mod tests {
             let expect = (0.6 + 0.4 * (2.0 * std::f64::consts::PI * f1 * t1).sin()).abs();
             // First-order slow BE: modest tolerance; skip the very first
             // transient-free point check tightness.
-            assert!(
-                (env[i] - expect).abs() < 0.08,
-                "i={i}: env {} vs {expect}",
-                env[i]
-            );
+            assert!((env[i] - expect).abs() < 0.08, "i={i}: env {} vs {expect}", env[i]);
         }
     }
 
@@ -280,10 +277,7 @@ mod tests {
             "V1",
             a,
             Circuit::GROUND,
-            Stimulus::MultiTone {
-                offset: 1.0,
-                tones: vec![(Tone::new(0.2, f2), TimeScale::Fast)],
-            },
+            Stimulus::MultiTone { offset: 1.0, tones: vec![(Tone::new(0.2, f2), TimeScale::Fast)] },
         ));
         ckt.add(Resistor::new("R1", a, out, 1e3));
         ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 1e-8)); // τ = 10 µs

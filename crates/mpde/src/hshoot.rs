@@ -31,13 +31,7 @@ pub struct HsOptions {
 
 impl Default for HsOptions {
     fn default() -> Self {
-        HsOptions {
-            n1: 8,
-            n2: 32,
-            tol: 1e-6,
-            max_sweeps: 30,
-            shooting: ShootingOptions::default(),
-        }
+        HsOptions { n1: 8, n2: 32, tol: 1e-6, max_sweeps: 30, shooting: ShootingOptions::default() }
     }
 }
 
@@ -144,6 +138,7 @@ pub fn hierarchical_shooting(
     t2_period: f64,
     opts: &HsOptions,
 ) -> Result<(BivariateWaveform, usize)> {
+    let _span = rfsim_telemetry::span("mpde.hshoot");
     let n = dae.dim();
     let (n1, n2) = (opts.n1, opts.n2);
     let h1 = t1_period / n1 as f64;
@@ -174,14 +169,8 @@ pub fn hierarchical_shooting(
         for i in 0..n1 {
             let prev_idx = (i + n1 - 1) % n1;
             let q_prev = line_q(dae, &lines[prev_idx]);
-            let line_dae = LineDae {
-                base: dae,
-                t1: i as f64 * h1,
-                h1: Some(h1),
-                q_prev,
-                t2_period,
-                n2,
-            };
+            let line_dae =
+                LineDae { base: dae, t1: i as f64 * h1, h1: Some(h1), q_prev, t2_period, n2 };
             let res = shooting(&line_dae, t2_period, &sh_opts)?;
             let mut flat = vec![0.0; n2 * n];
             for j in 0..n2 {
@@ -223,10 +212,7 @@ mod tests {
                 a,
                 Circuit::GROUND,
                 0.0,
-                vec![
-                    (Tone::new(0.7, f1), TimeScale::Slow),
-                    (Tone::new(0.3, f2), TimeScale::Fast),
-                ],
+                vec![(Tone::new(0.7, f1), TimeScale::Slow), (Tone::new(0.3, f2), TimeScale::Fast)],
             ));
             ckt.add(Resistor::new("R1", a, out, 1e3));
             ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 2e-10));

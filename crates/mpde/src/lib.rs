@@ -32,9 +32,9 @@
 //!   envelope integration along `t₁` of per-slice fast periodic steady
 //!   states.
 
-mod grid;
 pub mod bivariate;
 pub mod envelope;
+mod grid;
 pub mod hshoot;
 pub mod mfdtd;
 pub mod mmft;
@@ -69,7 +69,10 @@ impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Error::NoConvergence { iterations, residual } => {
-                write!(f, "mpde solver failed after {iterations} iterations (residual {residual:.3e})")
+                write!(
+                    f,
+                    "mpde solver failed after {iterations} iterations (residual {residual:.3e})"
+                )
             }
             Error::Steady(e) => write!(f, "steady-state error: {e}"),
             Error::Circuit(e) => write!(f, "circuit error: {e}"),

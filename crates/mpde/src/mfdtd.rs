@@ -60,15 +60,10 @@ pub fn solve_mfdtd(
     t2_period: f64,
     opts: &MfdtdOptions,
 ) -> Result<(BivariateWaveform, GridStats)> {
+    let _span = rfsim_telemetry::span("mpde.mfdtd");
     let mut n1 = opts.n1;
-    let problem = GridProblem {
-        dae,
-        t1_period,
-        t2_period,
-        n1,
-        n2: opts.n2,
-        slow: SlowOp::BackwardDiff,
-    };
+    let problem =
+        GridProblem { dae, t1_period, t2_period, n1, n2: opts.n2, slow: SlowOp::BackwardDiff };
     let (mut wave, mut stats) = problem.solve(opts.tol, opts.max_newton, &opts.dc)?;
     if opts.refine_tol > 0.0 {
         for _round in 0..opts.max_refine {
@@ -125,10 +120,7 @@ mod tests {
             a,
             Circuit::GROUND,
             0.0,
-            vec![
-                (Tone::new(0.5, f1), TimeScale::Slow),
-                (Tone::new(0.5, f2), TimeScale::Fast),
-            ],
+            vec![(Tone::new(0.5, f1), TimeScale::Slow), (Tone::new(0.5, f2), TimeScale::Fast)],
         ));
         ckt.add(Resistor::new("R1", a, out, 1e3));
         ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 2e-10));
@@ -217,7 +209,12 @@ mod tests {
             "VCLK",
             clk,
             Circuit::GROUND,
-            Stimulus::Square { offset: 1.5, amplitude: 1.5, period: 1.0 / f2, scale: TimeScale::Fast },
+            Stimulus::Square {
+                offset: 1.5,
+                amplitude: 1.5,
+                period: 1.0 / f2,
+                scale: TimeScale::Fast,
+            },
         ));
         // Switch: NMOS pass transistor clocked hard on/off.
         ckt.add(Mosfet::nmos("MSW", inp, clk, mid, 0.7, 5e-3));
@@ -235,15 +232,13 @@ mod tests {
         // The sampling node tracks the input while the clock is high: at a
         // slow sample where vin ≈ 0.7, mid's clock-high average ≈ 0.7.
         let i1 = 4; // slow quarter-period: vin = 0.5 + 0.2 = 0.7
-        let clock_high: f64 =
-            (0..10).map(|j| wave.at(i1, j + 2, mi)).sum::<f64>() / 10.0;
+        let clock_high: f64 = (0..10).map(|j| wave.at(i1, j + 2, mi)).sum::<f64>() / 10.0;
         assert!((clock_high - 0.7).abs() < 0.08, "tracked {clock_high}");
         // The held output follows the slow input mean with ripple ≪ swing.
         let out_avg: f64 = (0..40).map(|j| wave.at(i1, j, oi)).sum::<f64>() / 40.0;
         assert!((out_avg - 0.5).abs() < 0.25, "out avg {out_avg}");
-        let out_ripple = (0..40)
-            .map(|j| (wave.at(i1, j, oi) - out_avg).abs())
-            .fold(0.0f64, f64::max);
+        let out_ripple =
+            (0..40).map(|j| (wave.at(i1, j, oi) - out_avg).abs()).fold(0.0f64, f64::max);
         assert!(out_ripple < 0.02, "ripple {out_ripple}");
     }
 
@@ -259,21 +254,13 @@ mod tests {
             a,
             Circuit::GROUND,
             0.0,
-            vec![
-                (Tone::new(1.0, f1), TimeScale::Slow),
-                (Tone::new(0.2, f2), TimeScale::Fast),
-            ],
+            vec![(Tone::new(1.0, f1), TimeScale::Slow), (Tone::new(0.2, f2), TimeScale::Fast)],
         ));
         ckt.add(Resistor::new("R1", a, out, 1e3));
         ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 1e-10));
         let dae = ckt.into_dae().unwrap();
-        let opts = MfdtdOptions {
-            n1: 8,
-            n2: 16,
-            refine_tol: 5e-2,
-            max_refine: 3,
-            ..Default::default()
-        };
+        let opts =
+            MfdtdOptions { n1: 8, n2: 16, refine_tol: 5e-2, max_refine: 3, ..Default::default() };
         let (wave, _) = solve_mfdtd(&dae, 1.0 / f1, 1.0 / f2, &opts).unwrap();
         // Refinement ran: n1 grew beyond the initial 8.
         assert!(wave.n1 > 8);

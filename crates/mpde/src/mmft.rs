@@ -111,7 +111,7 @@ impl MmftSolution {
         let n1 = self.wave.n1;
         let n2 = self.wave.n2;
         let h = n1 / 2; // n1 = 2K+1
-        // Fast-axis interpolation weights.
+                        // Fast-axis interpolation weights.
         let pos = (t2 * self.f2).rem_euclid(1.0) * n2 as f64;
         let j0 = (pos.floor() as usize) % n2;
         let j1 = (j0 + 1) % n2;
@@ -123,8 +123,7 @@ impl MmftSolution {
             let xk_at = |j: usize| -> Complex {
                 let mut c = Complex::ZERO;
                 for s in 0..n1 {
-                    let phase =
-                        -2.0 * std::f64::consts::PI * k as f64 * s as f64 / n1 as f64;
+                    let phase = -2.0 * std::f64::consts::PI * k as f64 * s as f64 / n1 as f64;
                     c += Complex::from_polar(1.0, phase).scale(self.wave.at(s, j, i));
                 }
                 c.scale(1.0 / n1 as f64)
@@ -144,6 +143,7 @@ impl MmftSolution {
 /// # Errors
 /// [`crate::Error::NoConvergence`] if the Newton iteration stalls.
 pub fn solve_mmft(dae: &dyn Dae, f1: f64, f2: f64, opts: &MmftOptions) -> Result<MmftSolution> {
+    let _span = rfsim_telemetry::span("mpde.mmft");
     let n1 = 2 * opts.slow_harmonics + 1;
     let d = spectral_diff_matrix(n1, 1.0 / f1);
     let problem = GridProblem {
@@ -178,10 +178,7 @@ mod tests {
             a,
             Circuit::GROUND,
             0.0,
-            vec![
-                (Tone::new(1.0, f1), TimeScale::Slow),
-                (Tone::new(0.5, f2), TimeScale::Fast),
-            ],
+            vec![(Tone::new(1.0, f1), TimeScale::Slow), (Tone::new(0.5, f2), TimeScale::Fast)],
         ));
         ckt.add(Resistor::new("R1", a, out, r));
         ckt.add(Capacitor::new("C1", out, Circuit::GROUND, c));

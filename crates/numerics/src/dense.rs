@@ -204,6 +204,7 @@ impl<T: Scalar> Mat<T> {
         if !self.is_square() {
             return Err(Error::InvalidArgument("lu: matrix must be square"));
         }
+        rfsim_telemetry::counter_add("lu.dense.factorizations", 1);
         let n = self.rows;
         let mut a = self.clone();
         let mut perm: Vec<usize> = (0..n).collect();
@@ -562,11 +563,7 @@ mod tests {
 
     #[test]
     fn lu_solves_general_real() {
-        let a = Mat::from_rows(&[
-            &[2.0, 1.0, 1.0],
-            &[4.0, -6.0, 0.0],
-            &[-2.0, 7.0, 2.0],
-        ]);
+        let a = Mat::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]);
         let xref = [1.0, -2.0, 3.0];
         let b = a.matvec(&xref);
         let x = a.solve(&b).unwrap();
@@ -603,10 +600,7 @@ mod tests {
     #[test]
     fn complex_solve() {
         let j = Complex::I;
-        let a = Mat::from_rows(&[
-            &[Complex::ONE, j],
-            &[-j, Complex::new(2.0, 0.0)],
-        ]);
+        let a = Mat::from_rows(&[&[Complex::ONE, j], &[-j, Complex::new(2.0, 0.0)]]);
         let xref = vec![Complex::new(1.0, 1.0), Complex::new(-0.5, 2.0)];
         let b = a.matvec(&xref);
         let x = a.solve(&b).unwrap();
@@ -617,11 +611,7 @@ mod tests {
 
     #[test]
     fn transpose_solve_matches() {
-        let a = Mat::from_rows(&[
-            &[3.0, 1.0, 0.5],
-            &[-1.0, 2.0, 0.0],
-            &[0.0, 1.0, 4.0],
-        ]);
+        let a = Mat::from_rows(&[&[3.0, 1.0, 0.5], &[-1.0, 2.0, 0.0], &[0.0, 1.0, 4.0]]);
         let b = [1.0, 2.0, 3.0];
         let lu = a.lu().unwrap();
         let x = lu.solve_transposed(&b).unwrap();
@@ -634,11 +624,7 @@ mod tests {
 
     #[test]
     fn qr_orthogonality_and_ls() {
-        let a = Mat::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-        ]);
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
         let qr = Qr::new(&a).unwrap();
         let qtq = qr.q.adjoint().matmul(&qr.q);
         let id: Mat<f64> = Mat::identity(2);

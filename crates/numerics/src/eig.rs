@@ -94,7 +94,11 @@ pub fn eigenvalues(a: &Mat<f64>) -> Result<Vec<Complex>> {
     while hi > 0 {
         total += 1;
         if total > max_total_iters {
-            return Err(Error::NoConvergence { iterations: total, residual: f64::NAN });
+            return Err(Error::NoConvergence {
+                iterations: total,
+                residual: f64::NAN,
+                residual_tail: Vec::new(),
+            });
         }
         // Check for small subdiagonal to deflate.
         let mut lo = hi - 1;
@@ -277,7 +281,7 @@ fn inverse_iteration(a: &Mat<f64>, lambda: f64, transpose: bool) -> Result<Vec<f
             return Ok(v);
         }
     }
-    Err(Error::NoConvergence { iterations: 200, residual: last_resid })
+    Err(Error::NoConvergence { iterations: 200, residual: last_resid, residual_tail: Vec::new() })
 }
 
 #[cfg(test)]
@@ -330,11 +334,7 @@ mod tests {
     fn eigenvalues_of_general_matrix() {
         // Companion-style matrix with known eigenvalues 1, 2, 3.
         // p(x) = (x-1)(x-2)(x-3) = x³ -6x² +11x -6
-        let a = Mat::from_rows(&[
-            &[6.0, -11.0, 6.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-        ]);
+        let a = Mat::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
         let e = sorted_re(eigenvalues(&a).unwrap());
         assert!((e[0].re - 1.0).abs() < 1e-8, "{e:?}");
         assert!((e[1].re - 2.0).abs() < 1e-8);
@@ -349,9 +349,7 @@ mod tests {
         // Random-ish 8×8: every computed eigenvalue must make A − λI
         // singular, checked through the complex determinant.
         let n = 8;
-        let a = Mat::from_fn(n, n, |i, j| {
-            (((i * 31 + j * 17 + 7) % 23) as f64 - 11.0) / 5.0
-        });
+        let a = Mat::from_fn(n, n, |i, j| (((i * 31 + j * 17 + 7) % 23) as f64 - 11.0) / 5.0);
         let eigs = eigenvalues(&a).unwrap();
         assert_eq!(eigs.len(), n);
         // Scale reference: det of A itself.
@@ -365,10 +363,7 @@ mod tests {
                 }
             });
             let d = shifted.det();
-            assert!(
-                d.abs() < 1e-6 * a.norm_fro().powi(n as i32),
-                "det(A − {lam}I) = {d}"
-            );
+            assert!(d.abs() < 1e-6 * a.norm_fro().powi(n as i32), "det(A − {lam}I) = {d}");
         }
         // Trace equals the eigenvalue sum (1st Newton identity).
         let tr: f64 = (0..n).map(|i| a[(i, i)]).sum();

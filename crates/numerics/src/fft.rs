@@ -17,6 +17,7 @@ use crate::Complex;
 pub fn fft_pow2(data: &mut [Complex]) {
     let n = data.len();
     assert!(n.is_power_of_two(), "fft_pow2: length must be a power of two");
+    rfsim_telemetry::counter_add("fft.calls", 1);
     if n <= 1 {
         return;
     }
@@ -73,6 +74,7 @@ pub fn ifft_pow2(data: &mut [Complex]) {
 /// Bluestein's chirp-z algorithm (O(n log n)).
 pub fn dft(input: &[Complex]) -> Vec<Complex> {
     let n = input.len();
+    rfsim_telemetry::counter_add("fft.calls", 1);
     if n == 0 {
         return Vec::new();
     }
@@ -87,6 +89,7 @@ pub fn dft(input: &[Complex]) -> Vec<Complex> {
 /// Inverse DFT of arbitrary length (normalized by 1/n).
 pub fn idft(input: &[Complex]) -> Vec<Complex> {
     let n = input.len();
+    rfsim_telemetry::counter_add("fft.calls", 1);
     if n == 0 {
         return Vec::new();
     }
@@ -189,9 +192,7 @@ pub fn idft2(data: &[Complex], rows: usize, cols: usize) -> Vec<Complex> {
 
 /// Hann window of length `n` (periodic form, for spectral estimation).
 pub fn hann_window(n: usize) -> Vec<f64> {
-    (0..n)
-        .map(|i| 0.5 * (1.0 - (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos()))
-        .collect()
+    (0..n).map(|i| 0.5 * (1.0 - (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos())).collect()
 }
 
 /// Single-sided amplitude spectrum of a real signal (windowless), returning

@@ -178,7 +178,9 @@ mod tests {
         // reproduced to second order.
         let (r, c) = (64, 64);
         let mut g = vec![0.0; r * c];
-        let f = |t1: f64, t2: f64| (2.0 * std::f64::consts::PI * t1).sin() * (2.0 * std::f64::consts::PI * t2).cos();
+        let f = |t1: f64, t2: f64| {
+            (2.0 * std::f64::consts::PI * t1).sin() * (2.0 * std::f64::consts::PI * t2).cos()
+        };
         for i in 0..r {
             for j in 0..c {
                 g[i * c + j] = f(i as f64 / r as f64, j as f64 / c as f64);

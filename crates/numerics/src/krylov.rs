@@ -8,7 +8,8 @@
 //! Newton correction through a [`LinearOperator`].
 
 use crate::scalar::{gdot, gnorm2, Scalar};
-use crate::{Error, Result};
+use crate::{Error, ResidualTail, Result};
+use rfsim_telemetry as telemetry;
 
 /// Abstract linear operator `y = A·x` for matrix-free Krylov methods.
 ///
@@ -87,10 +88,8 @@ pub struct JacobiPrecond<T> {
 impl<T: Scalar> JacobiPrecond<T> {
     /// Builds from a diagonal; zero entries are treated as 1 (no scaling).
     pub fn from_diagonal(diag: &[T]) -> Self {
-        let inv_diag = diag
-            .iter()
-            .map(|&d| if d == T::ZERO { T::ONE } else { T::ONE / d })
-            .collect();
+        let inv_diag =
+            diag.iter().map(|&d| if d == T::ZERO { T::ONE } else { T::ONE / d }).collect();
         JacobiPrecond { inv_diag }
     }
 }
@@ -139,11 +138,8 @@ impl<T: Scalar> Ilu0<T> {
                     break;
                 }
                 // Pivot U[k][k].
-                let pivot = rows[k]
-                    .iter()
-                    .find(|&&(j, _)| j == k)
-                    .map(|&(_, v)| v)
-                    .unwrap_or(T::ZERO);
+                let pivot =
+                    rows[k].iter().find(|&&(j, _)| j == k).map(|&(_, v)| v).unwrap_or(T::ZERO);
                 if pivot.modulus() < 1e-300 {
                     return Err(Error::Singular(k));
                 }
@@ -164,9 +160,7 @@ impl<T: Scalar> Ilu0<T> {
         }
         // Verify diagonals exist.
         for (i, r) in rows.iter().enumerate() {
-            let ok = r
-                .iter()
-                .any(|&(j, v)| j == i && v.modulus() > 1e-300);
+            let ok = r.iter().any(|&(j, v)| j == i && v.modulus() > 1e-300);
             if !ok {
                 return Err(Error::Singular(i));
             }
@@ -304,6 +298,9 @@ pub fn gmres<T: Scalar>(
     if b.len() != n {
         return Err(Error::DimensionMismatch { expected: n, found: b.len() });
     }
+    let _span = telemetry::span("krylov.gmres");
+    let mut trace = telemetry::TraceBuf::new("krylov.gmres");
+    let mut tail = ResidualTail::new();
     let m = opts.restart.max(1).min(n.max(1));
     let mut x = x0.map_or_else(|| vec![T::ZERO; n], <[T]>::to_vec);
     let mut matvecs = 0usize;
@@ -329,7 +326,9 @@ pub fn gmres<T: Scalar>(
         let beta = gnorm2(&z);
         resid_norm = beta / bnorm;
         if resid_norm <= opts.tol {
-            return Ok((x, IterStats { iterations: total_iters, residual: resid_norm, matvecs }));
+            let stats = IterStats { iterations: total_iters, residual: resid_norm, matvecs };
+            note_gmres(trace, &stats, true);
+            return Ok((x, stats));
         }
         // Arnoldi with Givens-rotated Hessenberg least squares.
         let mut v: Vec<Vec<T>> = Vec::with_capacity(m + 1);
@@ -388,6 +387,8 @@ pub fn gmres<T: Scalar>(
             g[k + 1] = -sn[k] * gk;
             k_used = k + 1;
             resid_norm = g[k + 1].modulus() / bnorm;
+            trace.push(resid_norm);
+            tail.push(resid_norm);
             if hk1 < 1e-300 {
                 // Happy breakdown: exact solution in the current space.
                 break;
@@ -420,10 +421,27 @@ pub fn gmres<T: Scalar>(
             }
         }
         if resid_norm <= opts.tol {
-            return Ok((x, IterStats { iterations: total_iters, residual: resid_norm, matvecs }));
+            let stats = IterStats { iterations: total_iters, residual: resid_norm, matvecs };
+            note_gmres(trace, &stats, true);
+            return Ok((x, stats));
         }
     }
-    Err(Error::NoConvergence { iterations: total_iters, residual: resid_norm })
+    let stats = IterStats { iterations: total_iters, residual: resid_norm, matvecs };
+    note_gmres(trace, &stats, false);
+    Err(Error::NoConvergence {
+        iterations: total_iters,
+        residual: resid_norm,
+        residual_tail: tail.to_vec(),
+    })
+}
+
+/// Emits the iteration statistics of one GMRES solve into telemetry.
+fn note_gmres(trace: telemetry::TraceBuf, stats: &IterStats, converged: bool) {
+    trace.commit(converged);
+    telemetry::counter_add("krylov.gmres.solves", 1);
+    telemetry::counter_add("krylov.gmres.iterations", stats.iterations as u64);
+    telemetry::counter_add("krylov.gmres.matvecs", stats.matvecs as u64);
+    telemetry::histogram_record("krylov.gmres.iterations_per_solve", stats.iterations as f64);
 }
 
 /// BiCGStab with left preconditioning.
@@ -442,6 +460,9 @@ pub fn bicgstab<T: Scalar>(
     if b.len() != n {
         return Err(Error::DimensionMismatch { expected: n, found: b.len() });
     }
+    let _span = telemetry::span("krylov.bicgstab");
+    let mut trace = telemetry::TraceBuf::new("krylov.bicgstab");
+    let mut tail = ResidualTail::new();
     let mut x = x0.map_or_else(|| vec![T::ZERO; n], <[T]>::to_vec);
     let mut work = vec![T::ZERO; n];
     a.apply(&x, &mut work);
@@ -457,7 +478,9 @@ pub fn bicgstab<T: Scalar>(
     let mut resid = gnorm2(&r) / bnorm;
     for it in 0..opts.max_iters {
         if resid <= opts.tol {
-            return Ok((x, IterStats { iterations: it, residual: resid, matvecs }));
+            let stats = IterStats { iterations: it, residual: resid, matvecs };
+            note_bicgstab(trace, &stats, true);
+            return Ok((x, stats));
         }
         let rho_new = gdot(&rhat, &r);
         if rho_new.modulus() < 1e-300 {
@@ -478,7 +501,9 @@ pub fn bicgstab<T: Scalar>(
             for i in 0..n {
                 x[i] += alpha * phat[i];
             }
-            return Ok((x, IterStats { iterations: it + 1, residual: gnorm2(&s) / bnorm, matvecs }));
+            let stats = IterStats { iterations: it + 1, residual: gnorm2(&s) / bnorm, matvecs };
+            note_bicgstab(trace, &stats, true);
+            return Ok((x, stats));
         }
         let mut shat = vec![T::ZERO; n];
         precond.apply(&s, &mut shat);
@@ -495,8 +520,25 @@ pub fn bicgstab<T: Scalar>(
             r[i] = s[i] - omega * t[i];
         }
         resid = gnorm2(&r) / bnorm;
+        trace.push(resid);
+        tail.push(resid);
     }
-    Err(Error::NoConvergence { iterations: opts.max_iters, residual: resid })
+    let stats = IterStats { iterations: opts.max_iters, residual: resid, matvecs };
+    note_bicgstab(trace, &stats, false);
+    Err(Error::NoConvergence {
+        iterations: opts.max_iters,
+        residual: resid,
+        residual_tail: tail.to_vec(),
+    })
+}
+
+/// Emits the iteration statistics of one BiCGStab solve into telemetry.
+fn note_bicgstab(trace: telemetry::TraceBuf, stats: &IterStats, converged: bool) {
+    trace.commit(converged);
+    telemetry::counter_add("krylov.bicgstab.solves", 1);
+    telemetry::counter_add("krylov.bicgstab.iterations", stats.iterations as u64);
+    telemetry::counter_add("krylov.bicgstab.matvecs", stats.matvecs as u64);
+    telemetry::histogram_record("krylov.bicgstab.iterations_per_solve", stats.iterations as f64);
 }
 
 #[cfg(test)]
@@ -552,7 +594,12 @@ mod tests {
         let diag: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
         let pc = JacobiPrecond::from_diagonal(&diag);
         let (x, s_pc) = gmres(&a, &b, None, &pc, &opts).unwrap();
-        assert!(s_pc.iterations < s_plain.iterations, "{} !< {}", s_pc.iterations, s_plain.iterations);
+        assert!(
+            s_pc.iterations < s_plain.iterations,
+            "{} !< {}",
+            s_pc.iterations,
+            s_plain.iterations
+        );
         for (xi, ri) in x.iter().zip(&xref) {
             assert!((xi - ri).abs() < 1e-6);
         }
@@ -570,8 +617,7 @@ mod tests {
                 Complex::ZERO
             }
         });
-        let xref: Vec<Complex> =
-            (0..n).map(|i| Complex::from_polar(1.0, i as f64 * 0.3)).collect();
+        let xref: Vec<Complex> = (0..n).map(|i| Complex::from_polar(1.0, i as f64 * 0.3)).collect();
         let b = a.matvec(&xref);
         let (x, _) = gmres(&a, &b, None, &IdentityPrecond, &KrylovOptions::default()).unwrap();
         for (xi, ri) in x.iter().zip(&xref) {
@@ -639,11 +685,7 @@ mod tests {
         assert_eq!(pc.dim(), 3);
         // Full matrix equal to the block diagonal: GMRES should converge in
         // one iteration with the exact preconditioner.
-        let a = Mat::from_rows(&[
-            &[2.0, 1.0, 0.0],
-            &[1.0, 3.0, 0.0],
-            &[0.0, 0.0, 5.0],
-        ]);
+        let a = Mat::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 0.0], &[0.0, 0.0, 5.0]]);
         let b = [1.0, 2.0, 3.0];
         let (x, stats) = gmres(&a, &b, None, &pc, &KrylovOptions::default()).unwrap();
         assert!(stats.iterations <= 2, "iterations = {}", stats.iterations);

@@ -62,12 +62,17 @@ pub enum Error {
         found: usize,
     },
     /// An iterative method failed to converge within its iteration budget.
-    /// Carries the final residual norm achieved.
+    /// Carries the final residual norm achieved and the tail of the
+    /// residual history for post-mortem diagnosis.
     NoConvergence {
         /// Iterations performed before giving up.
         iterations: usize,
         /// Final residual norm.
         residual: f64,
+        /// Last few residual norms (at most [`RESIDUAL_TAIL_LEN`]),
+        /// oldest first, ending with `residual`. Empty when the solver
+        /// does not track a history.
+        residual_tail: Vec<f64>,
     },
     /// A Krylov process broke down (e.g. Lanczos serious breakdown).
     Breakdown(&'static str),
@@ -82,10 +87,16 @@ impl std::fmt::Display for Error {
             Error::DimensionMismatch { expected, found } => {
                 write!(f, "dimension mismatch: expected {expected}, found {found}")
             }
-            Error::NoConvergence { iterations, residual } => write!(
-                f,
-                "no convergence after {iterations} iterations (residual {residual:.3e})"
-            ),
+            Error::NoConvergence { iterations, residual, residual_tail } => {
+                write!(f, "no convergence after {iterations} iterations (residual {residual:.3e}")?;
+                if !residual_tail.is_empty() {
+                    write!(f, ", tail")?;
+                    for r in residual_tail {
+                        write!(f, " {r:.3e}")?;
+                    }
+                }
+                write!(f, ")")
+            }
             Error::Breakdown(what) => write!(f, "numerical breakdown: {what}"),
             Error::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
         }
@@ -93,6 +104,53 @@ impl std::fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// Maximum number of trailing residuals kept in
+/// [`Error::NoConvergence::residual_tail`].
+pub const RESIDUAL_TAIL_LEN: usize = 8;
+
+/// Clips a residual history to its last [`RESIDUAL_TAIL_LEN`] entries
+/// for embedding in a [`Error::NoConvergence`].
+pub fn residual_tail(history: &[f64]) -> Vec<f64> {
+    history[history.len().saturating_sub(RESIDUAL_TAIL_LEN)..].to_vec()
+}
+
+/// Fixed-capacity ring buffer holding the last [`RESIDUAL_TAIL_LEN`]
+/// residual norms of an iteration, for embedding in
+/// [`Error::NoConvergence`] without allocating in the solver loop.
+#[derive(Debug, Clone)]
+pub struct ResidualTail {
+    buf: [f64; RESIDUAL_TAIL_LEN],
+    len: usize,
+    head: usize,
+}
+
+impl ResidualTail {
+    /// An empty tail.
+    pub const fn new() -> Self {
+        ResidualTail { buf: [0.0; RESIDUAL_TAIL_LEN], len: 0, head: 0 }
+    }
+
+    /// Appends a residual, evicting the oldest once full.
+    #[inline]
+    pub fn push(&mut self, r: f64) {
+        self.buf[self.head] = r;
+        self.head = (self.head + 1) % RESIDUAL_TAIL_LEN;
+        self.len = (self.len + 1).min(RESIDUAL_TAIL_LEN);
+    }
+
+    /// The recorded residuals, oldest first.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let start = (self.head + RESIDUAL_TAIL_LEN - self.len) % RESIDUAL_TAIL_LEN;
+        (0..self.len).map(|i| self.buf[(start + i) % RESIDUAL_TAIL_LEN]).collect()
+    }
+}
+
+impl Default for ResidualTail {
+    fn default() -> Self {
+        ResidualTail::new()
+    }
+}
 
 /// Convenient result alias for this crate.
 pub type Result<T> = std::result::Result<T, Error>;
@@ -151,11 +209,25 @@ mod tests {
     }
 
     #[test]
+    fn residual_tail_keeps_last_entries() {
+        let hist: Vec<f64> = (0..12).map(f64::from).collect();
+        assert_eq!(residual_tail(&hist), (4..12).map(f64::from).collect::<Vec<_>>());
+        assert_eq!(residual_tail(&hist[..3]), vec![0.0, 1.0, 2.0]);
+
+        let mut ring = ResidualTail::new();
+        assert!(ring.to_vec().is_empty());
+        for v in &hist {
+            ring.push(*v);
+        }
+        assert_eq!(ring.to_vec(), residual_tail(&hist));
+    }
+
+    #[test]
     fn error_display_nonempty() {
         for e in [
             Error::Singular(3),
             Error::DimensionMismatch { expected: 2, found: 5 },
-            Error::NoConvergence { iterations: 7, residual: 1e-3 },
+            Error::NoConvergence { iterations: 7, residual: 1e-3, residual_tail: vec![1e-2, 1e-3] },
             Error::Breakdown("lanczos"),
             Error::InvalidArgument("empty"),
         ] {

@@ -80,9 +80,8 @@ mod tests {
     #[test]
     fn periodic_mean_of_cosine_is_zero() {
         let n = 128;
-        let ys: Vec<f64> = (0..n)
-            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos())
-            .collect();
+        let ys: Vec<f64> =
+            (0..n).map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos()).collect();
         assert!(periodic_mean(&ys).abs() < 1e-14);
         assert_eq!(periodic_mean(&[]), 0.0);
     }

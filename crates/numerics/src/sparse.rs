@@ -96,8 +96,7 @@ impl<T: Scalar> Triplets<T> {
         for i in 0..self.rows {
             let lo = counts[i];
             let hi = counts[i + 1];
-            let mut row: Vec<(usize, T)> =
-                (lo..hi).map(|k| (col_idx[k], vals[k])).collect();
+            let mut row: Vec<(usize, T)> = (lo..hi).map(|k| (col_idx[k], vals[k])).collect();
             row.sort_by_key(|&(c, _)| c);
             let mut idx = 0;
             while idx < row.len() {
@@ -179,8 +178,7 @@ impl<T: Scalar> Csr<T> {
     /// Iterates over `(row, col, value)` of stored entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
         (0..self.rows).flat_map(move |i| {
-            (self.row_ptr[i]..self.row_ptr[i + 1])
-                .map(move |k| (i, self.col_idx[k], self.vals[k]))
+            (self.row_ptr[i]..self.row_ptr[i + 1]).map(move |k| (i, self.col_idx[k], self.vals[k]))
         })
     }
 
@@ -305,6 +303,7 @@ impl<T: Scalar> SparseLu<T> {
         if a.rows() != a.cols() {
             return Err(Error::InvalidArgument("sparse lu: matrix must be square"));
         }
+        rfsim_telemetry::counter_add("lu.sparse.factorizations", 1);
         let n = a.rows();
         // Column-compressed view of A (we need columns).
         let at = a.transpose(); // rows of aᵗ are columns of a
@@ -337,11 +336,8 @@ impl<T: Scalar> SparseLu<T> {
                 visited[root] = true;
                 while let Some(&mut (node, ref mut child)) = stack.last_mut() {
                     let pj = lu.pinv[node];
-                    let (lo, hi) = if pj == UNSET {
-                        (0, 0)
-                    } else {
-                        (lu.l_colptr[pj], lu.l_colptr[pj + 1])
-                    };
+                    let (lo, hi) =
+                        if pj == UNSET { (0, 0) } else { (lu.l_colptr[pj], lu.l_colptr[pj + 1]) };
                     if lo + *child < hi {
                         let next = lu.l_rowidx[lo + *child];
                         *child += 1;

@@ -95,12 +95,15 @@ impl Svd {
             }
         }
         if !converged {
-            return Err(Error::NoConvergence { iterations: max_sweeps, residual: f64::NAN });
+            return Err(Error::NoConvergence {
+                iterations: max_sweeps,
+                residual: f64::NAN,
+                residual_tail: Vec::new(),
+            });
         }
         // Column norms of W are the singular values; normalize to get U.
-        let mut sigma: Vec<f64> = (0..n)
-            .map(|j| (0..m).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt())
-            .collect();
+        let mut sigma: Vec<f64> =
+            (0..n).map(|j| (0..m).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt()).collect();
         let mut u = Mat::zeros(m, n);
         for j in 0..n {
             if sigma[j] > 0.0 {
@@ -170,11 +173,7 @@ mod tests {
 
     #[test]
     fn reconstruction_tall_and_wide() {
-        let tall = Mat::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ]);
+        let tall = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let svd = Svd::new(&tall).unwrap();
         assert!((&reconstruct(&svd) - &tall).norm_fro() < 1e-10);
         let wide = tall.transpose();

@@ -207,10 +207,8 @@ pub fn circuit_diffusion_constant(
             acc[i] += dot * dot;
         }
     }
-    let contributions: Vec<(String, f64)> = labels
-        .into_iter()
-        .zip(acc.iter().map(|v| v / samples as f64))
-        .collect();
+    let contributions: Vec<(String, f64)> =
+        labels.into_iter().zip(acc.iter().map(|v| v / samples as f64)).collect();
     let total = contributions.iter().map(|(_, v)| v).sum();
     (total, contributions)
 }
@@ -232,8 +230,7 @@ mod tests {
         let pss = oscillator_pss(&osc, guess, &PssOptions::default()).unwrap();
         let reference = LcOscillator::new(l, c, g1, g3, noise);
         let pss_ref =
-            oscillator_pss(&reference, reference.initial_guess(), &PssOptions::default())
-                .unwrap();
+            oscillator_pss(&reference, reference.initial_guess(), &PssOptions::default()).unwrap();
         assert!(
             (pss.freq() - pss_ref.freq()).abs() / pss_ref.freq() < 1e-3,
             "circuit f0 {} vs analytic {}",
@@ -267,10 +264,7 @@ mod tests {
         ckt.add(Resistor::new("R1", a, b, 1e3));
         ckt.add(Resistor::new("R2", b, Circuit::GROUND, 1e3));
         let dae = ckt.into_dae().unwrap();
-        assert!(matches!(
-            CircuitOscillator::new(dae),
-            Err(Error::InvalidSetup(_))
-        ));
+        assert!(matches!(CircuitOscillator::new(dae), Err(Error::InvalidSetup(_))));
     }
 
     #[test]
@@ -282,9 +276,6 @@ mod tests {
         ckt.add(Varactor::new("CV", a, Circuit::GROUND, 1e-12));
         ckt.add(Inductor::new("L1", a, Circuit::GROUND, 1e-6));
         let dae = ckt.into_dae().unwrap();
-        assert!(matches!(
-            CircuitOscillator::new(dae),
-            Err(Error::InvalidSetup(_))
-        ));
+        assert!(matches!(CircuitOscillator::new(dae), Err(Error::InvalidSetup(_))));
     }
 }

@@ -77,10 +77,9 @@ impl std::fmt::Display for Error {
                 f,
                 "oscillator shooting failed after {iterations} iterations (residual {residual:.3e})"
             ),
-            Error::NotAnOscillator { closest_multiplier } => write!(
-                f,
-                "no unit floquet multiplier (closest |mu| = {closest_multiplier:.6})"
-            ),
+            Error::NotAnOscillator { closest_multiplier } => {
+                write!(f, "no unit floquet multiplier (closest |mu| = {closest_multiplier:.6})")
+            }
             Error::Numerics(e) => write!(f, "numerics error: {e}"),
             Error::Circuit(e) => write!(f, "circuit error: {e}"),
             Error::InvalidSetup(msg) => write!(f, "invalid setup: {msg}"),

@@ -77,11 +77,9 @@ pub fn monte_carlo_ensemble(
     let total_steps = opts.steps_per_period * opts.periods;
     // Mean level of the observed state over one clean period.
     let (states, _, _) = crate::pss::integrate_period(dae, x0, period, opts.steps_per_period);
-    let mean_level: f64 = states[..opts.steps_per_period]
-        .iter()
-        .map(|s| s[opts.observe])
-        .sum::<f64>()
-        / opts.steps_per_period as f64;
+    let mean_level: f64 =
+        states[..opts.steps_per_period].iter().map(|s| s[opts.observe]).sum::<f64>()
+            / opts.steps_per_period as f64;
 
     let mut crossings_per_traj: Vec<Vec<f64>> = Vec::with_capacity(opts.ensemble);
     let mut g = vec![0.0; n];

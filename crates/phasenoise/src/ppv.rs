@@ -54,10 +54,7 @@ pub fn compute_ppv(dae: &dyn Dae, pss: &PssResult) -> Result<Ppv> {
     let n = dae.dim();
     // Verify the unit multiplier exists.
     let eigs = eigenvalues(&pss.monodromy).map_err(Error::Numerics)?;
-    let closest = eigs
-        .iter()
-        .map(|z| (z.re - 1.0).hypot(z.im))
-        .fold(f64::INFINITY, f64::min);
+    let closest = eigs.iter().map(|z| (z.re - 1.0).hypot(z.im)).fold(f64::INFINITY, f64::min);
     if closest > 1e-3 {
         let mag = eigs.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
         return Err(Error::NotAnOscillator { closest_multiplier: mag });
@@ -129,17 +126,10 @@ mod tests {
         let ppv = compute_ppv(&osc, &pss).unwrap();
         let omega = 2.0 * std::f64::consts::PI * pss.freq();
         let a = pss.amplitude(0, 1);
-        let vmax = ppv
-            .vecs
-            .iter()
-            .map(|v| v[0].abs())
-            .fold(0.0f64, f64::max);
+        let vmax = ppv.vecs.iter().map(|v| v[0].abs()).fold(0.0f64, f64::max);
         let expect = 1.0 / (a * omega);
         // Loose: the LC is not perfectly harmonic.
-        assert!(
-            (vmax - expect).abs() / expect < 0.5,
-            "vmax {vmax}, analytic {expect}"
-        );
+        assert!((vmax - expect).abs() / expect < 0.5, "vmax {vmax}, analytic {expect}");
     }
 
     #[test]
@@ -158,9 +148,6 @@ mod tests {
             monodromy: m,
             newton_iterations: 0,
         };
-        assert!(matches!(
-            compute_ppv(&osc, &pss),
-            Err(crate::Error::NotAnOscillator { .. })
-        ));
+        assert!(matches!(compute_ppv(&osc, &pss), Err(crate::Error::NotAnOscillator { .. })));
     }
 }

@@ -17,6 +17,7 @@ use crate::{Error, Result};
 use rfsim_circuit::dae::Dae;
 use rfsim_numerics::dense::Mat;
 use rfsim_numerics::{norm2, norm_inf};
+use rfsim_telemetry as telemetry;
 
 /// Options for [`oscillator_pss`].
 #[derive(Debug, Clone)]
@@ -173,6 +174,8 @@ pub fn oscillator_pss(
     if period <= 0.0 {
         return Err(Error::InvalidSetup("period guess must be positive".into()));
     }
+    let _span = telemetry::span("pss.oscillator");
+    let mut trace = telemetry::TraceBuf::new("pss.newton");
     // Settle transient: integrate a number of periods so x0 is near the
     // limit cycle before Newton, and refine the period guess from the
     // observed upward zero-crossings of the phase component (the user's
@@ -182,8 +185,7 @@ pub fn oscillator_pss(
         let (states, times, _) = integrate_period(dae, &x0, 20.0 * period, settle_steps);
         x0 = states.last().expect("nonempty").clone();
         let p = opts.phase_index;
-        let mean: f64 =
-            states.iter().map(|s| s[p]).sum::<f64>() / states.len() as f64;
+        let mean: f64 = states.iter().map(|s| s[p]).sum::<f64>() / states.len() as f64;
         let mut crossings = Vec::new();
         for k in 1..states.len() {
             let (a, b) = (states[k - 1][p] - mean, states[k][p] - mean);
@@ -219,6 +221,7 @@ pub fn oscillator_pss(
         r[n] = g0[opts.phase_index];
         let res = norm_inf(&r);
         last_res = res;
+        trace.push(res);
         let scale = norm2(&x0).max(1.0);
         if res < opts.tol * scale {
             // Reject the trivial equilibrium "orbit" (ẋ ≈ 0 everywhere):
@@ -228,6 +231,9 @@ pub fn oscillator_pss(
             if flow < 1e-9 * scale / period {
                 return Err(Error::NotAnOscillator { closest_multiplier: 1.0 });
             }
+            trace.commit(true);
+            telemetry::counter_add("pss.newton.iterations", it as u64);
+            telemetry::gauge_set("pss.period_seconds", period);
             return Ok(PssResult {
                 period,
                 x0,
@@ -260,6 +266,8 @@ pub fn oscillator_pss(
         }
         period -= alpha * dx[n];
     }
+    trace.commit(false);
+    telemetry::counter_add("pss.newton.iterations", opts.max_newton as u64);
     Err(Error::NoConvergence { iterations: opts.max_newton, residual: last_res })
 }
 
@@ -272,11 +280,7 @@ mod tests {
     fn vdp_small_mu_period_near_2pi() {
         let osc = VanDerPol::new(0.1, 0.0);
         let res = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).unwrap();
-        assert!(
-            (res.period - 2.0 * std::f64::consts::PI).abs() < 0.01,
-            "period {}",
-            res.period
-        );
+        assert!((res.period - 2.0 * std::f64::consts::PI).abs() < 0.01, "period {}", res.period);
         // Amplitude close to the classical 2.0.
         assert!((res.amplitude(0, 1) - 2.0).abs() < 0.05);
         // Orbit closes.
@@ -292,10 +296,7 @@ mod tests {
         let osc = VanDerPol::new(1.0, 0.0);
         let res = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).unwrap();
         let eigs = rfsim_numerics::eig::eigenvalues(&res.monodromy).unwrap();
-        let closest = eigs
-            .iter()
-            .map(|z| (z.re - 1.0).hypot(z.im))
-            .fold(f64::INFINITY, f64::min);
+        let closest = eigs.iter().map(|z| (z.re - 1.0).hypot(z.im)).fold(f64::INFINITY, f64::min);
         assert!(closest < 1e-5, "distance from 1: {closest}");
         // The other multiplier is inside the unit circle (orbital
         // stability).

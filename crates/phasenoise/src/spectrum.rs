@@ -69,10 +69,8 @@ impl PhaseNoiseAnalysis {
             }
         }
         let dt = pss.period / samples as f64;
-        let contributions: Vec<(String, f64)> = labels
-            .into_iter()
-            .zip(integrals.iter().map(|v| v * dt / pss.period))
-            .collect();
+        let contributions: Vec<(String, f64)> =
+            labels.into_iter().zip(integrals.iter().map(|v| v * dt / pss.period)).collect();
         let c = contributions.iter().map(|(_, v)| v).sum();
         Ok(PhaseNoiseAnalysis {
             c,
@@ -203,9 +201,7 @@ mod tests {
     #[test]
     fn ltv_diverges_at_carrier() {
         let (c, f0, p) = (1e-18, 1e9, 0.5);
-        let band = |lo: f64| {
-            total_sideband_power(|df| ltv_psd(df, 1, c, f0, p), lo, 1e6, 2000)
-        };
+        let band = |lo: f64| total_sideband_power(|df| ltv_psd(df, 1, c, f0, p), lo, 1e6, 2000);
         // Shrinking the lower limit grows the LTV power without bound.
         assert!(band(1e-2) > 10.0 * band(1e2));
         // The Lorentzian stays finite at the carrier itself.

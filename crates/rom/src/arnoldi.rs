@@ -7,6 +7,7 @@ use crate::statespace::{check_order, DescriptorSystem, ReducedModel};
 use crate::{Error, Result};
 use rfsim_numerics::dense::Mat;
 use rfsim_numerics::{dot, norm2};
+use rfsim_telemetry as telemetry;
 
 /// Builds an order-`q` Arnoldi model of `sys` about `s0`.
 ///
@@ -17,6 +18,7 @@ use rfsim_numerics::{dot, norm2};
 /// [`Error::Breakdown`] if the Krylov space degenerates before reaching a
 /// single vector; order/factorization errors otherwise.
 pub fn arnoldi_rom(sys: &DescriptorSystem, s0: f64, q: usize) -> Result<ReducedModel> {
+    let _span = telemetry::span("rom.arnoldi");
     check_order(q, sys.order())?;
     let (ops, r) = sys.krylov_setup(s0)?;
     let rnorm = norm2(&r);
@@ -42,6 +44,7 @@ pub fn arnoldi_rom(sys: &DescriptorSystem, s0: f64, q: usize) -> Result<ReducedM
         let wn = norm2(&w);
         if k + 1 < q {
             if wn < 1e-280 {
+                telemetry::counter_add("rom.arnoldi.lucky_breakdowns", 1);
                 m = k + 1;
                 break; // invariant subspace: lucky breakdown
             }
@@ -56,6 +59,8 @@ pub fn arnoldi_rom(sys: &DescriptorSystem, s0: f64, q: usize) -> Result<ReducedM
     let mut r_r = vec![0.0; m];
     r_r[0] = rnorm;
     let l_r: Vec<f64> = basis.iter().take(m).map(|v| dot(&sys.l, v)).collect();
+    telemetry::counter_add("rom.arnoldi.models", 1);
+    telemetry::counter_add("rom.arnoldi.moments_matched", m as u64);
     Ok(ReducedModel { a_r, r_r, l_r, s0 })
 }
 
@@ -102,10 +107,7 @@ mod tests {
         let arn = arnoldi_rom(&sys, 0.0, q).unwrap();
         let err_pvl = relative_error(&sys, &pvl, &freqs);
         let err_arn = relative_error(&sys, &arn, &freqs);
-        assert!(
-            err_pvl < err_arn,
-            "pvl {err_pvl:.3e} should beat arnoldi {err_arn:.3e}"
-        );
+        assert!(err_pvl < err_arn, "pvl {err_pvl:.3e} should beat arnoldi {err_arn:.3e}");
     }
 
     #[test]

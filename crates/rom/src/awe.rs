@@ -58,10 +58,8 @@ pub fn awe_rom(sys: &DescriptorSystem, s0: f64, q: usize) -> Result<PoleResidueM
         comp[(i, i - 1)] = 1.0;
     }
     // Roots of the scaled recurrence; un-scale back to the true λ.
-    let lambdas: Vec<Complex> = rfsim_numerics::eig::eigenvalues(&comp)?
-        .into_iter()
-        .map(|z| z / alpha)
-        .collect();
+    let lambdas: Vec<Complex> =
+        rfsim_numerics::eig::eigenvalues(&comp)?.into_iter().map(|z| z / alpha).collect();
     // Residues: Vandermonde fit to the first q scaled moments,
     // m̂_k = Σ_i k_i·(λ_i·α)^k (residues are scale-invariant).
     let vand = Mat::from_fn(q, q, |k, i| {
@@ -158,9 +156,6 @@ mod tests {
         );
         let pvl = crate::pvl::pvl_rom(&sys, 0.0, 14).unwrap();
         let pvl_err = relative_error(&sys, &pvl, &freqs);
-        assert!(
-            pvl_err < awe_floor / 100.0,
-            "pvl {pvl_err:.2e} not ≪ awe floor {awe_floor:.2e}"
-        );
+        assert!(pvl_err < awe_floor / 100.0, "pvl {pvl_err:.2e} not ≪ awe floor {awe_floor:.2e}");
     }
 }

@@ -23,8 +23,8 @@
 //!   Feldmann & Freund \[7\].
 
 pub mod arnoldi;
-pub mod macromodel;
 pub mod awe;
+pub mod macromodel;
 pub mod noise_rom;
 pub mod passivity;
 pub mod prima;
@@ -32,8 +32,8 @@ pub mod pvl;
 pub mod statespace;
 
 pub use arnoldi::arnoldi_rom;
-pub use macromodel::RomImpedance;
 pub use awe::awe_rom;
+pub use macromodel::RomImpedance;
 pub use passivity::{enforce_passivity, is_passive, PassivityReport};
 pub use prima::prima_rom;
 pub use pvl::pvl_rom;

@@ -54,11 +54,7 @@ impl RomImpedance {
     /// Panics if the model's expansion point is not 0 (shifted-expansion
     /// models do not map to a real time-domain descriptor directly).
     pub fn from_reduced(name: &str, a: NodeId, b: NodeId, model: &ReducedModel) -> Self {
-        assert!(
-            model.s0 == 0.0,
-            "RomImpedance requires an s0 = 0 expansion (got {})",
-            model.s0
-        );
+        assert!(model.s0 == 0.0, "RomImpedance requires an s0 = 0 expansion (got {})", model.s0);
         let q = model.order();
         let mut c_r = model.a_r.clone();
         c_r.scale_mut(-1.0);
@@ -202,13 +198,8 @@ mod tests {
         ckt.add(Resistor::new("RS", s, p, rs));
         ckt.add(RomImpedance::from_prima("Z1", p, Circuit::GROUND, &model));
         let dae = ckt.into_dae().unwrap();
-        let res = transient(
-            &dae,
-            0.0,
-            5e-6,
-            &TranOptions { dt: 5e-9, ..Default::default() },
-        )
-        .unwrap();
+        let res =
+            transient(&dae, 0.0, 5e-6, &TranOptions { dt: 5e-9, ..Default::default() }).unwrap();
         let pi = dae.node_index(p).unwrap();
         let v_end = res.states.last().unwrap()[pi];
         let expect = z0 / (z0 + rs);
@@ -235,8 +226,7 @@ mod tests {
         ckt.add(RomImpedance::from_prima("Z1", p, Circuit::GROUND, &model));
         let dae = ckt.into_dae().unwrap();
         let grid = rfsim_steady_grid(f0);
-        let sol = rfsim_steady::solve_hb(&dae, &grid, &rfsim_steady::HbOptions::default())
-            .unwrap();
+        let sol = rfsim_steady::solve_hb(&dae, &grid, &rfsim_steady::HbOptions::default()).unwrap();
         let pi = dae.node_index(p).unwrap();
         let z = model.eval(Complex::new(0.0, 2.0 * std::f64::consts::PI * f0));
         let expect = (z / (z + Complex::from_re(rs))).abs();

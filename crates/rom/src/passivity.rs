@@ -58,9 +58,7 @@ pub fn is_passive(
 /// # Errors
 /// Propagates eigensolver/solve failures.
 pub fn to_pole_residue(model: &ReducedModel, f_scale: f64) -> Result<PoleResidueModel> {
-    let lambdas: Vec<Complex> = rfsim_numerics::eig::eigenvalues(&model.a_r)?
-        .into_iter()
-        .collect();
+    let lambdas: Vec<Complex> = rfsim_numerics::eig::eigenvalues(&model.a_r)?.into_iter().collect();
     let q = lambdas.len();
     // Fit residues: H(σ_i) = Σ_j k_j/(1 − σ_i·λ_j) at q well-spread
     // sample points σ_i = j·ω_i.
@@ -70,10 +68,8 @@ pub fn to_pole_residue(model: &ReducedModel, f_scale: f64) -> Result<PoleResidue
         sigmas.push(Complex::new(0.0, 2.0 * std::f64::consts::PI * f));
     }
     let a = Mat::from_fn(q, q, |i, j| (Complex::ONE - sigmas[i] * lambdas[j]).recip());
-    let rhs: Vec<Complex> = sigmas
-        .iter()
-        .map(|&s| model.eval(Complex::from_re(model.s0) + s))
-        .collect();
+    let rhs: Vec<Complex> =
+        sigmas.iter().map(|&s| model.eval(Complex::from_re(model.s0) + s)).collect();
     let residues = a.solve(&rhs)?;
     Ok(PoleResidueModel { lambdas, residues, direct: 0.0, s0: model.s0 })
 }

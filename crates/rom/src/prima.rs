@@ -48,9 +48,8 @@ impl PrimaModel {
 impl TransferFunction for PrimaModel {
     fn eval(&self, s: Complex) -> Complex {
         let q = self.order();
-        let m = Mat::from_fn(q, q, |i, j| {
-            Complex::new(self.g_r[(i, j)], 0.0) + s * self.c_r[(i, j)]
-        });
+        let m =
+            Mat::from_fn(q, q, |i, j| Complex::new(self.g_r[(i, j)], 0.0) + s * self.c_r[(i, j)]);
         let rhs: Vec<Complex> = self.b_r.iter().map(|&v| Complex::from_re(v)).collect();
         match m.solve(&rhs) {
             Ok(x) => self.l_r.iter().zip(&x).map(|(&li, &xi)| xi.scale(li)).sum(),

@@ -8,6 +8,7 @@ use crate::statespace::{check_order, DescriptorSystem, ReducedModel};
 use crate::{Error, Result};
 use rfsim_numerics::dense::Mat;
 use rfsim_numerics::{dot, norm2};
+use rfsim_telemetry as telemetry;
 
 /// Builds an order-`q` PVL model of `sys` about expansion point `s0`.
 ///
@@ -21,6 +22,7 @@ use rfsim_numerics::{dot, norm2};
 /// nonzero `v`, `w`) — the case that motivates look-ahead variants; order
 /// validation and factorization errors otherwise.
 pub fn pvl_rom(sys: &DescriptorSystem, s0: f64, q: usize) -> Result<ReducedModel> {
+    let _span = telemetry::span("rom.pvl");
     check_order(q, sys.order())?;
     let n = sys.order();
     let (ops, r) = sys.krylov_setup(s0)?;
@@ -40,8 +42,8 @@ pub fn pvl_rom(sys: &DescriptorSystem, s0: f64, q: usize) -> Result<ReducedModel
     let mut alphas: Vec<f64> = Vec::with_capacity(q);
     let mut rhos: Vec<f64> = Vec::new(); // subdiagonal: ‖ṽ_k‖
     let mut etas: Vec<f64> = Vec::new(); // ‖w̃_k‖ (superdiagonal via δ)
-    // Coefficients multiplying the previous basis vector in each
-    // recurrence (zero for the first step).
+                                         // Coefficients multiplying the previous basis vector in each
+                                         // recurrence (zero for the first step).
     let mut beta = 0.0; // v-recurrence
     let mut gamma = 0.0; // w-recurrence
     let mut m = 0;
@@ -63,6 +65,7 @@ pub fn pvl_rom(sys: &DescriptorSystem, s0: f64, q: usize) -> Result<ReducedModel
         let rho = norm2(&v_next);
         let eta = norm2(&w_next);
         if rho < 1e-280 || eta < 1e-280 {
+            telemetry::counter_add("rom.pvl.lucky_breakdowns", 1);
             break; // lucky breakdown: invariant subspace found
         }
         for x in &mut v_next {
@@ -73,6 +76,7 @@ pub fn pvl_rom(sys: &DescriptorSystem, s0: f64, q: usize) -> Result<ReducedModel
         }
         let delta_next = dot(&w_next, &v_next);
         if delta_next.abs() < 1e-13 {
+            telemetry::counter_add("rom.pvl.serious_breakdowns", 1);
             return Err(Error::Breakdown("pvl: serious breakdown (wᵀv = 0)"));
         }
         rhos.push(rho);
@@ -100,6 +104,8 @@ pub fn pvl_rom(sys: &DescriptorSystem, s0: f64, q: usize) -> Result<ReducedModel
     r_r[0] = 1.0;
     let mut l_r = vec![0.0; m];
     l_r[0] = lr;
+    telemetry::counter_add("rom.pvl.models", 1);
+    telemetry::counter_add("rom.pvl.moments_matched", 2 * m as u64);
     Ok(ReducedModel { a_r: t, r_r, l_r, s0 })
 }
 

@@ -120,12 +120,7 @@ impl TransferFunction for DescriptorSystem {
         let a = t.to_csr();
         let b: Vec<Complex> = self.b.iter().map(|&v| Complex::from_re(v)).collect();
         match a.solve(&b) {
-            Ok(x) => self
-                .l
-                .iter()
-                .zip(&x)
-                .map(|(&li, &xi)| xi.scale(li))
-                .sum(),
+            Ok(x) => self.l.iter().zip(&x).map(|(&li, &xi)| xi.scale(li)).sum(),
             Err(_) => Complex::from_re(f64::NAN),
         }
     }
@@ -316,9 +311,7 @@ pub fn relative_error(
 pub fn log_freqs(f_lo: f64, f_hi: f64, points: usize) -> Vec<f64> {
     let l0 = f_lo.ln();
     let l1 = f_hi.ln();
-    (0..points)
-        .map(|i| (l0 + (l1 - l0) * i as f64 / (points - 1).max(1) as f64).exp())
-        .collect()
+    (0..points).map(|i| (l0 + (l1 - l0) * i as f64 / (points - 1).max(1) as f64).exp()).collect()
 }
 
 /// Validates a requested reduction order.

@@ -196,9 +196,8 @@ impl SpectralGrid {
             2 => {
                 let (n0, n1) = (self.axes[0].samples(), self.axes[1].samples());
                 // 2-D DFT of this unknown's grid.
-                let grid: Vec<Complex> = (0..n0 * n1)
-                    .map(|s| Complex::from_re(field[s * n + i]))
-                    .collect();
+                let grid: Vec<Complex> =
+                    (0..n0 * n1).map(|s| Complex::from_re(field[s * n + i])).collect();
                 let f2 = rfsim_numerics::fft::dft2(&grid, n0, n1);
                 let b0 = bin_of(k[0], n0);
                 let b1 = bin_of(k[1], n1);
@@ -221,10 +220,7 @@ impl SpectralGrid {
 
     /// The frequency (Hz) of mix index `k`.
     pub fn mix_freq(&self, k: &[i32]) -> f64 {
-        k.iter()
-            .zip(&self.axes)
-            .map(|(&ki, ax)| ki as f64 * ax.freq)
-            .sum()
+        k.iter().zip(&self.axes).map(|(&ki, ax)| ki as f64 * ax.freq).sum()
     }
 }
 

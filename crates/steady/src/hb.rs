@@ -22,7 +22,8 @@ use rfsim_circuit::dc::{dc_operating_point, DcOptions};
 use rfsim_numerics::dense::Mat;
 use rfsim_numerics::krylov::{gmres, FnOperator, IdentityPrecond, KrylovOptions, Preconditioner};
 use rfsim_numerics::sparse::{Csr, Triplets};
-use rfsim_numerics::{norm_inf, Complex};
+use rfsim_numerics::{norm_inf, Complex, ResidualTail};
+use rfsim_telemetry as telemetry;
 
 /// Linear solver used for the Newton corrections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,9 +200,7 @@ impl HarmonicBlockPrecond {
         let mut blocks = Vec::with_capacity(total);
         for bin in 0..total {
             let omega = 2.0 * std::f64::consts::PI * bin_mix_freq(grid, bin);
-            let m = Mat::from_fn(n, n, |i, j| {
-                Complex::new(gbar[(i, j)], omega * cbar[(i, j)])
-            });
+            let m = Mat::from_fn(n, n, |i, j| Complex::new(gbar[(i, j)], omega * cbar[(i, j)]));
             let lu = m.lu().map_err(Error::Numerics)?;
             blocks.push(lu);
         }
@@ -316,9 +315,12 @@ impl Preconditioner<f64> for HarmonicBlockPrecond {
 /// [`Error::NoConvergence`] if Newton stalls, and propagated numerical
 /// errors from factorization/GMRES.
 pub fn solve_hb(dae: &dyn Dae, grid: &SpectralGrid, opts: &HbOptions) -> Result<HbSolution> {
+    let _span = telemetry::span("hb.solve");
     let n = dae.dim();
     let total = grid.samples();
     let nun = total * n;
+    telemetry::counter_add("hb.solves", 1);
+    telemetry::gauge_set("hb.unknowns", nun as f64);
     // Initial guess: DC operating point broadcast over the grid.
     let op = dc_operating_point(dae, &opts.dc)?;
     let mut x = vec![0.0; nun];
@@ -356,6 +358,10 @@ pub fn solve_hb(dae: &dyn Dae, grid: &SpectralGrid, opts: &HbOptions) -> Result<
             .collect();
         newton_hb(dae, grid, &mut x, &b, opts, &mut stats)?;
     }
+    telemetry::counter_add("hb.newton.iterations", stats.newton_iterations as u64);
+    telemetry::counter_add("hb.gmres.iterations", stats.linear_iterations as u64);
+    telemetry::counter_add("hb.matvecs", stats.matvecs as u64);
+    telemetry::gauge_set("hb.solver_bytes", stats.solver_bytes as f64);
     Ok(HbSolution { grid: grid.clone(), n, x, stats })
 }
 
@@ -369,12 +375,21 @@ fn newton_hb(
 ) -> Result<()> {
     let n = dae.dim();
     let nun = x.len();
+    let _span = telemetry::span("hb.newton");
+    let mut trace = telemetry::TraceBuf::new("hb.newton");
+    if trace.is_active() {
+        trace.set_label(format!("{nun} unknowns, {} samples", grid.samples()));
+    }
+    let mut tail = ResidualTail::new();
     let mut last_res = f64::INFINITY;
     for _it in 0..opts.max_newton {
         let (r, lins) = assemble(dae, grid, x, b);
         let res = norm_inf(&r);
         last_res = res;
+        trace.push(res);
+        tail.push(res);
         if res < opts.tol {
+            trace.commit(true);
             return Ok(());
         }
         stats.newton_iterations += 1;
@@ -412,6 +427,7 @@ fn newton_hb(
                     gmres(&op, &r, None, &IdentityPrecond, &opts.krylov)
                 };
                 let (dx, st) = result.map_err(Error::Numerics)?;
+                telemetry::histogram_record("hb.gmres.iterations_per_newton", st.iterations as f64);
                 stats.linear_iterations += st.iterations;
                 stats.matvecs += matvecs.get();
                 dx
@@ -438,10 +454,19 @@ fn newton_hb(
     }
     // Final check.
     let (r, _) = assemble(dae, grid, x, b);
-    if norm_inf(&r) < opts.tol {
+    let final_res = norm_inf(&r);
+    trace.push(final_res);
+    tail.push(final_res);
+    if final_res < opts.tol {
+        trace.commit(true);
         Ok(())
     } else {
-        Err(Error::NoConvergence { iterations: opts.max_newton, residual: last_res })
+        trace.commit(false);
+        Err(Error::NoConvergence {
+            iterations: opts.max_newton,
+            residual: last_res,
+            residual_tail: tail.to_vec(),
+        })
     }
 }
 
@@ -467,8 +492,7 @@ mod tests {
         let grid = SpectralGrid::single_tone(f0, 5).unwrap();
         let sol = solve_hb(&dae, &grid, &HbOptions::default()).unwrap();
         let out_idx = dae.node_index(out).unwrap();
-        let gain = 1.0
-            / (1.0 + (2.0 * std::f64::consts::PI * f0 * r * c).powi(2)).sqrt();
+        let gain = 1.0 / (1.0 + (2.0 * std::f64::consts::PI * f0 * r * c).powi(2)).sqrt();
         let amp = sol.amplitude(out_idx, &[1]);
         assert!((amp - gain).abs() < 1e-6, "amp {amp} vs gain {gain}");
         // No spurious harmonics in a linear circuit.
@@ -551,12 +575,9 @@ mod tests {
         // unknown count.
         let krylov = KrylovOptions { restart: 20, ..Default::default() };
         let gm = solve_hb(&dae, &grid, &HbOptions { krylov, ..Default::default() }).unwrap();
-        let di = solve_hb(
-            &dae,
-            &grid,
-            &HbOptions { solver: HbSolver::Direct, ..Default::default() },
-        )
-        .unwrap();
+        let di =
+            solve_hb(&dae, &grid, &HbOptions { solver: HbSolver::Direct, ..Default::default() })
+                .unwrap();
         let oi = dae.node_index(out).unwrap();
         for k in 0..5 {
             let a1 = gm.amplitude(oi, &[k]);
@@ -567,12 +588,9 @@ mod tests {
         // Krylov backend's grows linearly (the paper's §2.1 cost claim).
         let big = SpectralGrid::single_tone(1e6, 21).unwrap();
         let gm_big = solve_hb(&dae, &big, &HbOptions { krylov, ..Default::default() }).unwrap();
-        let di_big = solve_hb(
-            &dae,
-            &big,
-            &HbOptions { solver: HbSolver::Direct, ..Default::default() },
-        )
-        .unwrap();
+        let di_big =
+            solve_hb(&dae, &big, &HbOptions { solver: HbSolver::Direct, ..Default::default() })
+                .unwrap();
         let di_growth = di_big.stats.solver_bytes as f64 / di.stats.solver_bytes as f64;
         let gm_growth = gm_big.stats.solver_bytes as f64 / gm.stats.solver_bytes as f64;
         assert!(

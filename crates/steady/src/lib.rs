@@ -36,6 +36,9 @@ pub enum Error {
         iterations: usize,
         /// Final residual infinity-norm.
         residual: f64,
+        /// Last few residual norms (oldest first, ending with
+        /// `residual`) for post-mortem diagnosis of the stall.
+        residual_tail: Vec<f64>,
     },
     /// Underlying circuit error (DC solve, transient step, …).
     Circuit(rfsim_circuit::Error),
@@ -48,10 +51,20 @@ pub enum Error {
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Error::NoConvergence { iterations, residual } => write!(
-                f,
-                "steady-state newton failed after {iterations} iterations (residual {residual:.3e})"
-            ),
+            Error::NoConvergence { iterations, residual, residual_tail } => {
+                write!(
+                    f,
+                    "steady-state newton failed after {iterations} iterations \
+                     (residual {residual:.3e}"
+                )?;
+                if !residual_tail.is_empty() {
+                    write!(f, ", tail")?;
+                    for r in residual_tail {
+                        write!(f, " {r:.3e}")?;
+                    }
+                }
+                write!(f, ")")
+            }
             Error::Circuit(e) => write!(f, "circuit error: {e}"),
             Error::Numerics(e) => write!(f, "numerics error: {e}"),
             Error::InvalidSetup(msg) => write!(f, "invalid setup: {msg}"),

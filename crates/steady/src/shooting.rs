@@ -11,7 +11,8 @@ use rfsim_circuit::dae::{Dae, TwoTime};
 use rfsim_circuit::dc::{dc_operating_point, DcOptions};
 use rfsim_numerics::dense::Mat;
 use rfsim_numerics::sparse::Triplets;
-use rfsim_numerics::{norm_inf, Complex};
+use rfsim_numerics::{norm_inf, Complex, ResidualTail};
+use rfsim_telemetry as telemetry;
 
 /// Options for [`shooting`].
 #[derive(Debug, Clone)]
@@ -153,11 +154,13 @@ fn step_with_sensitivity(
     if !converged {
         // Accept if residual is merely small rather than tiny.
         dae.eval(&x, &mut f, &mut q, &mut gt, &mut ct);
-        let r: Vec<f64> = (0..n)
-            .map(|i| a0 * (q[i] - q_prev[i]) + f[i] - b[i])
-            .collect();
+        let r: Vec<f64> = (0..n).map(|i| a0 * (q[i] - q_prev[i]) + f[i] - b[i]).collect();
         if !norm_inf(&r).is_finite() || norm_inf(&r) > 1e-4 {
-            return Err(Error::NoConvergence { iterations: inner.max_iters, residual: norm_inf(&r) });
+            return Err(Error::NoConvergence {
+                iterations: inner.max_iters,
+                residual: norm_inf(&r),
+                residual_tail: Vec::new(),
+            });
         }
     }
     // Sensitivity: (a0·C₊ + G₊)·M₊ = RHS·M, with
@@ -216,16 +219,7 @@ fn fly(
         // directions and make the shooting Jacobian (M − I) singular. One
         // BE step projects onto the constraint manifold.
         let trap = opts.trapezoidal && k > 0;
-        x = step_with_sensitivity(
-            dae,
-            &x,
-            &mut monodromy,
-            t_new,
-            h,
-            trap,
-            &opts.inner,
-            solves,
-        )?;
+        x = step_with_sensitivity(dae, &x, &mut monodromy, t_new, h, trap, &opts.inner, solves)?;
         states.push(x.clone());
         times.push(t_new);
     }
@@ -237,6 +231,12 @@ fn fly(
 /// # Errors
 /// [`Error::NoConvergence`] if the outer Newton iteration stalls.
 pub fn shooting(dae: &dyn Dae, period: f64, opts: &ShootingOptions) -> Result<ShootingResult> {
+    let _span = telemetry::span("shooting.solve");
+    let mut trace = telemetry::TraceBuf::new("shooting.newton");
+    if trace.is_active() {
+        trace.set_label(format!("period {period:.3e}s, {} steps", opts.steps_per_period));
+    }
+    let mut tail = ResidualTail::new();
     let n = dae.dim();
     let op = dc_operating_point(dae, &opts.inner)?;
     let mut x0 = op.x;
@@ -248,7 +248,12 @@ pub fn shooting(dae: &dyn Dae, period: f64, opts: &ShootingOptions) -> Result<Sh
         let r: Vec<f64> = (0..n).map(|i| x_end[i] - x0[i]).collect();
         let res = norm_inf(&r);
         last_res = res;
+        trace.push(res);
+        tail.push(res);
         if res < opts.tol {
+            trace.commit(true);
+            telemetry::counter_add("shooting.newton.iterations", it as u64);
+            telemetry::counter_add("shooting.linear_solves", solves as u64);
             return Ok(ShootingResult {
                 period,
                 times,
@@ -267,7 +272,14 @@ pub fn shooting(dae: &dyn Dae, period: f64, opts: &ShootingOptions) -> Result<Sh
             x0[i] -= dx[i];
         }
     }
-    Err(Error::NoConvergence { iterations: opts.max_newton, residual: last_res })
+    trace.commit(false);
+    telemetry::counter_add("shooting.newton.iterations", opts.max_newton as u64);
+    telemetry::counter_add("shooting.linear_solves", solves as u64);
+    Err(Error::NoConvergence {
+        iterations: opts.max_newton,
+        residual: last_res,
+        residual_tail: tail.to_vec(),
+    })
 }
 
 #[cfg(test)]
@@ -332,11 +344,7 @@ mod tests {
         let eigs = rfsim_numerics::eig::eigenvalues(&res.monodromy).unwrap();
         // Largest nonzero multiplier ≈ exp(−T/RC) = exp(−1).
         let expect = (-1.0f64).exp();
-        let found = eigs
-            .iter()
-            .map(|z| z.abs())
-            .filter(|&m| m > 1e-6)
-            .fold(0.0f64, f64::max);
+        let found = eigs.iter().map(|z| z.abs()).filter(|&m| m > 1e-6).fold(0.0f64, f64::max);
         assert!((found - expect).abs() < 0.02, "found {found}, expect {expect}");
     }
 
@@ -351,19 +359,19 @@ mod tests {
         ckt.add(Diode::new("D1", out, Circuit::GROUND, 1e-12));
         ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 1e-10));
         let dae = ckt.into_dae().unwrap();
-        let sh =
-            shooting(&dae, 1.0 / f0, &ShootingOptions { steps_per_period: 600, ..Default::default() })
-                .unwrap();
+        let sh = shooting(
+            &dae,
+            1.0 / f0,
+            &ShootingOptions { steps_per_period: 600, ..Default::default() },
+        )
+        .unwrap();
         let grid = crate::fourier::SpectralGrid::single_tone(f0, 12).unwrap();
         let hb = crate::hb::solve_hb(&dae, &grid, &crate::hb::HbOptions::default()).unwrap();
         let oi = dae.node_index(out).unwrap();
         for k in 0..4 {
             let a_sh = sh.amplitude(oi, k);
             let a_hb = hb.amplitude(oi, &[k]);
-            assert!(
-                (a_sh - a_hb).abs() < 3e-3,
-                "harmonic {k}: shooting {a_sh} vs hb {a_hb}"
-            );
+            assert!((a_sh - a_hb).abs() < 3e-3, "harmonic {k}: shooting {a_sh} vs hb {a_hb}");
         }
     }
 }

@@ -1,0 +1,127 @@
+//! Solver-level counters, gauges, and histograms.
+//!
+//! Names are dot-separated and lowercase by convention
+//! (`krylov.gmres.iterations`, `ies3.compression_ratio`). All update
+//! functions are single-branch no-ops when telemetry is off.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Log₂-bucketed histogram with exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    /// `buckets[i]` counts values `v` with `2^(i-1) <= v < 2^i`
+    /// (bucket 0 holds `v < 1`; the last bucket is open-ended).
+    pub buckets: [u64; 32],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; 32],
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let idx =
+            if v < 1.0 { 0 } else { (v.log2().floor() as usize + 1).min(self.buckets.len() - 1) };
+        self.buckets[idx] += 1;
+    }
+
+    /// Arithmetic mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+static GAUGES: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+static HISTOGRAMS: Mutex<BTreeMap<String, Histogram>> = Mutex::new(BTreeMap::new());
+
+fn lock<T>(m: &'static Mutex<T>) -> std::sync::MutexGuard<'static, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Adds `delta` to the named monotonic counter.
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !crate::enabled() || delta == 0 {
+        return;
+    }
+    *lock(&COUNTERS).entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Sets the named gauge to its latest observed value.
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    lock(&GAUGES).insert(name.to_string(), value);
+}
+
+/// Records one observation into the named histogram.
+pub fn histogram_record(name: &'static str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    lock(&HISTOGRAMS).entry(name.to_string()).or_insert_with(Histogram::new).record(value);
+}
+
+pub(crate) fn counters() -> BTreeMap<String, u64> {
+    lock(&COUNTERS).clone()
+}
+
+pub(crate) fn gauges() -> BTreeMap<String, f64> {
+    lock(&GAUGES).clone()
+}
+
+pub(crate) fn histograms() -> BTreeMap<String, Histogram> {
+    lock(&HISTOGRAMS).clone()
+}
+
+pub(crate) fn reset() {
+    lock(&COUNTERS).clear();
+    lock(&GAUGES).clear();
+    lock(&HISTOGRAMS).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = Histogram::new();
+        for v in [0.5, 1.0, 3.0, 4.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean() - 21.7).abs() < 1e-12);
+        assert_eq!(h.buckets[0], 1); // 0.5
+        assert_eq!(h.buckets[1], 1); // 1.0 ∈ [1, 2)
+        assert_eq!(h.buckets[2], 1); // 3.0 ∈ [2, 4)
+        assert_eq!(h.buckets[3], 1); // 4.0 ∈ [4, 8)
+        assert_eq!(h.buckets[7], 1); // 100.0 ∈ [64, 128)
+    }
+}

@@ -1,0 +1,126 @@
+//! Convergence-trace recording: per-iteration residual trajectories of
+//! the Newton/Krylov solves, the raw material of the paper's "match the
+//! numerics to the problem" methodology.
+//!
+//! Solvers use a [`TraceBuf`] — created before the iteration loop,
+//! `push`ed once per iteration, committed at exit. When telemetry is
+//! off, the buffer never allocates and every call is a single branch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A recorded residual trajectory for one solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceTrace {
+    /// Which engine produced the trace (`hb.newton`, `krylov.gmres`, …).
+    pub solver: String,
+    /// Free-form context (circuit name, grid size, tone counts, …).
+    pub label: String,
+    /// Residual norm after each iteration.
+    pub residuals: Vec<f64>,
+    /// Whether the solve met its tolerance.
+    pub converged: bool,
+}
+
+/// Traces beyond this total are counted but not stored, bounding memory
+/// for long sweeps; the drop count is part of the snapshot so truncation
+/// is never silent.
+pub const MAX_TRACES: usize = 4096;
+
+static TRACES: Mutex<Vec<ConvergenceTrace>> = Mutex::new(Vec::new());
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Records a complete residual trajectory in one call.
+pub fn record_trace(solver: &str, label: &str, residuals: &[f64], converged: bool) {
+    if !crate::enabled() {
+        return;
+    }
+    store(ConvergenceTrace {
+        solver: solver.to_string(),
+        label: label.to_string(),
+        residuals: residuals.to_vec(),
+        converged,
+    });
+}
+
+fn store(trace: ConvergenceTrace) {
+    let mut traces = TRACES.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if traces.len() >= MAX_TRACES {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    } else {
+        traces.push(trace);
+    }
+}
+
+/// Incremental trace recorder for an iteration loop.
+pub struct TraceBuf {
+    solver: &'static str,
+    label: String,
+    residuals: Vec<f64>,
+    active: bool,
+}
+
+impl TraceBuf {
+    /// Creates a recorder; inert (never allocating) when telemetry is
+    /// off at creation time.
+    pub fn new(solver: &'static str) -> Self {
+        let active = crate::enabled();
+        TraceBuf { solver, label: String::new(), residuals: Vec::new(), active }
+    }
+
+    /// Attaches context shown in reports (grid size, circuit, …).
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        if self.active {
+            self.label = label.into();
+        }
+    }
+
+    /// Appends one iteration's residual norm.
+    #[inline]
+    pub fn push(&mut self, residual: f64) {
+        if self.active {
+            self.residuals.push(residual);
+        }
+    }
+
+    /// Whether the recorder is live (useful to skip expensive labels).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Iterations recorded so far.
+    pub fn len(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// True when nothing was recorded (always true when inactive).
+    pub fn is_empty(&self) -> bool {
+        self.residuals.is_empty()
+    }
+
+    /// Finishes the recording and stores the trace.
+    pub fn commit(self, converged: bool) {
+        if self.active && !self.residuals.is_empty() {
+            store(ConvergenceTrace {
+                solver: self.solver.to_string(),
+                label: self.label,
+                residuals: self.residuals,
+                converged,
+            });
+        }
+    }
+}
+
+pub(crate) fn traces() -> Vec<ConvergenceTrace> {
+    TRACES.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+}
+
+pub(crate) fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn reset() {
+    TRACES.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+    DROPPED.store(0, Ordering::Relaxed);
+}

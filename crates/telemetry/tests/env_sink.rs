@@ -1,0 +1,87 @@
+//! Sink selection through the `RFSIM_TELEMETRY` environment variable.
+//!
+//! The env var is consumed once per process, so these tests re-execute
+//! the test binary itself with the variable set and inspect the child's
+//! output. The child branch of each test records a small workload and
+//! flushes; the parent branch asserts on the artifact or stderr.
+
+use rfsim_telemetry as telemetry;
+use std::process::Command;
+
+const CHILD_VAR: &str = "RFSIM_TELEMETRY_TEST_CHILD";
+
+/// Workload the child process runs before flushing.
+fn child_workload() {
+    {
+        let _span = telemetry::span("child.solve");
+        telemetry::counter_add("child.iterations", 42);
+        telemetry::record_trace("child.newton", "env test", &[1.0, 1e-4, 1e-9], true);
+    }
+    telemetry::flush(None).expect("flush");
+}
+
+fn run_child(test_name: &str, env_value: &str) -> std::process::Output {
+    let exe = std::env::current_exe().expect("current exe");
+    Command::new(exe)
+        .args(["--exact", test_name, "--nocapture", "--test-threads", "1"])
+        .env(CHILD_VAR, "1")
+        .env(telemetry::ENV_VAR, env_value)
+        .output()
+        .expect("spawn child test process")
+}
+
+#[test]
+fn env_json_selects_json_sink() {
+    if std::env::var(CHILD_VAR).is_ok() {
+        child_workload();
+        return;
+    }
+    let path = std::env::temp_dir().join("rfsim-telemetry-env-sink-test.json");
+    let _ = std::fs::remove_file(&path);
+    let out = run_child("env_json_selects_json_sink", &format!("json:{}", path.display()));
+    assert!(out.status.success(), "child failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&path).expect("JSON artifact written at env path");
+    let parsed = telemetry::Json::parse(&text).expect("valid JSON");
+    assert_eq!(
+        parsed.get("counters").and_then(|c| c.get("child.iterations")).and_then(|v| v.as_f64()),
+        Some(42.0)
+    );
+    let spans = parsed.get("spans").and_then(|s| s.get("children")).expect("span tree");
+    assert!(spans.get("child.solve").is_some());
+    let traces = telemetry::Snapshot::traces_from_json(&parsed).expect("traces");
+    assert_eq!(traces.len(), 1);
+    assert_eq!(traces[0].solver, "child.newton");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn env_report_writes_stderr() {
+    if std::env::var(CHILD_VAR).is_ok() {
+        child_workload();
+        return;
+    }
+    let out = run_child("env_report_writes_stderr", "report");
+    assert!(out.status.success(), "child failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("== rfsim telemetry =="), "missing report header: {stderr}");
+    assert!(stderr.contains("child.iterations"), "missing counter line: {stderr}");
+    assert!(stderr.contains("child.newton"), "missing trace line: {stderr}");
+}
+
+#[test]
+fn env_off_records_and_writes_nothing() {
+    if std::env::var(CHILD_VAR).is_ok() {
+        child_workload();
+        // With telemetry off the snapshot must stay empty even though the
+        // workload ran.
+        let snap = telemetry::snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.traces.is_empty());
+        return;
+    }
+    let out = run_child("env_off_records_and_writes_nothing", "off");
+    assert!(out.status.success(), "child failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("== rfsim telemetry =="), "off mode produced a report: {stderr}");
+}

@@ -60,6 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:.4e} {:+.4e}j", p.re, p.im);
     }
     let h_dc = model.eval(Complex::ZERO);
-    println!("DC transfer resistance: {:.3} Ω (exact: {:.3} Ω)", h_dc.re, line.eval(Complex::ZERO).re);
+    println!(
+        "DC transfer resistance: {:.3} Ω (exact: {:.3} Ω)",
+        h_dc.re,
+        line.eval(Complex::ZERO).re
+    );
     Ok(())
 }

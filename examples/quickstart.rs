@@ -31,10 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("DC operating point: v(out) = {:.4} V", op.voltage(out));
 
     // --- Small-signal AC (linearized at the OP — blind to clipping). ---
-    let mut b_ac = vec![0.0; {
-        use rfsim::circuit::dae::Dae as _;
-        dae.dim()
-    }];
+    let mut b_ac = vec![
+        0.0;
+        {
+            use rfsim::circuit::dae::Dae as _;
+            dae.dim()
+        }
+    ];
     b_ac[dae.branch_index("V1", 0).expect("V1 exists")] = 1.0;
     let ac = ac_sweep(&dae, &op.x, &b_ac, &log_sweep(1e4, 1e8, 5))?;
     println!("\nAC small-signal gain at out (dB):");

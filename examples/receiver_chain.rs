@@ -116,7 +116,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         v_if * 1e3,
         20.0 * (v_if / v_rf).log10()
     );
-    println!("2·LO+IF feedthrough after filter: {:.4} mV ({:.1} dBc)", v_2lo * 1e3, 20.0 * (v_2lo / v_if).log10());
+    println!(
+        "2·LO+IF feedthrough after filter: {:.4} mV ({:.1} dBc)",
+        v_2lo * 1e3,
+        20.0 * (v_2lo / v_if).log10()
+    );
 
     // --- 2. Output noise of the IF filter. ---
     let op = dc_operating_point(&dae, &DcOptions::default())?;

@@ -64,10 +64,7 @@ fn three_solvers_one_capacitance() {
         .solve_iterative(&cm, &[1.0, 0.0], &KrylovOptions { tol: 1e-9, ..Default::default() })
         .expect("gmres");
     let c_ies3 = p.conductor_charges(&q)[0];
-    assert!(
-        (c_ies3 - c_dense).abs() / c_dense < 1e-3,
-        "dense {c_dense:.4e} vs ies3 {c_ies3:.4e}"
-    );
+    assert!((c_ies3 - c_dense).abs() / c_dense < 1e-3, "dense {c_dense:.4e} vs ies3 {c_ies3:.4e}");
     // FD (coarser physics: grounded box adds fringing; same order).
     let nf = 18;
     let h = 3.0 * side / nf as f64;

@@ -100,7 +100,13 @@ fn parsed_lc_filter_resonance() {
     let f0 = 1.0 / (2.0 * std::f64::consts::PI * (100e-9f64 * 10e-12).sqrt());
     let mut b_ac = vec![0.0; rfsim::circuit::dae::Dae::dim(&dae)];
     b_ac[dae.branch_index("V1", 0).expect("v1")] = 1.0;
-    let res = ac_sweep(&dae, &vec![0.0; rfsim::circuit::dae::Dae::dim(&dae)], &b_ac, &[f0 / 5.0, f0, f0 * 5.0]).expect("ac");
+    let res = ac_sweep(
+        &dae,
+        &vec![0.0; rfsim::circuit::dae::Dae::dim(&dae)],
+        &b_ac,
+        &[f0 / 5.0, f0, f0 * 5.0],
+    )
+    .expect("ac");
     let mags: Vec<f64> = (0..3).map(|k| res.voltage(k, x).abs()).collect();
     assert!(mags[1] > mags[0] && mags[1] > mags[2], "no resonance peak: {mags:?}");
     // Q of the series-R-loaded tank boosts the peak above the drive.

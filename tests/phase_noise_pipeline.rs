@@ -36,7 +36,9 @@ fn lc_pipeline_matches_analytic_theory() {
     assert!((total - p1).abs() / p1 < 0.03);
     // LTV divergence vs Lorentzian finiteness at the carrier.
     assert!(lorentzian_psd(0.0, 1, pn.c, pn.f0, p1).is_finite());
-    assert!(ltv_psd(gamma * 1e-9, 1, pn.c, pn.f0, p1) > 1e6 * lorentzian_psd(0.0, 1, pn.c, pn.f0, p1));
+    assert!(
+        ltv_psd(gamma * 1e-9, 1, pn.c, pn.f0, p1) > 1e6 * lorentzian_psd(0.0, 1, pn.c, pn.f0, p1)
+    );
 }
 
 #[test]

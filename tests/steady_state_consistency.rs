@@ -32,15 +32,12 @@ fn hb_shooting_transient_agree_on_rectifier() {
     let oi = dae.node_index(out).expect("node");
     // HB.
     let grid = SpectralGrid::single_tone(f0, 12).expect("grid");
-    let hb = solve_hb(&dae, &grid, &HbOptions { source_steps: 3, ..Default::default() })
-        .expect("hb");
+    let hb =
+        solve_hb(&dae, &grid, &HbOptions { source_steps: 3, ..Default::default() }).expect("hb");
     // Shooting.
-    let sh = shooting(
-        &dae,
-        1.0 / f0,
-        &ShootingOptions { steps_per_period: 500, ..Default::default() },
-    )
-    .expect("shooting");
+    let sh =
+        shooting(&dae, 1.0 / f0, &ShootingOptions { steps_per_period: 500, ..Default::default() })
+            .expect("shooting");
     // Transient run to steady state (20 periods), then harmonics by DFT.
     let tr = transient(
         &dae,
@@ -55,14 +52,8 @@ fn hb_shooting_transient_agree_on_rectifier() {
         let a_hb = hb.amplitude(oi, &[k as i32]);
         let a_sh = sh.amplitude(oi, k as i32);
         let a_tr = spec[k];
-        assert!(
-            (a_hb - a_sh).abs() < 6e-3,
-            "harmonic {k}: hb {a_hb:.5} vs shooting {a_sh:.5}"
-        );
-        assert!(
-            (a_hb - a_tr).abs() < 1.5e-2,
-            "harmonic {k}: hb {a_hb:.5} vs transient {a_tr:.5}"
-        );
+        assert!((a_hb - a_sh).abs() < 6e-3, "harmonic {k}: hb {a_hb:.5} vs shooting {a_sh:.5}");
+        assert!((a_hb - a_tr).abs() < 1.5e-2, "harmonic {k}: hb {a_hb:.5} vs transient {a_tr:.5}");
     }
 }
 
@@ -78,10 +69,7 @@ fn mpde_methods_agree() {
         a,
         Circuit::GROUND,
         0.0,
-        vec![
-            (Tone::new(0.6, f1), TimeScale::Slow),
-            (Tone::new(0.4, f2), TimeScale::Fast),
-        ],
+        vec![(Tone::new(0.6, f1), TimeScale::Slow), (Tone::new(0.4, f2), TimeScale::Fast)],
     ));
     ckt.add(Resistor::new("R1", a, out, 1e3));
     ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 3e-10));
@@ -102,13 +90,9 @@ fn mpde_methods_agree() {
         &HsOptions { n1: 32, n2: 32, ..Default::default() },
     )
     .expect("hshoot");
-    let mm = solve_mmft(
-        &dae,
-        f1,
-        f2,
-        &MmftOptions { slow_harmonics: 2, n2: 32, ..Default::default() },
-    )
-    .expect("mmft");
+    let mm =
+        solve_mmft(&dae, f1, f2, &MmftOptions { slow_harmonics: 2, n2: 32, ..Default::default() })
+            .expect("mmft");
     // Compare all three on the diagonal waveform at scattered times.
     for j in 0..24 {
         let t = j as f64 * (1.0 / f1) / 24.0;
@@ -148,20 +132,13 @@ fn hb_and_mmft_mix_amplitudes_agree() {
     let oi = dae.node_index(out).expect("node");
     let grid = SpectralGrid::two_tone(ToneAxis::new(f1, 2), ToneAxis::new(f2, 2)).expect("grid");
     let hb = solve_hb(&dae, &grid, &HbOptions::default()).expect("hb");
-    let mm = solve_mmft(
-        &dae,
-        f1,
-        f2,
-        &MmftOptions { slow_harmonics: 2, n2: 64, ..Default::default() },
-    )
-    .expect("mmft");
+    let mm =
+        solve_mmft(&dae, f1, f2, &MmftOptions { slow_harmonics: 2, n2: 64, ..Default::default() })
+            .expect("mmft");
     for (k, m) in [(1i32, 1i32), (-1, 1)] {
         let a_hb = hb.amplitude(oi, &[k, m]);
         let a_mm = mm.mix_amplitude(oi, k, m);
-        assert!(
-            (a_hb - a_mm).abs() < 3e-3,
-            "mix ({k},{m}): hb {a_hb:.5} vs mmft {a_mm:.5}"
-        );
+        assert!((a_hb - a_mm).abs() < 3e-3, "mix ({k},{m}): hb {a_hb:.5} vs mmft {a_mm:.5}");
     }
 }
 

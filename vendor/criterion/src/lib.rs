@@ -1,0 +1,244 @@
+//! Offline, API-compatible subset of the `criterion` bench harness.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! the slice of criterion's API the benches use: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, per-group
+//! `sample_size`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! and `black_box`. Measurement is a simple warmup + fixed-sample
+//! median/mean estimator printed in a criterion-like format — good
+//! enough to compare before/after on the same machine, with none of
+//! upstream's statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of a parameterized benchmark (`group/name/param`).
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId { name: name.into(), param: param.to_string() }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId { name: String::new(), param: param.to_string() }
+    }
+
+    fn label(&self) -> String {
+        if self.name.is_empty() {
+            self.param.clone()
+        } else if self.param.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, self.param)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string(), param: String::new() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, param: String::new() }
+    }
+}
+
+/// Timing context passed to the closure under `bench_function`.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup: one call to populate caches and trigger lazy init.
+        black_box(routine());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "    time: [median {}  mean {}]  ({} samples)",
+            fmt_duration(median),
+            fmt_duration(mean),
+            self.samples
+        );
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        black_box(routine(input));
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        println!("    time: [median {}]  ({} samples)", fmt_duration(median), self.samples);
+    }
+}
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        println!("{}/{}", self.name, id.label());
+        let mut b = Bencher { samples: self.samples };
+        f(&mut b);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("{}/{}", self.name, id.label());
+        let mut b = Bencher { samples: self.samples };
+        f(&mut b, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level bench driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_samples: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup { criterion: self, name: name.into(), samples }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{id}");
+        let mut b = Bencher { samples: self.default_samples };
+        f(&mut b);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.default_samples = n.max(1);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        let mut calls = 0usize;
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        // warmup + 3 samples
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(2);
+        let input = 21u64;
+        let mut seen = 0u64;
+        g.bench_with_input(BenchmarkId::new("double", input), &input, |b, &i| {
+            b.iter(|| seen = i * 2)
+        });
+        g.finish();
+        assert_eq!(seen, 42);
+    }
+}

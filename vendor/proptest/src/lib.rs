@@ -1,0 +1,253 @@
+//! Offline, API-compatible subset of the `proptest` framework.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! the slice of proptest it uses: the `proptest!` macro with optional
+//! `#![proptest_config(..)]`, `prop_assert!` / `prop_assert_eq!`, the
+//! `Strategy` trait with `prop_map` / `prop_filter` / `prop_flat_map`,
+//! range and tuple strategies, and `collection::vec`.
+//!
+//! Semantics versus upstream: generation is uniform random from a
+//! deterministic per-test seed (no shrinking, no persisted failure
+//! seeds). A failing case panics with the assertion message; rerunning
+//! the test reproduces it exactly because the RNG stream is a pure
+//! function of the test body's structure.
+
+pub mod strategy;
+
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Size argument for [`vec`]: a fixed length or a length range.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut crate::test_runner::TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut crate::test_runner::TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut crate::test_runner::TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut crate::test_runner::TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + (rng.next_u64() as usize) % (hi - lo + 1)
+        }
+    }
+
+    /// `Vec` strategy: each element drawn independently from `element`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic xorshift-based RNG driving value generation.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            // Avoid the all-zero xorshift fixed point.
+            TestRng { state: (seed ^ 0x9e37_79b9_7f4a_7c15) | 1 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            // splitmix-style output scrambling for better low bits.
+            let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_f64_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runner configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+        pub max_local_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64, max_local_rejects: 65_536 }
+        }
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases, ..Default::default() }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs one named property test: repeatedly generates inputs and calls
+/// `case`; a `Err` return fails the test with the offending message.
+/// Used by the `proptest!` macro expansion; not part of upstream's API.
+pub fn run_property_test(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut test_runner::TestRng) -> Option<Result<(), String>>,
+) {
+    // Seed from the test name so distinct tests get distinct streams but
+    // every run of the same test is reproducible.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut rng = test_runner::TestRng::from_seed(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Some(Ok(())) => passed += 1,
+            Some(Err(msg)) => {
+                panic!("proptest `{name}` failed after {passed} passing case(s): {msg}")
+            }
+            None => {
+                rejected += 1;
+                if rejected > config.max_local_rejects {
+                    panic!(
+                        "proptest `{name}`: too many local rejects \
+                         ({rejected}) — filter is too strict"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The driver macro. Supports the subset of upstream grammar used here:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn name(x in strategy, pat in strategy2) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // With a config attribute.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl ($config); $(
+            $(#[$meta])* fn $name($($pat in $strat),+) $body
+        )*);
+    };
+
+    // Without a config attribute.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $(
+            $(#[$meta])* fn $name($($pat in $strat),+) $body
+        )*);
+    };
+
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                // Strategies are built once; generation draws from them
+                // per case, mirroring upstream's value trees.
+                $crate::run_property_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    |rng| {
+                        $(
+                            let $pat = match $crate::strategy::Strategy::try_gen(&($strat), rng) {
+                                Some(v) => v,
+                                None => return None,
+                            };
+                        )+
+                        let outcome: ::std::result::Result<(), ::std::string::String> =
+                            (|| { $body ::std::result::Result::Ok(()) })();
+                        Some(outcome)
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure aborts only the current
+/// case (by returning `Err`), which the runner converts into a panic
+/// with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!("assertion failed: `{:?} == {:?}`", l, r));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l != *r) {
+            return ::std::result::Result::Err(format!("assertion failed: `{:?} != {:?}`", l, r));
+        }
+    }};
+}

@@ -1,0 +1,205 @@
+//! Strategy trait and the combinators the workspace's tests use.
+
+use crate::collection::SizeRange;
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// `try_gen` returns `None` when a filter rejects the drawn value; the
+/// runner retries the whole case (upstream retries locally, but with
+/// the mild filters used here the difference is immaterial).
+pub trait Strategy: Sized {
+    type Value;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F> {
+        Filter { inner: self, _whence: whence.into(), f }
+    }
+
+    fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn try_gen(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.try_gen(rng).map(&self.f)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    _whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.try_gen(rng).filter(|v| (self.f)(v))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<O::Value> {
+        let mid = self.inner.try_gen(rng)?;
+        (self.f)(mid).try_gen(rng)
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<f64> {
+        Some(self.start + rng.next_f64_unit() * (self.end - self.start))
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<f32> {
+        Some(self.start + (rng.next_f64_unit() as f32) * (self.end - self.start))
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn try_gen(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                Some((self.start as i128 + v) as $t)
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn try_gen(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.try_gen(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+impl_strategy_tuple!(A, B, C, D, E, F);
+
+/// Built by [`crate::collection::vec`].
+pub struct VecStrategy<S, Z> {
+    pub(crate) element: S,
+    pub(crate) size: Z,
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+
+    fn try_gen(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let n = self.size.pick(rng);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.element.try_gen(rng)?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..500 {
+            let x = (-2.0f64..3.0).try_gen(&mut rng).unwrap();
+            assert!((-2.0..3.0).contains(&x));
+            let k = (5usize..9).try_gen(&mut rng).unwrap();
+            assert!((5..9).contains(&k));
+        }
+    }
+
+    #[test]
+    fn map_and_filter_compose() {
+        let strat = (0.0f64..1.0).prop_map(|x| x * 10.0).prop_filter("big", |x| *x > 5.0);
+        let mut rng = TestRng::from_seed(9);
+        let mut accepted = 0;
+        for _ in 0..200 {
+            if let Some(v) = strat.try_gen(&mut rng) {
+                assert!(v > 5.0 && v < 10.0);
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 50, "filter accepted only {accepted}/200");
+    }
+
+    #[test]
+    fn vec_of_tuples_has_requested_len() {
+        let strat = crate::collection::vec((0.0f64..1.0, 0.0f64..1.0), 7usize);
+        let mut rng = TestRng::from_seed(1);
+        assert_eq!(strat.try_gen(&mut rng).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn ranged_vec_len_in_bounds() {
+        let strat = crate::collection::vec(0.0f64..1.0, 2usize..6);
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            let v = strat.try_gen(&mut rng).unwrap();
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+}
