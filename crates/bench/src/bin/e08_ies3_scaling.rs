@@ -30,6 +30,8 @@ fn run_case(n_side: usize, opts: &Ies3Options) -> (usize, usize, f64, f64, f64) 
 
 fn main() {
     println!("E8: IES³ scaling (Fig 6)");
+    println!("worker pool: {} thread(s) (RFSIM_THREADS)", rfsim::parallel::thread_count());
+    rfsim::telemetry::gauge_set("pool.threads", rfsim::parallel::thread_count() as f64);
     let opts = Ies3Options::default();
     heading("size sweep (plate pair, n panels total)");
     println!(

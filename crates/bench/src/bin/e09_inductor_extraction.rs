@@ -21,6 +21,8 @@ fn noise(i: usize) -> f64 {
 
 fn main() {
     println!("E9: spiral inductor extraction vs synthetic measurement (Fig 7)");
+    println!("worker pool: {} thread(s) (RFSIM_THREADS)", rfsim::parallel::thread_count());
+    rfsim::telemetry::gauge_set("pool.threads", rfsim::parallel::thread_count() as f64);
     let spiral = SpiralInductor::default();
     println!(
         "{} turns, {:.0} µm outer, {:.0} µm trace, oxide {:.1} µm, ρ_sub {:.0e} Ω·m",

@@ -52,6 +52,7 @@ pub use rfsim_circuit as circuit;
 pub use rfsim_em as em;
 pub use rfsim_mpde as mpde;
 pub use rfsim_numerics as numerics;
+pub use rfsim_parallel as parallel;
 pub use rfsim_phasenoise as phasenoise;
 pub use rfsim_rom as rom;
 pub use rfsim_steady as steady;

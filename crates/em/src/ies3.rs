@@ -20,6 +20,7 @@ use crate::{Error, Result};
 use rfsim_numerics::dense::{Mat, Qr};
 use rfsim_numerics::krylov::LinearOperator;
 use rfsim_numerics::svd::Svd;
+use rfsim_parallel as parallel;
 use rfsim_telemetry as telemetry;
 
 /// Options controlling the compression.
@@ -294,27 +295,25 @@ impl CompressedMatrix {
         let n = panels.len();
         let mut perm: Vec<usize> = (0..n).collect();
         let (clusters, root) = build_tree(panels, &mut perm, opts.leaf_size);
-        let entry = |gi: usize, gj: usize| green.coefficient(&panels[gi], &panels[gj], gi, gj);
-        let mut blocks = Vec::new();
-        // Recursive block partition of (row cluster, col cluster).
+        // Phase 1 (serial): recursive block partition of (row cluster,
+        // col cluster) into a flat job list. The enumeration order fixes the
+        // block order — and therefore the matvec accumulation order — so the
+        // parallel phase below cannot perturb results.
+        enum Job {
+            LowRank { ci: usize, cj: usize },
+            Dense { ci: usize, cj: usize },
+        }
+        let mut jobs = Vec::new();
         let mut stack = vec![(root, root)];
         while let Some((ci, cj)) = stack.pop() {
             let (a, b) = (&clusters[ci], &clusters[cj]);
             let dist = a.distance(b);
             let admissible = dist > 0.0 && a.diameter().max(b.diameter()) <= opts.eta * dist;
             if admissible {
-                let rows: Vec<usize> = perm[a.lo..a.hi].to_vec();
-                let cols: Vec<usize> = perm[b.lo..b.hi].to_vec();
-                let (u, vt) = aca_block(&entry, &rows, &cols, opts.tol, opts.max_rank);
-                blocks.push(Block::LowRank { row0: a.lo, col0: b.lo, u, vt });
+                jobs.push(Job::LowRank { ci, cj });
             } else {
                 match (a.children, b.children) {
-                    (None, None) => {
-                        let m = Mat::from_fn(a.len(), b.len(), |i, j| {
-                            entry(perm[a.lo + i], perm[b.lo + j])
-                        });
-                        blocks.push(Block::Dense { row0: a.lo, col0: b.lo, m });
-                    }
+                    (None, None) => jobs.push(Job::Dense { ci, cj }),
                     (Some((l, r)), None) => {
                         stack.push((l, cj));
                         stack.push((r, cj));
@@ -332,6 +331,28 @@ impl CompressedMatrix {
                 }
             }
         }
+        // Phase 2 (parallel): each block compresses independently; results
+        // land back in job order.
+        let perm_ref = &perm;
+        let blocks = parallel::par_map_indexed(jobs.len(), |k| {
+            let entry = |gi: usize, gj: usize| green.coefficient(&panels[gi], &panels[gj], gi, gj);
+            match jobs[k] {
+                Job::LowRank { ci, cj } => {
+                    let (a, b) = (&clusters[ci], &clusters[cj]);
+                    let rows: Vec<usize> = perm_ref[a.lo..a.hi].to_vec();
+                    let cols: Vec<usize> = perm_ref[b.lo..b.hi].to_vec();
+                    let (u, vt) = aca_block(&entry, &rows, &cols, opts.tol, opts.max_rank);
+                    Block::LowRank { row0: a.lo, col0: b.lo, u, vt }
+                }
+                Job::Dense { ci, cj } => {
+                    let (a, b) = (&clusters[ci], &clusters[cj]);
+                    let m = Mat::from_fn(a.len(), b.len(), |i, j| {
+                        entry(perm_ref[a.lo + i], perm_ref[b.lo + j])
+                    });
+                    Block::Dense { row0: a.lo, col0: b.lo, m }
+                }
+            }
+        });
         let cm = CompressedMatrix { n, perm, blocks };
         if telemetry::enabled() {
             let lr = cm.low_rank_blocks();
@@ -378,24 +399,26 @@ impl CompressedMatrix {
         assert_eq!(x.len(), self.n, "matvec: length mismatch");
         // Permute input.
         let xp: Vec<f64> = self.perm.iter().map(|&o| x[o]).collect();
-        let mut yp = vec![0.0; self.n];
-        for b in &self.blocks {
-            match b {
+        // Per-block contributions compute in parallel; the accumulation
+        // below runs serially in block order, so the floating-point add
+        // order — and the result bits — match the serial path exactly.
+        let xp_ref = &xp;
+        let contribs: Vec<(usize, Vec<f64>)> =
+            parallel::par_map_indexed(self.blocks.len(), |k| match &self.blocks[k] {
                 Block::Dense { row0, col0, m } => {
-                    let xs = &xp[*col0..col0 + m.cols()];
-                    let ys = m.matvec(xs);
-                    for (i, v) in ys.into_iter().enumerate() {
-                        yp[row0 + i] += v;
-                    }
+                    let xs = &xp_ref[*col0..col0 + m.cols()];
+                    (*row0, m.matvec(xs))
                 }
                 Block::LowRank { row0, col0, u, vt } => {
-                    let xs = &xp[*col0..col0 + vt.cols()];
+                    let xs = &xp_ref[*col0..col0 + vt.cols()];
                     let t = vt.matvec(xs);
-                    let ys = u.matvec(&t);
-                    for (i, v) in ys.into_iter().enumerate() {
-                        yp[row0 + i] += v;
-                    }
+                    (*row0, u.matvec(&t))
                 }
+            });
+        let mut yp = vec![0.0; self.n];
+        for (row0, ys) in contribs {
+            for (i, v) in ys.into_iter().enumerate() {
+                yp[row0 + i] += v;
             }
         }
         // Un-permute output.

@@ -13,6 +13,7 @@ use crate::kernel::GreenFn;
 use crate::{Error, Result};
 use rfsim_numerics::dense::Mat;
 use rfsim_numerics::krylov::{gmres, JacobiPrecond, KrylovOptions};
+use rfsim_parallel as parallel;
 
 /// An assembled MoM problem: panels plus kernel.
 #[derive(Debug, Clone)]
@@ -54,7 +55,15 @@ impl MomProblem {
     /// the "traditional" representation IES³ compresses away).
     pub fn assemble_dense(&self) -> Mat<f64> {
         let n = self.panels.len();
-        Mat::from_fn(n, n, |i, j| self.green.coefficient(&self.panels[i], &self.panels[j], i, j))
+        let mut a = Mat::zeros(n, n);
+        // Row-parallel fill: the matrix is row-major, so each chunk of `n`
+        // entries is one row and rows are disjoint.
+        parallel::par_chunks_mut(a.as_mut_slice(), n, |i, row| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = self.green.coefficient(&self.panels[i], &self.panels[j], i, j);
+            }
+        });
+        a
     }
 
     /// Solves for panel charges given conductor potentials (dense LU).

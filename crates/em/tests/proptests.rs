@@ -1,0 +1,79 @@
+//! Property-based tests for the EM layer: the IES³-compressed operator
+//! must behave like the dense potential matrix it replaces, on randomly
+//! generated panel clouds — not just the hand-picked meshes of the unit
+//! tests.
+
+use proptest::prelude::*;
+use rfsim_em::geom::{mesh_plate, Panel};
+use rfsim_em::ies3::{CompressedMatrix, Ies3Options};
+use rfsim_em::kernel::GreenFn;
+use rfsim_em::mom::MomProblem;
+
+/// A random but well-posed panel cloud: one or two jittered plate meshes
+/// (panels never overlap, so the collocation matrix stays well
+/// conditioned).
+fn panel_cloud() -> impl Strategy<Value = Vec<Panel>> {
+    (4usize..9, 4usize..9, 3e-4f64..2e-3, 0.0f64..1e-3, 0usize..2, 3e-5f64..3e-4).prop_map(
+        |(nx, ny, size, x0, extra_layer, gap)| {
+            let mut panels = mesh_plate(x0, 0.0, 0.0, size, size, nx, ny, 0);
+            if extra_layer > 0 {
+                panels.extend(mesh_plate(x0, 0.0, gap, size, size, nx, ny, 1));
+            }
+            panels
+        },
+    )
+}
+
+proptest! {
+    /// IES³ matvec agrees with the dense assembly on the same cloud.
+    #[test]
+    fn ies3_matvec_matches_dense(panels in panel_cloud(), seed in 0u64..1000) {
+        let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).unwrap();
+        let dense = p.assemble_dense();
+        let cm = CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default()).unwrap();
+        let x: Vec<f64> =
+            (0..p.len()).map(|i| (((i as u64).wrapping_mul(seed + 7) % 17) as f64) - 8.0).collect();
+        let yd = dense.matvec(&x);
+        let yc = cm.matvec(&x);
+        let scale = yd.iter().map(|v| v.abs()).fold(0.0, f64::max).max(1e-300);
+        for (a, b) in yd.iter().zip(&yc) {
+            prop_assert!((a - b).abs() < 1e-3 * scale, "{a} vs {b} (scale {scale:.3e})");
+        }
+    }
+
+    /// The compressed operator is linear: A(αx + y) = αAx + Ay.
+    #[test]
+    fn ies3_matvec_is_linear(panels in panel_cloud(), alpha in -3.0f64..3.0) {
+        let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).unwrap();
+        let cm = CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default()).unwrap();
+        let n = p.len();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 31) % 7) as f64 - 3.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 13) % 5) as f64 - 2.0).collect();
+        let combined: Vec<f64> = x.iter().zip(&y).map(|(a, b)| alpha * a + b).collect();
+        let lhs = cm.matvec(&combined);
+        let ax = cm.matvec(&x);
+        let ay = cm.matvec(&y);
+        let scale = lhs.iter().map(|v| v.abs()).fold(0.0, f64::max).max(1e-300);
+        for i in 0..n {
+            let rhs = alpha * ax[i] + ay[i];
+            prop_assert!((lhs[i] - rhs).abs() < 1e-9 * scale);
+        }
+    }
+
+    /// Dense assembly has a dominant positive diagonal (self-potential
+    /// exceeds any mutual term) on every cloud — the property Jacobi
+    /// preconditioning and the iterative solve rely on.
+    #[test]
+    fn dense_diagonal_dominates(panels in panel_cloud()) {
+        let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).unwrap();
+        let a = p.assemble_dense();
+        for i in 0..p.len() {
+            prop_assert!(a[(i, i)] > 0.0);
+            for j in 0..p.len() {
+                if i != j {
+                    prop_assert!(a[(i, i)] > a[(i, j)].abs(), "({i},{j})");
+                }
+            }
+        }
+    }
+}

@@ -66,7 +66,12 @@ impl<T: Scalar, F: Fn(&[T], &mut [T])> LinearOperator<T> for FnOperator<F> {
 /// Left preconditioner `z = M⁻¹·r`.
 pub trait Preconditioner<T: Scalar> {
     /// Applies the preconditioner: `z ← M⁻¹ r`. `z` is pre-sized.
-    fn apply(&self, r: &[T], z: &mut [T]);
+    ///
+    /// # Errors
+    /// Factored preconditioners propagate solve failures (e.g.
+    /// [`Error::Singular`]) instead of panicking mid-iteration; the Krylov
+    /// drivers forward the error to their caller.
+    fn apply(&self, r: &[T], z: &mut [T]) -> Result<()>;
 }
 
 /// Identity (no) preconditioning.
@@ -74,8 +79,9 @@ pub trait Preconditioner<T: Scalar> {
 pub struct IdentityPrecond;
 
 impl<T: Scalar> Preconditioner<T> for IdentityPrecond {
-    fn apply(&self, r: &[T], z: &mut [T]) {
+    fn apply(&self, r: &[T], z: &mut [T]) -> Result<()> {
         z.copy_from_slice(r);
+        Ok(())
     }
 }
 
@@ -95,10 +101,11 @@ impl<T: Scalar> JacobiPrecond<T> {
 }
 
 impl<T: Scalar> Preconditioner<T> for JacobiPrecond<T> {
-    fn apply(&self, r: &[T], z: &mut [T]) {
+    fn apply(&self, r: &[T], z: &mut [T]) -> Result<()> {
         for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
             *zi = *ri * *di;
         }
+        Ok(())
     }
 }
 
@@ -202,8 +209,9 @@ impl<T: Scalar> Ilu0<T> {
 }
 
 impl<T: Scalar> Preconditioner<T> for Ilu0<T> {
-    fn apply(&self, r: &[T], z: &mut [T]) {
+    fn apply(&self, r: &[T], z: &mut [T]) -> Result<()> {
         self.solve_into(r, z);
+        Ok(())
     }
 }
 
@@ -242,13 +250,14 @@ impl<T: Scalar> BlockDiagPrecond<T> {
 }
 
 impl<T: Scalar> Preconditioner<T> for BlockDiagPrecond<T> {
-    fn apply(&self, r: &[T], z: &mut [T]) {
+    fn apply(&self, r: &[T], z: &mut [T]) -> Result<()> {
         for (k, lu) in self.blocks.iter().enumerate() {
             let lo = self.offsets[k];
             let hi = self.offsets[k + 1];
-            let x = lu.solve(&r[lo..hi]).expect("block precond solve");
+            let x = lu.solve(&r[lo..hi])?;
             z[lo..hi].copy_from_slice(&x);
         }
+        Ok(())
     }
 }
 
@@ -308,7 +317,7 @@ pub fn gmres<T: Scalar>(
 
     // Preconditioned RHS norm for the relative criterion.
     let mut zb = vec![T::ZERO; n];
-    precond.apply(b, &mut zb);
+    precond.apply(b, &mut zb)?;
     let bnorm = gnorm2(&zb).max(1e-300);
 
     let mut work = vec![T::ZERO; n];
@@ -322,7 +331,7 @@ pub fn gmres<T: Scalar>(
             r[i] = b[i] - work[i];
         }
         let mut z = vec![T::ZERO; n];
-        precond.apply(&r, &mut z);
+        precond.apply(&r, &mut z)?;
         let beta = gnorm2(&z);
         resid_norm = beta / bnorm;
         if resid_norm <= opts.tol {
@@ -351,7 +360,7 @@ pub fn gmres<T: Scalar>(
             a.apply(&v[k], &mut work);
             matvecs += 1;
             let mut w = vec![T::ZERO; n];
-            precond.apply(&work, &mut w);
+            precond.apply(&work, &mut w)?;
             // Modified Gram–Schmidt.
             for i in 0..=k {
                 let hik = gdot(&v[i], &w);
@@ -492,7 +501,7 @@ pub fn bicgstab<T: Scalar>(
             p[i] = r[i] + beta * (p[i] - omega * vv[i]);
         }
         let mut phat = vec![T::ZERO; n];
-        precond.apply(&p, &mut phat);
+        precond.apply(&p, &mut phat)?;
         a.apply(&phat, &mut vv);
         matvecs += 1;
         alpha = rho / gdot(&rhat, &vv);
@@ -506,7 +515,7 @@ pub fn bicgstab<T: Scalar>(
             return Ok((x, stats));
         }
         let mut shat = vec![T::ZERO; n];
-        precond.apply(&s, &mut shat);
+        precond.apply(&s, &mut shat)?;
         let mut t = vec![T::ZERO; n];
         a.apply(&shat, &mut t);
         matvecs += 1;
@@ -771,6 +780,27 @@ mod tests {
         t.push(1, 0, 1.0);
         let a = t.to_csr();
         assert!(matches!(Ilu0::new(&a), Err(Error::Singular(_))));
+    }
+
+    #[test]
+    fn precond_failure_propagates_not_panics() {
+        // A preconditioner whose inner solve fails must surface the error
+        // through gmres instead of panicking mid-iteration.
+        struct FailingPrecond;
+        impl Preconditioner<f64> for FailingPrecond {
+            fn apply(&self, _r: &[f64], _z: &mut [f64]) -> crate::Result<()> {
+                Err(Error::Singular(7))
+            }
+        }
+        let (a, b, _) = spd_system(12);
+        assert!(matches!(
+            gmres(&a, &b, None, &FailingPrecond, &KrylovOptions::default()),
+            Err(Error::Singular(7))
+        ));
+        assert!(matches!(
+            bicgstab(&a, &b, None, &FailingPrecond, &KrylovOptions::default()),
+            Err(Error::Singular(7))
+        ));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use rfsim_numerics::complex::{cdot, cnorm2};
 use rfsim_numerics::dense::Mat;
-use rfsim_numerics::fft::{dft, idft};
+use rfsim_numerics::fft::{dft, fft_pow2, idft, ifft_pow2};
 use rfsim_numerics::krylov::{gmres, IdentityPrecond, KrylovOptions};
 use rfsim_numerics::sparse::Triplets;
 use rfsim_numerics::svd::Svd;
@@ -86,6 +86,54 @@ proptest! {
         let back = idft(&dft(&x));
         for (a, b) in back.iter().zip(&x) {
             prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn fft_pow2_round_trip(x in complex_vec(32)) {
+        let mut data = x.clone();
+        fft_pow2(&mut data);
+        ifft_pow2(&mut data);
+        for (a, b) in data.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn fft_pow2_matches_dft(x in complex_vec(16)) {
+        let mut fast = x.clone();
+        fft_pow2(&mut fast);
+        let slow = dft(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 1e-8 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn complex_lu_solve_residual_small(
+        vals in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 36),
+        rhs in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 6),
+    ) {
+        // Diagonally dominant complex system.
+        let n = 6;
+        let mut m = Mat::from_fn(n, n, |i, j| {
+            let (re, im) = vals[i * n + j];
+            Complex::new(re, im)
+        });
+        for i in 0..n {
+            m[(i, i)] += Complex::new(n as f64 + 1.0, 0.0);
+        }
+        let b: Vec<Complex> = rhs.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        let lu = m.lu().unwrap();
+        let x = lu.solve(&b).unwrap();
+        // Residual ‖Mx − b‖∞ small relative to ‖b‖∞.
+        let bnorm = b.iter().map(|z| z.abs()).fold(0.0, f64::max).max(1.0);
+        for i in 0..n {
+            let mut ax = Complex::ZERO;
+            for j in 0..n {
+                ax += m[(i, j)] * x[j];
+            }
+            prop_assert!((ax - b[i]).abs() < 1e-9 * bnorm);
         }
     }
 

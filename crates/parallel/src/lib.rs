@@ -1,0 +1,433 @@
+#![warn(missing_docs)]
+//! `rfsim-parallel` — a std-only scoped worker pool for the embarrassingly
+//! parallel kernels of the workspace: per-harmonic preconditioner blocks,
+//! IES³ cluster-pair compression, MoM row assembly, and Monte Carlo
+//! trajectory ensembles.
+//!
+//! # Design
+//!
+//! There is no persistent thread pool and no external dependency: each
+//! parallel region opens a [`std::thread::scope`], splits the index space
+//! into one contiguous range per worker, and lets workers claim indices
+//! through per-range atomic cursors. A worker that drains its own range
+//! steals from the other ranges, so uneven task costs still balance.
+//!
+//! Three properties the numerical code relies on:
+//!
+//! - **Determinism.** Each task computes its result independently and the
+//!   caller reassembles results *in index order*, so the output — including
+//!   every floating-point rounding — is bitwise identical for any thread
+//!   count, including the serial fast path. Reductions must be performed by
+//!   the caller over the returned per-index values, never via shared
+//!   accumulators.
+//! - **Serial fast path.** `RFSIM_THREADS=1` (or a single-core machine)
+//!   runs the closure inline with zero pool setup: no spawn, no atomics,
+//!   no allocation beyond the output.
+//! - **Panic propagation.** A panicking task aborts the region; the first
+//!   panic payload is re-raised on the calling thread after all workers
+//!   have stopped, so a `should_panic` observed under the pool looks
+//!   exactly like one observed serially.
+//!
+//! The pool reports `pool.tasks` and `pool.steals` counters through
+//! [`rfsim_telemetry`]; spans opened inside tasks aggregate into the
+//! process-global span tree like any other thread's.
+//!
+//! # Thread count
+//!
+//! The worker count comes from the `RFSIM_THREADS` environment variable
+//! (read once per process): unset, empty, or `0` means "use
+//! [`std::thread::available_parallelism`]"; `1` forces the serial fast
+//! path; any other number is used as-is. [`set_thread_count`] overrides
+//! the environment programmatically (used by tests).
+//!
+//! # Example
+//!
+//! ```
+//! let squares = rfsim_parallel::par_map_indexed(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! let mut data = vec![0usize; 10];
+//! rfsim_parallel::par_chunks_mut(&mut data, 4, |chunk_idx, chunk| {
+//!     for v in chunk {
+//!         *v = chunk_idx;
+//!     }
+//! });
+//! assert_eq!(data, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+//! ```
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use rfsim_telemetry as telemetry;
+
+/// Environment variable selecting the worker count: `0`/empty/unset means
+/// auto (available parallelism), `1` forces serial, `n` uses `n` workers.
+pub const ENV_VAR: &str = "RFSIM_THREADS";
+
+/// Programmatic override; 0 = none (fall back to the environment).
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Parses an `RFSIM_THREADS` value. `Some(0)` means "auto"; `None` means
+/// unrecognized input.
+pub fn parse_threads(value: &str) -> Option<usize> {
+    let v = value.trim();
+    if v.is_empty() {
+        return Some(0);
+    }
+    v.parse::<usize>().ok()
+}
+
+fn auto_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var(ENV_VAR) {
+        Err(_) => auto_threads(),
+        Ok(v) => match parse_threads(&v) {
+            Some(0) => auto_threads(),
+            Some(n) => n,
+            None => {
+                eprintln!(
+                    "rfsim-parallel: ignoring unrecognized {ENV_VAR}={v:?} \
+                     (expected a thread count; 0 = auto)"
+                );
+                auto_threads()
+            }
+        },
+    })
+}
+
+/// The worker count parallel regions will use: the [`set_thread_count`]
+/// override if set, else `RFSIM_THREADS`, else available parallelism.
+pub fn thread_count() -> usize {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the worker count for this process (wins over the
+/// environment); `0` clears the override. Intended for tests.
+pub fn set_thread_count(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// First-panic slot shared by the workers of one parallel region.
+struct PanicSlot {
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
+    aborted: AtomicBool,
+}
+
+impl PanicSlot {
+    fn new() -> Self {
+        PanicSlot { payload: Mutex::new(None), aborted: AtomicBool::new(false) }
+    }
+
+    fn capture(&self, p: Box<dyn Any + Send>) {
+        self.aborted.store(true, Ordering::SeqCst);
+        let mut slot = self.payload.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(p);
+        }
+    }
+
+    fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Re-raises the first captured panic on the calling thread.
+    fn resume(self) {
+        if let Some(p) = self.payload.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            resume_unwind(p);
+        }
+    }
+}
+
+/// Splits `[0, len)` into `parts` near-equal contiguous ranges.
+fn split_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = len / parts;
+    let rem = len % parts;
+    let mut bounds = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for w in 0..parts {
+        let size = base + usize::from(w < rem);
+        bounds.push((lo, lo + size));
+        lo += size;
+    }
+    bounds
+}
+
+/// Applies `f` to every index in `[0, len)` and returns the results in
+/// index order.
+///
+/// With more than one worker the indices are processed concurrently
+/// (contiguous per-worker ranges plus work stealing); the output vector is
+/// always assembled in index order, so the result is bitwise identical to
+/// the serial evaluation for any thread count.
+///
+/// # Panics
+/// Re-raises the first panic of any task on the calling thread.
+pub fn par_map_indexed<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let nt = thread_count().min(len);
+    telemetry::counter_add("pool.tasks", len as u64);
+    if nt <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let bounds = split_ranges(len, nt);
+    let cursors: Vec<AtomicUsize> = bounds.iter().map(|&(lo, _)| AtomicUsize::new(lo)).collect();
+    let slot = PanicSlot::new();
+    let steals = AtomicUsize::new(0);
+    // One worker body shared by the caller thread (worker 0) and the
+    // spawned threads: drain your own range, then steal from the others.
+    let worker = |w: usize| -> Vec<(usize, T)> {
+        let mut out = Vec::with_capacity(bounds[w].1 - bounds[w].0);
+        for k in 0..nt {
+            let v = (w + k) % nt;
+            let hi = bounds[v].1;
+            loop {
+                if slot.aborted() {
+                    return out;
+                }
+                let idx = cursors[v].fetch_add(1, Ordering::Relaxed);
+                if idx >= hi {
+                    break;
+                }
+                if v != w {
+                    steals.fetch_add(1, Ordering::Relaxed);
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(idx))) {
+                    Ok(val) => out.push((idx, val)),
+                    Err(p) => {
+                        slot.capture(p);
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    };
+    let mut parts: Vec<Vec<(usize, T)>> = Vec::with_capacity(nt);
+    std::thread::scope(|s| {
+        let worker = &worker;
+        let handles: Vec<_> = (1..nt).map(|w| s.spawn(move || worker(w))).collect();
+        parts.push(worker(0));
+        for h in handles {
+            match h.join() {
+                Ok(part) => parts.push(part),
+                Err(p) => slot.capture(p),
+            }
+        }
+    });
+    telemetry::counter_add("pool.steals", steals.load(Ordering::Relaxed) as u64);
+    slot.resume();
+    // Reassemble in index order (the determinism guarantee).
+    let mut out: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    for part in parts {
+        for (i, v) in part {
+            debug_assert!(out[i].is_none(), "index {i} claimed twice");
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter().map(|v| v.expect("pool: every index claimed exactly once")).collect()
+}
+
+/// Splits `data` into chunks of `chunk` elements (the last may be shorter)
+/// and applies `f(chunk_index, chunk)` to each, in parallel.
+///
+/// Chunks are distributed round-robin over the workers; since every chunk
+/// is a disjoint sub-slice written by exactly one task, the result is
+/// bitwise identical for any thread count.
+///
+/// # Panics
+/// Panics if `chunk == 0`; re-raises the first panic of any task.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "par_chunks_mut: chunk size must be positive");
+    let nchunks = data.len().div_ceil(chunk);
+    telemetry::counter_add("pool.tasks", nchunks as u64);
+    let nt = thread_count().min(nchunks);
+    if nt <= 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let slot = PanicSlot::new();
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..nt).map(|_| Vec::new()).collect();
+    for (i, c) in data.chunks_mut(chunk).enumerate() {
+        per_worker[i % nt].push((i, c));
+    }
+    let run = |list: Vec<(usize, &mut [T])>| {
+        for (i, c) in list {
+            if slot.aborted() {
+                return;
+            }
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(i, c))) {
+                slot.capture(p);
+                return;
+            }
+        }
+    };
+    std::thread::scope(|s| {
+        let run = &run;
+        let mut iter = per_worker.into_iter();
+        let own = iter.next().expect("nt >= 1");
+        let handles: Vec<_> = iter.map(|list| s.spawn(move || run(list))).collect();
+        run(own);
+        for h in handles {
+            if let Err(p) = h.join() {
+                slot.capture(p);
+            }
+        }
+    });
+    slot.resume();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that mutate the process-global thread override or
+    /// telemetry mode.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _g = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        set_thread_count(n);
+        let out = f();
+        set_thread_count(0);
+        out
+    }
+
+    #[test]
+    fn parse_threads_grammar() {
+        assert_eq!(parse_threads(""), Some(0));
+        assert_eq!(parse_threads("0"), Some(0));
+        assert_eq!(parse_threads(" 4 "), Some(4));
+        assert_eq!(parse_threads("16"), Some(16));
+        assert_eq!(parse_threads("-1"), None);
+        assert_eq!(parse_threads("many"), None);
+    }
+
+    #[test]
+    fn split_ranges_covers_everything() {
+        for (len, parts) in [(10, 3), (3, 3), (7, 2), (16, 4), (5, 4)] {
+            let bounds = split_ranges(len, parts);
+            assert_eq!(bounds.len(), parts);
+            assert_eq!(bounds[0].0, 0);
+            assert_eq!(bounds[parts - 1].1, len);
+            for w in 1..parts {
+                assert_eq!(bounds[w].0, bounds[w - 1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn map_results_in_index_order() {
+        for nt in [1, 2, 4, 7] {
+            let out = with_threads(nt, || par_map_indexed(23, |i| 3 * i + 1));
+            assert_eq!(out, (0..23).map(|i| 3 * i + 1).collect::<Vec<_>>(), "nt = {nt}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let f = |i: usize| ((i as f64 + 0.1).sin() * 1e3).exp().sqrt();
+        let serial = with_threads(1, || par_map_indexed(101, f));
+        let parallel = with_threads(4, || par_map_indexed(101, f));
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn uneven_tasks_still_complete() {
+        // Front-loaded cost exercises the stealing path.
+        let out = with_threads(4, || {
+            par_map_indexed(32, |i| {
+                if i < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                i * i
+            })
+        });
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let caught = with_threads(4, || {
+            catch_unwind(AssertUnwindSafe(|| {
+                par_map_indexed(64, |i| {
+                    if i == 17 {
+                        panic!("task 17 exploded");
+                    }
+                    i
+                })
+            }))
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("task 17 exploded"), "payload: {msg:?}");
+    }
+
+    #[test]
+    fn chunks_mut_writes_every_chunk() {
+        for nt in [1, 3, 4] {
+            let mut data = vec![usize::MAX; 103];
+            with_threads(nt, || {
+                par_chunks_mut(&mut data, 10, |chunk_idx, chunk| {
+                    for v in chunk {
+                        *v = chunk_idx;
+                    }
+                });
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, i / 10, "nt = {nt}, element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_mut_panic_propagates() {
+        let mut data = vec![0u8; 40];
+        let caught = with_threads(4, || {
+            catch_unwind(AssertUnwindSafe(|| {
+                par_chunks_mut(&mut data, 4, |i, _| {
+                    if i == 5 {
+                        panic!("chunk 5 exploded");
+                    }
+                });
+            }))
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn telemetry_counts_tasks() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        telemetry::set_mode(telemetry::Mode::Report);
+        telemetry::reset();
+        set_thread_count(4);
+        let _ = par_map_indexed(16, |i| i);
+        set_thread_count(0);
+        let snap = telemetry::snapshot();
+        telemetry::set_mode(telemetry::Mode::Off);
+        telemetry::reset();
+        assert_eq!(snap.counters.get("pool.tasks"), Some(&16));
+        // The steals counter exists (possibly zero — stealing depends on
+        // scheduling).
+        assert!(snap.counters.contains_key("pool.steals"));
+    }
+}

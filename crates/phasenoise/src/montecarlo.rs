@@ -16,6 +16,7 @@ use crate::{Error, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rfsim_circuit::dae::Dae;
+use rfsim_parallel as parallel;
 
 /// Options for [`monte_carlo_ensemble`].
 #[derive(Debug, Clone)]
@@ -81,10 +82,12 @@ pub fn monte_carlo_ensemble(
         states[..opts.steps_per_period].iter().map(|s| s[opts.observe]).sum::<f64>()
             / opts.steps_per_period as f64;
 
-    let mut crossings_per_traj: Vec<Vec<f64>> = Vec::with_capacity(opts.ensemble);
-    let mut g = vec![0.0; n];
-    for traj in 0..opts.ensemble {
+    // Trajectories are independent: each seeds its own RNG from the base
+    // seed + trajectory index, so the ensemble is identical for any thread
+    // count.
+    let crossings_per_traj: Vec<Vec<f64>> = parallel::par_map_indexed(opts.ensemble, |traj| {
         let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(traj as u64));
+        let mut g = vec![0.0; n];
         let mut x = x0.to_vec();
         let mut crossings = Vec::new();
         let mut prev = x[opts.observe] - mean_level;
@@ -111,8 +114,8 @@ pub fn monte_carlo_ensemble(
             }
             prev = cur;
         }
-        crossings_per_traj.push(crossings);
-    }
+        crossings
+    });
     // Align: use the k-th crossing per trajectory.
     let min_crossings = crossings_per_traj.iter().map(Vec::len).min().unwrap_or(0);
     let mut jitter = Vec::with_capacity(min_crossings);

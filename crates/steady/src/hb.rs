@@ -23,6 +23,7 @@ use rfsim_numerics::dense::Mat;
 use rfsim_numerics::krylov::{gmres, FnOperator, IdentityPrecond, KrylovOptions, Preconditioner};
 use rfsim_numerics::sparse::{Csr, Triplets};
 use rfsim_numerics::{norm_inf, Complex, ResidualTail};
+use rfsim_parallel as parallel;
 use rfsim_telemetry as telemetry;
 
 /// Linear solver used for the Newton corrections.
@@ -197,12 +198,15 @@ impl HarmonicBlockPrecond {
         }
         gbar.scale_mut(1.0 / total as f64);
         cbar.scale_mut(1.0 / total as f64);
-        let mut blocks = Vec::with_capacity(total);
-        for bin in 0..total {
+        // Each bin's complex block (Ḡ + jω_k·C̄) factors independently.
+        let lus = parallel::par_map_indexed(total, |bin| {
             let omega = 2.0 * std::f64::consts::PI * bin_mix_freq(grid, bin);
             let m = Mat::from_fn(n, n, |i, j| Complex::new(gbar[(i, j)], omega * cbar[(i, j)]));
-            let lu = m.lu().map_err(Error::Numerics)?;
-            blocks.push(lu);
+            m.lu()
+        });
+        let mut blocks = Vec::with_capacity(total);
+        for lu in lus {
+            blocks.push(lu.map_err(Error::Numerics)?);
         }
         Ok(HarmonicBlockPrecond { grid: grid.clone(), n, blocks })
     }
@@ -242,70 +246,72 @@ fn signed_bin(b: usize, ns: usize) -> i64 {
 }
 
 impl Preconditioner<f64> for HarmonicBlockPrecond {
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
+    fn apply(&self, r: &[f64], z: &mut [f64]) -> rfsim_numerics::Result<()> {
         let n = self.n;
         let total = self.grid.samples();
         let axes = self.grid.axes();
         // Forward transform each unknown's field to the frequency domain.
-        let mut spec = vec![Complex::ZERO; total * n];
-        match axes.len() {
-            1 => {
-                for i in 0..n {
-                    let line: Vec<Complex> =
-                        (0..total).map(|s| Complex::from_re(r[s * n + i])).collect();
-                    let f = rfsim_numerics::fft::dft(&line);
-                    for (s, v) in f.into_iter().enumerate() {
-                        spec[s * n + i] = v;
-                    }
-                }
-            }
+        // One independent DFT per unknown; columns are scattered back into
+        // the interleaved layout in index order, so the result is identical
+        // for any thread count.
+        let cols: Vec<Vec<Complex>> = match axes.len() {
+            1 => parallel::par_map_indexed(n, |i| {
+                let line: Vec<Complex> =
+                    (0..total).map(|s| Complex::from_re(r[s * n + i])).collect();
+                rfsim_numerics::fft::dft(&line)
+            }),
             2 => {
                 let (n0, n1) = (axes[0].samples(), axes[1].samples());
-                for i in 0..n {
+                parallel::par_map_indexed(n, move |i| {
                     let gridvals: Vec<Complex> =
                         (0..total).map(|s| Complex::from_re(r[s * n + i])).collect();
-                    let f2 = rfsim_numerics::fft::dft2(&gridvals, n0, n1);
-                    for (s, v) in f2.into_iter().enumerate() {
-                        spec[s * n + i] = v;
-                    }
-                }
+                    rfsim_numerics::fft::dft2(&gridvals, n0, n1)
+                })
             }
             _ => unreachable!(),
-        }
-        // Solve each bin's complex block.
-        let mut rhs = vec![Complex::ZERO; n];
-        for bin in 0..total {
-            for i in 0..n {
-                rhs[i] = spec[bin * n + i];
+        };
+        let mut spec = vec![Complex::ZERO; total * n];
+        for (i, col) in cols.iter().enumerate() {
+            for (s, v) in col.iter().enumerate() {
+                spec[s * n + i] = *v;
             }
-            let sol = self.blocks[bin].solve(&rhs).expect("precond block solve");
-            for i in 0..n {
-                spec[bin * n + i] = sol[i];
+        }
+        // Batch-solve all frequency bins against their factored blocks.
+        let sols = {
+            let spec = &spec;
+            parallel::par_map_indexed(total, move |bin| {
+                let rhs: Vec<Complex> = (0..n).map(|i| spec[bin * n + i]).collect();
+                self.blocks[bin].solve(&rhs)
+            })
+        };
+        for (bin, sol) in sols.into_iter().enumerate() {
+            let sol = sol?;
+            for (i, v) in sol.into_iter().enumerate() {
+                spec[bin * n + i] = v;
             }
         }
         // Inverse transform back to the sample domain.
-        match axes.len() {
-            1 => {
-                for i in 0..n {
-                    let line: Vec<Complex> = (0..total).map(|s| spec[s * n + i]).collect();
-                    let b = rfsim_numerics::fft::idft(&line);
-                    for (s, v) in b.into_iter().enumerate() {
-                        z[s * n + i] = v.re;
-                    }
-                }
-            }
+        let spec = &spec;
+        let back: Vec<Vec<Complex>> = match axes.len() {
+            1 => parallel::par_map_indexed(n, move |i| {
+                let line: Vec<Complex> = (0..total).map(|s| spec[s * n + i]).collect();
+                rfsim_numerics::fft::idft(&line)
+            }),
             2 => {
                 let (n0, n1) = (axes[0].samples(), axes[1].samples());
-                for i in 0..n {
+                parallel::par_map_indexed(n, move |i| {
                     let gridvals: Vec<Complex> = (0..total).map(|s| spec[s * n + i]).collect();
-                    let b = rfsim_numerics::fft::idft2(&gridvals, n0, n1);
-                    for (s, v) in b.into_iter().enumerate() {
-                        z[s * n + i] = v.re;
-                    }
-                }
+                    rfsim_numerics::fft::idft2(&gridvals, n0, n1)
+                })
             }
             _ => unreachable!(),
+        };
+        for (i, col) in back.iter().enumerate() {
+            for (s, v) in col.iter().enumerate() {
+                z[s * n + i] = v.re;
+            }
         }
+        Ok(())
     }
 }
 

@@ -1,0 +1,150 @@
+//! Determinism harness for the parallel kernels: `RFSIM_THREADS=1` and
+//! `RFSIM_THREADS=4` must produce **bitwise identical** results.
+//!
+//! The thread count is read once per process, so (like the telemetry
+//! env-sink tests) each test re-executes the test binary with the variable
+//! set. The child branch runs every parallelized kernel and prints one
+//! `DET <kernel> <fnv-hash-of-f64-bits>` line per result vector; the
+//! parent compares the serial and 4-thread transcripts line by line.
+
+use rfsim::em::geom::{mesh_parallel_plates, mesh_plate};
+use rfsim::em::ies3::{CompressedMatrix, Ies3Options};
+use rfsim::em::kernel::GreenFn;
+use rfsim::em::mom::MomProblem;
+use rfsim::phasenoise::pss::{oscillator_pss, PssOptions};
+use rfsim::phasenoise::{monte_carlo_ensemble, McOptions, VanDerPol};
+use rfsim::steady::{solve_hb, HbOptions, SpectralGrid};
+use std::process::Command;
+
+const CHILD_VAR: &str = "RFSIM_PARALLEL_TEST_CHILD";
+
+/// FNV-1a over the exact bit patterns — any ULP difference changes it.
+fn hash_bits(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn emit(kernel: &str, values: &[f64]) {
+    println!("DET {kernel} {:016x}", hash_bits(values));
+}
+
+/// Runs every parallel kernel on a fixed workload and prints hashes.
+fn child_workload() {
+    println!("THREADS {}", rfsim::parallel::thread_count());
+
+    // MoM dense assembly (row-parallel fill).
+    let panels = mesh_plate(0.0, 0.0, 0.0, 1e-3, 1e-3, 10, 10, 0);
+    let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).expect("mom problem");
+    let a = p.assemble_dense();
+    let flat: Vec<f64> = (0..p.len())
+        .flat_map(|i| (0..p.len()).map(move |j| (i, j)))
+        .map(|(i, j)| a[(i, j)])
+        .collect();
+    emit("mom_assemble_dense", &flat);
+
+    // IES³ build + compressed matvec (parallel block compression, parallel
+    // contributions merged in block order).
+    let panels = mesh_parallel_plates(1e-3, 5e-5, 8);
+    let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).expect("mom problem");
+    let cm = CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default()).expect("ies3");
+    let x: Vec<f64> = (0..p.len()).map(|i| ((i * 37) % 13) as f64 - 6.0).collect();
+    emit("ies3_matvec", &cm.matvec(&x));
+    emit("ies3_bytes", &[cm.memory_bytes() as f64, cm.low_rank_blocks() as f64]);
+
+    // Harmonic balance with the block preconditioner (parallel per-bin LU
+    // factoring + batched bin solves inside every GMRES iteration).
+    let mut ckt = rfsim::circuit::Circuit::new();
+    use rfsim::circuit::prelude::*;
+    let inp = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.add(VSource::sine("V1", inp, rfsim::circuit::Circuit::GROUND, 0.0, 1.0, 1e6));
+    ckt.add(Resistor::new("R1", inp, out, 1e3));
+    ckt.add(Diode::new("D1", out, rfsim::circuit::Circuit::GROUND, 1e-13));
+    ckt.add(Capacitor::new("C1", out, rfsim::circuit::Circuit::GROUND, 2e-10));
+    let dae = ckt.into_dae().expect("netlist");
+    let grid = SpectralGrid::single_tone(1e6, 10).expect("grid");
+    let sol =
+        solve_hb(&dae, &grid, &HbOptions { source_steps: 2, ..Default::default() }).expect("hb");
+    emit("hb_precond_solution", &sol.x);
+
+    // Monte Carlo jitter ensemble (parallel trajectories, per-trajectory
+    // seeded RNG).
+    let osc = VanDerPol::new(1.0, 1e-5);
+    let pss = oscillator_pss(&osc, osc.initial_guess(), &PssOptions::default()).expect("pss");
+    let mc = monte_carlo_ensemble(
+        &osc,
+        &pss.x0,
+        pss.period,
+        &McOptions { ensemble: 8, periods: 8, ..Default::default() },
+    )
+    .expect("mc");
+    let jit: Vec<f64> =
+        mc.jitter.iter().flat_map(|&(t, v)| [t, v]).chain([mc.c_estimate]).collect();
+    emit("mc_jitter", &jit);
+}
+
+fn run_child(test_name: &str, threads: &str) -> Vec<String> {
+    let exe = std::env::current_exe().expect("current exe");
+    let out = Command::new(exe)
+        .args(["--exact", test_name, "--nocapture", "--test-threads", "1"])
+        .env(CHILD_VAR, "1")
+        .env(rfsim::parallel::ENV_VAR, threads)
+        .output()
+        .expect("spawn child test process");
+    assert!(
+        out.status.success(),
+        "child (RFSIM_THREADS={threads}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // libtest prints `test <name> ... ` without a newline before the test
+    // body runs, so the first marker can be glued to it — search anywhere
+    // in the line.
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter_map(|l| {
+            l.find("DET ").or_else(|| l.find("THREADS ")).map(|pos| l[pos..].to_owned())
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_and_serial_runs_are_bitwise_identical() {
+    if std::env::var(CHILD_VAR).is_ok() {
+        child_workload();
+        return;
+    }
+    let serial = run_child("parallel_and_serial_runs_are_bitwise_identical", "1");
+    let parallel = run_child("parallel_and_serial_runs_are_bitwise_identical", "4");
+    // Sanity: the children actually saw different pool widths.
+    assert!(serial.contains(&"THREADS 1".to_string()), "serial child: {serial:?}");
+    assert!(parallel.contains(&"THREADS 4".to_string()), "parallel child: {parallel:?}");
+    // Per-kernel hashes must match exactly.
+    let dets = |lines: &[String]| -> Vec<String> {
+        lines.iter().filter(|l| l.starts_with("DET ")).cloned().collect()
+    };
+    let (s, p) = (dets(&serial), dets(&parallel));
+    assert!(!s.is_empty(), "child produced no DET lines");
+    assert_eq!(s, p, "serial and 4-thread kernel hashes diverge");
+}
+
+#[test]
+fn invalid_thread_env_falls_back_serially() {
+    if std::env::var(CHILD_VAR).is_ok() {
+        child_workload();
+        return;
+    }
+    // Garbage in RFSIM_THREADS must not crash — the pool falls back to a
+    // sane width and results still match the serial transcript.
+    let serial = run_child("invalid_thread_env_falls_back_serially", "1");
+    let garbage = run_child("invalid_thread_env_falls_back_serially", "not-a-number");
+    let dets = |lines: &[String]| -> Vec<String> {
+        lines.iter().filter(|l| l.starts_with("DET ")).cloned().collect()
+    };
+    assert_eq!(dets(&serial), dets(&garbage));
+}

@@ -1,0 +1,110 @@
+//! Cross-engine steady-state agreement on a diode rectifier: harmonic
+//! balance (both linear-solver backends), shooting, and a long transient
+//! settle to the same periodic solution. Any systematic disagreement here
+//! means one of the discretizations — or the parallel kernels underneath
+//! them — is wrong.
+
+#![allow(clippy::needless_range_loop)]
+
+use rfsim::circuit::prelude::*;
+use rfsim::circuit::Circuit;
+use rfsim::steady::{shooting, solve_hb, HbOptions, HbSolver, ShootingOptions, SpectralGrid};
+
+/// Half-wave diode rectifier with an RC output filter.
+fn rectifier(f0: f64, drive: f64) -> (rfsim::circuit::CircuitDae, NodeId) {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let out = ckt.node("out");
+    ckt.add(VSource::sine("V1", a, Circuit::GROUND, 0.0, drive, f0));
+    ckt.add(Resistor::new("R1", a, out, 300.0));
+    ckt.add(Diode::new("D1", out, Circuit::GROUND, 1e-14));
+    ckt.add(Resistor::new("RL", out, Circuit::GROUND, 20e3));
+    ckt.add(Capacitor::new("CL", out, Circuit::GROUND, 5e-10));
+    let dae = ckt.into_dae().expect("netlist");
+    (dae, out)
+}
+
+#[test]
+fn hb_shooting_transient_agree_on_diode_rectifier() {
+    let f0 = 1e6;
+    let (dae, out) = rectifier(f0, 1.0);
+    let oi = dae.node_index(out).expect("node");
+
+    let grid = SpectralGrid::single_tone(f0, 12).expect("grid");
+    let opts = HbOptions { source_steps: 4, ..Default::default() };
+    let hb = solve_hb(&dae, &grid, &opts).expect("hb gmres");
+
+    let sh =
+        shooting(&dae, 1.0 / f0, &ShootingOptions { steps_per_period: 600, ..Default::default() })
+            .expect("shooting");
+
+    let tr = transient(
+        &dae,
+        0.0,
+        25.0 / f0,
+        &TranOptions { dt: 1.0 / (f0 * 400.0), ..Default::default() },
+    )
+    .expect("transient");
+    let samples = tr.resample(oi, 24.0 / f0, 25.0 / f0, 256);
+    let spec = rfsim::numerics::fft::amplitude_spectrum(&samples);
+
+    for k in 0..4usize {
+        let a_hb = hb.amplitude(oi, &[k as i32]);
+        let a_sh = sh.amplitude(oi, k as i32);
+        let a_tr = spec[k];
+        assert!((a_hb - a_sh).abs() < 6e-3, "harmonic {k}: hb {a_hb:.5} vs shooting {a_sh:.5}");
+        assert!((a_hb - a_tr).abs() < 1.5e-2, "harmonic {k}: hb {a_hb:.5} vs transient {a_tr:.5}");
+    }
+}
+
+/// The two HB backends (dense direct vs preconditioned matrix-free GMRES)
+/// are different linear algebra over the same Newton iteration; they must
+/// agree far more tightly than different time discretizations do.
+#[test]
+fn hb_backends_agree_on_diode_rectifier() {
+    let f0 = 1e6;
+    let (dae, out) = rectifier(f0, 0.8);
+    let oi = dae.node_index(out).expect("node");
+    let grid = SpectralGrid::single_tone(f0, 9).expect("grid");
+    let gm = solve_hb(&dae, &grid, &HbOptions { source_steps: 3, ..Default::default() })
+        .expect("hb gmres");
+    let di = solve_hb(
+        &dae,
+        &grid,
+        &HbOptions { solver: HbSolver::Direct, source_steps: 3, ..Default::default() },
+    )
+    .expect("hb direct");
+    for k in 0..6usize {
+        let a = gm.amplitude(oi, &[k as i32]);
+        let b = di.amplitude(oi, &[k as i32]);
+        assert!((a - b).abs() < 1e-7, "harmonic {k}: gmres {a} vs direct {b}");
+    }
+}
+
+/// HB and shooting track each other across drive levels, from the
+/// near-linear regime into hard rectification.
+#[test]
+fn engines_agree_across_drive_levels() {
+    let f0 = 1e6;
+    for &drive in &[0.3, 0.6, 1.2] {
+        let (dae, out) = rectifier(f0, drive);
+        let oi = dae.node_index(out).expect("node");
+        let grid = SpectralGrid::single_tone(f0, 12).expect("grid");
+        let hb = solve_hb(&dae, &grid, &HbOptions { source_steps: 4, ..Default::default() })
+            .expect("hb");
+        let sh = shooting(
+            &dae,
+            1.0 / f0,
+            &ShootingOptions { steps_per_period: 600, ..Default::default() },
+        )
+        .expect("shooting");
+        for k in 0..3usize {
+            let a_hb = hb.amplitude(oi, &[k as i32]);
+            let a_sh = sh.amplitude(oi, k as i32);
+            assert!(
+                (a_hb - a_sh).abs() < 6e-3,
+                "drive {drive}, harmonic {k}: hb {a_hb:.5} vs shooting {a_sh:.5}"
+            );
+        }
+    }
+}

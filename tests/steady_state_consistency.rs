@@ -57,6 +57,40 @@ fn hb_shooting_transient_agree_on_rectifier() {
     }
 }
 
+/// A symmetric diode clipper: odd harmonics only, and HB/shooting agree.
+/// (Companion to the rectifier case — exercises a different nonlinearity
+/// shape through the same engines.)
+#[test]
+fn hb_shooting_agree_on_symmetric_clipper() {
+    let f0 = 1e6;
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let out = ckt.node("out");
+    ckt.add(VSource::sine("V1", a, Circuit::GROUND, 0.0, 1.0, f0));
+    ckt.add(Resistor::new("R1", a, out, 1e3));
+    ckt.add(Diode::new("D1", out, Circuit::GROUND, 1e-12));
+    ckt.add(Diode::new("D2", Circuit::GROUND, out, 1e-12));
+    let dae = ckt.into_dae().expect("netlist");
+    let oi = dae.node_index(out).expect("node");
+    let grid = SpectralGrid::single_tone(f0, 12).expect("grid");
+    let hb =
+        solve_hb(&dae, &grid, &HbOptions { source_steps: 4, ..Default::default() }).expect("hb");
+    let sh =
+        shooting(&dae, 1.0 / f0, &ShootingOptions { steps_per_period: 600, ..Default::default() })
+            .expect("shooting");
+    for k in 1..5usize {
+        let a_hb = hb.amplitude(oi, &[k as i32]);
+        let a_sh = sh.amplitude(oi, k as i32);
+        assert!((a_hb - a_sh).abs() < 6e-3, "harmonic {k}: hb {a_hb:.5} vs shooting {a_sh:.5}");
+    }
+    // Antisymmetric transfer curve → even harmonics strongly suppressed
+    // (not exactly zero: the truncated spectral grid aliases a little of
+    // the sharp clipping into even bins).
+    let fund = hb.amplitude(oi, &[1]);
+    assert!(hb.amplitude(oi, &[2]) < 1e-2 * fund, "even harmonic leaked");
+    assert!(hb.amplitude(oi, &[0]) < 1e-9, "DC offset leaked");
+}
+
 /// The three MPDE discretizations on the same two-tone problem.
 #[test]
 fn mpde_methods_agree() {
