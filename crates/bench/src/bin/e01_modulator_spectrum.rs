@@ -15,9 +15,19 @@
 use rfsim::circuit::transient::{transient, TranOptions};
 use rfsim::numerics::fft::{amplitude_spectrum, dbc, hann_window};
 use rfsim::steady::{solve_hb, HbOptions, SpectralGrid, ToneAxis};
-use rfsim_bench::{fmt_dbc, heading, paper_scale, quadrature_modulator, timed, ModulatorSpec};
+use rfsim_bench::{fmt_dbc, heading, paper_scale, quadrature_modulator, ModulatorSpec};
+use rfsim_observe::Harness;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let mut h = Harness::new("e01");
+    match run(&mut h) {
+        Ok(()) => h.finish(),
+        Err(e) => h.abort(&e),
+    }
+}
+
+fn run(h: &mut Harness) -> Result<(), String> {
     // The default baseband is deliberately incommensurate with the
     // carrier: HB is "particularly natural in the case of incommensurate
     // multi-tone drive" (§2.1), while no transient FFT window is then
@@ -31,10 +41,17 @@ fn main() {
     println!("baseband {:.3e} Hz, carrier {:.3e} Hz", spec.f_bb, spec.f_lo);
 
     let (dae, out) = quadrature_modulator(&spec);
-    let oi = dae.node_index(out).expect("out node");
+    let oi = dae.node_index(out).ok_or("modulator output node missing")?;
     let grid = SpectralGrid::two_tone(ToneAxis::new(spec.f_bb, 3), ToneAxis::new(spec.f_lo, 3))
-        .expect("grid");
-    let (sol, t_hb) = timed(|| solve_hb(&dae, &grid, &HbOptions::default()).expect("hb"));
+        .map_err(|e| format!("spectral grid: {e}"))?;
+
+    let sol = h.sweep_point("hb", &[("f_bb", spec.f_bb), ("f_lo", spec.f_lo)], |pm| {
+        let sol = solve_hb(&dae, &grid, &HbOptions::default())
+            .map_err(|e| format!("harmonic balance: {e}"))?;
+        pm.metric("unknowns", sol.stats.unknowns as f64);
+        pm.metric("newton_iterations", sol.stats.newton_iterations as f64);
+        Ok::<_, String>(sol)
+    })?;
     let carrier = sol.amplitude(oi, &[-1, 1]); // wanted (lower) sideband
 
     heading("harmonic-balance spectrum (mixes around the carrier)");
@@ -55,27 +72,24 @@ fn main() {
             fmt_dbc(dbc(*amp, carrier))
         );
     }
-    println!(
-        "\nimage sideband: {} dBc (paper: −35 dBc, out of spec)",
-        fmt_dbc(dbc(sol.amplitude(oi, &[1, 1]), carrier))
-    );
-    println!(
-        "LO feedthrough: {} dBc (paper: −78 dBc spurious response)",
-        fmt_dbc(dbc(sol.amplitude(oi, &[0, 1]), carrier))
-    );
-    println!("HB solve time: {t_hb:.2} s, unknowns: {}", sol.stats.unknowns);
+    let image_dbc = dbc(sol.amplitude(oi, &[1, 1]), carrier);
+    let leak_dbc = dbc(sol.amplitude(oi, &[0, 1]), carrier);
+    println!("\nimage sideband: {} dBc (paper: −35 dBc, out of spec)", fmt_dbc(image_dbc));
+    println!("LO feedthrough: {} dBc (paper: −78 dBc spurious response)", fmt_dbc(leak_dbc));
+    println!("HB unknowns: {}", sol.stats.unknowns);
 
-    // Transient comparison: simulate 17 slow periods (1 settle + 16 for
-    // the analysis window), FFT with a Hann window, and try to read the
+    // Transient comparison: simulate the slow periods (1 settle + the
+    // analysis window), FFT with a Hann window, and try to read the
     // −78 dBc LO leak off the spectrum.
     heading("conventional transient comparison (dynamic-range floor)");
     let periods = 8.0;
     let steps_per_lo = 40.0;
     let dt = 1.0 / (spec.f_lo * steps_per_lo);
     let t_end = (periods + 1.0) / spec.f_bb;
-    let (tran, t_tr) = timed(|| {
-        transient(&dae, 0.0, t_end, &TranOptions { dt, ..Default::default() }).expect("transient")
-    });
+    let tran = h.phase("transient", || {
+        transient(&dae, 0.0, t_end, &TranOptions { dt, ..Default::default() })
+            .map_err(|e| format!("transient: {e}"))
+    })?;
     let n_fft = 1 << 17;
     let y = tran.resample(oi, 1.0 / spec.f_bb, t_end, n_fft);
     let w = hann_window(n_fft);
@@ -87,7 +101,7 @@ fn main() {
     let b_want = bin_of(spec.f_lo - spec.f_bb);
     let b_img = bin_of(spec.f_lo + spec.f_bb);
     let carrier_tr = amp[b_want];
-    println!("transient run: {:.2} s for {} steps", t_tr, tran.times.len());
+    println!("transient run: {} steps", tran.times.len());
     let img_tr = dbc(amp[b_img], carrier_tr);
     let leak_tr = dbc(amp[b_car], carrier_tr);
     println!(
@@ -122,5 +136,5 @@ fn main() {
          amplitudes; the transient estimate is at the mercy of windowing\n\
          leakage and integration error — the paper's §2.1 dynamic-range claim."
     );
-    rfsim_bench::emit_telemetry("e01_modulator_spectrum");
+    Ok(())
 }

@@ -11,8 +11,18 @@
 use rfsim::circuit::transient::{transient, TranOptions};
 use rfsim::steady::{solve_hb, HbOptions, HbSolver, SpectralGrid, ToneAxis};
 use rfsim_bench::{ablate, heading, quadrature_modulator, timed, ModulatorSpec};
+use rfsim_observe::Harness;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let mut h = Harness::new("e02");
+    match run(&mut h) {
+        Ok(()) => h.finish(),
+        Err(e) => h.abort(&e),
+    }
+}
+
+fn run(h: &mut Harness) -> Result<(), String> {
     println!("E2: HB vs transient cost vs time-scale separation (§2.1)");
     heading("cost sweep (fixed carrier 100 MHz, shrinking baseband)");
     println!(
@@ -24,25 +34,34 @@ fn main() {
         let f_bb = f_lo / ratio;
         let spec = ModulatorSpec { f_bb, f_lo, ..Default::default() };
         let (dae, _) = quadrature_modulator(&spec);
-        // Transient must cover one full baseband period at carrier
-        // resolution: steps ∝ ratio.
-        let dt = 1.0 / (f_lo * 30.0);
-        let (tran, t_tr) = timed(|| {
-            transient(&dae, 0.0, 1.0 / f_bb, &TranOptions { dt, ..Default::default() })
-                .expect("transient")
-        });
-        // HB cost: independent of the ratio.
-        let grid =
-            SpectralGrid::two_tone(ToneAxis::new(f_bb, 3), ToneAxis::new(f_lo, 3)).expect("grid");
-        let (sol, t_hb) = timed(|| solve_hb(&dae, &grid, &HbOptions::default()).expect("hb"));
-        println!(
-            "{:>10.0} {:>12} {:>12.3} {:>14} {:>12.3}",
-            ratio,
-            tran.times.len(),
-            t_tr,
-            sol.stats.unknowns,
-            t_hb
-        );
+        let label = format!("ratio={ratio:.0}");
+        h.sweep_point(&label, &[("ratio", ratio)], |pm| {
+            // Transient must cover one full baseband period at carrier
+            // resolution: steps ∝ ratio.
+            let dt = 1.0 / (f_lo * 30.0);
+            let (tran, t_tr) = timed(|| {
+                transient(&dae, 0.0, 1.0 / f_bb, &TranOptions { dt, ..Default::default() })
+            });
+            let tran = tran.map_err(|e| format!("transient at ratio {ratio}: {e}"))?;
+            // HB cost: independent of the ratio.
+            let grid = SpectralGrid::two_tone(ToneAxis::new(f_bb, 3), ToneAxis::new(f_lo, 3))
+                .map_err(|e| format!("spectral grid: {e}"))?;
+            let (sol, t_hb) = timed(|| solve_hb(&dae, &grid, &HbOptions::default()));
+            let sol = sol.map_err(|e| format!("harmonic balance at ratio {ratio}: {e}"))?;
+            pm.metric("tran_steps", tran.times.len() as f64);
+            pm.metric("tran_seconds", t_tr);
+            pm.metric("hb_unknowns", sol.stats.unknowns as f64);
+            pm.metric("hb_seconds", t_hb);
+            println!(
+                "{:>10.0} {:>12} {:>12.3} {:>14} {:>12.3}",
+                ratio,
+                tran.times.len(),
+                t_tr,
+                sol.stats.unknowns,
+                t_hb
+            );
+            Ok::<_, String>(())
+        })?;
     }
     println!(
         "\nshape: transient cost grows ∝ ratio (paper: 'several hundred thousand\n\
@@ -54,7 +73,7 @@ fn main() {
         let spec = ModulatorSpec { f_bb: 1e6, f_lo: 100e6, ..Default::default() };
         let (dae, _) = quadrature_modulator(&spec);
         let grid = SpectralGrid::two_tone(ToneAxis::new(spec.f_bb, 3), ToneAxis::new(spec.f_lo, 3))
-            .expect("grid");
+            .map_err(|e| format!("spectral grid: {e}"))?;
         println!(
             "{:>28} {:>10} {:>12} {:>14} {:>12}",
             "solver", "time (s)", "lin iters", "matvecs", "bytes"
@@ -65,7 +84,8 @@ fn main() {
             ("direct dense", HbSolver::Direct),
         ] {
             let opts = HbOptions { solver, ..Default::default() };
-            let (sol, t) = timed(|| solve_hb(&dae, &grid, &opts).expect("hb"));
+            let (sol, t) = timed(|| solve_hb(&dae, &grid, &opts));
+            let sol = sol.map_err(|e| format!("HB ablation '{name}': {e}"))?;
             println!(
                 "{:>28} {:>10.3} {:>12} {:>14} {:>12}",
                 name, t, sol.stats.linear_iterations, sol.stats.matvecs, sol.stats.solver_bytes
@@ -74,5 +94,5 @@ fn main() {
     } else {
         println!("\n(pass --ablate for the HB linear-solver ablation)");
     }
-    rfsim_bench::emit_telemetry("e02_hb_vs_transient");
+    Ok(())
 }

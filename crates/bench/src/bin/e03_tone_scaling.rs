@@ -11,8 +11,18 @@
 use rfsim::circuit::transient::{transient, TranOptions};
 use rfsim::steady::{solve_hb, HbOptions, SpectralGrid, ToneAxis};
 use rfsim_bench::{heading, switching_mixer, timed, MixerSpec};
+use rfsim_observe::Harness;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let mut h = Harness::new("e03");
+    match run(&mut h) {
+        Ok(()) => h.finish(),
+        Err(e) => h.abort(&e),
+    }
+}
+
+fn run(harness: &mut Harness) -> Result<(), String> {
     println!("E3: HB cost vs number of tones (§2.1)");
     let spec = MixerSpec { f_rf: 1e6, f_lo: 100e6, ..Default::default() };
     let (dae, _) = switching_mixer(&spec);
@@ -26,14 +36,28 @@ fn main() {
     println!("{:>7} {:>12} {:>12} {:>12}", "tones", "unknowns", "memory (B)", "time (s)");
     // 1 tone: LO only (RF source amplitude effectively a perturbation —
     // single-tone analysis at the LO).
-    let grid1 = SpectralGrid::single_tone(spec.f_lo, h).expect("grid");
-    let (sol1, t1) = timed(|| solve_hb(&dae, &grid1, &HbOptions::default()).expect("hb1"));
-    println!("{:>7} {:>12} {:>12} {:>12.3}", 1, sol1.stats.unknowns, sol1.stats.solver_bytes, t1);
+    harness.sweep_point("tones=1", &[("tones", 1.0)], |pm| {
+        let grid1 =
+            SpectralGrid::single_tone(spec.f_lo, h).map_err(|e| format!("1-tone grid: {e}"))?;
+        let (sol, t) = timed(|| solve_hb(&dae, &grid1, &HbOptions::default()));
+        let sol = sol.map_err(|e| format!("1-tone HB: {e}"))?;
+        pm.metric("unknowns", sol.stats.unknowns as f64);
+        pm.metric("solver_bytes", sol.stats.solver_bytes as f64);
+        println!("{:>7} {:>12} {:>12} {:>12.3}", 1, sol.stats.unknowns, sol.stats.solver_bytes, t);
+        Ok::<_, String>(())
+    })?;
     // 2 tones.
-    let grid2 = SpectralGrid::two_tone(ToneAxis::new(spec.f_rf, h), ToneAxis::new(spec.f_lo, h))
-        .expect("grid");
-    let (sol2, t2) = timed(|| solve_hb(&dae, &grid2, &HbOptions::default()).expect("hb2"));
-    println!("{:>7} {:>12} {:>12} {:>12.3}", 2, sol2.stats.unknowns, sol2.stats.solver_bytes, t2);
+    let (sol2, t2) = harness.sweep_point("tones=2", &[("tones", 2.0)], |pm| {
+        let grid2 =
+            SpectralGrid::two_tone(ToneAxis::new(spec.f_rf, h), ToneAxis::new(spec.f_lo, h))
+                .map_err(|e| format!("2-tone grid: {e}"))?;
+        let (sol, t) = timed(|| solve_hb(&dae, &grid2, &HbOptions::default()));
+        let sol = sol.map_err(|e| format!("2-tone HB: {e}"))?;
+        pm.metric("unknowns", sol.stats.unknowns as f64);
+        pm.metric("solver_bytes", sol.stats.solver_bytes as f64);
+        println!("{:>7} {:>12} {:>12} {:>12.3}", 2, sol.stats.unknowns, sol.stats.solver_bytes, t);
+        Ok::<_, String>((sol, t))
+    })?;
 
     heading("extrapolated (unknowns = n·(2H+1)^tones, memory/time models)");
     let per_axis = 2 * h + 1;
@@ -61,10 +85,12 @@ fn main() {
     heading("transient insensitivity to tone count");
     let dt = 1.0 / (spec.f_lo * 30.0);
     let t_end = 20.0 / spec.f_lo;
-    let (r1, tt1) = timed(|| {
-        transient(&dae, 0.0, t_end, &TranOptions { dt, ..Default::default() }).expect("tran")
-    });
+    let (r1, tt1) = harness.phase("transient", || {
+        let (r, t) =
+            timed(|| transient(&dae, 0.0, t_end, &TranOptions { dt, ..Default::default() }));
+        r.map(|r| (r, t)).map_err(|e| format!("transient: {e}"))
+    })?;
     println!("1-or-N-tone transient: {} steps in {:.3} s (cost set by the", r1.times.len(), tt1);
     println!("fastest tone and the observation window, not by the tone count).");
-    rfsim_bench::emit_telemetry("e03_tone_scaling");
+    Ok(())
 }

@@ -11,6 +11,8 @@
 
 use rfsim::mpde::BivariateWaveform;
 use rfsim_bench::heading;
+use rfsim_observe::Harness;
+use std::process::ExitCode;
 
 /// The paper's pulse train: smooth raised-cosine pulse, 30% duty.
 fn pulse(t: f64) -> f64 {
@@ -22,7 +24,15 @@ fn pulse(t: f64) -> f64 {
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let mut h = Harness::new("e04");
+    match run(&mut h) {
+        Ok(()) => h.finish(),
+        Err(e) => h.abort(&e),
+    }
+}
+
+fn run(h: &mut Harness) -> Result<(), String> {
     println!("E4: bivariate representation of y(t) = sin(2πt)·pulse(t/T2) (Figs 2–3)");
     let (n1, n2) = (32, 64);
     heading("fixed 32×64 bivariate grid vs scale separation");
@@ -32,31 +42,41 @@ fn main() {
     );
     for exp in [2u32, 3, 4, 5, 6] {
         let sep = 10f64.powi(exp as i32);
-        let t2 = 1.0 / sep;
-        let w = BivariateWaveform::from_fn(1.0, t2, n1, n2, |a, b| {
-            (2.0 * std::f64::consts::PI * a).sin() * pulse(b / t2)
-        });
-        // Accuracy of the diagonal reconstruction at off-grid times. At
-        // huge separations evaluate a sub-interval (the error is
-        // periodic); always compare against the exact y(t).
-        let m = 4001;
-        let probe_end = (1000.0 * t2).min(1.0);
-        let mut max_err = 0.0f64;
-        for j in 0..m {
-            let t = probe_end * (j as f64 + 0.37) / m as f64;
-            let exact = (2.0 * std::f64::consts::PI * t).sin() * pulse(t / t2);
-            let got = w.eval(t, t, 0);
-            max_err = max_err.max((got - exact).abs());
-        }
-        let univar = w.samples_univariate_equivalent();
-        println!(
-            "{:>12.0e} {:>14} {:>16.3e} {:>12.2e} {:>12.3e}",
-            sep,
-            w.samples(),
-            univar,
-            univar / w.samples() as f64,
+        let label = format!("sep=1e{exp}");
+        let max_err = h.sweep_point(&label, &[("separation", sep)], |pm| {
+            let t2 = 1.0 / sep;
+            let w = BivariateWaveform::from_fn(1.0, t2, n1, n2, |a, b| {
+                (2.0 * std::f64::consts::PI * a).sin() * pulse(b / t2)
+            });
+            // Accuracy of the diagonal reconstruction at off-grid times. At
+            // huge separations evaluate a sub-interval (the error is
+            // periodic); always compare against the exact y(t).
+            let m = 4001;
+            let probe_end = (1000.0 * t2).min(1.0);
+            let mut max_err = 0.0f64;
+            for j in 0..m {
+                let t = probe_end * (j as f64 + 0.37) / m as f64;
+                let exact = (2.0 * std::f64::consts::PI * t).sin() * pulse(t / t2);
+                let got = w.eval(t, t, 0);
+                max_err = max_err.max((got - exact).abs());
+            }
+            let univar = w.samples_univariate_equivalent();
+            pm.metric("max_err", max_err);
+            pm.metric("bivar_samples", w.samples() as f64);
+            pm.metric("univar_samples", univar);
+            println!(
+                "{:>12.0e} {:>14} {:>16.3e} {:>12.2e} {:>12.3e}",
+                sep,
+                w.samples(),
+                univar,
+                univar / w.samples() as f64,
+                max_err
+            );
             max_err
-        );
+        });
+        if !max_err.is_finite() {
+            return Err(format!("non-finite reconstruction error at separation {sep:.0e}"));
+        }
     }
     println!(
         "\nshape: the bivariate sample count is constant and the reconstruction\n\
@@ -67,18 +87,22 @@ fn main() {
     heading("grid refinement at fixed separation 10⁴ (accuracy knob)");
     println!("{:>10} {:>12} {:>12}", "grid", "samples", "max err");
     for (g1, g2) in [(8, 16), (16, 32), (32, 64), (64, 128)] {
-        let t2 = 1e-4;
-        let w = BivariateWaveform::from_fn(1.0, t2, g1, g2, |a, b| {
-            (2.0 * std::f64::consts::PI * a).sin() * pulse(b / t2)
+        let label = format!("grid={g1}x{g2}");
+        h.sweep_point(&label, &[("n1", g1 as f64), ("n2", g2 as f64)], |pm| {
+            let t2 = 1e-4;
+            let w = BivariateWaveform::from_fn(1.0, t2, g1, g2, |a, b| {
+                (2.0 * std::f64::consts::PI * a).sin() * pulse(b / t2)
+            });
+            let m = 4001;
+            let mut max_err = 0.0f64;
+            for j in 0..m {
+                let t = 0.05 * (j as f64 + 0.37) / m as f64;
+                let exact = (2.0 * std::f64::consts::PI * t).sin() * pulse(t / t2);
+                max_err = max_err.max((w.eval(t, t, 0) - exact).abs());
+            }
+            pm.metric("max_err", max_err);
+            println!("{:>10} {:>12} {:>12.3e}", format!("{g1}x{g2}"), g1 * g2, max_err);
         });
-        let m = 4001;
-        let mut max_err = 0.0f64;
-        for j in 0..m {
-            let t = 0.05 * (j as f64 + 0.37) / m as f64;
-            let exact = (2.0 * std::f64::consts::PI * t).sin() * pulse(t / t2);
-            max_err = max_err.max((w.eval(t, t, 0) - exact).abs());
-        }
-        println!("{:>10} {:>12} {:>12.3e}", format!("{g1}x{g2}"), g1 * g2, max_err);
     }
-    rfsim_bench::emit_telemetry("e04_bivariate_sampling");
+    Ok(())
 }

@@ -11,8 +11,18 @@
 
 use rfsim::mpde::{solve_mmft, MmftOptions};
 use rfsim_bench::{ablate, heading, switching_mixer, timed, MixerSpec};
+use rfsim_observe::Harness;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let mut h = Harness::new("e05");
+    match run(&mut h) {
+        Ok(()) => h.finish(),
+        Err(e) => h.abort(&e),
+    }
+}
+
+fn run(h: &mut Harness) -> Result<(), String> {
     let spec = MixerSpec::default(); // paper values: 100 kHz / 900 MHz
     println!("E5: MMFT switching mixer (Fig 4)");
     println!(
@@ -22,21 +32,27 @@ fn main() {
         spec.f_lo / 1e6
     );
     let (dae, out) = switching_mixer(&spec);
-    let oi = dae.node_index(out).expect("out node");
-    let opts = MmftOptions { slow_harmonics: 3, n2: 50, ..Default::default() };
-    let (sol, t) = timed(|| solve_mmft(&dae, spec.f_rf, spec.f_lo, &opts).expect("mmft"));
-    println!(
-        "MMFT: {} unknowns (3 RF harmonics × 50 LO steps), {:.2} s, {} Newton iters",
-        sol.stats.unknowns, t, sol.stats.newton_iterations
-    );
+    let oi = dae.node_index(out).ok_or("mixer output node missing")?;
+    let sol = h.sweep_point("mmft", &[("f_rf", spec.f_rf), ("f_lo", spec.f_lo)], |pm| {
+        let opts = MmftOptions { slow_harmonics: 3, n2: 50, ..Default::default() };
+        let (sol, t) = timed(|| solve_mmft(&dae, spec.f_rf, spec.f_lo, &opts));
+        let sol = sol.map_err(|e| format!("mmft: {e}"))?;
+        pm.metric("unknowns", sol.stats.unknowns as f64);
+        pm.metric("newton_iterations", sol.stats.newton_iterations as f64);
+        println!(
+            "MMFT: {} unknowns (3 RF harmonics × 50 LO steps), {:.2} s, {} Newton iters",
+            sol.stats.unknowns, t, sol.stats.newton_iterations
+        );
+        Ok::<_, String>(sol)
+    })?;
 
     heading("Fig 4(a): first time-varying harmonic X1(t2) (|X1| samples)");
     let x1 = sol.harmonic_waveform(oi, 1);
-    print_envelope(&x1);
+    print_envelope(&x1)?;
 
     heading("Fig 4(b): third time-varying harmonic X3(t2)");
     let x3 = sol.harmonic_waveform(oi, 3);
-    print_envelope(&x3);
+    print_envelope(&x3)?;
 
     heading("mix components (paper: 60 mV @ 900.1 MHz, ~1.1 mV @ 900.3 MHz)");
     println!("{:>12} {:>14} {:>12}", "mix", "freq (MHz)", "amp (mV)");
@@ -48,39 +64,52 @@ fn main() {
             sol.mix_amplitude(oi, k, m) * 1e3
         );
     }
-    let main = sol.mix_amplitude(oi, 1, 1);
+    let main_mix = sol.mix_amplitude(oi, 1, 1);
     let hd3 = sol.mix_amplitude(oi, 3, 1);
     println!(
         "\ndesired 900.1 MHz: {:.1} mV; distortion ratio: {:.1} dB (paper: ~35 dB)",
-        main * 1e3,
-        20.0 * (main / hd3).log10()
+        main_mix * 1e3,
+        20.0 * (main_mix / hd3).log10()
     );
 
     if ablate() {
         heading("ablation: slow-harmonic count K vs HD3 accuracy");
         println!("{:>4} {:>12} {:>14} {:>10}", "K", "unknowns", "hd3 (mV)", "time (s)");
         for k in [1usize, 3, 5, 7] {
-            let opts = MmftOptions { slow_harmonics: k, n2: 50, ..Default::default() };
-            let (sol, t) = timed(|| solve_mmft(&dae, spec.f_rf, spec.f_lo, &opts).expect("mmft"));
-            let hd3 = if k >= 3 { sol.mix_amplitude(oi, 3, 1) * 1e3 } else { f64::NAN };
-            println!("{:>4} {:>12} {:>14.4} {:>10.2}", k, sol.stats.unknowns, hd3, t);
+            let label = format!("K={k}");
+            h.sweep_point(&label, &[("slow_harmonics", k as f64)], |pm| {
+                let opts = MmftOptions { slow_harmonics: k, n2: 50, ..Default::default() };
+                let (sol, t) = timed(|| solve_mmft(&dae, spec.f_rf, spec.f_lo, &opts));
+                let sol = sol.map_err(|e| format!("mmft ablation K={k}: {e}"))?;
+                let hd3 = if k >= 3 { sol.mix_amplitude(oi, 3, 1) * 1e3 } else { f64::NAN };
+                pm.metric("unknowns", sol.stats.unknowns as f64);
+                if hd3.is_finite() {
+                    pm.metric("hd3_mv", hd3);
+                }
+                println!("{:>4} {:>12} {:>14.4} {:>10.2}", k, sol.stats.unknowns, hd3, t);
+                Ok::<_, String>(())
+            })?;
         }
         println!("K = 1 cannot represent the third RF harmonic at all; K = 3 (the");
         println!("paper's choice) already captures HD3; larger K only adds cost.");
     } else {
         println!("\n(pass --ablate for the slow-harmonic-count ablation)");
     }
-    rfsim_bench::emit_telemetry("e05_mmft_mixer");
+    Ok(())
 }
 
 /// Prints a coarse amplitude profile of a complex envelope over `t₂`.
-fn print_envelope(x: &[rfsim::numerics::Complex]) {
+fn print_envelope(x: &[rfsim::numerics::Complex]) -> Result<(), String> {
     let n = x.len();
     let peak = x.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+    if !peak.is_finite() {
+        return Err("non-finite envelope amplitude".into());
+    }
     print!("|X|/peak over one LO period: ");
     for i in (0..n).step_by(n / 25) {
         let level = (x[i].abs() / peak.max(1e-300) * 9.0).round() as u32;
         print!("{}", char::from_digit(level.min(9), 10).expect("digit"));
     }
     println!("  (peak {:.3e} V)", peak);
+    Ok(())
 }

@@ -13,8 +13,18 @@
 use rfsim::mpde::{solve_mmft, MmftOptions};
 use rfsim::steady::{shooting, ShootingOptions};
 use rfsim_bench::{heading, paper_scale, switching_mixer, timed, MixerSpec};
+use rfsim_observe::Harness;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let mut h = Harness::new("e06");
+    match run(&mut h) {
+        Ok(()) => h.finish(),
+        Err(e) => h.abort(&e),
+    }
+}
+
+fn run(h: &mut Harness) -> Result<(), String> {
     let full = paper_scale();
     let spec = if full {
         MixerSpec::default() // ratio 9000
@@ -24,26 +34,39 @@ fn main() {
     let ratio = spec.f_lo / spec.f_rf;
     println!("E6: univariate shooting vs MMFT (Fig 5), f2/f1 = {ratio:.0}");
     let (dae, out) = switching_mixer(&spec);
-    let oi = dae.node_index(out).expect("out node");
+    let oi = dae.node_index(out).ok_or("mixer output node missing")?;
 
     heading("MMFT (3 RF harmonics, 50 LO steps)");
-    let opts = MmftOptions { slow_harmonics: 3, n2: 50, ..Default::default() };
-    let (mmft, t_mmft) = timed(|| solve_mmft(&dae, spec.f_rf, spec.f_lo, &opts).expect("mmft"));
-    let main_mmft = mmft.mix_amplitude(oi, 1, 1);
-    println!("time {:.3} s, 900.1-equivalent mix {:.2} mV", t_mmft, main_mmft * 1e3);
+    let (main_mmft, t_mmft) = h.sweep_point("mmft", &[("ratio", ratio)], |pm| {
+        let opts = MmftOptions { slow_harmonics: 3, n2: 50, ..Default::default() };
+        let (mmft, t) = timed(|| solve_mmft(&dae, spec.f_rf, spec.f_lo, &opts));
+        let mmft = mmft.map_err(|e| format!("mmft: {e}"))?;
+        let main_mmft = mmft.mix_amplitude(oi, 1, 1);
+        pm.metric("unknowns", mmft.stats.unknowns as f64);
+        pm.metric("mix_mv", main_mmft * 1e3);
+        println!("time {:.3} s, 900.1-equivalent mix {:.2} mV", t, main_mmft * 1e3);
+        Ok::<_, String>((main_mmft, t))
+    })?;
 
     heading("univariate shooting (50 steps per fast period over the common period)");
     let steps = (ratio.round() as usize) * 50;
     println!("steps per shooting iteration: {steps}");
-    let sh_opts = ShootingOptions { steps_per_period: steps, tol: 1e-7, ..Default::default() };
-    let (sh, t_sh) = timed(|| shooting(&dae, 1.0 / spec.f_rf, &sh_opts).expect("shooting"));
-    // The desired mix at f2 + f1 is harmonic (ratio + 1) of the common
-    // fundamental f1.
-    let main_sh = sh.amplitude(oi, ratio.round() as i32 + 1);
-    println!(
-        "time {:.2} s, {} outer Newton iters, {} linear solves",
-        t_sh, sh.newton_iterations, sh.linear_solves
-    );
+    let (main_sh, t_sh) = h.sweep_point("shooting", &[("ratio", ratio)], |pm| {
+        let sh_opts = ShootingOptions { steps_per_period: steps, tol: 1e-7, ..Default::default() };
+        let (sh, t) = timed(|| shooting(&dae, 1.0 / spec.f_rf, &sh_opts));
+        let sh = sh.map_err(|e| format!("shooting: {e}"))?;
+        // The desired mix at f2 + f1 is harmonic (ratio + 1) of the common
+        // fundamental f1.
+        let main_sh = sh.amplitude(oi, ratio.round() as i32 + 1);
+        pm.metric("newton_iterations", sh.newton_iterations as f64);
+        pm.metric("linear_solves", sh.linear_solves as f64);
+        pm.metric("mix_mv", main_sh * 1e3);
+        println!(
+            "time {:.2} s, {} outer Newton iters, {} linear solves",
+            t, sh.newton_iterations, sh.linear_solves
+        );
+        Ok::<_, String>((main_sh, t))
+    })?;
     println!("desired-mix amplitude: {:.2} mV (MMFT: {:.2} mV)", main_sh * 1e3, main_mmft * 1e3);
 
     heading("speedup");
@@ -58,5 +81,5 @@ fn main() {
         );
         println!("(run with --paper-scale to measure the full ratio directly)");
     }
-    rfsim_bench::emit_telemetry("e06_shooting_vs_mmft");
+    Ok(())
 }

@@ -16,8 +16,18 @@ use rfsim::em::mom::{capacitance_matrix, MomProblem};
 use rfsim::em::GreenFn;
 use rfsim::numerics::svd::Svd;
 use rfsim_bench::{heading, timed};
+use rfsim_observe::Harness;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let mut h = Harness::new("e07");
+    match run(&mut h) {
+        Ok(()) => h.finish(),
+        Err(e) => h.abort(&e),
+    }
+}
+
+fn run(h: &mut Harness) -> Result<(), String> {
     println!("E7: Table 1 — differential vs integral formulations, measured");
 
     // The structure: parallel plates, 60 µm square, 12 µm apart.
@@ -25,38 +35,53 @@ fn main() {
     let gap = 12e-6;
 
     // --- Integral class: MoM surface discretization. ---
-    let panels = mesh_parallel_plates(side, gap, 10);
-    let n_mom = panels.len();
-    let mom = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).expect("mom");
-    let (a_mom, t_asm) = timed(|| mom.assemble_dense());
-    let cond_mom = Svd::new(&a_mom).expect("svd").cond2();
-    let (c_mom, t_solve) = timed(|| capacitance_matrix(&mom).expect("cap"));
+    let (n_mom, cond_mom, c_mom, t_asm, t_solve) =
+        h.sweep_point("mom", &[("side_um", side * 1e6), ("gap_um", gap * 1e6)], |pm| {
+            let panels = mesh_parallel_plates(side, gap, 10);
+            let n_mom = panels.len();
+            let mom = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 })
+                .map_err(|e| format!("MoM setup: {e}"))?;
+            let (a_mom, t_asm) = timed(|| mom.assemble_dense());
+            let cond_mom = Svd::new(&a_mom).map_err(|e| format!("MoM svd: {e}"))?.cond2();
+            let (c_mom, t_solve) = timed(|| capacitance_matrix(&mom));
+            let c_mom = c_mom.map_err(|e| format!("MoM capacitance: {e}"))?;
+            pm.metric("panels", n_mom as f64);
+            pm.metric("cond2", cond_mom);
+            Ok::<_, String>((n_mom, cond_mom, c_mom, t_asm, t_solve))
+        })?;
 
     // --- Differential class: FD volume discretization of the same box.
     // Domain 3× the plate extent; grid chosen so the plates resolve.
-    let nf = 24;
-    let h = 3.0 * side / nf as f64;
-    let cell_of = |x: f64| ((x + 1.5 * side) / h).round() as usize;
-    let zlo = cell_of(-gap / 2.0);
-    let zhi = cell_of(gap / 2.0);
-    let (plo, phi) = (cell_of(-side / 2.0), cell_of(side / 2.0));
-    let fd = FdProblem {
-        nx: nf,
-        ny: nf,
-        nz: nf,
-        h,
-        eps_r: 1.0,
-        conductors: vec![
-            FdConductor { x: (plo, phi), y: (plo, phi), z: (zlo, zlo + 1) },
-            FdConductor { x: (plo, phi), y: (plo, phi), z: (zhi, zhi + 1) },
-        ],
-    };
-    let ((sol, cap_fd), t_fd) = timed(|| {
-        let s = fd.solve(&[1.0, 0.0]).expect("fd solve");
-        let c = 2.0 * fd.field_energy(&s.phi);
-        (s, c)
-    });
-    let cond_fd = cond2_estimate(&sol.matrix, 60).expect("cond");
+    let (sol, cap_fd, cond_fd, t_fd) = h.sweep_point("fd", &[("grid", 24.0)], |pm| {
+        let nf = 24;
+        let hstep = 3.0 * side / nf as f64;
+        let cell_of = |x: f64| ((x + 1.5 * side) / hstep).round() as usize;
+        let zlo = cell_of(-gap / 2.0);
+        let zhi = cell_of(gap / 2.0);
+        let (plo, phi) = (cell_of(-side / 2.0), cell_of(side / 2.0));
+        let fd = FdProblem {
+            nx: nf,
+            ny: nf,
+            nz: nf,
+            h: hstep,
+            eps_r: 1.0,
+            conductors: vec![
+                FdConductor { x: (plo, phi), y: (plo, phi), z: (zlo, zlo + 1) },
+                FdConductor { x: (plo, phi), y: (plo, phi), z: (zhi, zhi + 1) },
+            ],
+        };
+        let (fd_out, t_fd) = timed(|| {
+            let s = fd.solve(&[1.0, 0.0]).map_err(|e| format!("FD solve: {e}"))?;
+            let c = 2.0 * fd.field_energy(&s.phi);
+            Ok::<_, String>((s, c))
+        });
+        let (sol, cap_fd) = fd_out?;
+        let cond_fd =
+            cond2_estimate(&sol.matrix, 60).map_err(|e| format!("FD conditioning: {e}"))?;
+        pm.metric("unknowns", sol.unknowns as f64);
+        pm.metric("cond2", cond_fd);
+        Ok::<_, String>((sol, cap_fd, cond_fd, t_fd))
+    })?;
 
     heading("Table 1, measured");
     println!("{:<22} {:>18} {:>18}", "", "differential (FD)", "integral (MoM)");
@@ -97,5 +122,5 @@ fn main() {
          grow (the gap widens as (size/h)³ vs (size/h)²).",
         sol.unknowns / n_mom
     );
-    rfsim_bench::emit_telemetry("e07_table1_classes");
+    Ok(())
 }

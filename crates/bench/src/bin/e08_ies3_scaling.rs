@@ -14,24 +14,35 @@ use rfsim::em::mom::MomProblem;
 use rfsim::em::GreenFn;
 use rfsim::numerics::krylov::KrylovOptions;
 use rfsim_bench::{ablate, heading, timed};
+use rfsim_observe::Harness;
+use std::process::ExitCode;
 
-fn run_case(n_side: usize, opts: &Ies3Options) -> (usize, usize, f64, f64, f64) {
-    let panels = mesh_parallel_plates(1e-3, 1e-4, n_side);
-    let n = panels.len();
-    let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).expect("mom");
-    let (cm, t_build) = timed(|| CompressedMatrix::build(&p.panels, &p.green, opts).expect("ies3"));
-    let ((q, _stats), t_solve) = timed(|| {
-        p.solve_iterative(&cm, &[1.0, 0.0], &KrylovOptions { tol: 1e-8, ..Default::default() })
-            .expect("gmres")
-    });
-    let c = p.conductor_charges(&q)[0];
-    (n, cm.memory_bytes(), t_build, t_solve, c)
+fn main() -> ExitCode {
+    let mut h = Harness::new("e08");
+    match run(&mut h) {
+        Ok(()) => h.finish(),
+        Err(e) => h.abort(&e),
+    }
 }
 
-fn main() {
+fn run_case(n_side: usize, opts: &Ies3Options) -> Result<(usize, usize, f64, f64, f64), String> {
+    let panels = mesh_parallel_plates(1e-3, 1e-4, n_side);
+    let n = panels.len();
+    let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 })
+        .map_err(|e| format!("MoM setup (n_side {n_side}): {e}"))?;
+    let (cm, t_build) = timed(|| CompressedMatrix::build(&p.panels, &p.green, opts));
+    let cm = cm.map_err(|e| format!("IES³ build (n {n}): {e}"))?;
+    let (solved, t_solve) = timed(|| {
+        p.solve_iterative(&cm, &[1.0, 0.0], &KrylovOptions { tol: 1e-8, ..Default::default() })
+    });
+    let (q, _stats) = solved.map_err(|e| format!("GMRES solve (n {n}): {e}"))?;
+    let c = p.conductor_charges(&q)[0];
+    Ok((n, cm.memory_bytes(), t_build, t_solve, c))
+}
+
+fn run(h: &mut Harness) -> Result<(), String> {
     println!("E8: IES³ scaling (Fig 6)");
     println!("worker pool: {} thread(s) (RFSIM_THREADS)", rfsim::parallel::thread_count());
-    rfsim::telemetry::gauge_set("pool.threads", rfsim::parallel::thread_count() as f64);
     let opts = Ies3Options::default();
     heading("size sweep (plate pair, n panels total)");
     println!(
@@ -42,7 +53,16 @@ fn main() {
     let mut mems = Vec::new();
     let mut times = Vec::new();
     for n_side in [8usize, 12, 16, 24, 32] {
-        let (n, mem, tb, ts, c) = run_case(n_side, &opts);
+        let label = format!("n_side={n_side}");
+        let (n, mem, tb, ts, c) = h.sweep_point(&label, &[("n_side", n_side as f64)], |pm| {
+            let (n, mem, tb, ts, c) = run_case(n_side, &opts)?;
+            pm.metric("panels", n as f64);
+            pm.metric("memory_bytes", mem as f64);
+            pm.metric("build_seconds", tb);
+            pm.metric("solve_seconds", ts);
+            pm.metric("capacitance_f", c);
+            Ok::<_, String>((n, mem, tb, ts, c))
+        })?;
         println!("{:>7} {:>13} {:>13} {:>10.3} {:>10.3} {:>13.4e}", n, mem, n * n * 8, tb, ts, c);
         sizes.push(n as f64);
         mems.push(mem as f64);
@@ -61,31 +81,40 @@ fn main() {
         heading("ablation: rank tolerance ε vs memory and accuracy");
         // Reference from the dense solve at moderate size.
         let panels = mesh_parallel_plates(1e-3, 1e-4, 16);
-        let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).expect("mom");
-        let q_ref = p.solve_dense(&[1.0, 0.0]).expect("dense");
+        let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 })
+            .map_err(|e| format!("MoM setup (ablation): {e}"))?;
+        let q_ref = p.solve_dense(&[1.0, 0.0]).map_err(|e| format!("dense reference: {e}"))?;
         let c_ref = p.conductor_charges(&q_ref)[0];
         println!("{:>9} {:>13} {:>14} {:>12}", "epsilon", "memory (B)", "C error", "lowrank blks");
         for tol in [1e-3, 1e-6, 1e-9] {
-            let o = Ies3Options { tol, ..Default::default() };
-            let cm = CompressedMatrix::build(&p.panels, &p.green, &o).expect("ies3");
-            let (q, _) = p
-                .solve_iterative(
-                    &cm,
-                    &[1.0, 0.0],
-                    &KrylovOptions { tol: 1e-10, ..Default::default() },
-                )
-                .expect("gmres");
-            let c = p.conductor_charges(&q)[0];
-            println!(
-                "{:>9.0e} {:>13} {:>14.3e} {:>12}",
-                tol,
-                cm.memory_bytes(),
-                ((c - c_ref) / c_ref).abs(),
-                cm.low_rank_blocks()
-            );
+            let label = format!("eps={tol:.0e}");
+            h.sweep_point(&label, &[("tol", tol)], |pm| {
+                let o = Ies3Options { tol, ..Default::default() };
+                let cm = CompressedMatrix::build(&p.panels, &p.green, &o)
+                    .map_err(|e| format!("IES³ build (ε {tol:.0e}): {e}"))?;
+                let (q, _) = p
+                    .solve_iterative(
+                        &cm,
+                        &[1.0, 0.0],
+                        &KrylovOptions { tol: 1e-10, ..Default::default() },
+                    )
+                    .map_err(|e| format!("GMRES (ε {tol:.0e}): {e}"))?;
+                let c = p.conductor_charges(&q)[0];
+                let c_err = ((c - c_ref) / c_ref).abs();
+                pm.metric("memory_bytes", cm.memory_bytes() as f64);
+                pm.metric("c_rel_err", c_err);
+                println!(
+                    "{:>9.0e} {:>13} {:>14.3e} {:>12}",
+                    tol,
+                    cm.memory_bytes(),
+                    c_err,
+                    cm.low_rank_blocks()
+                );
+                Ok::<_, String>(())
+            })?;
         }
     } else {
         println!("\n(pass --ablate for the rank-tolerance ablation)");
     }
-    rfsim_bench::emit_telemetry("e08_ies3_scaling");
+    Ok(())
 }

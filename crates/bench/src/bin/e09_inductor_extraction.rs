@@ -10,7 +10,9 @@
 //! and |S₁₁| from 0.2 GHz to past self-resonance.
 
 use rfsim::em::inductor::SpiralInductor;
-use rfsim_bench::{heading, timed};
+use rfsim_bench::heading;
+use rfsim_observe::Harness;
+use std::process::ExitCode;
 
 /// Deterministic pseudo-noise in [−1, 1] (measurement jitter surrogate).
 fn noise(i: usize) -> f64 {
@@ -19,10 +21,17 @@ fn noise(i: usize) -> f64 {
     ((x >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let mut h = Harness::new("e09");
+    match run(&mut h) {
+        Ok(()) => h.finish(),
+        Err(e) => h.abort(&e),
+    }
+}
+
+fn run(h: &mut Harness) -> Result<(), String> {
     println!("E9: spiral inductor extraction vs synthetic measurement (Fig 7)");
     println!("worker pool: {} thread(s) (RFSIM_THREADS)", rfsim::parallel::thread_count());
-    rfsim::telemetry::gauge_set("pool.threads", rfsim::parallel::thread_count() as f64);
     let spiral = SpiralInductor::default();
     println!(
         "{} turns, {:.0} µm outer, {:.0} µm trace, oxide {:.1} µm, ρ_sub {:.0e} Ω·m",
@@ -33,21 +42,30 @@ fn main() {
         spiral.rho_sub
     );
 
-    let (sim, t_sim) = timed(|| spiral.extract(2, 6).expect("extract sim"));
-    let (meas, t_meas) = timed(|| spiral.extract(6, 24).expect("extract ref"));
+    let sim = h.sweep_point("extract:sim", &[("panels_per_seg", 2.0), ("quad", 6.0)], |pm| {
+        let sim = spiral.extract(2, 6).map_err(|e| format!("extraction (sim settings): {e}"))?;
+        pm.metric("l_nh", sim.l_series * 1e9);
+        pm.metric("r_dc", sim.r_dc);
+        pm.metric("c_ox_ff", sim.c_ox * 1e15);
+        Ok::<_, String>(sim)
+    })?;
+    let meas = h.sweep_point("extract:ref", &[("panels_per_seg", 6.0), ("quad", 24.0)], |pm| {
+        let meas = spiral.extract(6, 24).map_err(|e| format!("extraction (reference): {e}"))?;
+        pm.metric("l_nh", meas.l_series * 1e9);
+        pm.metric("c_ox_ff", meas.c_ox * 1e15);
+        Ok::<_, String>(meas)
+    })?;
     println!(
-        "simulation: {} segments, L = {:.3} nH, R = {:.2} Ω, Cox = {:.1} fF ({:.2} s)",
+        "simulation: {} segments, L = {:.3} nH, R = {:.2} Ω, Cox = {:.1} fF",
         sim.segments,
         sim.l_series * 1e9,
         sim.r_dc,
         sim.c_ox * 1e15,
-        t_sim
     );
     println!(
-        "reference:  L = {:.3} nH, Cox = {:.1} fF ({:.2} s); SRF(sim) = {:.2} GHz",
+        "reference:  L = {:.3} nH, Cox = {:.1} fF; SRF(sim) = {:.2} GHz",
         meas.l_series * 1e9,
         meas.c_ox * 1e15,
-        t_meas,
         sim.self_resonance() / 1e9
     );
 
@@ -98,35 +116,39 @@ fn main() {
     use rfsim::em::mom::MomProblem;
     use rfsim::em::GreenFn;
     use rfsim::numerics::krylov::KrylovOptions;
-    let segs = spiral.segments();
-    let mut panels = spiral_panels(&segs, 3, 0); // conductor 0: the spiral
-    panels.extend(mesh_plate(-250e-6, -60e-6, 1e-6, 120e-6, 120e-6, 6, 6, 1));
-    panels.extend(mesh_plate(130e-6, -60e-6, 1e-6, 120e-6, 120e-6, 6, 6, 2));
-    let assembly = MomProblem::new(panels, GreenFn::HalfSpace { eps_r: 3.9, z0: 0.0, k: 0.7 })
-        .expect("assembly");
-    let cm = CompressedMatrix::build(&assembly.panels, &assembly.green, &Ies3Options::default())
-        .expect("ies3");
-    println!(
-        "{} panels across 3 conductors; IES³ {} B vs dense {} B, {} low-rank blocks",
-        assembly.len(),
-        cm.memory_bytes(),
-        assembly.len() * assembly.len() * 8,
-        cm.low_rank_blocks()
-    );
-    let mut cap = vec![vec![0.0; 3]; 3];
-    for j in 0..3 {
-        let volts: Vec<f64> = (0..3).map(|k| if k == j { 1.0 } else { 0.0 }).collect();
-        let (q, stats) = assembly
-            .solve_iterative(&cm, &volts, &KrylovOptions { tol: 1e-8, ..Default::default() })
-            .expect("gmres");
-        let charges = assembly.conductor_charges(&q);
-        for (row, &charge) in cap.iter_mut().zip(&charges) {
-            row[j] = charge;
+    let cap = h.phase("assembly", || {
+        let segs = spiral.segments();
+        let mut panels = spiral_panels(&segs, 3, 0); // conductor 0: the spiral
+        panels.extend(mesh_plate(-250e-6, -60e-6, 1e-6, 120e-6, 120e-6, 6, 6, 1));
+        panels.extend(mesh_plate(130e-6, -60e-6, 1e-6, 120e-6, 120e-6, 6, 6, 2));
+        let assembly = MomProblem::new(panels, GreenFn::HalfSpace { eps_r: 3.9, z0: 0.0, k: 0.7 })
+            .map_err(|e| format!("assembly setup: {e}"))?;
+        let cm =
+            CompressedMatrix::build(&assembly.panels, &assembly.green, &Ies3Options::default())
+                .map_err(|e| format!("assembly IES³ build: {e}"))?;
+        println!(
+            "{} panels across 3 conductors; IES³ {} B vs dense {} B, {} low-rank blocks",
+            assembly.len(),
+            cm.memory_bytes(),
+            assembly.len() * assembly.len() * 8,
+            cm.low_rank_blocks()
+        );
+        let mut cap = vec![vec![0.0; 3]; 3];
+        for j in 0..3 {
+            let volts: Vec<f64> = (0..3).map(|k| if k == j { 1.0 } else { 0.0 }).collect();
+            let (q, stats) = assembly
+                .solve_iterative(&cm, &volts, &KrylovOptions { tol: 1e-8, ..Default::default() })
+                .map_err(|e| format!("assembly GMRES (conductor {j}): {e}"))?;
+            let charges = assembly.conductor_charges(&q);
+            for (row, &charge) in cap.iter_mut().zip(&charges) {
+                row[j] = charge;
+            }
+            if j == 0 {
+                println!("GMRES iterations per excitation: {}", stats.iterations);
+            }
         }
-        if j == 0 {
-            println!("GMRES iterations per excitation: {}", stats.iterations);
-        }
-    }
+        Ok::<_, String>(cap)
+    })?;
     println!("coupled Maxwell capacitance matrix (fF):");
     for row in &cap {
         println!("  {:>9.3} {:>9.3} {:>9.3}", row[0] * 1e15, row[1] * 1e15, row[2] * 1e15);
@@ -138,5 +160,5 @@ fn main() {
         -cap[0][1] * 1e15,
         -cap[1][2] * 1e15
     );
-    rfsim_bench::emit_telemetry("e09_inductor_extraction");
+    Ok(())
 }

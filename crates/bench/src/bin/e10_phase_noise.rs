@@ -9,6 +9,10 @@
 //! - **LTV** analysis "erroneously predicts infinite noise power density
 //!   at the carrier, as well as infinite total integrated power";
 //! - per-source contributions fall out of the same computation.
+//!
+//! Any solver failure — PSS, PPV, Monte Carlo, or the circuit adapter —
+//! aborts the run with a nonzero exit code; a benchmark that cannot
+//! complete its physics must not look green.
 
 use rfsim::circuit::dae::Dae;
 use rfsim::phasenoise::montecarlo::{monte_carlo_ensemble, McOptions};
@@ -19,59 +23,78 @@ use rfsim::phasenoise::spectrum::{
     lorentzian_psd, ltv_psd, phase_noise_dbc, total_sideband_power, PhaseNoiseAnalysis,
 };
 use rfsim_bench::{heading, timed};
+use rfsim_observe::Harness;
+use std::process::ExitCode;
 
-fn analyze(name: &str, dae: &dyn Dae, guess: (Vec<f64>, f64)) -> Option<PhaseNoiseAnalysis> {
+fn main() -> ExitCode {
+    let mut h = Harness::new("e10");
+    match run(&mut h) {
+        Ok(()) => h.finish(),
+        Err(e) => h.abort(&e),
+    }
+}
+
+fn analyze(
+    name: &str,
+    dae: &dyn Dae,
+    guess: (Vec<f64>, f64),
+) -> Result<PhaseNoiseAnalysis, String> {
     heading(&format!("{name}: PSS + PPV"));
     let (pss, t_pss) = timed(|| oscillator_pss(dae, guess, &PssOptions::default()));
-    let pss = match pss {
-        Ok(p) => p,
-        Err(e) => {
-            println!("PSS failed: {e}");
-            return None;
-        }
-    };
+    let pss = pss.map_err(|e| format!("{name}: PSS failed: {e}"))?;
     println!(
         "f0 = {:.4e} Hz (found, not assumed), carrier amp = {:.3} ({:.2} s)",
         pss.freq(),
         pss.amplitude(0, 1),
         t_pss
     );
-    let ppv = compute_ppv(dae, &pss).expect("ppv");
+    let ppv = compute_ppv(dae, &pss).map_err(|e| format!("{name}: PPV failed: {e}"))?;
     println!(
         "PPV normalization error max|v1ᵀẋ − 1| = {:.2e}",
         ppv.normalization_error(dae, &pss.states)
     );
-    let pn = PhaseNoiseAnalysis::new(dae, &pss, &ppv, 0).expect("analysis");
+    let pn = PhaseNoiseAnalysis::new(dae, &pss, &ppv, 0)
+        .map_err(|e| format!("{name}: phase-noise analysis failed: {e}"))?;
     println!("diffusion constant c = {:.4e} s", pn.c);
     for (label, contribution) in pn.per_source() {
         println!("  {label}: {:.3e} ({:.0}%)", contribution, 100.0 * contribution / pn.c);
     }
-    Some(pn)
+    Ok(pn)
 }
 
-fn main() {
+fn run(h: &mut Harness) -> Result<(), String> {
     println!("E10: phase noise in oscillators (Section 3)");
 
     // --- van der Pol: full MC validation. ---
     let vdp = VanDerPol::new(1.0, 4e-5);
-    let pn = analyze("van der Pol (mu = 1)", &vdp, vdp.initial_guess()).expect("vdp");
-    let pss = oscillator_pss(&vdp, vdp.initial_guess(), &PssOptions::default()).expect("pss");
+    let (pn, pss) = h.phase("vdp", || {
+        let pn = analyze("van der Pol (mu = 1)", &vdp, vdp.initial_guess())?;
+        let pss = oscillator_pss(&vdp, vdp.initial_guess(), &PssOptions::default())
+            .map_err(|e| format!("van der Pol: PSS failed: {e}"))?;
+        Ok::<_, String>((pn, pss))
+    })?;
 
     heading("jitter: Monte Carlo ensemble vs sigma^2 = c·t");
     let opts = McOptions { ensemble: 96, periods: 60, ..Default::default() };
-    let (mc, t_mc) = timed(|| monte_carlo_ensemble(&vdp, &pss.x0, pss.period, &opts).expect("mc"));
+    let mc = h.sweep_point("monte_carlo", &[("ensemble", opts.ensemble as f64)], |pm| {
+        let (mc, t_mc) = timed(|| monte_carlo_ensemble(&vdp, &pss.x0, pss.period, &opts));
+        let mc = mc.map_err(|e| format!("Monte Carlo ensemble failed: {e}"))?;
+        pm.metric("c_mc", mc.c_estimate);
+        pm.metric("c_ppv", pn.c);
+        pm.metric("c_ratio", mc.c_estimate / pn.c);
+        println!("({t_mc:.1} s for {} trajectories)", opts.ensemble);
+        Ok::<_, String>(mc)
+    })?;
     println!("{:>12} {:>14} {:>14}", "t (s)", "MC var (s²)", "c·t (s²)");
     let step = (mc.jitter.len() / 6).max(1);
     for (t, v) in mc.jitter.iter().step_by(step) {
         println!("{:>12.3} {:>14.4e} {:>14.4e}", t, v, pn.c * t);
     }
     println!(
-        "MC slope ĉ = {:.3e} vs PPV c = {:.3e} (ratio {:.2}); {:.1} s for {} trajectories",
+        "MC slope ĉ = {:.3e} vs PPV c = {:.3e} (ratio {:.2})",
         mc.c_estimate,
         pn.c,
         mc.c_estimate / pn.c,
-        t_mc,
-        opts.ensemble
     );
 
     heading("spectrum: Lorentzian (finite at carrier) vs LTV (divergent)");
@@ -113,10 +136,11 @@ fn main() {
     }
 
     // --- LC oscillator: theory cross-check against the analytic c. ---
-    let lc = LcOscillator::new(1e-6, 1e-9, 1e-3, 1e-4, 1e-24);
-    if let Some(pn_lc) = analyze("negative-resistance LC tank", &lc, lc.initial_guess()) {
-        let pss_lc =
-            oscillator_pss(&lc, lc.initial_guess(), &PssOptions::default()).expect("pss lc");
+    h.phase("lc", || {
+        let lc = LcOscillator::new(1e-6, 1e-9, 1e-3, 1e-4, 1e-24);
+        let pn_lc = analyze("negative-resistance LC tank", &lc, lc.initial_guess())?;
+        let pss_lc = oscillator_pss(&lc, lc.initial_guess(), &PssOptions::default())
+            .map_err(|e| format!("LC tank: PSS failed: {e}"))?;
         let a = pss_lc.amplitude(0, 1);
         let omega = 2.0 * std::f64::consts::PI * pss_lc.freq();
         let c_analytic = (1e-24 / (1e-9f64 * 1e-9)) / (2.0 * a * a * omega * omega);
@@ -126,35 +150,39 @@ fn main() {
             pn_lc.c,
             pn_lc.c / c_analytic
         );
-    }
+        Ok::<_, String>(())
+    })?;
 
     // --- Ring oscillator: per-stage contributions. ---
-    let ring = RingOscillator::new(3, 3.0, 1e-9, 1e-18);
-    if analyze("3-stage ring oscillator", &ring, ring.initial_guess()).is_some() {
+    h.phase("ring", || {
+        let ring = RingOscillator::new(3, 3.0, 1e-9, 1e-18);
+        analyze("3-stage ring oscillator", &ring, ring.initial_guess())?;
         println!("(equal per-stage contributions reflect the ring's symmetry)");
-    }
+        Ok::<_, String>(())
+    })?;
 
     // --- Circuit-level oscillator: the same pipeline on an MNA netlist
     // ("efficient for practical circuits", §3). ---
     heading("circuit-level LC oscillator (MNA netlist through the same pipeline)");
-    match rfsim::phasenoise::lc_oscillator_circuit(1e-6, 1e-9, 1e-3, 1e-4, 1e-24) {
-        Ok((osc, guess)) => {
-            let pss = oscillator_pss(&osc, guess, &PssOptions::default()).expect("circuit pss");
-            let ppv = compute_ppv(&osc, &pss).expect("circuit ppv");
-            let (c_circ, contribs) =
-                rfsim::phasenoise::circuit_diffusion_constant(&osc, &pss, &ppv);
-            println!(
-                "f0 = {:.4e} Hz, amplitude {:.3} V, c = {:.4e} s",
-                pss.freq(),
-                pss.amplitude(0, 1),
-                c_circ
-            );
-            for (label, v) in contribs {
-                println!("  {label}: {v:.3e}");
-            }
-            println!("(matches the analytic LC tank above — same physics, netlist form)");
+    h.phase("circuit", || {
+        let (osc, guess) = rfsim::phasenoise::lc_oscillator_circuit(1e-6, 1e-9, 1e-3, 1e-4, 1e-24)
+            .map_err(|e| format!("circuit adapter failed: {e}"))?;
+        let pss = oscillator_pss(&osc, guess, &PssOptions::default())
+            .map_err(|e| format!("circuit oscillator: PSS failed: {e}"))?;
+        let ppv =
+            compute_ppv(&osc, &pss).map_err(|e| format!("circuit oscillator: PPV failed: {e}"))?;
+        let (c_circ, contribs) = rfsim::phasenoise::circuit_diffusion_constant(&osc, &pss, &ppv);
+        println!(
+            "f0 = {:.4e} Hz, amplitude {:.3} V, c = {:.4e} s",
+            pss.freq(),
+            pss.amplitude(0, 1),
+            c_circ
+        );
+        for (label, v) in contribs {
+            println!("  {label}: {v:.3e}");
         }
-        Err(e) => println!("circuit adapter failed: {e}"),
-    }
-    rfsim_bench::emit_telemetry("e10_phase_noise");
+        println!("(matches the analytic LC tank above — same physics, netlist form)");
+        Ok::<_, String>(())
+    })?;
+    Ok(())
 }

@@ -10,8 +10,18 @@
 use rfsim::rom::noise_rom::{noise_psd_direct, noise_psd_rom, RomNoiseSource};
 use rfsim::rom::statespace::{log_freqs, rc_line};
 use rfsim_bench::{heading, timed};
+use rfsim_observe::Harness;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let mut h = Harness::new("e12");
+    match run(&mut h) {
+        Ok(()) => h.finish(),
+        Err(e) => h.abort(&e),
+    }
+}
+
+fn run(h: &mut Harness) -> Result<(), String> {
     println!("E12: ROM-based wideband noise evaluation (§5)");
     let n_nodes = 300;
     let sys = rc_line(n_nodes, 50.0, 1e-12);
@@ -28,12 +38,24 @@ fn main() {
 
     heading("direct vs ROM (PVL order 12 per source)");
     let ((direct, direct_solves), t_direct) =
-        timed(|| noise_psd_direct(&sys, &sources, &freqs).expect("direct"));
-    let ((rom, rom_facts), t_rom) =
-        timed(|| noise_psd_rom(&sys, &sources, &freqs, 12).expect("rom"));
+        h.sweep_point("direct", &[("unknowns", sys.order() as f64)], |pm| {
+            let (out, t) = timed(|| noise_psd_direct(&sys, &sources, &freqs));
+            let (psd, solves) = out.map_err(|e| format!("direct noise evaluation: {e}"))?;
+            pm.metric("sparse_factors", solves as f64);
+            Ok::<_, String>(((psd, solves), t))
+        })?;
+    let ((rom, rom_facts), t_rom) = h.sweep_point("rom", &[("rom_order", 12.0)], |pm| {
+        let (out, t) = timed(|| noise_psd_rom(&sys, &sources, &freqs, 12));
+        let (psd, facts) = out.map_err(|e| format!("ROM noise evaluation: {e}"))?;
+        pm.metric("sparse_factors", facts as f64);
+        Ok::<_, String>(((psd, facts), t))
+    })?;
     let mut max_rel: f64 = 0.0;
     for (d, r) in direct.iter().zip(&rom) {
         max_rel = max_rel.max(((d - r) / d.max(1e-300)).abs());
+    }
+    if !max_rel.is_finite() {
+        return Err("non-finite direct/ROM noise PSD mismatch".to_string());
     }
     println!("{:>10} {:>12} {:>16} {:>14}", "method", "time (s)", "sparse factors", "max rel err");
     println!("{:>10} {:>12.3} {:>16} {:>14}", "direct", t_direct, direct_solves, "-");
@@ -49,5 +71,5 @@ fn main() {
         "\nthe reduced per-source models are the 'compact form' the paper says\n\
          'can be used hierarchically in system-level simulations'."
     );
-    rfsim_bench::emit_telemetry("e12_noise_rom");
+    Ok(())
 }

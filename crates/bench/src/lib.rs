@@ -191,26 +191,6 @@ pub fn timed_span<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
     (out, secs)
 }
 
-/// Flushes telemetry at the end of an experiment harness.
-///
-/// With `RFSIM_TELEMETRY=json` (no explicit path) the artifact is written
-/// to `<experiment>.telemetry.json` next to the results; `report` prints
-/// to stderr; `off` (the default) does nothing.
-pub fn emit_telemetry(experiment: &str) {
-    let default = format!("{experiment}.telemetry.json");
-    match rfsim::telemetry::flush(Some(&default)) {
-        Ok(Some(path)) => eprintln!("telemetry: wrote {}", path.display()),
-        Ok(None) => {}
-        Err(e) => {
-            let target = match rfsim::telemetry::mode() {
-                rfsim::telemetry::Mode::Json { path: Some(p) } => p,
-                _ => default,
-            };
-            eprintln!("telemetry: failed to write {target}: {e}");
-        }
-    }
-}
-
 /// Prints a header row for one of the experiment tables.
 pub fn heading(title: &str) {
     println!();

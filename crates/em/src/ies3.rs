@@ -363,6 +363,28 @@ impl CompressedMatrix {
             telemetry::gauge_set("ies3.compressed_bytes", bytes as f64);
             telemetry::gauge_set("ies3.dense_bytes", (n * n * 8) as f64);
             telemetry::gauge_set("ies3.compression_ratio", bytes as f64 / (n * n * 8) as f64);
+            // NaN/Inf tripwire: a poisoned kernel evaluation (degenerate
+            // panel, bad Green's-function parameters) would otherwise
+            // surface only as mysterious GMRES stagnation downstream.
+            for (k, block) in cm.blocks.iter().enumerate() {
+                let finite = match block {
+                    Block::LowRank { u, vt, .. } => {
+                        u.as_slice().iter().all(|v| v.is_finite())
+                            && vt.as_slice().iter().all(|v| v.is_finite())
+                    }
+                    Block::Dense { m, .. } => m.as_slice().iter().all(|v| v.is_finite()),
+                };
+                if !finite {
+                    telemetry::record_health(
+                        "nonfinite",
+                        "ies3.build",
+                        &format!("block {k} of {} contains NaN/Inf entries", cm.blocks.len()),
+                        f64::NAN,
+                        k,
+                    );
+                    break;
+                }
+            }
         }
         Ok(cm)
     }

@@ -309,6 +309,7 @@ pub fn gmres<T: Scalar>(
     }
     let _span = telemetry::span("krylov.gmres");
     let mut trace = telemetry::TraceBuf::new("krylov.gmres");
+    let mut monitor = telemetry::ResidualMonitor::new("krylov.gmres");
     let mut tail = ResidualTail::new();
     let m = opts.restart.max(1).min(n.max(1));
     let mut x = x0.map_or_else(|| vec![T::ZERO; n], <[T]>::to_vec);
@@ -397,6 +398,7 @@ pub fn gmres<T: Scalar>(
             k_used = k + 1;
             resid_norm = g[k + 1].modulus() / bnorm;
             trace.push(resid_norm);
+            monitor.observe(resid_norm);
             tail.push(resid_norm);
             if hk1 < 1e-300 {
                 // Happy breakdown: exact solution in the current space.
@@ -471,6 +473,7 @@ pub fn bicgstab<T: Scalar>(
     }
     let _span = telemetry::span("krylov.bicgstab");
     let mut trace = telemetry::TraceBuf::new("krylov.bicgstab");
+    let mut monitor = telemetry::ResidualMonitor::new("krylov.bicgstab");
     let mut tail = ResidualTail::new();
     let mut x = x0.map_or_else(|| vec![T::ZERO; n], <[T]>::to_vec);
     let mut work = vec![T::ZERO; n];
@@ -530,6 +533,7 @@ pub fn bicgstab<T: Scalar>(
         }
         resid = gnorm2(&r) / bnorm;
         trace.push(resid);
+        monitor.observe(resid);
         tail.push(resid);
     }
     let stats = IterStats { iterations: opts.max_iters, residual: resid, matvecs };

@@ -165,8 +165,19 @@ pub fn norm2(v: &[f64]) -> f64 {
 }
 
 /// Infinity norm of a real vector (0 for the empty vector).
+///
+/// NaN entries propagate: `f64::max` would silently drop them, which
+/// let a poisoned residual report a finite norm and hid divergence from
+/// the convergence checks.
 pub fn norm_inf(v: &[f64]) -> f64 {
-    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+    let mut m = 0.0f64;
+    for x in v {
+        let a = x.abs();
+        if a > m || a.is_nan() {
+            m = a;
+        }
+    }
+    m
 }
 
 /// Dot product of two real vectors.

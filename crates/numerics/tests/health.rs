@@ -1,0 +1,82 @@
+//! Health-monitor integration: a deliberately stagnating GMRES solve
+//! (identity preconditioner on a system whose Krylov spaces carry no
+//! information until the full dimension) must emit a structured
+//! `stagnation` event alongside its `NoConvergence` error.
+
+use rfsim_numerics::dense::Mat;
+use rfsim_numerics::krylov::{gmres, IdentityPrecond, KrylovOptions};
+use rfsim_numerics::Error;
+use rfsim_telemetry as telemetry;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// The classic GMRES worst case: the cyclic shift permutation. With
+/// `b = e₁`, the residual stays exactly 1 until the Krylov space
+/// reaches the full dimension — and a restart below `n` keeps it there
+/// forever, the canonical "identity preconditioner on a hostile
+/// system" stall.
+fn shift_system(n: usize) -> (Mat<f64>, Vec<f64>) {
+    let a = Mat::from_fn(n, n, |i, j| if (j + 1) % n == i { 1.0 } else { 0.0 });
+    let mut b = vec![0.0; n];
+    b[0] = 1.0;
+    (a, b)
+}
+
+#[test]
+fn stagnating_gmres_emits_stagnation_event() {
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    telemetry::set_mode(telemetry::Mode::Report);
+    telemetry::reset();
+
+    let (a, b) = shift_system(64);
+    let opts = KrylovOptions { tol: 1e-10, restart: 8, max_iters: 60 };
+    let err = gmres(&a, &b, None, &IdentityPrecond, &opts).unwrap_err();
+    assert!(
+        matches!(err, Error::NoConvergence { .. }),
+        "stalled solve must fail cleanly, got {err:?}"
+    );
+
+    let snap = telemetry::snapshot();
+    let stagnation: Vec<_> = snap
+        .health
+        .iter()
+        .filter(|h| h.monitor == "stagnation" && h.solver == "krylov.gmres")
+        .collect();
+    assert_eq!(stagnation.len(), 1, "expected one stagnation event, got {:?}", snap.health);
+    // The first iteration establishes the running best (the residual is
+    // pinned at 1), so the default 25-iteration window elapses at
+    // iteration 26 — well before the solver gives up at max_iters.
+    assert_eq!(stagnation[0].iteration, 26);
+    assert!(stagnation[0].value.is_finite());
+
+    telemetry::set_mode(telemetry::Mode::Off);
+    telemetry::reset();
+}
+
+#[test]
+fn converging_gmres_emits_no_health_events() {
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    telemetry::set_mode(telemetry::Mode::Report);
+    telemetry::reset();
+
+    let n = 40;
+    let a = Mat::from_fn(n, n, |i, j| {
+        if i == j {
+            4.0
+        } else if i.abs_diff(j) == 1 {
+            -1.0
+        } else {
+            0.0
+        }
+    });
+    let xref: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+    let b = a.matvec(&xref);
+    gmres(&a, &b, None, &IdentityPrecond, &KrylovOptions::default()).expect("well-posed solve");
+
+    let snap = telemetry::snapshot();
+    assert!(snap.health.is_empty(), "healthy solve flagged: {:?}", snap.health);
+
+    telemetry::set_mode(telemetry::Mode::Off);
+    telemetry::reset();
+}

@@ -1,0 +1,73 @@
+//! `rfsim-report` — diff two benchmark artifact sets.
+//!
+//! ```text
+//! rfsim-report <old-dir-or-file> <new-dir-or-file> \
+//!     [--threshold 0.25] [--min-seconds 0.05] [--allow-health]
+//! ```
+//!
+//! Prints a per-metric delta table and exits nonzero when any wall-clock
+//! metric regressed past the threshold (relative growth past
+//! `--threshold` AND absolute growth past `--min-seconds`), a baseline
+//! id is missing from the new set, a new run recorded a failure, or
+//! (unless `--allow-health`) the new set contains any health event.
+
+use rfsim_observe::{compare_sets, load_set, Thresholds};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: rfsim-report <old-dir-or-file> <new-dir-or-file> \
+     [--threshold <frac>] [--min-seconds <s>] [--allow-health]";
+
+fn parse_args() -> Result<(std::path::PathBuf, std::path::PathBuf, Thresholds), String> {
+    let mut positional = Vec::new();
+    let mut thresholds = Thresholds::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().ok_or("--threshold needs a value")?;
+                thresholds.wall_regression =
+                    v.parse().map_err(|_| format!("bad --threshold value {v:?}"))?;
+            }
+            "--min-seconds" => {
+                let v = args.next().ok_or("--min-seconds needs a value")?;
+                thresholds.wall_min_seconds =
+                    v.parse().map_err(|_| format!("bad --min-seconds value {v:?}"))?;
+            }
+            "--allow-health" => thresholds.fail_on_health = false,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            _ if arg.starts_with('-') => return Err(format!("unknown flag {arg:?}\n{USAGE}")),
+            _ => positional.push(std::path::PathBuf::from(arg)),
+        }
+    }
+    let [old, new] = <[std::path::PathBuf; 2]>::try_from(positional)
+        .map_err(|_| format!("expected exactly two paths\n{USAGE}"))?;
+    Ok((old, new, thresholds))
+}
+
+fn main() -> ExitCode {
+    let (old_path, new_path, thresholds) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (old, new) = match (load_set(&old_path), load_set(&new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("rfsim-report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if old.is_empty() {
+        eprintln!("rfsim-report: no BENCH_*.json artifacts in {}", old_path.display());
+        return ExitCode::from(2);
+    }
+    let cmp = compare_sets(&old, &new, &thresholds);
+    print!("{}", cmp.render(&thresholds));
+    if cmp.failed(&thresholds) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,233 @@
+//! Regression reporting over two sets of `BENCH_<id>.json` artifacts:
+//! pairs artifacts by experiment id, diffs every metric, renders a
+//! delta table, and decides pass/fail from configurable thresholds.
+
+use crate::artifact::BenchArtifact;
+use std::fmt::Write as _;
+
+/// Pass/fail knobs for a comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Thresholds {
+    /// Maximum tolerated relative wall-clock growth (0.25 = +25%).
+    pub wall_regression: f64,
+    /// Absolute wall-clock growth floor (seconds): a row only counts as
+    /// a regression when it grows by more than this too. Micro-runs
+    /// finishing in milliseconds jitter past any relative threshold.
+    pub wall_min_seconds: f64,
+    /// Whether any health event in the new set fails the comparison.
+    pub fail_on_health: bool,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds { wall_regression: 0.25, wall_min_seconds: 0.05, fail_on_health: true }
+    }
+}
+
+/// One row of the delta table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Experiment id the metric belongs to.
+    pub id: String,
+    /// Metric path, e.g. `wall_seconds` or `sweep.n=1024.memory_bytes`.
+    pub metric: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Whether this row trips the wall-clock threshold.
+    pub regressed: bool,
+}
+
+impl MetricDelta {
+    /// Relative change, `(new - old) / old` (infinite when old is 0).
+    pub fn change(&self) -> f64 {
+        if self.old == 0.0 {
+            if self.new == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.new - self.old) / self.old
+        }
+    }
+}
+
+/// Outcome of comparing two artifact sets.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// All metric rows, in artifact order.
+    pub deltas: Vec<MetricDelta>,
+    /// Ids present in the baseline but missing from the candidate set.
+    pub missing: Vec<String>,
+    /// Candidate runs that recorded a failure.
+    pub failed_runs: Vec<String>,
+    /// Health events across the candidate set, as `(id, monitor, solver)`.
+    pub health: Vec<(String, String, String)>,
+}
+
+impl Comparison {
+    /// Rows that tripped the wall-clock threshold.
+    pub fn regressions(&self) -> usize {
+        self.deltas.iter().filter(|d| d.regressed).count()
+    }
+
+    /// Whether the comparison fails under `thresholds`.
+    pub fn failed(&self, thresholds: &Thresholds) -> bool {
+        self.regressions() > 0
+            || !self.missing.is_empty()
+            || !self.failed_runs.is_empty()
+            || (thresholds.fail_on_health && !self.health.is_empty())
+    }
+
+    /// Renders the per-metric delta table plus any failure summary.
+    pub fn render(&self, thresholds: &Thresholds) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<6} {:<44} {:>14} {:>14} {:>9}  status",
+            "id", "metric", "old", "new", "delta"
+        );
+        for d in &self.deltas {
+            let change = d.change();
+            let pct = if change.is_finite() {
+                format!("{:+.1}%", change * 100.0)
+            } else {
+                "new".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{:<6} {:<44} {:>14.6} {:>14.6} {:>9}  {}",
+                d.id,
+                d.metric,
+                d.old,
+                d.new,
+                pct,
+                if d.regressed { "REGRESSED" } else { "ok" },
+            );
+        }
+        if !self.missing.is_empty() {
+            let _ = writeln!(out, "missing from new set: {}", self.missing.join(", "));
+        }
+        for id in &self.failed_runs {
+            let _ = writeln!(out, "run FAILED in new set: {id}");
+        }
+        for (id, monitor, solver) in &self.health {
+            let _ = writeln!(out, "health event in {id}: {monitor} from {solver}");
+        }
+        let _ = writeln!(
+            out,
+            "{} metric(s), {} wall regression(s) past +{:.0}%, {} health event(s)",
+            self.deltas.len(),
+            self.regressions(),
+            thresholds.wall_regression * 100.0,
+            self.health.len(),
+        );
+        out
+    }
+}
+
+fn is_wall_metric(name: &str) -> bool {
+    name == "wall_seconds" || name.ends_with(".wall_seconds")
+}
+
+/// Diffs one artifact pair into metric rows.
+pub fn compare(
+    old: &BenchArtifact,
+    new: &BenchArtifact,
+    thresholds: &Thresholds,
+) -> Vec<MetricDelta> {
+    let mut rows = Vec::new();
+    let mut push = |metric: String, old_v: f64, new_v: f64| {
+        let regressed = is_wall_metric(&metric)
+            && old_v > 0.0
+            && new_v > old_v * (1.0 + thresholds.wall_regression)
+            && new_v - old_v > thresholds.wall_min_seconds;
+        rows.push(MetricDelta { id: new.id.clone(), metric, old: old_v, new: new_v, regressed });
+    };
+    push("wall_seconds".to_string(), old.wall_seconds, new.wall_seconds);
+    for np in &new.phases {
+        if let Some(op) = old.phases.iter().find(|p| p.name == np.name) {
+            push(format!("phase.{}.wall_seconds", np.name), op.wall_seconds, np.wall_seconds);
+        }
+    }
+    for ns in &new.sweep {
+        let Some(os) = old.sweep.iter().find(|s| s.label == ns.label) else { continue };
+        for (k, nv) in &ns.metrics {
+            if let Some(ov) = os.metrics.get(k) {
+                push(format!("sweep.{}.{k}", ns.label), *ov, *nv);
+            }
+        }
+        for (k, nv) in &ns.counters {
+            if let Some(ov) = os.counters.get(k) {
+                push(format!("sweep.{}.counter.{k}", ns.label), *ov as f64, *nv as f64);
+            }
+        }
+    }
+    rows
+}
+
+fn health_rows(a: &BenchArtifact) -> Vec<(String, String, String)> {
+    let Some(events) = a.telemetry.get("health").and_then(rfsim_telemetry::Json::as_arr) else {
+        return Vec::new();
+    };
+    events
+        .iter()
+        .map(|h| {
+            let field = |k: &str| h.get(k).and_then(|v| v.as_str()).unwrap_or("?").to_string();
+            (a.id.clone(), field("monitor"), field("solver"))
+        })
+        .collect()
+}
+
+/// Compares a baseline set against a candidate set, pairing by id.
+pub fn compare_sets(
+    old: &[BenchArtifact],
+    new: &[BenchArtifact],
+    thresholds: &Thresholds,
+) -> Comparison {
+    let mut cmp = Comparison::default();
+    for o in old {
+        match new.iter().find(|n| n.id == o.id) {
+            Some(n) => cmp.deltas.extend(compare(o, n, thresholds)),
+            None => cmp.missing.push(o.id.clone()),
+        }
+    }
+    for n in new {
+        if n.failure.is_some() {
+            cmp.failed_runs.push(n.id.clone());
+        }
+        cmp.health.extend(health_rows(n));
+    }
+    cmp
+}
+
+/// Loads every `BENCH_*.json` under `path` (or `path` itself when it is
+/// a single artifact file), sorted by id.
+///
+/// # Errors
+/// Unreadable directory/file, or a malformed artifact.
+pub fn load_set(path: &std::path::Path) -> Result<Vec<BenchArtifact>, String> {
+    let mut files = Vec::new();
+    if path.is_dir() {
+        let entries =
+            std::fs::read_dir(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                files.push(entry.path());
+            }
+        }
+    } else {
+        files.push(path.to_path_buf());
+    }
+    let mut out = Vec::new();
+    for f in files {
+        let text =
+            std::fs::read_to_string(&f).map_err(|e| format!("cannot read {}: {e}", f.display()))?;
+        out.push(BenchArtifact::parse(&text).map_err(|e| format!("{}: {e}", f.display()))?);
+    }
+    out.sort_by(|a, b| a.id.cmp(&b.id));
+    Ok(out)
+}

@@ -30,7 +30,11 @@
 //!
 //! The pool reports `pool.tasks` and `pool.steals` counters through
 //! [`rfsim_telemetry`]; spans opened inside tasks aggregate into the
-//! process-global span tree like any other thread's.
+//! process-global span tree like any other thread's. Spawned workers are
+//! named `rfsim-worker-<n>` and wrap their run in a `pool.worker` span,
+//! so the Chrome trace exporter (`RFSIM_TELEMETRY=chrome`) renders each
+//! worker as its own named track — stable across parallel regions even
+//! though each region spawns fresh OS threads.
 //!
 //! # Thread count
 //!
@@ -217,7 +221,17 @@ where
     let mut parts: Vec<Vec<(usize, T)>> = Vec::with_capacity(nt);
     std::thread::scope(|s| {
         let worker = &worker;
-        let handles: Vec<_> = (1..nt).map(|w| s.spawn(move || worker(w))).collect();
+        let handles: Vec<_> = (1..nt)
+            .map(|w| {
+                std::thread::Builder::new()
+                    .name(format!("rfsim-worker-{w}"))
+                    .spawn_scoped(s, move || {
+                        let _span = telemetry::span("pool.worker");
+                        worker(w)
+                    })
+                    .expect("rfsim-parallel: failed to spawn worker thread")
+            })
+            .collect();
         parts.push(worker(0));
         for h in handles {
             match h.join() {
@@ -283,7 +297,18 @@ where
         let run = &run;
         let mut iter = per_worker.into_iter();
         let own = iter.next().expect("nt >= 1");
-        let handles: Vec<_> = iter.map(|list| s.spawn(move || run(list))).collect();
+        let handles: Vec<_> = iter
+            .enumerate()
+            .map(|(k, list)| {
+                std::thread::Builder::new()
+                    .name(format!("rfsim-worker-{}", k + 1))
+                    .spawn_scoped(s, move || {
+                        let _span = telemetry::span("pool.worker");
+                        run(list)
+                    })
+                    .expect("rfsim-parallel: failed to spawn worker thread")
+            })
+            .collect();
         run(own);
         for h in handles {
             if let Err(p) = h.join() {
@@ -412,6 +437,27 @@ mod tests {
             }))
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn chrome_trace_gets_distinct_worker_tracks() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        telemetry::set_mode(telemetry::Mode::Chrome { path: None });
+        telemetry::reset();
+        set_thread_count(4);
+        let _ = par_map_indexed(64, |i| {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            i
+        });
+        set_thread_count(0);
+        let events = telemetry::chrome::events();
+        telemetry::set_mode(telemetry::Mode::Off);
+        telemetry::reset();
+        let tids: std::collections::BTreeSet<u64> =
+            events.iter().filter(|e| e.name == "pool.worker").map(|e| e.tid).collect();
+        // nt = 4 → three spawned workers (the caller is worker 0), each
+        // wrapping its run in a `pool.worker` span on its own track.
+        assert_eq!(tids.len(), 3, "spawned workers must land on distinct tracks: {events:?}");
     }
 
     #[test]

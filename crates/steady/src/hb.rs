@@ -387,13 +387,27 @@ fn newton_hb(
         trace.set_label(format!("{nun} unknowns, {} samples", grid.samples()));
     }
     let mut tail = ResidualTail::new();
+    let mut monitor = telemetry::ResidualMonitor::newton("hb.newton");
+    let mut first_inner: Option<usize> = None;
+    let mut flagged_precond = false;
     let mut last_res = f64::INFINITY;
-    for _it in 0..opts.max_newton {
+    for it in 0..opts.max_newton {
         let (r, lins) = assemble(dae, grid, x, b);
         let res = norm_inf(&r);
         last_res = res;
         trace.push(res);
+        monitor.observe(res);
         tail.push(res);
+        if !res.is_finite() {
+            // A NaN/Inf residual cannot recover; abort instead of
+            // iterating on poisoned values.
+            trace.commit(false);
+            return Err(Error::NoConvergence {
+                iterations: it,
+                residual: res,
+                residual_tail: tail.to_vec(),
+            });
+        }
         if res < opts.tol {
             trace.commit(true);
             return Ok(());
@@ -434,6 +448,26 @@ fn newton_hb(
                 };
                 let (dx, st) = result.map_err(Error::Numerics)?;
                 telemetry::histogram_record("hb.gmres.iterations_per_newton", st.iterations as f64);
+                // Preconditioner-quality trend: a sharp rise in inner
+                // iterations per Newton step means the block
+                // preconditioner stopped matching the Jacobian.
+                let first = *first_inner.get_or_insert(st.iterations);
+                if monitor.is_active() {
+                    telemetry::gauge_set("hb.precond.inner_per_newton", st.iterations as f64);
+                    if !flagged_precond && st.iterations > 3 * first.max(4) {
+                        flagged_precond = true;
+                        telemetry::record_health(
+                            "precond_degraded",
+                            "hb.newton",
+                            &format!(
+                                "inner GMRES iterations rose from {first} to {} per Newton step",
+                                st.iterations
+                            ),
+                            st.iterations as f64,
+                            stats.newton_iterations,
+                        );
+                    }
+                }
                 stats.linear_iterations += st.iterations;
                 stats.matvecs += matvecs.get();
                 dx
@@ -462,6 +496,7 @@ fn newton_hb(
     let (r, _) = assemble(dae, grid, x, b);
     let final_res = norm_inf(&r);
     trace.push(final_res);
+    monitor.observe(final_res);
     tail.push(final_res);
     if final_res < opts.tol {
         trace.commit(true);

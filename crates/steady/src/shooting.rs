@@ -237,6 +237,7 @@ pub fn shooting(dae: &dyn Dae, period: f64, opts: &ShootingOptions) -> Result<Sh
         trace.set_label(format!("period {period:.3e}s, {} steps", opts.steps_per_period));
     }
     let mut tail = ResidualTail::new();
+    let mut monitor = telemetry::ResidualMonitor::newton("shooting.newton");
     let n = dae.dim();
     let op = dc_operating_point(dae, &opts.inner)?;
     let mut x0 = op.x;
@@ -249,7 +250,19 @@ pub fn shooting(dae: &dyn Dae, period: f64, opts: &ShootingOptions) -> Result<Sh
         let res = norm_inf(&r);
         last_res = res;
         trace.push(res);
+        monitor.observe(res);
         tail.push(res);
+        if !res.is_finite() {
+            // Same tripwire as HB: a poisoned trajectory cannot recover.
+            trace.commit(false);
+            telemetry::counter_add("shooting.newton.iterations", it as u64);
+            telemetry::counter_add("shooting.linear_solves", solves as u64);
+            return Err(Error::NoConvergence {
+                iterations: it,
+                residual: res,
+                residual_tail: tail.to_vec(),
+            });
+        }
         if res < opts.tol {
             trace.commit(true);
             telemetry::counter_add("shooting.newton.iterations", it as u64);

@@ -1,0 +1,129 @@
+//! Health-monitor integration for the steady engines: a NaN injected
+//! into the HB residual must surface as a structured `nonfinite` event
+//! and abort cleanly through `Result` — never a panic, and never the
+//! silent grind of Newton iterating on poisoned values.
+
+use rfsim_circuit::dae::{Dae, NoiseSource, TwoTime};
+use rfsim_circuit::prelude::*;
+use rfsim_circuit::{Circuit, CircuitDae};
+use rfsim_numerics::sparse::Triplets;
+use rfsim_steady::{solve_hb, Error, HbOptions, SpectralGrid};
+use rfsim_telemetry as telemetry;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Delegates to a real circuit DAE but poisons the excitation away from
+/// `t = 0`: the DC operating point stays solvable, while the HB
+/// residual picks up a NaN on the first Newton iteration.
+struct PoisonedDae {
+    inner: CircuitDae,
+}
+
+impl Dae for PoisonedDae {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn eval(
+        &self,
+        x: &[f64],
+        f: &mut [f64],
+        q: &mut [f64],
+        g: &mut Triplets<f64>,
+        c: &mut Triplets<f64>,
+    ) {
+        self.inner.eval(x, f, q, g, c);
+    }
+
+    fn eval_b(&self, t: TwoTime, b: &mut [f64]) {
+        self.inner.eval_b(t, b);
+        if t.t1 != 0.0 || t.t2 != 0.0 {
+            b[0] = f64::NAN;
+        }
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        self.inner.is_nonlinear()
+    }
+
+    fn unknown_name(&self, i: usize) -> String {
+        self.inner.unknown_name(i)
+    }
+
+    fn noise_sources(&self, x_op: &[f64]) -> Vec<NoiseSource> {
+        self.inner.noise_sources(x_op)
+    }
+}
+
+fn rc_lowpass() -> CircuitDae {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let out = ckt.node("out");
+    ckt.add(VSource::sine("V1", a, Circuit::GROUND, 0.0, 1.0, 1e6));
+    ckt.add(Resistor::new("R1", a, out, 1e3));
+    ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 1e-10));
+    ckt.into_dae().expect("netlist")
+}
+
+#[test]
+fn nan_in_hb_residual_emits_nonfinite_event_and_clean_error() {
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    telemetry::set_mode(telemetry::Mode::Report);
+    telemetry::reset();
+
+    let dae = PoisonedDae { inner: rc_lowpass() };
+    let grid = SpectralGrid::single_tone(1e6, 4).expect("grid");
+    let err = solve_hb(&dae, &grid, &HbOptions::default()).unwrap_err();
+    match err {
+        Error::NoConvergence { residual, .. } => {
+            assert!(!residual.is_finite(), "the reported residual must carry the NaN");
+        }
+        other => panic!("expected NoConvergence, got {other:?}"),
+    }
+
+    let snap = telemetry::snapshot();
+    let nonfinite: Vec<_> = snap
+        .health
+        .iter()
+        .filter(|h| h.monitor == "nonfinite" && h.solver == "hb.newton")
+        .collect();
+    assert_eq!(nonfinite.len(), 1, "expected one nonfinite event, got {:?}", snap.health);
+    assert!(nonfinite[0].value.is_nan());
+    // The poisoned trace is committed as failed, not left dangling.
+    let hb_trace = snap.traces.iter().find(|t| t.solver == "hb.newton").expect("hb trace");
+    assert!(!hb_trace.converged);
+
+    telemetry::set_mode(telemetry::Mode::Off);
+    telemetry::reset();
+}
+
+#[test]
+fn nan_abort_is_clean_with_telemetry_off() {
+    // The tripwire is a correctness feature: it must abort via `Result`
+    // even when no monitor is recording.
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    telemetry::set_mode(telemetry::Mode::Off);
+    telemetry::reset();
+
+    let dae = PoisonedDae { inner: rc_lowpass() };
+    let grid = SpectralGrid::single_tone(1e6, 4).expect("grid");
+    let err = solve_hb(&dae, &grid, &HbOptions::default()).unwrap_err();
+    assert!(matches!(err, Error::NoConvergence { .. }), "got {err:?}");
+    assert!(telemetry::snapshot().health.is_empty());
+}
+
+#[test]
+fn healthy_hb_emits_no_health_events() {
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    telemetry::set_mode(telemetry::Mode::Report);
+    telemetry::reset();
+
+    let grid = SpectralGrid::single_tone(1e6, 4).expect("grid");
+    solve_hb(&rc_lowpass(), &grid, &HbOptions::default()).expect("well-posed solve");
+    let snap = telemetry::snapshot();
+    assert!(snap.health.is_empty(), "healthy solve flagged: {:?}", snap.health);
+
+    telemetry::set_mode(telemetry::Mode::Off);
+    telemetry::reset();
+}

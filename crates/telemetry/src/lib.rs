@@ -15,8 +15,11 @@
 //!   named solver counters and distributions.
 //! - **Convergence traces** ([`TraceBuf`], [`record_trace`]): per-
 //!   iteration residual trajectories of every Newton/Krylov engine.
-//! - **Sinks**: `RFSIM_TELEMETRY=off|report|json[:path]` selects no
-//!   output (default), a report on stderr, or a JSON artifact.
+//! - **Health monitors** ([`health`]): stagnation / divergence /
+//!   NaN-Inf detectors emitting structured [`HealthEvent`]s.
+//! - **Sinks**: `RFSIM_TELEMETRY=off|report|json[:path]|chrome[:path]`
+//!   selects no output (default), a report on stderr, a JSON artifact,
+//!   or a Chrome trace-event timeline (Perfetto / `chrome://tracing`).
 //!
 //! When telemetry is off every instrumentation call is a single branch
 //! on a relaxed atomic — no clock reads, no locks, no allocation — so
@@ -44,11 +47,14 @@
 //! telemetry::reset();
 //! ```
 
+pub mod chrome;
+pub mod health;
 pub mod json;
 mod metrics;
 mod span;
 mod trace;
 
+pub use health::{record_health, HealthEvent, HealthStatus, ResidualMonitor, MAX_HEALTH_EVENTS};
 pub use json::Json;
 pub use metrics::{counter_add, gauge_set, histogram_record, Histogram};
 pub use span::{span, span_dyn, SpanGuard, SpanNode};
@@ -72,18 +78,25 @@ pub enum Mode {
         /// Output path; `None` uses the flusher's default.
         path: Option<String>,
     },
+    /// Record, and [`flush`] writes a Chrome trace-event timeline
+    /// (loadable by Perfetto or `chrome://tracing`).
+    Chrome {
+        /// Output path; `None` uses `rfsim-trace.json`.
+        path: Option<String>,
+    },
 }
 
 const MODE_OFF: u8 = 0;
 const MODE_REPORT: u8 = 1;
 const MODE_JSON: u8 = 2;
+const MODE_CHROME: u8 = 3;
 
 static MODE: AtomicU8 = AtomicU8::new(MODE_OFF);
 static JSON_PATH: Mutex<Option<String>> = Mutex::new(None);
 static INIT: Once = Once::new();
 
 /// Environment variable selecting the mode: `off` (default), `report`,
-/// `json`, or `json:/some/path.json`.
+/// `json`, `json:/some/path.json`, `chrome`, or `chrome:/trace.json`.
 pub const ENV_VAR: &str = "RFSIM_TELEMETRY";
 
 fn ensure_init() {
@@ -93,7 +106,7 @@ fn ensure_init() {
             Some(mode) => apply_mode(mode),
             None => eprintln!(
                 "rfsim-telemetry: ignoring unrecognized {ENV_VAR}={value:?} \
-                 (expected off | report | json[:path])"
+                 (expected off | report | json[:path] | chrome[:path])"
             ),
         }
     });
@@ -106,10 +119,17 @@ pub fn parse_mode(value: &str) -> Option<Mode> {
         "" | "off" | "0" | "none" => Some(Mode::Off),
         "report" => Some(Mode::Report),
         "json" => Some(Mode::Json { path: None }),
-        _ => value
-            .strip_prefix("json:")
-            .filter(|p| !p.is_empty())
-            .map(|p| Mode::Json { path: Some(p.to_string()) }),
+        "chrome" => Some(Mode::Chrome { path: None }),
+        _ => {
+            if let Some(p) = value.strip_prefix("json:").filter(|p| !p.is_empty()) {
+                Some(Mode::Json { path: Some(p.to_string()) })
+            } else {
+                value
+                    .strip_prefix("chrome:")
+                    .filter(|p| !p.is_empty())
+                    .map(|p| Mode::Chrome { path: Some(p.to_string()) })
+            }
+        }
     }
 }
 
@@ -118,6 +138,11 @@ fn apply_mode(mode: Mode) {
         Mode::Off => (MODE_OFF, None),
         Mode::Report => (MODE_REPORT, None),
         Mode::Json { path } => (MODE_JSON, path),
+        Mode::Chrome { path } => {
+            // Anchor the trace epoch before any span starts recording.
+            let _ = chrome::epoch();
+            (MODE_CHROME, path)
+        }
     };
     *JSON_PATH.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = path;
     MODE.store(tag, Ordering::Release);
@@ -138,6 +163,9 @@ pub fn mode() -> Mode {
         MODE_JSON => Mode::Json {
             path: JSON_PATH.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone(),
         },
+        MODE_CHROME => Mode::Chrome {
+            path: JSON_PATH.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone(),
+        },
         _ => Mode::Off,
     }
 }
@@ -147,6 +175,12 @@ pub fn mode() -> Mode {
 pub fn enabled() -> bool {
     ensure_init();
     MODE.load(Ordering::Relaxed) != MODE_OFF
+}
+
+/// Whether the Chrome trace exporter is active (checked on span drop).
+#[inline]
+pub(crate) fn chrome_enabled() -> bool {
+    MODE.load(Ordering::Relaxed) == MODE_CHROME
 }
 
 /// A point-in-time copy of everything recorded so far.
@@ -164,6 +198,10 @@ pub struct Snapshot {
     pub traces: Vec<ConvergenceTrace>,
     /// Traces discarded after [`MAX_TRACES`] was reached.
     pub dropped_traces: u64,
+    /// Structured health events, in recording order.
+    pub health: Vec<HealthEvent>,
+    /// Health events discarded after [`MAX_HEALTH_EVENTS`] was reached.
+    pub dropped_health: u64,
 }
 
 /// Captures a snapshot of all recorded telemetry.
@@ -175,6 +213,8 @@ pub fn snapshot() -> Snapshot {
         histograms: metrics::histograms(),
         traces: trace::traces(),
         dropped_traces: trace::dropped(),
+        health: health::events(),
+        dropped_health: health::dropped(),
     }
 }
 
@@ -183,6 +223,8 @@ pub fn reset() {
     span::reset();
     metrics::reset();
     trace::reset();
+    health::reset();
+    chrome::reset();
 }
 
 impl Snapshot {
@@ -244,7 +286,42 @@ impl Snapshot {
             ("histograms", Json::Obj(histograms)),
             ("traces", Json::Arr(traces)),
             ("dropped_traces", Json::Num(self.dropped_traces as f64)),
+            (
+                "health",
+                Json::Arr(
+                    self.health
+                        .iter()
+                        .map(|h| {
+                            Json::obj([
+                                ("monitor", Json::Str(h.monitor.clone())),
+                                ("solver", Json::Str(h.solver.clone())),
+                                ("detail", Json::Str(h.detail.clone())),
+                                ("value", Json::Num(h.value)),
+                                ("iteration", Json::Num(h.iteration as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("dropped_health", Json::Num(self.dropped_health as f64)),
         ])
+    }
+
+    /// Rebuilds the health events of a snapshot from its JSON
+    /// serialization.
+    pub fn health_from_json(value: &Json) -> Option<Vec<HealthEvent>> {
+        let arr = value.get("health")?.as_arr()?;
+        let mut out = Vec::with_capacity(arr.len());
+        for h in arr {
+            out.push(HealthEvent {
+                monitor: h.get("monitor")?.as_str()?.to_string(),
+                solver: h.get("solver")?.as_str()?.to_string(),
+                detail: h.get("detail")?.as_str()?.to_string(),
+                value: h.get("value")?.as_f64().unwrap_or(f64::NAN),
+                iteration: h.get("iteration")?.as_f64()? as usize,
+            });
+        }
+        Some(out)
     }
 
     /// Rebuilds the traces of a snapshot from its JSON serialization
@@ -347,6 +424,23 @@ impl Snapshot {
                 self.dropped_traces
             );
         }
+        if !self.health.is_empty() {
+            let _ = writeln!(out, "health events:");
+            for h in &self.health {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:<28} iter {:>4}  {}",
+                    h.monitor, h.solver, h.iteration, h.detail,
+                );
+            }
+        }
+        if self.dropped_health > 0 {
+            let _ = writeln!(
+                out,
+                "note: {} health event(s) dropped after the {MAX_HEALTH_EVENTS}-event cap",
+                self.dropped_health
+            );
+        }
         out
     }
 }
@@ -357,11 +451,13 @@ impl Snapshot {
 /// - `Report`: prints [`Snapshot::render_report`] to stderr.
 /// - `Json { path }`: writes pretty-printed JSON to `path`, falling
 ///   back to `default_json_path`, then `rfsim-telemetry.json`.
+/// - `Chrome { path }`: writes the trace-event timeline to `path`,
+///   falling back to `rfsim-trace.json`.
 ///
-/// Returns the path written in JSON mode.
+/// Returns the path written in JSON or Chrome mode.
 ///
 /// # Errors
-/// Propagates I/O failures from the JSON file write.
+/// Propagates I/O failures from the file write.
 pub fn flush(default_json_path: Option<&str>) -> std::io::Result<Option<std::path::PathBuf>> {
     match mode() {
         Mode::Off => Ok(None),
@@ -374,6 +470,11 @@ pub fn flush(default_json_path: Option<&str>) -> std::io::Result<Option<std::pat
                 path.as_deref().or(default_json_path).unwrap_or("rfsim-telemetry.json"),
             );
             std::fs::write(&path, snapshot().to_json().to_string_pretty())?;
+            Ok(Some(path))
+        }
+        Mode::Chrome { path } => {
+            let path = std::path::PathBuf::from(path.as_deref().unwrap_or("rfsim-trace.json"));
+            std::fs::write(&path, chrome::to_json().to_string_compact())?;
             Ok(Some(path))
         }
     }
@@ -394,6 +495,12 @@ mod tests {
             Some(Mode::Json { path: Some("/tmp/x.json".into()) })
         );
         assert_eq!(parse_mode("json:"), None);
+        assert_eq!(parse_mode("chrome"), Some(Mode::Chrome { path: None }));
+        assert_eq!(
+            parse_mode("chrome:trace.json"),
+            Some(Mode::Chrome { path: Some("trace.json".into()) })
+        );
+        assert_eq!(parse_mode("chrome:"), None);
         assert_eq!(parse_mode("bogus"), None);
     }
 
@@ -411,11 +518,23 @@ mod tests {
                 converged: true,
             }],
             dropped_traces: 0,
+            health: vec![HealthEvent {
+                monitor: "stagnation".into(),
+                solver: "krylov.gmres".into(),
+                detail: "stalled".into(),
+                value: 0.5,
+                iteration: 30,
+            }],
+            dropped_health: 0,
         };
         let j = snap.to_json();
         assert_eq!(j.get("counters").unwrap().get("a.b").unwrap().as_f64(), Some(3.0));
         let traces = Snapshot::traces_from_json(&j).unwrap();
         assert_eq!(traces, snap.traces);
-        assert!(!snap.render_report().is_empty());
+        let health = Snapshot::health_from_json(&j).unwrap();
+        assert_eq!(health, snap.health);
+        let report = snap.render_report();
+        assert!(report.contains("health events:"));
+        assert!(report.contains("stagnation"));
     }
 }

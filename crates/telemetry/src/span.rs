@@ -83,9 +83,15 @@ fn open(name: Cow<'static, str>) -> SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
-        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let end = Instant::now();
+        let ns = end.saturating_duration_since(start).as_nanos().min(u64::MAX as u128) as u64;
         STACK.with(|s| {
             let mut stack = s.borrow_mut();
+            if crate::chrome_enabled() {
+                if let Some(name) = stack.last() {
+                    crate::chrome::record(name, start, end);
+                }
+            }
             record(&stack, ns);
             stack.pop();
         });

@@ -1,0 +1,151 @@
+//! Chrome trace-event exporter integration tests: the flushed file must
+//! be a valid Trace Event Format JSON array with complete ("X") events,
+//! non-decreasing timestamps, and a stable per-thread `tid` so worker
+//! threads render as distinct tracks.
+
+use rfsim_telemetry as telemetry;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn with_chrome_mode<T>(path: &std::path::Path, f: impl FnOnce() -> T) -> T {
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    telemetry::set_mode(telemetry::Mode::Chrome {
+        path: Some(path.to_string_lossy().into_owned()),
+    });
+    telemetry::reset();
+    let out = f();
+    telemetry::set_mode(telemetry::Mode::Off);
+    telemetry::reset();
+    out
+}
+
+/// Splits a flushed trace into metadata ("M") and complete ("X") events.
+fn load_events(path: &std::path::Path) -> (Vec<telemetry::Json>, Vec<telemetry::Json>) {
+    let text = std::fs::read_to_string(path).expect("trace file written");
+    let parsed = telemetry::Json::parse(&text).expect("valid JSON");
+    let arr = parsed.as_arr().expect("top-level JSON array").to_vec();
+    let ph = |e: &telemetry::Json| e.get("ph").and_then(|p| p.as_str()).unwrap_or("").to_string();
+    let meta = arr.iter().filter(|e| ph(e) == "M").cloned().collect();
+    let spans = arr.iter().filter(|e| ph(e) == "X").cloned().collect();
+    (meta, spans)
+}
+
+#[test]
+fn trace_file_is_valid_and_monotonic() {
+    let path = std::env::temp_dir().join("rfsim-chrome-trace-basic.json");
+    let _ = std::fs::remove_file(&path);
+    with_chrome_mode(&path, || {
+        {
+            let _outer = telemetry::span("chrome.outer");
+            std::thread::sleep(Duration::from_millis(2));
+            let _inner = telemetry::span("chrome.inner");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let _again = telemetry::span("chrome.outer");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let written = telemetry::flush(None).expect("flush");
+        assert_eq!(written.as_deref(), Some(path.as_path()));
+
+        let (_meta, spans) = load_events(&path);
+        assert_eq!(spans.len(), 3, "one X event per completed span");
+        let mut last_ts = f64::NEG_INFINITY;
+        for ev in &spans {
+            // Every complete event carries the full field set.
+            for key in ["name", "ph", "ts", "dur", "pid", "tid"] {
+                assert!(ev.get(key).is_some(), "missing {key} in {ev:?}");
+            }
+            let ts = ev.get("ts").unwrap().as_f64().expect("numeric ts");
+            let dur = ev.get("dur").unwrap().as_f64().expect("numeric dur");
+            assert!(ts >= 0.0 && ts.is_finite());
+            assert!(dur > 0.0, "slept spans must have positive duration");
+            assert!(ts >= last_ts, "events must be sorted by ts");
+            last_ts = ts;
+        }
+        let names: Vec<_> =
+            spans.iter().map(|e| e.get("name").unwrap().as_str().unwrap().to_string()).collect();
+        assert_eq!(names.iter().filter(|n| *n == "chrome.outer").count(), 2);
+        assert_eq!(names.iter().filter(|n| *n == "chrome.inner").count(), 1);
+        // Nesting: the inner span starts after its enclosing outer span.
+        let outer_ts = spans[0].get("ts").unwrap().as_f64().unwrap();
+        let inner =
+            spans.iter().find(|e| e.get("name").unwrap().as_str() == Some("chrome.inner")).unwrap();
+        assert!(inner.get("ts").unwrap().as_f64().unwrap() >= outer_ts);
+    });
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn per_thread_tid_is_stable_and_distinct() {
+    const WORKERS: usize = 4;
+    const SPANS_PER_WORKER: usize = 5;
+    let path = std::env::temp_dir().join("rfsim-chrome-trace-threads.json");
+    let _ = std::fs::remove_file(&path);
+    with_chrome_mode(&path, || {
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                std::thread::Builder::new()
+                    .name(format!("rfsim-test-worker-{w}"))
+                    .spawn_scoped(scope, move || {
+                        for _ in 0..SPANS_PER_WORKER {
+                            let _s = telemetry::span_dyn(format!("worker.{w}"));
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    })
+                    .expect("spawn worker");
+            }
+        });
+        telemetry::flush(None).expect("flush");
+
+        let (meta, spans) = load_events(&path);
+        assert_eq!(spans.len(), WORKERS * SPANS_PER_WORKER);
+        // Each worker's spans all share one tid; tids differ across workers.
+        let mut tid_of_worker = std::collections::BTreeMap::new();
+        for ev in &spans {
+            let name = ev.get("name").unwrap().as_str().unwrap().to_string();
+            let tid = ev.get("tid").unwrap().as_f64().unwrap() as u64;
+            assert_eq!(
+                *tid_of_worker.entry(name.clone()).or_insert(tid),
+                tid,
+                "tid flapped for {name}"
+            );
+        }
+        let distinct: std::collections::BTreeSet<_> = tid_of_worker.values().collect();
+        assert_eq!(distinct.len(), WORKERS, "each thread gets its own track: {tid_of_worker:?}");
+        // Thread-name metadata events cover every tid used by a span.
+        let meta_tids: std::collections::BTreeSet<u64> =
+            meta.iter().map(|e| e.get("tid").unwrap().as_f64().unwrap() as u64).collect();
+        for tid in tid_of_worker.values() {
+            assert!(meta_tids.contains(tid), "no thread_name metadata for tid {tid}");
+        }
+        for e in &meta {
+            assert_eq!(e.get("name").unwrap().as_str(), Some("thread_name"));
+            assert!(e.get("args").and_then(|a| a.get("name")).is_some());
+        }
+    });
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn reset_clears_buffered_events() {
+    let path = std::env::temp_dir().join("rfsim-chrome-trace-reset.json");
+    let _ = std::fs::remove_file(&path);
+    with_chrome_mode(&path, || {
+        {
+            let _s = telemetry::span("chrome.before-reset");
+        }
+        telemetry::reset();
+        {
+            let _s = telemetry::span("chrome.after-reset");
+        }
+        telemetry::flush(None).expect("flush");
+        let (_meta, spans) = load_events(&path);
+        let names: Vec<_> =
+            spans.iter().map(|e| e.get("name").unwrap().as_str().unwrap().to_string()).collect();
+        assert_eq!(names, vec!["chrome.after-reset"]);
+    });
+    let _ = std::fs::remove_file(&path);
+}

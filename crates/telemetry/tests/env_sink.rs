@@ -70,6 +70,30 @@ fn env_report_writes_stderr() {
 }
 
 #[test]
+fn env_chrome_selects_trace_sink() {
+    if std::env::var(CHILD_VAR).is_ok() {
+        child_workload();
+        return;
+    }
+    let path = std::env::temp_dir().join("rfsim-telemetry-env-chrome-test.json");
+    let _ = std::fs::remove_file(&path);
+    let out = run_child("env_chrome_selects_trace_sink", &format!("chrome:{}", path.display()));
+    assert!(out.status.success(), "child failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&path).expect("trace artifact written at env path");
+    let parsed = telemetry::Json::parse(&text).expect("valid JSON");
+    let arr = parsed.as_arr().expect("trace-event array");
+    let span_ev = arr
+        .iter()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("child.solve"))
+        .expect("child.solve X event");
+    assert_eq!(span_ev.get("ph").and_then(|p| p.as_str()), Some("X"));
+    assert!(span_ev.get("ts").and_then(|t| t.as_f64()).is_some());
+    assert!(span_ev.get("dur").and_then(|d| d.as_f64()).is_some());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn env_off_records_and_writes_nothing() {
     if std::env::var(CHILD_VAR).is_ok() {
         child_workload();

@@ -96,6 +96,14 @@ fn off_mode_records_nothing() {
         assert!(t.is_empty());
         t.commit(true);
         telemetry::record_trace("off.trace", "", &[1.0], true);
+        // Health monitors follow the same contract: enabled() is sampled
+        // once at construction, every observe() is a single branch, and
+        // nothing is recorded — not even for NaN residuals.
+        let mut m = telemetry::ResidualMonitor::new("off.monitor");
+        assert!(!m.is_active());
+        assert_eq!(m.observe(f64::NAN), telemetry::HealthStatus::Ok);
+        assert_eq!(m.observe(1e6), telemetry::HealthStatus::Ok);
+        telemetry::record_health("stagnation", "off.solver", "ignored", 1.0, 1);
     }
     let snap = telemetry::snapshot();
     assert!(snap.spans.children.is_empty());
@@ -103,6 +111,7 @@ fn off_mode_records_nothing() {
     assert!(snap.gauges.is_empty());
     assert!(snap.histograms.is_empty());
     assert!(snap.traces.is_empty());
+    assert!(snap.health.is_empty());
 }
 
 #[test]
