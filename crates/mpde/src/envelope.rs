@@ -60,14 +60,22 @@ impl EnvelopeResult {
     /// Peak amplitude of fast harmonic `m` of unknown `k` at slow index
     /// `i` — the envelope waveform the method is named for.
     pub fn harmonic_envelope(&self, k: usize, m: i32) -> Vec<f64> {
+        use rfsim_numerics::fft;
+        // One plan and one scratch serve every slow-axis line.
+        let mut plan: Option<std::sync::Arc<fft::FftPlan>> = None;
+        let mut scratch = fft::FftScratch::new();
+        let mut buf: Vec<Complex> = Vec::new();
         (0..self.lines.len())
             .map(|i| {
-                let w = self.line_waveform(i, k);
-                let line: Vec<Complex> = w.iter().map(|&v| Complex::from_re(v)).collect();
-                let spec = rfsim_numerics::fft::dft(&line);
-                let n2 = line.len();
+                let n2 = self.lines[i].len() / self.n;
+                buf.clear();
+                buf.extend((0..n2).map(|j| Complex::from_re(self.lines[i][j * self.n + k])));
+                if plan.as_ref().is_none_or(|p| p.len() != n2) {
+                    plan = Some(fft::plan(n2));
+                }
+                plan.as_ref().expect("plan set above").forward(&mut buf, &mut scratch);
                 let bin = if m >= 0 { m as usize } else { (n2 as i32 + m) as usize };
-                let c = spec[bin].scale(1.0 / n2 as f64).abs();
+                let c = buf[bin].scale(1.0 / n2 as f64).abs();
                 if m == 0 {
                     c
                 } else {

@@ -85,11 +85,12 @@ impl MmftSolution {
     /// the fundamental component of the waveform in Figure 4(a)": this is
     /// exactly the `m`-th fast-axis Fourier coefficient of `X_k(t₂)`.
     pub fn mix_amplitude(&self, i: usize, k: i32, m: i32) -> f64 {
-        let xk = self.harmonic_waveform(i, k);
+        let mut xk = self.harmonic_waveform(i, k);
         let n2 = xk.len();
-        let spec = rfsim_numerics::fft::dft(&xk);
+        let mut scratch = rfsim_numerics::fft::FftScratch::new();
+        rfsim_numerics::fft::plan(n2).forward(&mut xk, &mut scratch);
         let bin = if m >= 0 { m as usize } else { (n2 as i32 + m) as usize };
-        let c = spec[bin].scale(1.0 / n2 as f64);
+        let c = xk[bin].scale(1.0 / n2 as f64);
         if k == 0 && m == 0 {
             c.abs()
         } else {

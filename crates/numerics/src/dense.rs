@@ -392,12 +392,30 @@ impl<T: Scalar> Lu<T> {
     /// # Errors
     /// Returns [`Error::DimensionMismatch`] if `b` has the wrong length.
     pub fn solve(&self, b: &[T]) -> Result<Vec<T>> {
+        let mut x = vec![T::ZERO; self.lu.rows];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` into a caller-provided buffer — the
+    /// allocation-free form of [`Lu::solve`] for hot loops that reuse
+    /// `x`.
+    ///
+    /// # Errors
+    /// Returns [`Error::DimensionMismatch`] when `b` or `x` has the wrong
+    /// length.
+    pub fn solve_into(&self, b: &[T], x: &mut [T]) -> Result<()> {
         let n = self.lu.rows;
         if b.len() != n {
             return Err(Error::DimensionMismatch { expected: n, found: b.len() });
         }
+        if x.len() != n {
+            return Err(Error::DimensionMismatch { expected: n, found: x.len() });
+        }
         // Apply permutation.
-        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
             let mut acc = x[i];
@@ -414,7 +432,7 @@ impl<T: Scalar> Lu<T> {
             }
             x[i] = acc / self.lu[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `Aᵀ·x = b` (plain transpose, no conjugation), used by adjoint

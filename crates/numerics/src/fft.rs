@@ -6,8 +6,30 @@
 //! harmonic domain every Newton iteration (the Γ/Γ⁻¹ operators); the MPDE
 //! engines use the 2-D transform; the transient-vs-HB dynamic-range study
 //! (Fig 1 / §2.1) uses the windowed spectrum utilities.
+//!
+//! # Planned transforms
+//!
+//! The hot paths go through an [`FftPlan`]: a per-length cache of the
+//! radix-2 twiddle factors and, for non-power-of-two lengths, the
+//! Bluestein chirp vectors together with the pre-FFT'd chirp kernel.
+//! Plans are immutable, shared through a global cache ([`plan`]), and
+//! execute in place against a caller-owned [`FftScratch`], so repeated
+//! transforms of the same length allocate nothing. The batched
+//! [`FftPlan::forward_strided`] / [`FftPlan::inverse_strided`] forms
+//! transform many interleaved lines (one per circuit unknown) through a
+//! single gather buffer.
+//!
+//! Every planned execution replays the exact floating-point operation
+//! sequence of the unplanned loops (the twiddle tables are built with the
+//! same `w *= wlen` recurrence the direct code uses), so planned and
+//! unplanned results are bitwise identical — the property the parallel
+//! determinism suite relies on. The pre-plan implementations survive in
+//! the hidden [`reference`] module as the oracle for that equivalence.
 
 use crate::Complex;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// In-place radix-2 decimation-in-time FFT.
 ///
@@ -70,123 +92,427 @@ pub fn ifft_pow2(data: &mut [Complex]) {
     }
 }
 
+/// Cached per-stage twiddle factors for the radix-2 butterfly: the
+/// concatenation, stage by stage (`len = 2, 4, …, n`), of the `len/2`
+/// values the recurrence `w ← w·wlen` produces. Every butterfly block of
+/// a stage replays the same sequence, so one table per stage reproduces
+/// [`fft_pow2`] bit for bit.
+#[derive(Debug)]
+struct Pow2Tables {
+    n: usize,
+    twiddles: Vec<Complex>,
+}
+
+impl Pow2Tables {
+    fn build(n: usize) -> Self {
+        debug_assert!(n.is_power_of_two());
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let ang = -2.0 * std::f64::consts::PI / len as f64;
+            let wlen = Complex::from_polar(1.0, ang);
+            let mut w = Complex::ONE;
+            for _ in 0..len / 2 {
+                twiddles.push(w);
+                w *= wlen;
+            }
+            len <<= 1;
+        }
+        Pow2Tables { n, twiddles }
+    }
+
+    /// In-place forward FFT from the cached tables; bitwise identical to
+    /// [`fft_pow2`].
+    fn forward(&self, data: &mut [Complex]) {
+        let n = self.n;
+        debug_assert_eq!(data.len(), n);
+        if n <= 1 {
+            return;
+        }
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let mut off = 0usize;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let tw = &self.twiddles[off..off + half];
+            let mut i = 0;
+            while i < n {
+                for k in 0..half {
+                    let u = data[i + k];
+                    let v = data[i + k + half] * tw[k];
+                    data[i + k] = u + v;
+                    data[i + k + half] = u - v;
+                }
+                i += len;
+            }
+            off += half;
+            len <<= 1;
+        }
+    }
+
+    /// In-place inverse FFT (normalized by 1/n); bitwise identical to
+    /// [`ifft_pow2`].
+    fn inverse(&self, data: &mut [Complex]) {
+        let n = self.n;
+        for z in data.iter_mut() {
+            *z = z.conj();
+        }
+        self.forward(data);
+        let scale = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.conj().scale(scale);
+        }
+    }
+}
+
+/// Cached Bluestein machinery for one non-power-of-two length `n`: the
+/// forward and inverse chirp vectors `w_k = exp(∓jπk²/n)` and the
+/// frequency-domain chirp kernels (the FFT of the `b` sequence), computed
+/// once, plus the shared radix-2 tables for the convolution length `m`.
+#[derive(Debug)]
+struct BluesteinTables {
+    m: usize,
+    pow2: Pow2Tables,
+    chirp_fwd: Vec<Complex>,
+    kernel_fwd: Vec<Complex>,
+    chirp_inv: Vec<Complex>,
+    kernel_inv: Vec<Complex>,
+}
+
+impl BluesteinTables {
+    fn build(n: usize) -> Self {
+        let m = (2 * n - 1).next_power_of_two();
+        let pow2 = Pow2Tables::build(m);
+        let (chirp_fwd, kernel_fwd) = Self::chirp_and_kernel(n, m, &pow2, false);
+        let (chirp_inv, kernel_inv) = Self::chirp_and_kernel(n, m, &pow2, true);
+        BluesteinTables { m, pow2, chirp_fwd, kernel_fwd, chirp_inv, kernel_inv }
+    }
+
+    fn chirp_and_kernel(
+        n: usize,
+        m: usize,
+        pow2: &Pow2Tables,
+        inverse: bool,
+    ) -> (Vec<Complex>, Vec<Complex>) {
+        let sign = if inverse { 1.0 } else { -1.0 };
+        // Chirp w_k = exp(sign·jπk²/n); k² mod 2n avoids precision loss.
+        let chirp: Vec<Complex> = (0..n)
+            .map(|k| {
+                let kk = (k as u128 * k as u128) % (2 * n as u128);
+                Complex::from_polar(1.0, sign * std::f64::consts::PI * kk as f64 / n as f64)
+            })
+            .collect();
+        let mut b = vec![Complex::ZERO; m];
+        b[0] = chirp[0].conj();
+        for k in 1..n {
+            b[k] = chirp[k].conj();
+            b[m - k] = chirp[k].conj();
+        }
+        pow2.forward(&mut b);
+        (chirp, b)
+    }
+
+    /// Unnormalized chirp-z transform of `data` in place; bitwise
+    /// identical to the unplanned [`reference`] path.
+    fn execute(&self, data: &mut [Complex], work: &mut Vec<Complex>, inverse: bool) {
+        let n = data.len();
+        let (chirp, kernel) = if inverse {
+            (&self.chirp_inv, &self.kernel_inv)
+        } else {
+            (&self.chirp_fwd, &self.kernel_fwd)
+        };
+        work.clear();
+        work.resize(self.m, Complex::ZERO);
+        for k in 0..n {
+            work[k] = data[k] * chirp[k];
+        }
+        self.pow2.forward(work);
+        for (a, b) in work.iter_mut().zip(kernel) {
+            *a *= *b;
+        }
+        self.pow2.inverse(work);
+        for k in 0..n {
+            data[k] = work[k] * chirp[k];
+        }
+    }
+}
+
+#[derive(Debug)]
+enum PlanKind {
+    /// Length 0 or 1: the transform is the identity.
+    Trivial,
+    Pow2(Pow2Tables),
+    Bluestein(Box<BluesteinTables>),
+}
+
+/// Reusable scratch for planned transforms: the Bluestein convolution
+/// buffer and the gather buffer for strided batch execution. One scratch
+/// serves plans of any length (buffers grow to the largest length seen
+/// and are then reused allocation-free).
+#[derive(Debug, Default)]
+pub struct FftScratch {
+    work: Vec<Complex>,
+    line: Vec<Complex>,
+}
+
+impl FftScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// An execution plan for DFTs of one fixed length: cached twiddle
+/// factors (and, for non-power-of-two lengths, Bluestein chirps plus the
+/// pre-FFT'd chirp kernel) with in-place and strided/batched execute
+/// methods. Obtain shared plans through [`plan`]; results are bitwise
+/// identical to the unplanned [`dft`]/[`idft`] path.
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    kind: PlanKind,
+}
+
+impl FftPlan {
+    /// Builds a plan for length `n` without consulting the global cache.
+    pub fn new(n: usize) -> Self {
+        let kind = if n <= 1 {
+            PlanKind::Trivial
+        } else if n.is_power_of_two() {
+            PlanKind::Pow2(Pow2Tables::build(n))
+        } else {
+            PlanKind::Bluestein(Box::new(BluesteinTables::build(n)))
+        };
+        FftPlan { n, kind }
+    }
+
+    /// The transform length this plan executes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for the empty transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT (unnormalized).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [Complex], scratch: &mut FftScratch) {
+        assert_eq!(data.len(), self.n, "FftPlan::forward: length mismatch");
+        rfsim_telemetry::counter_add("fft.calls", 1);
+        match &self.kind {
+            PlanKind::Trivial => {}
+            PlanKind::Pow2(t) => t.forward(data),
+            PlanKind::Bluestein(t) => t.execute(data, &mut scratch.work, false),
+        }
+    }
+
+    /// In-place inverse DFT (normalized by 1/n).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse(&self, data: &mut [Complex], scratch: &mut FftScratch) {
+        assert_eq!(data.len(), self.n, "FftPlan::inverse: length mismatch");
+        rfsim_telemetry::counter_add("fft.calls", 1);
+        match &self.kind {
+            PlanKind::Trivial => {}
+            PlanKind::Pow2(t) => t.inverse(data),
+            PlanKind::Bluestein(t) => {
+                t.execute(data, &mut scratch.work, true);
+                let scale = 1.0 / self.n as f64;
+                for z in data.iter_mut() {
+                    *z = z.scale(scale);
+                }
+            }
+        }
+    }
+
+    /// Forward-transforms `count` interleaved lines of a sample-major
+    /// field in place: line `i` has its sample `s` at `field[s·stride + i]`
+    /// (so `field.len() == self.len()·stride` and `count ≤ stride`). Each
+    /// line is gathered into scratch, transformed, and scattered back —
+    /// bitwise identical to transforming the lines one by one.
+    pub fn forward_strided(
+        &self,
+        field: &mut [Complex],
+        count: usize,
+        stride: usize,
+        scratch: &mut FftScratch,
+    ) {
+        self.strided(field, count, stride, scratch, false);
+    }
+
+    /// Inverse counterpart of [`FftPlan::forward_strided`] (each line
+    /// normalized by 1/n).
+    pub fn inverse_strided(
+        &self,
+        field: &mut [Complex],
+        count: usize,
+        stride: usize,
+        scratch: &mut FftScratch,
+    ) {
+        self.strided(field, count, stride, scratch, true);
+    }
+
+    fn strided(
+        &self,
+        field: &mut [Complex],
+        count: usize,
+        stride: usize,
+        scratch: &mut FftScratch,
+        inverse: bool,
+    ) {
+        assert!(count <= stride, "FftPlan: batch count {count} exceeds stride {stride}");
+        assert_eq!(field.len(), self.n * stride, "FftPlan: strided field length mismatch");
+        // The line buffer leaves the scratch while the transform may use
+        // the scratch's Bluestein buffer.
+        let mut line = std::mem::take(&mut scratch.line);
+        line.clear();
+        line.resize(self.n, Complex::ZERO);
+        for i in 0..count {
+            for s in 0..self.n {
+                line[s] = field[s * stride + i];
+            }
+            if inverse {
+                self.inverse(&mut line, scratch);
+            } else {
+                self.forward(&mut line, scratch);
+            }
+            for s in 0..self.n {
+                field[s * stride + i] = line[s];
+            }
+        }
+        scratch.line = line;
+    }
+}
+
+static PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+
+/// Returns the shared transform plan for length `n`, building and caching
+/// it on first use (keyed by length alone — a plan serves forward and
+/// inverse, plain and strided execution). Lookups are counted as
+/// `fft.plan_hits` / `fft.plan_misses`. Pair the plan with a per-caller
+/// [`FftScratch`]; the plan itself is immutable and thread-safe.
+pub fn plan(n: usize) -> Arc<FftPlan> {
+    let cache = PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(p) = map.get(&n) {
+        rfsim_telemetry::counter_add("fft.plan_hits", 1);
+        return Arc::clone(p);
+    }
+    rfsim_telemetry::counter_add("fft.plan_misses", 1);
+    let p = Arc::new(FftPlan::new(n));
+    map.insert(n, Arc::clone(&p));
+    p
+}
+
+thread_local! {
+    static TL_SCRATCH: RefCell<FftScratch> = RefCell::new(FftScratch::new());
+}
+
+fn with_scratch<R>(f: impl FnOnce(&mut FftScratch) -> R) -> R {
+    TL_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
 /// Forward DFT of arbitrary length: radix-2 FFT when possible, otherwise
-/// Bluestein's chirp-z algorithm (O(n log n)).
+/// Bluestein's chirp-z algorithm (O(n log n)). Convenience wrapper over
+/// the cached [`plan`] for the given length.
 pub fn dft(input: &[Complex]) -> Vec<Complex> {
-    let n = input.len();
-    rfsim_telemetry::counter_add("fft.calls", 1);
-    if n == 0 {
-        return Vec::new();
-    }
-    if n.is_power_of_two() {
-        let mut d = input.to_vec();
-        fft_pow2(&mut d);
-        return d;
-    }
-    bluestein(input, false)
+    let p = plan(input.len());
+    let mut out = input.to_vec();
+    with_scratch(|s| p.forward(&mut out, s));
+    out
 }
 
 /// Inverse DFT of arbitrary length (normalized by 1/n).
 pub fn idft(input: &[Complex]) -> Vec<Complex> {
-    let n = input.len();
-    rfsim_telemetry::counter_add("fft.calls", 1);
-    if n == 0 {
-        return Vec::new();
-    }
-    if n.is_power_of_two() {
-        let mut d = input.to_vec();
-        ifft_pow2(&mut d);
-        return d;
-    }
-    let mut out = bluestein(input, true);
-    let scale = 1.0 / n as f64;
-    for z in &mut out {
-        *z = z.scale(scale);
-    }
+    let p = plan(input.len());
+    let mut out = input.to_vec();
+    with_scratch(|s| p.inverse(&mut out, s));
     out
 }
 
-/// Bluestein chirp-z transform; `inverse` flips the twiddle sign
-/// (unnormalized).
-fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
-    let n = input.len();
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let m = (2 * n - 1).next_power_of_two();
-    // Chirp w_k = exp(sign·jπk²/n).
-    let chirp: Vec<Complex> = (0..n)
-        .map(|k| {
-            // k² mod 2n avoids precision loss for large k.
-            let kk = (k as u128 * k as u128) % (2 * n as u128);
-            Complex::from_polar(1.0, sign * std::f64::consts::PI * kk as f64 / n as f64)
-        })
-        .collect();
-    let mut a = vec![Complex::ZERO; m];
-    for k in 0..n {
-        a[k] = input[k] * chirp[k];
-    }
-    let mut b = vec![Complex::ZERO; m];
-    b[0] = chirp[0].conj();
-    for k in 1..n {
-        b[k] = chirp[k].conj();
-        b[m - k] = chirp[k].conj();
-    }
-    fft_pow2(&mut a);
-    fft_pow2(&mut b);
-    for k in 0..m {
-        a[k] *= b[k];
-    }
-    ifft_pow2(&mut a);
-    (0..n).map(|k| a[k] * chirp[k]).collect()
+/// Forward DFT of a real signal; returns the full complex spectrum. The
+/// output buffer doubles as the transform workspace — the samples are
+/// complexified directly into it and transformed in place, with no
+/// intermediate collection.
+pub fn dft_real(input: &[f64]) -> Vec<Complex> {
+    let p = plan(input.len());
+    let mut out: Vec<Complex> = input.iter().map(|&x| Complex::from_re(x)).collect();
+    with_scratch(|s| p.forward(&mut out, s));
+    out
 }
 
-/// Forward DFT of a real signal; returns the full complex spectrum.
-pub fn dft_real(input: &[f64]) -> Vec<Complex> {
-    dft(&input.iter().map(|&x| Complex::from_re(x)).collect::<Vec<_>>())
+/// In-place row–column 2-D DFT of a `rows × cols` row-major grid, given
+/// the two plans (`row_plan` transforms each length-`cols` row,
+/// `col_plan` each length-`rows` column).
+///
+/// # Panics
+/// Panics on any shape/plan mismatch.
+pub fn dft2_inplace(
+    data: &mut [Complex],
+    rows: usize,
+    cols: usize,
+    row_plan: &FftPlan,
+    col_plan: &FftPlan,
+    scratch: &mut FftScratch,
+) {
+    assert_eq!(data.len(), rows * cols, "dft2: size mismatch");
+    assert_eq!(row_plan.len(), cols, "dft2: row plan length mismatch");
+    assert_eq!(col_plan.len(), rows, "dft2: column plan length mismatch");
+    for r in 0..rows {
+        row_plan.forward(&mut data[r * cols..(r + 1) * cols], scratch);
+    }
+    col_plan.forward_strided(data, cols, cols, scratch);
+}
+
+/// In-place inverse row–column 2-D DFT (see [`dft2_inplace`]).
+pub fn idft2_inplace(
+    data: &mut [Complex],
+    rows: usize,
+    cols: usize,
+    row_plan: &FftPlan,
+    col_plan: &FftPlan,
+    scratch: &mut FftScratch,
+) {
+    assert_eq!(data.len(), rows * cols, "idft2: size mismatch");
+    assert_eq!(row_plan.len(), cols, "idft2: row plan length mismatch");
+    assert_eq!(col_plan.len(), rows, "idft2: column plan length mismatch");
+    for r in 0..rows {
+        row_plan.inverse(&mut data[r * cols..(r + 1) * cols], scratch);
+    }
+    col_plan.inverse_strided(data, cols, cols, scratch);
 }
 
 /// Row–column 2-D DFT of a `rows × cols` row-major grid.
 pub fn dft2(data: &[Complex], rows: usize, cols: usize) -> Vec<Complex> {
-    assert_eq!(data.len(), rows * cols, "dft2: size mismatch");
-    let mut tmp = vec![Complex::ZERO; rows * cols];
-    // Transform rows.
-    for r in 0..rows {
-        let row = dft(&data[r * cols..(r + 1) * cols]);
-        tmp[r * cols..(r + 1) * cols].copy_from_slice(&row);
-    }
-    // Transform columns.
-    let mut out = vec![Complex::ZERO; rows * cols];
-    let mut col = vec![Complex::ZERO; rows];
-    for c in 0..cols {
-        for r in 0..rows {
-            col[r] = tmp[r * cols + c];
-        }
-        let t = dft(&col);
-        for r in 0..rows {
-            out[r * cols + c] = t[r];
-        }
-    }
+    let mut out = data.to_vec();
+    let row_plan = plan(cols);
+    let col_plan = plan(rows);
+    with_scratch(|s| dft2_inplace(&mut out, rows, cols, &row_plan, &col_plan, s));
     out
 }
 
 /// Inverse row–column 2-D DFT.
 pub fn idft2(data: &[Complex], rows: usize, cols: usize) -> Vec<Complex> {
-    assert_eq!(data.len(), rows * cols, "idft2: size mismatch");
-    let mut tmp = vec![Complex::ZERO; rows * cols];
-    for r in 0..rows {
-        let row = idft(&data[r * cols..(r + 1) * cols]);
-        tmp[r * cols..(r + 1) * cols].copy_from_slice(&row);
-    }
-    let mut out = vec![Complex::ZERO; rows * cols];
-    let mut col = vec![Complex::ZERO; rows];
-    for c in 0..cols {
-        for r in 0..rows {
-            col[r] = tmp[r * cols + c];
-        }
-        let t = idft(&col);
-        for r in 0..rows {
-            out[r * cols + c] = t[r];
-        }
-    }
+    let mut out = data.to_vec();
+    let row_plan = plan(cols);
+    let col_plan = plan(rows);
+    with_scratch(|s| idft2_inplace(&mut out, rows, cols, &row_plan, &col_plan, s));
     out
 }
 
@@ -224,6 +550,78 @@ pub fn dbc(amplitude: f64, carrier: f64) -> f64 {
     }
 }
 
+/// Unplanned reference implementations — the pre-plan code paths, kept
+/// verbatim as the oracle for the planned-vs-unplanned equivalence tests.
+#[doc(hidden)]
+pub mod reference {
+    use super::{fft_pow2, ifft_pow2, Complex};
+
+    /// Forward DFT, recomputing twiddles and chirps on every call.
+    pub fn dft(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n.is_power_of_two() {
+            let mut d = input.to_vec();
+            fft_pow2(&mut d);
+            return d;
+        }
+        bluestein(input, false)
+    }
+
+    /// Inverse DFT (normalized by 1/n), recomputing per call.
+    pub fn idft(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n.is_power_of_two() {
+            let mut d = input.to_vec();
+            ifft_pow2(&mut d);
+            return d;
+        }
+        let mut out = bluestein(input, true);
+        let scale = 1.0 / n as f64;
+        for z in &mut out {
+            *z = z.scale(scale);
+        }
+        out
+    }
+
+    /// Bluestein chirp-z transform; `inverse` flips the twiddle sign
+    /// (unnormalized).
+    fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
+        let n = input.len();
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let m = (2 * n - 1).next_power_of_two();
+        // Chirp w_k = exp(sign·jπk²/n); k² mod 2n avoids precision loss.
+        let chirp: Vec<Complex> = (0..n)
+            .map(|k| {
+                let kk = (k as u128 * k as u128) % (2 * n as u128);
+                Complex::from_polar(1.0, sign * std::f64::consts::PI * kk as f64 / n as f64)
+            })
+            .collect();
+        let mut a = vec![Complex::ZERO; m];
+        for k in 0..n {
+            a[k] = input[k] * chirp[k];
+        }
+        let mut b = vec![Complex::ZERO; m];
+        b[0] = chirp[0].conj();
+        for k in 1..n {
+            b[k] = chirp[k].conj();
+            b[m - k] = chirp[k].conj();
+        }
+        fft_pow2(&mut a);
+        fft_pow2(&mut b);
+        for k in 0..m {
+            a[k] *= b[k];
+        }
+        ifft_pow2(&mut a);
+        (0..n).map(|k| a[k] * chirp[k]).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +630,16 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
             assert!((*x - *y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    fn assert_bitwise(a: &[Complex], b: &[Complex]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "bitwise mismatch at {i}: {x} vs {y}"
+            );
         }
     }
 
@@ -281,6 +689,43 @@ mod tests {
             let back = idft(&dft(&x));
             assert_close(&back, &x, 1e-9);
         }
+    }
+
+    #[test]
+    fn planned_is_bitwise_identical_to_reference() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 11, 16, 21, 27, 31, 32, 63, 64] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.9).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            assert_bitwise(&dft(&x), &reference::dft(&x));
+            assert_bitwise(&idft(&x), &reference::idft(&x));
+        }
+    }
+
+    #[test]
+    fn strided_matches_per_line() {
+        let (ns, count, stride) = (9usize, 3usize, 4usize);
+        let p = plan(ns);
+        let mut scratch = FftScratch::new();
+        let field: Vec<Complex> = (0..ns * stride)
+            .map(|i| Complex::new((i as f64 * 0.61).sin(), (i as f64 * 0.23).cos()))
+            .collect();
+        let mut batched = field.clone();
+        p.forward_strided(&mut batched, count, stride, &mut scratch);
+        for i in 0..stride {
+            let line: Vec<Complex> = (0..ns).map(|s| field[s * stride + i]).collect();
+            let expect = if i < count { reference::dft(&line) } else { line };
+            let got: Vec<Complex> = (0..ns).map(|s| batched[s * stride + i]).collect();
+            assert_bitwise(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn plan_cache_returns_shared_plan() {
+        let a = plan(37);
+        let b = plan(37);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 37);
     }
 
     #[test]

@@ -289,6 +289,58 @@ impl Default for KrylovOptions {
     }
 }
 
+/// Reusable buffers for [`gmres_with`]: the Krylov basis, Hessenberg
+/// columns, Givens rotation arrays, and residual/work vectors. A
+/// workspace survives restart cycles and repeated solves, so an outer
+/// Newton loop pays the basis allocation once instead of per correction.
+/// Buffers grow to the largest problem seen and are then reused
+/// allocation-free; results are bitwise identical to [`gmres`].
+#[derive(Debug)]
+pub struct GmresWorkspace<T> {
+    v: Vec<Vec<T>>,
+    h: Vec<Vec<T>>,
+    cs: Vec<T>,
+    sn: Vec<T>,
+    g: Vec<T>,
+    y: Vec<T>,
+    zb: Vec<T>,
+    work: Vec<T>,
+    r: Vec<T>,
+    z: Vec<T>,
+    w: Vec<T>,
+}
+
+impl<T> Default for GmresWorkspace<T> {
+    fn default() -> Self {
+        GmresWorkspace {
+            v: Vec::new(),
+            h: Vec::new(),
+            cs: Vec::new(),
+            sn: Vec::new(),
+            g: Vec::new(),
+            y: Vec::new(),
+            zb: Vec::new(),
+            work: Vec::new(),
+            r: Vec::new(),
+            z: Vec::new(),
+            w: Vec::new(),
+        }
+    }
+}
+
+impl<T> GmresWorkspace<T> {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Zero-fills `buf` at length `n`, reusing its allocation.
+fn reset_buf<T: Scalar>(buf: &mut Vec<T>, n: usize) {
+    buf.clear();
+    buf.resize(n, T::ZERO);
+}
+
 /// Restarted GMRES(m) with left preconditioning.
 ///
 /// Solves `A·x = b`, returning the solution and iteration statistics.
@@ -302,6 +354,25 @@ pub fn gmres<T: Scalar>(
     x0: Option<&[T]>,
     precond: &dyn Preconditioner<T>,
     opts: &KrylovOptions,
+) -> Result<(Vec<T>, IterStats)> {
+    gmres_with(a, b, x0, precond, opts, &mut GmresWorkspace::new())
+}
+
+/// [`gmres`] against a caller-owned [`GmresWorkspace`]: identical
+/// arithmetic and results, but the Krylov basis, Hessenberg, and Givens
+/// buffers are reused across calls instead of reallocated. Only the
+/// returned solution vector is allocated once the workspace is warm.
+///
+/// # Errors
+/// Returns [`Error::NoConvergence`] if the iteration budget is exhausted
+/// before the tolerance is met.
+pub fn gmres_with<T: Scalar>(
+    a: &dyn LinearOperator<T>,
+    b: &[T],
+    x0: Option<&[T]>,
+    precond: &dyn Preconditioner<T>,
+    opts: &KrylovOptions,
+    ws: &mut GmresWorkspace<T>,
 ) -> Result<(Vec<T>, IterStats)> {
     let n = a.dim();
     if b.len() != n {
@@ -317,23 +388,30 @@ pub fn gmres<T: Scalar>(
     let mut total_iters = 0usize;
 
     // Preconditioned RHS norm for the relative criterion.
-    let mut zb = vec![T::ZERO; n];
-    precond.apply(b, &mut zb)?;
-    let bnorm = gnorm2(&zb).max(1e-300);
+    reset_buf(&mut ws.zb, n);
+    precond.apply(b, &mut ws.zb)?;
+    let bnorm = gnorm2(&ws.zb).max(1e-300);
 
-    let mut work = vec![T::ZERO; n];
+    reset_buf(&mut ws.work, n);
+    reset_buf(&mut ws.r, n);
+    reset_buf(&mut ws.z, n);
+    reset_buf(&mut ws.w, n);
+    if ws.v.len() < m + 1 {
+        ws.v.resize_with(m + 1, Vec::new);
+    }
+    if ws.h.len() < m + 1 {
+        ws.h.resize_with(m + 1, Vec::new);
+    }
     let mut resid_norm = f64::INFINITY;
     while total_iters < opts.max_iters {
         // r = M⁻¹(b − A·x)
-        a.apply(&x, &mut work);
+        a.apply(&x, &mut ws.work);
         matvecs += 1;
-        let mut r = vec![T::ZERO; n];
         for i in 0..n {
-            r[i] = b[i] - work[i];
+            ws.r[i] = b[i] - ws.work[i];
         }
-        let mut z = vec![T::ZERO; n];
-        precond.apply(&r, &mut z)?;
-        let beta = gnorm2(&z);
+        precond.apply(&ws.r, &mut ws.z)?;
+        let beta = gnorm2(&ws.z);
         resid_norm = beta / bnorm;
         if resid_norm <= opts.tol {
             let stats = IterStats { iterations: total_iters, residual: resid_norm, matvecs };
@@ -341,62 +419,61 @@ pub fn gmres<T: Scalar>(
             return Ok((x, stats));
         }
         // Arnoldi with Givens-rotated Hessenberg least squares.
-        let mut v: Vec<Vec<T>> = Vec::with_capacity(m + 1);
-        let mut h = vec![vec![T::ZERO; m]; m + 1];
-        let mut cs = vec![T::ZERO; m];
-        let mut sn = vec![T::ZERO; m];
-        let mut g = vec![T::ZERO; m + 1];
-        g[0] = T::from_f64(beta);
-        let mut v0 = z;
-        for e in &mut v0 {
-            *e = e.scale_by(1.0 / beta);
+        for row in ws.h.iter_mut().take(m + 1) {
+            reset_buf(row, m);
         }
-        v.push(v0);
+        reset_buf(&mut ws.cs, m);
+        reset_buf(&mut ws.sn, m);
+        reset_buf(&mut ws.g, m + 1);
+        ws.g[0] = T::from_f64(beta);
+        reset_buf(&mut ws.v[0], n);
+        for (v0, zi) in ws.v[0].iter_mut().zip(&ws.z) {
+            *v0 = zi.scale_by(1.0 / beta);
+        }
         let mut k_used = 0;
         for k in 0..m {
             if total_iters >= opts.max_iters {
                 break;
             }
             total_iters += 1;
-            a.apply(&v[k], &mut work);
+            a.apply(&ws.v[k], &mut ws.work);
             matvecs += 1;
-            let mut w = vec![T::ZERO; n];
-            precond.apply(&work, &mut w)?;
+            precond.apply(&ws.work, &mut ws.w)?;
             // Modified Gram–Schmidt.
             for i in 0..=k {
-                let hik = gdot(&v[i], &w);
-                h[i][k] = hik;
-                for (wj, vj) in w.iter_mut().zip(&v[i]) {
+                let hik = gdot(&ws.v[i], &ws.w);
+                ws.h[i][k] = hik;
+                for (wj, vj) in ws.w.iter_mut().zip(&ws.v[i]) {
                     *wj -= hik * *vj;
                 }
             }
-            let hk1 = gnorm2(&w);
-            h[k + 1][k] = T::from_f64(hk1);
+            let hk1 = gnorm2(&ws.w);
+            ws.h[k + 1][k] = T::from_f64(hk1);
             // Apply accumulated Givens rotations to the new column.
             for i in 0..k {
-                let t = cs[i].conj() * h[i][k] + sn[i].conj() * h[i + 1][k];
-                h[i + 1][k] = -sn[i] * h[i][k] + cs[i] * h[i + 1][k];
-                h[i][k] = t;
+                let t = ws.cs[i].conj() * ws.h[i][k] + ws.sn[i].conj() * ws.h[i + 1][k];
+                ws.h[i + 1][k] = -ws.sn[i] * ws.h[i][k] + ws.cs[i] * ws.h[i + 1][k];
+                ws.h[i][k] = t;
             }
             // New rotation eliminating h[k+1][k]. Convention: with
             // c = a/r, s = b/r for the pair (a, b), the rotation maps
             // top ← c̄·top + s̄·bottom and bottom ← −s·top + c·bottom,
             // which sends (a, b) to (r, 0) and is unitary.
-            let denom = (h[k][k].modulus().powi(2) + hk1 * hk1).sqrt();
+            let denom = (ws.h[k][k].modulus().powi(2) + hk1 * hk1).sqrt();
             if denom == 0.0 {
-                cs[k] = T::ONE;
-                sn[k] = T::ZERO;
+                ws.cs[k] = T::ONE;
+                ws.sn[k] = T::ZERO;
             } else {
-                cs[k] = h[k][k].scale_by(1.0 / denom);
-                sn[k] = T::from_f64(hk1 / denom);
-                h[k][k] = T::from_f64(denom);
-                h[k + 1][k] = T::ZERO;
+                ws.cs[k] = ws.h[k][k].scale_by(1.0 / denom);
+                ws.sn[k] = T::from_f64(hk1 / denom);
+                ws.h[k][k] = T::from_f64(denom);
+                ws.h[k + 1][k] = T::ZERO;
             }
-            let gk = g[k];
-            g[k] = cs[k].conj() * gk;
-            g[k + 1] = -sn[k] * gk;
+            let gk = ws.g[k];
+            ws.g[k] = ws.cs[k].conj() * gk;
+            ws.g[k + 1] = -ws.sn[k] * gk;
             k_used = k + 1;
-            resid_norm = g[k + 1].modulus() / bnorm;
+            resid_norm = ws.g[k + 1].modulus() / bnorm;
             trace.push(resid_norm);
             monitor.observe(resid_norm);
             tail.push(resid_norm);
@@ -407,28 +484,27 @@ pub fn gmres<T: Scalar>(
             if resid_norm <= opts.tol {
                 break;
             }
-            let mut vk1 = w;
-            for e in &mut vk1 {
-                *e = e.scale_by(1.0 / hk1);
+            reset_buf(&mut ws.v[k + 1], n);
+            for (vk1, wj) in ws.v[k + 1].iter_mut().zip(&ws.w) {
+                *vk1 = wj.scale_by(1.0 / hk1);
             }
-            v.push(vk1);
         }
         // Solve the small triangular system h[0..k_used][..]·y = g.
-        let mut y = vec![T::ZERO; k_used];
+        reset_buf(&mut ws.y, k_used);
         for i in (0..k_used).rev() {
-            let mut acc = g[i];
+            let mut acc = ws.g[i];
             for j in i + 1..k_used {
-                acc -= h[i][j] * y[j];
+                acc -= ws.h[i][j] * ws.y[j];
             }
-            if h[i][i] == T::ZERO {
-                y[i] = T::ZERO;
+            if ws.h[i][i] == T::ZERO {
+                ws.y[i] = T::ZERO;
             } else {
-                y[i] = acc / h[i][i];
+                ws.y[i] = acc / ws.h[i][i];
             }
         }
-        for (j, yj) in y.iter().enumerate() {
+        for (j, yj) in ws.y.iter().enumerate() {
             for i in 0..n {
-                x[i] += *yj * v[j][i];
+                x[i] += *yj * ws.v[j][i];
             }
         }
         if resid_norm <= opts.tol {

@@ -187,8 +187,19 @@ impl<T: Scalar> Csr<T> {
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[T]) -> Vec<T> {
-        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
         let mut y = vec![T::ZERO; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Product `A·x` into a caller-provided buffer — the allocation-free
+    /// form of [`Csr::matvec`] for hot loops that reuse `y`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
+        assert_eq!(y.len(), self.rows, "matvec_into: output length mismatch");
         for i in 0..self.rows {
             let mut acc = T::ZERO;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
@@ -196,7 +207,6 @@ impl<T: Scalar> Csr<T> {
             }
             y[i] = acc;
         }
-        y
     }
 
     /// Transposed product `Aᵀ·x`.

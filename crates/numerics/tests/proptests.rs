@@ -182,4 +182,75 @@ proptest! {
         let b = cdot(&y, &x).conj();
         prop_assert!((a - b).abs() <= 1e-9 * (cnorm2(&x) * cnorm2(&y)).max(1.0));
     }
+
+    // Lengths 1..=64 cover the trivial, power-of-two, and Bluestein
+    // (composite and prime, e.g. 61) plan kinds.
+    #[test]
+    fn planned_dft_matches_reference_bitwise(x in (1usize..65).prop_flat_map(complex_vec)) {
+        let p = dft(&x);
+        let r = rfsim_numerics::fft::reference::dft(&x);
+        for (a, b) in p.iter().zip(&r) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn planned_idft_matches_reference_bitwise(x in (1usize..65).prop_flat_map(complex_vec)) {
+        let p = idft(&x);
+        let r = rfsim_numerics::fft::reference::idft(&x);
+        for (a, b) in p.iter().zip(&r) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn strided_batch_matches_per_line_bitwise(
+        (ns, count, field, inverse) in (1usize..25, 1usize..7, 0usize..2)
+            .prop_flat_map(|(ns, count, inv)| {
+                (Just(ns), Just(count), complex_vec(ns * count), Just(inv == 1))
+            })
+    ) {
+        let plan = rfsim_numerics::fft::plan(ns);
+        let mut scratch = rfsim_numerics::fft::FftScratch::new();
+        let mut batched = field.clone();
+        if inverse {
+            plan.inverse_strided(&mut batched, count, count, &mut scratch);
+        } else {
+            plan.forward_strided(&mut batched, count, count, &mut scratch);
+        }
+        for i in 0..count {
+            let mut line: Vec<Complex> = (0..ns).map(|s| field[s * count + i]).collect();
+            if inverse {
+                plan.inverse(&mut line, &mut scratch);
+            } else {
+                plan.forward(&mut line, &mut scratch);
+            }
+            for (s, v) in line.iter().enumerate() {
+                let w = batched[s * count + i];
+                prop_assert_eq!(v.re.to_bits(), w.re.to_bits());
+                prop_assert_eq!(v.im.to_bits(), w.im.to_bits());
+            }
+        }
+    }
+
+    // A warm workspace must not leak state between solves: the second
+    // solve with a reused workspace is bitwise the cold-start solution.
+    #[test]
+    fn gmres_workspace_reuse_is_bitwise(
+        m in dd_matrix(10),
+        b1 in proptest::collection::vec(-5.0f64..5.0, 10),
+        b2 in proptest::collection::vec(-5.0f64..5.0, 10),
+    ) {
+        use rfsim_numerics::krylov::{gmres_with, GmresWorkspace};
+        let opts = KrylovOptions::default();
+        let mut ws = GmresWorkspace::new();
+        gmres_with(&m, &b1, None, &IdentityPrecond, &opts, &mut ws).unwrap();
+        let (warm, _) = gmres_with(&m, &b2, None, &IdentityPrecond, &opts, &mut ws).unwrap();
+        let (cold, _) = gmres(&m, &b2, None, &IdentityPrecond, &opts).unwrap();
+        for (a, c) in warm.iter().zip(&cold) {
+            prop_assert_eq!(a.to_bits(), c.to_bits());
+        }
+    }
 }

@@ -70,9 +70,7 @@ impl PssResult {
     pub fn amplitude(&self, i: usize, k: i32) -> f64 {
         let w = self.waveform(i);
         let ns = w.len();
-        let line: Vec<rfsim_numerics::Complex> =
-            w.iter().map(|&v| rfsim_numerics::Complex::from_re(v)).collect();
-        let spec = rfsim_numerics::fft::dft(&line);
+        let spec = rfsim_numerics::fft::dft_real(&w);
         let bin = if k >= 0 { k as usize } else { (ns as i32 + k) as usize };
         let c = spec[bin].scale(1.0 / ns as f64).abs();
         if k == 0 {

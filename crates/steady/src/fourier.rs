@@ -11,8 +11,10 @@
 
 use crate::{Error, Result};
 use rfsim_circuit::dae::TwoTime;
-use rfsim_numerics::fft::{dft, idft};
+use rfsim_numerics::fft::{self, FftPlan, FftScratch};
 use rfsim_numerics::Complex;
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// One periodic analysis axis: a fundamental frequency and a harmonic
 /// count.
@@ -109,62 +111,76 @@ impl SpectralGrid {
         }
     }
 
+    /// Builds a reusable [`GridWorkspace`] for repeated spectral
+    /// operations on this grid (see [`SpectralGrid::add_dt_with`]).
+    pub fn workspace(&self) -> GridWorkspace {
+        GridWorkspace {
+            samples: self.samples(),
+            plans: self.axes.iter().map(|ax| fft::plan(ax.samples())).collect(),
+            cfield: Vec::new(),
+            scratch: FftScratch::new(),
+        }
+    }
+
     /// Applies the spectral time-derivative operator to a sample-major
     /// field of `n` unknowns: `out[s·n+i] += Σ_axes (∂/∂t_axis field)`.
+    ///
+    /// Convenience wrapper over [`SpectralGrid::add_dt_with`] that builds
+    /// a throwaway workspace.
     ///
     /// # Panics
     /// Panics if the slice lengths do not equal `samples()·n`.
     pub fn add_dt(&self, field: &[f64], out: &mut [f64], n: usize) {
+        let mut ws = self.workspace();
+        self.add_dt_with(field, out, n, &mut ws);
+    }
+
+    /// [`SpectralGrid::add_dt`] against a caller-owned workspace: all
+    /// lines of an axis go through one batched strided transform over the
+    /// workspace's complex field, so a warm workspace performs zero heap
+    /// allocation. Results are bitwise identical to the per-line path.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths do not equal `samples()·n` or the
+    /// workspace was built for a different grid shape.
+    pub fn add_dt_with(&self, field: &[f64], out: &mut [f64], n: usize, ws: &mut GridWorkspace) {
         let total = self.samples();
         assert_eq!(field.len(), total * n, "add_dt: field length");
         assert_eq!(out.len(), total * n, "add_dt: out length");
+        assert_eq!(ws.samples, total, "add_dt: workspace grid mismatch");
+        let GridWorkspace { plans, cfield, scratch, .. } = ws;
         match self.axes.len() {
             1 => {
                 let ax = self.axes[0];
                 let ns = ax.samples();
                 let omega = 2.0 * std::f64::consts::PI * ax.freq;
-                let mut line = vec![Complex::ZERO; ns];
-                for i in 0..n {
-                    for s in 0..ns {
-                        line[s] = Complex::from_re(field[s * n + i]);
-                    }
-                    differentiate_line(&mut line, omega);
-                    for s in 0..ns {
-                        out[s * n + i] += line[s].re;
-                    }
-                }
+                complexify(field, cfield);
+                plans[0].forward_strided(cfield, n, n, scratch);
+                scale_bins(cfield, ns, n, omega);
+                plans[0].inverse_strided(cfield, n, n, scratch);
+                accumulate_re(cfield, out);
             }
             2 => {
                 let (a0, a1) = (self.axes[0], self.axes[1]);
                 let (n0, n1) = (a0.samples(), a1.samples());
                 let w0 = 2.0 * std::f64::consts::PI * a0.freq;
                 let w1 = 2.0 * std::f64::consts::PI * a1.freq;
-                // Axis 1 (fast): contiguous lines.
-                let mut line = vec![Complex::ZERO; n1];
+                // Axis 1 (fast): per-i0 blocks of n1 contiguous samples.
+                complexify(field, cfield);
                 for i0 in 0..n0 {
-                    for i in 0..n {
-                        for s in 0..n1 {
-                            line[s] = Complex::from_re(field[(i0 * n1 + s) * n + i]);
-                        }
-                        differentiate_line(&mut line, w1);
-                        for s in 0..n1 {
-                            out[(i0 * n1 + s) * n + i] += line[s].re;
-                        }
-                    }
+                    let block = &mut cfield[i0 * n1 * n..(i0 + 1) * n1 * n];
+                    plans[1].forward_strided(block, n, n, scratch);
+                    scale_bins(block, n1, n, w1);
+                    plans[1].inverse_strided(block, n, n, scratch);
                 }
-                // Axis 0 (slow): strided lines.
-                let mut line = vec![Complex::ZERO; n0];
-                for i1 in 0..n1 {
-                    for i in 0..n {
-                        for s in 0..n0 {
-                            line[s] = Complex::from_re(field[(s * n1 + i1) * n + i]);
-                        }
-                        differentiate_line(&mut line, w0);
-                        for s in 0..n0 {
-                            out[(s * n1 + i1) * n + i] += line[s].re;
-                        }
-                    }
-                }
+                accumulate_re(cfield, out);
+                // Axis 0 (slow): strided lines over the whole field, read
+                // from the original samples again.
+                complexify(field, cfield);
+                plans[0].forward_strided(cfield, n1 * n, n1 * n, scratch);
+                scale_bins(cfield, n0, n1 * n, w0);
+                plans[0].inverse_strided(cfield, n1 * n, n1 * n, scratch);
+                accumulate_re(cfield, out);
             }
             _ => unreachable!(),
         }
@@ -185,26 +201,29 @@ impl SpectralGrid {
         assert_eq!(field.len(), self.samples() * n, "coefficient: field length");
         assert_eq!(k.len(), self.axes.len(), "coefficient: mix index arity");
         assert!(i < n, "coefficient: unknown index");
-        match self.axes.len() {
-            1 => {
-                let ns = self.axes[0].samples();
-                let line: Vec<Complex> =
-                    (0..ns).map(|s| Complex::from_re(field[s * n + i])).collect();
-                let spec = dft(&line);
-                pick_bin(&spec, k[0], ns)
+        COEFF_SCRATCH.with(|cell| {
+            let (buf, scratch) = &mut *cell.borrow_mut();
+            match self.axes.len() {
+                1 => {
+                    let ns = self.axes[0].samples();
+                    buf.clear();
+                    buf.extend((0..ns).map(|s| Complex::from_re(field[s * n + i])));
+                    fft::plan(ns).forward(buf, scratch);
+                    pick_bin(buf, k[0], ns)
+                }
+                2 => {
+                    let (n0, n1) = (self.axes[0].samples(), self.axes[1].samples());
+                    // 2-D DFT of this unknown's grid.
+                    buf.clear();
+                    buf.extend((0..n0 * n1).map(|s| Complex::from_re(field[s * n + i])));
+                    fft::dft2_inplace(buf, n0, n1, &fft::plan(n1), &fft::plan(n0), scratch);
+                    let b0 = bin_of(k[0], n0);
+                    let b1 = bin_of(k[1], n1);
+                    buf[b0 * n1 + b1].scale(1.0 / (n0 * n1) as f64)
+                }
+                _ => unreachable!(),
             }
-            2 => {
-                let (n0, n1) = (self.axes[0].samples(), self.axes[1].samples());
-                // 2-D DFT of this unknown's grid.
-                let grid: Vec<Complex> =
-                    (0..n0 * n1).map(|s| Complex::from_re(field[s * n + i])).collect();
-                let f2 = rfsim_numerics::fft::dft2(&grid, n0, n1);
-                let b0 = bin_of(k[0], n0);
-                let b1 = bin_of(k[1], n1);
-                f2[b0 * n1 + b1].scale(1.0 / (n0 * n1) as f64)
-            }
-            _ => unreachable!(),
-        }
+        })
     }
 
     /// Amplitude (peak, not RMS) of the real sinusoid at mix index `k`:
@@ -224,20 +243,55 @@ impl SpectralGrid {
     }
 }
 
-/// Spectrally differentiates a periodic sample line in place
-/// (`x̂_k ← jkω·x̂_k` for `k = −H..H`, odd length).
-fn differentiate_line(line: &mut [Complex], omega: f64) {
-    let ns = line.len();
-    let spec = dft(line);
-    let mut ds = vec![Complex::ZERO; ns];
+/// Reusable planned-transform workspace for one grid shape: the per-axis
+/// [`FftPlan`]s, the complexified field buffer, and the transform
+/// scratch. Build once via [`SpectralGrid::workspace`] and reuse across
+/// [`SpectralGrid::add_dt_with`] calls; the buffers are sized on first
+/// use and never reallocated afterwards.
+#[derive(Debug)]
+pub struct GridWorkspace {
+    samples: usize,
+    /// One plan per axis, axis 0 first.
+    plans: Vec<Arc<FftPlan>>,
+    cfield: Vec<Complex>,
+    scratch: FftScratch,
+}
+
+/// Fills `cfield` with the complexification of `field`, reusing its
+/// allocation.
+fn complexify(field: &[f64], cfield: &mut Vec<Complex>) {
+    cfield.clear();
+    cfield.extend(field.iter().map(|&x| Complex::from_re(x)));
+}
+
+/// Multiplies each harmonic bin of a bin-major spectrum by `jkω`: chunk
+/// `b` of length `chunk` holds every line's bin `b`, and bin `b` maps to
+/// harmonic `k = b` for `b ≤ H`, else `b − ns` (odd `ns`, no Nyquist
+/// term).
+fn scale_bins(data: &mut [Complex], ns: usize, chunk: usize, omega: f64) {
     let h = ns / 2;
-    for (b, s) in spec.iter().enumerate() {
-        // Bin b corresponds to harmonic k: b for b ≤ H, b − ns for b > H.
+    for b in 0..ns {
         let k = if b <= h { b as i64 } else { b as i64 - ns as i64 };
-        ds[b] = *s * Complex::new(0.0, k as f64 * omega);
+        let jkw = Complex::new(0.0, k as f64 * omega);
+        for c in &mut data[b * chunk..(b + 1) * chunk] {
+            *c *= jkw;
+        }
     }
-    let back = idft(&ds);
-    line.copy_from_slice(&back);
+}
+
+/// Accumulates the real parts of `cfield` into `out`.
+fn accumulate_re(cfield: &[Complex], out: &mut [f64]) {
+    for (o, c) in out.iter_mut().zip(cfield) {
+        *o += c.re;
+    }
+}
+
+thread_local! {
+    /// Gather buffer + transform scratch for [`SpectralGrid::coefficient`],
+    /// so harmonic extraction after a solve allocates nothing in steady
+    /// state.
+    static COEFF_SCRATCH: RefCell<(Vec<Complex>, FftScratch)> =
+        RefCell::new((Vec::new(), FftScratch::default()));
 }
 
 fn bin_of(k: i32, ns: usize) -> usize {

@@ -15,16 +15,21 @@
 //!   per-harmonic block-diagonal preconditioner — the approach of
 //!   refs [10, 31] that scales to full RF chips.
 
-use crate::fourier::SpectralGrid;
+use crate::fourier::{GridWorkspace, SpectralGrid};
 use crate::{Error, Result};
 use rfsim_circuit::dae::Dae;
 use rfsim_circuit::dc::{dc_operating_point, DcOptions};
 use rfsim_numerics::dense::Mat;
-use rfsim_numerics::krylov::{gmres, FnOperator, IdentityPrecond, KrylovOptions, Preconditioner};
+use rfsim_numerics::fft::{self, FftPlan, FftScratch};
+use rfsim_numerics::krylov::{
+    gmres_with, FnOperator, GmresWorkspace, IdentityPrecond, KrylovOptions, Preconditioner,
+};
 use rfsim_numerics::sparse::{Csr, Triplets};
 use rfsim_numerics::{norm_inf, Complex, ResidualTail};
 use rfsim_parallel as parallel;
 use rfsim_telemetry as telemetry;
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Linear solver used for the Newton corrections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +44,31 @@ pub enum HbSolver {
     },
 }
 
+/// When the harmonic block preconditioner is re-factored during a
+/// Newton iteration (Gmres backend with `precondition: true`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrecondRefresh {
+    /// Re-factor on every Newton iteration: `samples()` complex LU
+    /// factorizations per step. Always tracks the current linearization.
+    EveryIteration,
+    /// Keep the factored blocks across Newton iterations and re-factor
+    /// only when the `precond_degraded` signal fires: the inner GMRES
+    /// iteration count grows past `growth ×` the count observed right
+    /// after the last refresh (floored at 4 iterations, so noise on
+    /// near-instant solves never triggers). A refresh also happens as a
+    /// rescue when GMRES fails outright under a kept factor.
+    Adaptive {
+        /// Inner-iteration growth factor that triggers a re-factor.
+        growth: f64,
+    },
+}
+
+impl Default for PrecondRefresh {
+    fn default() -> Self {
+        PrecondRefresh::Adaptive { growth: 3.0 }
+    }
+}
+
 /// Options for [`solve_hb`].
 #[derive(Debug, Clone)]
 pub struct HbOptions {
@@ -50,6 +80,8 @@ pub struct HbOptions {
     pub solver: HbSolver,
     /// Krylov options (GMRES backend).
     pub krylov: KrylovOptions,
+    /// Preconditioner refresh policy (GMRES backend).
+    pub precond_refresh: PrecondRefresh,
     /// Source-stepping continuation steps (1 = no continuation).
     pub source_steps: usize,
     /// Options for the initial DC operating point.
@@ -63,6 +95,7 @@ impl Default for HbOptions {
             max_newton: 50,
             solver: HbSolver::Gmres { precondition: true },
             krylov: KrylovOptions { tol: 1e-10, max_iters: 4000, restart: 80 },
+            precond_refresh: PrecondRefresh::default(),
             source_steps: 1,
             dc: DcOptions::default(),
         }
@@ -83,6 +116,9 @@ pub struct HbStats {
     /// Estimated peak bytes for the linear solver
     /// (dense Jacobian vs Krylov basis + preconditioner factors).
     pub solver_bytes: usize,
+    /// Harmonic-block preconditioner factorizations performed (each one
+    /// is `samples()` complex LU factorizations).
+    pub precond_factorizations: usize,
 }
 
 /// A converged harmonic-balance solution.
@@ -157,18 +193,37 @@ fn assemble(
     (r, lins)
 }
 
+/// Preallocated per-matvec buffers for the HB hot path: the `C·v`
+/// samples and the spectral-derivative workspace. One instance lives for
+/// the whole [`solve_hb`] run, so every Jacobian application after the
+/// first performs zero heap allocation.
+#[derive(Debug)]
+struct HbWorkspace {
+    cv: Vec<f64>,
+    grid_ws: GridWorkspace,
+}
+
+impl HbWorkspace {
+    fn new(grid: &SpectralGrid, n: usize) -> Self {
+        HbWorkspace { cv: vec![0.0; grid.samples() * n], grid_ws: grid.workspace() }
+    }
+}
+
 /// Matrix-free HB Jacobian application: `y = D·(C·v) + G·v`.
-fn apply_jacobian(grid: &SpectralGrid, lins: &[SampleLin], n: usize, v: &[f64], y: &mut [f64]) {
-    let total = grid.samples();
-    let mut cv = vec![0.0; total * n];
+fn apply_jacobian(
+    grid: &SpectralGrid,
+    lins: &[SampleLin],
+    n: usize,
+    v: &[f64],
+    y: &mut [f64],
+    ws: &mut HbWorkspace,
+) {
     for (s, lin) in lins.iter().enumerate() {
         let vs = &v[s * n..(s + 1) * n];
-        let c = lin.c.matvec(vs);
-        cv[s * n..(s + 1) * n].copy_from_slice(&c);
-        let g = lin.g.matvec(vs);
-        y[s * n..(s + 1) * n].copy_from_slice(&g);
+        lin.c.matvec_into(vs, &mut ws.cv[s * n..(s + 1) * n]);
+        lin.g.matvec_into(vs, &mut y[s * n..(s + 1) * n]);
     }
-    grid.add_dt(&cv, y, n);
+    grid.add_dt_with(&ws.cv, y, n, &mut ws.grid_ws);
 }
 
 /// Per-harmonic block-diagonal preconditioner: solves
@@ -179,7 +234,40 @@ struct HarmonicBlockPrecond {
     n: usize,
     /// Factored complex blocks, one per frequency bin (row-major over axes).
     blocks: Vec<rfsim_numerics::dense::Lu<Complex>>,
+    /// Reusable apply buffers for the serial path. `Preconditioner::apply`
+    /// takes `&self`, so interior mutability is required; a `Mutex` (not a
+    /// `RefCell`) keeps the type `Sync` for the parallel path's scoped
+    /// closures. The lock is uncontended: the serial path is chosen
+    /// exactly when no worker threads are running.
+    scratch: Mutex<PrecondScratch>,
 }
+
+/// Buffers for the allocation-free serial [`HarmonicBlockPrecond::apply`]
+/// path: the frequency-domain field (bin-major, `samples()·n`), one bin's
+/// solve output, the transform scratch, and the cached per-axis plans.
+#[derive(Debug)]
+struct PrecondScratch {
+    spec: Vec<Complex>,
+    sol: Vec<Complex>,
+    fft: FftScratch,
+    plans: Vec<Arc<FftPlan>>,
+}
+
+impl PrecondScratch {
+    fn new(grid: &SpectralGrid) -> Self {
+        PrecondScratch {
+            spec: Vec::new(),
+            sol: Vec::new(),
+            fft: FftScratch::new(),
+            plans: grid.axes().iter().map(|ax| fft::plan(ax.samples())).collect(),
+        }
+    }
+}
+
+/// Below this many HB unknowns the batched serial apply path wins even
+/// with worker threads available: spawning a parallel region per GMRES
+/// iteration costs more than the transforms themselves.
+const PRECOND_PAR_MIN_UNKNOWNS: usize = 4096;
 
 impl HarmonicBlockPrecond {
     fn new(grid: &SpectralGrid, lins: &[SampleLin], n: usize) -> Result<Self> {
@@ -208,45 +296,76 @@ impl HarmonicBlockPrecond {
         for lu in lus {
             blocks.push(lu.map_err(Error::Numerics)?);
         }
-        Ok(HarmonicBlockPrecond { grid: grid.clone(), n, blocks })
+        telemetry::counter_add("hb.precond.factorizations", 1);
+        Ok(HarmonicBlockPrecond {
+            grid: grid.clone(),
+            n,
+            blocks,
+            scratch: Mutex::new(PrecondScratch::new(grid)),
+        })
     }
 
     fn bytes(&self) -> usize {
         self.blocks.len() * self.n * self.n * 16
     }
-}
 
-/// Signed mix frequency of the flattened spectral bin `bin`.
-fn bin_mix_freq(grid: &SpectralGrid, bin: usize) -> f64 {
-    let axes = grid.axes();
-    match axes.len() {
-        1 => {
-            let ns = axes[0].samples();
-            let k = signed_bin(bin, ns);
-            k as f64 * axes[0].freq
+    /// Allocation-free apply: batched strided transforms over the scratch
+    /// field, per-bin `solve_into`, inverse transforms. Bitwise identical
+    /// to the parallel path (both execute the same planned per-line
+    /// transform and block solve for every unknown and bin).
+    fn apply_serial(
+        &self,
+        r: &[f64],
+        z: &mut [f64],
+        ws: &mut PrecondScratch,
+    ) -> rfsim_numerics::Result<()> {
+        let n = self.n;
+        let total = self.grid.samples();
+        let axes = self.grid.axes();
+        ws.spec.clear();
+        ws.spec.extend(r.iter().map(|&v| Complex::from_re(v)));
+        match axes.len() {
+            1 => ws.plans[0].forward_strided(&mut ws.spec, n, n, &mut ws.fft),
+            2 => {
+                // Row–column 2-D transform of every unknown at once: the
+                // fast-axis rows live in per-i0 contiguous blocks, the
+                // slow-axis columns stride across blocks.
+                let (n0, n1) = (axes[0].samples(), axes[1].samples());
+                for i0 in 0..n0 {
+                    let block = &mut ws.spec[i0 * n1 * n..(i0 + 1) * n1 * n];
+                    ws.plans[1].forward_strided(block, n, n, &mut ws.fft);
+                }
+                ws.plans[0].forward_strided(&mut ws.spec, n1 * n, n1 * n, &mut ws.fft);
+            }
+            _ => unreachable!(),
         }
-        2 => {
-            let n1 = axes[1].samples();
-            let b0 = bin / n1;
-            let b1 = bin % n1;
-            signed_bin(b0, axes[0].samples()) as f64 * axes[0].freq
-                + signed_bin(b1, n1) as f64 * axes[1].freq
+        ws.sol.clear();
+        ws.sol.resize(n, Complex::ZERO);
+        for bin in 0..total {
+            self.blocks[bin].solve_into(&ws.spec[bin * n..(bin + 1) * n], &mut ws.sol)?;
+            ws.spec[bin * n..(bin + 1) * n].copy_from_slice(&ws.sol);
         }
-        _ => unreachable!(),
+        match axes.len() {
+            1 => ws.plans[0].inverse_strided(&mut ws.spec, n, n, &mut ws.fft),
+            2 => {
+                let (n0, n1) = (axes[0].samples(), axes[1].samples());
+                for i0 in 0..n0 {
+                    let block = &mut ws.spec[i0 * n1 * n..(i0 + 1) * n1 * n];
+                    ws.plans[1].inverse_strided(block, n, n, &mut ws.fft);
+                }
+                ws.plans[0].inverse_strided(&mut ws.spec, n1 * n, n1 * n, &mut ws.fft);
+            }
+            _ => unreachable!(),
+        }
+        for (zi, c) in z.iter_mut().zip(&ws.spec) {
+            *zi = c.re;
+        }
+        Ok(())
     }
-}
 
-fn signed_bin(b: usize, ns: usize) -> i64 {
-    let h = ns / 2;
-    if b <= h {
-        b as i64
-    } else {
-        b as i64 - ns as i64
-    }
-}
-
-impl Preconditioner<f64> for HarmonicBlockPrecond {
-    fn apply(&self, r: &[f64], z: &mut [f64]) -> rfsim_numerics::Result<()> {
+    /// Thread-parallel apply: per-unknown transforms and per-bin solves
+    /// fan out over the worker pool, reassembled in index order.
+    fn apply_parallel(&self, r: &[f64], z: &mut [f64]) -> rfsim_numerics::Result<()> {
         let n = self.n;
         let total = self.grid.samples();
         let axes = self.grid.axes();
@@ -315,6 +434,46 @@ impl Preconditioner<f64> for HarmonicBlockPrecond {
     }
 }
 
+/// Signed mix frequency of the flattened spectral bin `bin`.
+fn bin_mix_freq(grid: &SpectralGrid, bin: usize) -> f64 {
+    let axes = grid.axes();
+    match axes.len() {
+        1 => {
+            let ns = axes[0].samples();
+            let k = signed_bin(bin, ns);
+            k as f64 * axes[0].freq
+        }
+        2 => {
+            let n1 = axes[1].samples();
+            let b0 = bin / n1;
+            let b1 = bin % n1;
+            signed_bin(b0, axes[0].samples()) as f64 * axes[0].freq
+                + signed_bin(b1, n1) as f64 * axes[1].freq
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn signed_bin(b: usize, ns: usize) -> i64 {
+    let h = ns / 2;
+    if b <= h {
+        b as i64
+    } else {
+        b as i64 - ns as i64
+    }
+}
+
+impl Preconditioner<f64> for HarmonicBlockPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) -> rfsim_numerics::Result<()> {
+        let small = self.grid.samples() * self.n < PRECOND_PAR_MIN_UNKNOWNS;
+        if small || parallel::thread_count() <= 1 {
+            let mut ws = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+            return self.apply_serial(r, z, &mut ws);
+        }
+        self.apply_parallel(r, z)
+    }
+}
+
 /// Solves the periodic (or quasi-periodic) steady state of `dae` on `grid`.
 ///
 /// # Errors
@@ -353,6 +512,11 @@ pub fn solve_hb(dae: &dyn Dae, grid: &SpectralGrid, opts: &HbOptions) -> Result<
     }
 
     let mut stats = HbStats { unknowns: nun, ..Default::default() };
+    // Hot-path arenas owned by the solve: every per-matvec buffer (C·v,
+    // spectral workspace) and the GMRES basis survive all Newton
+    // iterations and continuation steps.
+    let ws = RefCell::new(HbWorkspace::new(grid, n));
+    let mut gws = GmresWorkspace::new();
     let steps = opts.source_steps.max(1);
     for step in 1..=steps {
         let alpha = step as f64 / steps as f64;
@@ -362,7 +526,7 @@ pub fn solve_hb(dae: &dyn Dae, grid: &SpectralGrid, opts: &HbOptions) -> Result<
                 b_dc[i] + alpha * (b_full[si] - b_dc[i])
             })
             .collect();
-        newton_hb(dae, grid, &mut x, &b, opts, &mut stats)?;
+        newton_hb(dae, grid, &mut x, &b, opts, &mut stats, &ws, &mut gws)?;
     }
     telemetry::counter_add("hb.newton.iterations", stats.newton_iterations as u64);
     telemetry::counter_add("hb.gmres.iterations", stats.linear_iterations as u64);
@@ -371,6 +535,7 @@ pub fn solve_hb(dae: &dyn Dae, grid: &SpectralGrid, opts: &HbOptions) -> Result<
     Ok(HbSolution { grid: grid.clone(), n, x, stats })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn newton_hb(
     dae: &dyn Dae,
     grid: &SpectralGrid,
@@ -378,6 +543,8 @@ fn newton_hb(
     b: &[f64],
     opts: &HbOptions,
     stats: &mut HbStats,
+    ws: &RefCell<HbWorkspace>,
+    gws: &mut GmresWorkspace<f64>,
 ) -> Result<()> {
     let n = dae.dim();
     let nun = x.len();
@@ -389,7 +556,13 @@ fn newton_hb(
     let mut tail = ResidualTail::new();
     let mut monitor = telemetry::ResidualMonitor::newton("hb.newton");
     let mut first_inner: Option<usize> = None;
+    // Inner-iteration count observed right after the last preconditioner
+    // refresh: the baseline the lazy-refresh growth test compares against.
+    let mut base_inner: Option<usize> = None;
     let mut flagged_precond = false;
+    // Factored preconditioner kept across Newton iterations; `None` means
+    // a refresh is due at the next correction.
+    let mut precond: Option<HarmonicBlockPrecond> = None;
     let mut last_res = f64::INFINITY;
     for it in 0..opts.max_newton {
         let (r, lins) = assemble(dae, grid, x, b);
@@ -421,7 +594,7 @@ fn newton_hb(
                 let mut col = vec![0.0; nun];
                 for j in 0..nun {
                     e[j] = 1.0;
-                    apply_jacobian(grid, &lins, n, &e, &mut col);
+                    apply_jacobian(grid, &lins, n, &e, &mut col, &mut ws.borrow_mut());
                     stats.matvecs += 1;
                     for i in 0..nun {
                         jac[(i, j)] = col[i];
@@ -434,27 +607,72 @@ fn newton_hb(
             HbSolver::Gmres { precondition } => {
                 let matvecs = std::cell::Cell::new(0usize);
                 let op = FnOperator::new(nun, |v: &[f64], y: &mut [f64]| {
-                    apply_jacobian(grid, &lins, n, v, y);
+                    apply_jacobian(grid, &lins, n, v, y, &mut ws.borrow_mut());
                     matvecs.set(matvecs.get() + 1);
                 });
                 let basis = (opts.krylov.restart.min(nun) + 1) * nun * 8;
                 let result = if precondition {
-                    let pc = HarmonicBlockPrecond::new(grid, &lins, n)?;
-                    stats.solver_bytes = stats.solver_bytes.max(pc.bytes() + basis);
-                    gmres(&op, &r, None, &pc, &opts.krylov)
+                    let refactored = precond.is_none();
+                    if refactored {
+                        precond = Some(HarmonicBlockPrecond::new(grid, &lins, n)?);
+                        stats.precond_factorizations += 1;
+                        base_inner = None;
+                    }
+                    stats.solver_bytes = stats
+                        .solver_bytes
+                        .max(precond.as_ref().expect("factored above").bytes() + basis);
+                    let first_try = gmres_with(
+                        &op,
+                        &r,
+                        None,
+                        precond.as_ref().expect("factored above"),
+                        &opts.krylov,
+                        gws,
+                    );
+                    match first_try {
+                        Err(rfsim_numerics::Error::NoConvergence { .. }) if !refactored => {
+                            // A kept factor from an earlier linearization
+                            // can stall GMRES outright; re-factor at the
+                            // current point and retry once before failing.
+                            precond = Some(HarmonicBlockPrecond::new(grid, &lins, n)?);
+                            stats.precond_factorizations += 1;
+                            base_inner = None;
+                            gmres_with(
+                                &op,
+                                &r,
+                                None,
+                                precond.as_ref().expect("just factored"),
+                                &opts.krylov,
+                                gws,
+                            )
+                        }
+                        other => other,
+                    }
                 } else {
                     stats.solver_bytes = stats.solver_bytes.max(basis);
-                    gmres(&op, &r, None, &IdentityPrecond, &opts.krylov)
+                    gmres_with(&op, &r, None, &IdentityPrecond, &opts.krylov, gws)
                 };
                 let (dx, st) = result.map_err(Error::Numerics)?;
                 telemetry::histogram_record("hb.gmres.iterations_per_newton", st.iterations as f64);
                 // Preconditioner-quality trend: a sharp rise in inner
                 // iterations per Newton step means the block
-                // preconditioner stopped matching the Jacobian.
+                // preconditioner stopped matching the Jacobian. The
+                // refresh decision compares against the count right after
+                // the last factorization and is independent of telemetry.
                 let first = *first_inner.get_or_insert(st.iterations);
+                let base = *base_inner.get_or_insert(st.iterations);
+                let refresh_due = precondition
+                    && match opts.precond_refresh {
+                        PrecondRefresh::EveryIteration => true,
+                        PrecondRefresh::Adaptive { growth } => {
+                            (st.iterations as f64) > growth * (base.max(4) as f64)
+                        }
+                    };
                 if monitor.is_active() {
                     telemetry::gauge_set("hb.precond.inner_per_newton", st.iterations as f64);
-                    if !flagged_precond && st.iterations > 3 * first.max(4) {
+                    let degraded = st.iterations > 3 * first.max(4)
+                        || (refresh_due && opts.precond_refresh != PrecondRefresh::EveryIteration);
+                    if !flagged_precond && degraded {
                         flagged_precond = true;
                         telemetry::record_health(
                             "precond_degraded",
@@ -467,6 +685,11 @@ fn newton_hb(
                             stats.newton_iterations,
                         );
                     }
+                }
+                if refresh_due {
+                    // Drop the factor; the next correction re-factors at
+                    // its own linearization point.
+                    precond = None;
                 }
                 stats.linear_iterations += st.iterations;
                 stats.matvecs += matvecs.get();
@@ -508,6 +731,60 @@ fn newton_hb(
             residual: last_res,
             residual_tail: tail.to_vec(),
         })
+    }
+}
+
+/// The HB matvec hot path frozen at one linearization point: the
+/// matrix-free Jacobian application and the factored harmonic block
+/// preconditioner, with every buffer preallocated. [`solve_hb`] drives
+/// exactly this code each GMRES iteration; the handle exists so the
+/// allocation-regression test and profiling harnesses can exercise the
+/// steady-state loop directly.
+pub struct HbHotPath {
+    grid: SpectralGrid,
+    n: usize,
+    lins: Vec<SampleLin>,
+    precond: HarmonicBlockPrecond,
+    ws: HbWorkspace,
+}
+
+impl HbHotPath {
+    /// Assembles the linearization at the DC operating point (broadcast
+    /// over the grid) and factors the block preconditioner.
+    ///
+    /// # Errors
+    /// Propagates DC-solve and factorization failures.
+    pub fn prepare(dae: &dyn Dae, grid: &SpectralGrid) -> Result<Self> {
+        let n = dae.dim();
+        let total = grid.samples();
+        let op = dc_operating_point(dae, &DcOptions::default())?;
+        let mut x = vec![0.0; total * n];
+        for s in 0..total {
+            x[s * n..(s + 1) * n].copy_from_slice(&op.x);
+        }
+        let b = vec![0.0; total * n];
+        let (_r, lins) = assemble(dae, grid, &x, &b);
+        let precond = HarmonicBlockPrecond::new(grid, &lins, n)?;
+        Ok(HbHotPath { grid: grid.clone(), n, lins, precond, ws: HbWorkspace::new(grid, n) })
+    }
+
+    /// Total HB unknowns (`samples()·n`).
+    pub fn unknowns(&self) -> usize {
+        self.grid.samples() * self.n
+    }
+
+    /// `y ← J·v` through the matrix-free HB Jacobian. Zero heap
+    /// allocation once the workspace is warm.
+    pub fn matvec(&mut self, v: &[f64], y: &mut [f64]) {
+        apply_jacobian(&self.grid, &self.lins, self.n, v, y, &mut self.ws);
+    }
+
+    /// `z ← M⁻¹·r` through the harmonic block preconditioner.
+    ///
+    /// # Errors
+    /// Propagates block-solve failures.
+    pub fn precond_apply(&self, r: &[f64], z: &mut [f64]) -> Result<()> {
+        self.precond.apply(r, z).map_err(Error::Numerics)
     }
 }
 

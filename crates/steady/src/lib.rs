@@ -23,8 +23,8 @@ pub mod fourier;
 pub mod hb;
 pub mod shooting;
 
-pub use fourier::{SpectralGrid, ToneAxis};
-pub use hb::{solve_hb, HbOptions, HbSolution, HbSolver, HbStats};
+pub use fourier::{GridWorkspace, SpectralGrid, ToneAxis};
+pub use hb::{solve_hb, HbHotPath, HbOptions, HbSolution, HbSolver, HbStats, PrecondRefresh};
 pub use shooting::{shooting, ShootingOptions, ShootingResult};
 
 /// Errors from the steady-state engines.

@@ -71,8 +71,7 @@ impl ShootingResult {
     pub fn coefficient(&self, i: usize, k: i32) -> Complex {
         let w = self.waveform(i);
         let ns = w.len();
-        let line: Vec<Complex> = w.iter().map(|&v| Complex::from_re(v)).collect();
-        let spec = rfsim_numerics::fft::dft(&line);
+        let spec = rfsim_numerics::fft::dft_real(&w);
         let bin = if k >= 0 { k as usize } else { (ns as i32 + k) as usize };
         spec[bin].scale(1.0 / ns as f64)
     }

@@ -1,0 +1,84 @@
+//! Allocation regression test for the HB hot path: after warmup, ten
+//! consecutive Jacobian matvecs and preconditioner applies must perform
+//! zero heap allocations.
+//!
+//! This lives in its own integration-test binary because it installs a
+//! counting `#[global_allocator]`. Telemetry stays inactive (recording
+//! counters allocates) and the thread count is pinned to 1 so the
+//! serial, workspace-backed code paths run — the parallel path spawns
+//! scoped threads, which allocate by design.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rfsim_circuit::prelude::*;
+use rfsim_circuit::Circuit;
+use rfsim_steady::{HbHotPath, SpectralGrid};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Diode clipper: a stiff nonlinear circuit exercising both the spectral
+/// differentiation (capacitor) and resistive coupling in the Jacobian.
+fn clipper() -> (rfsim_circuit::dae::CircuitDae, SpectralGrid) {
+    let f0 = 1e6;
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let out = ckt.node("out");
+    ckt.add(VSource::sine("V1", a, Circuit::GROUND, 0.0, 1.0, f0));
+    ckt.add(Resistor::new("R1", a, out, 1e3));
+    ckt.add(Diode::new("D1", out, Circuit::GROUND, 1e-14));
+    ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 1e-9));
+    let dae = ckt.into_dae().unwrap();
+    let grid = SpectralGrid::single_tone(f0, 15).unwrap();
+    (dae, grid)
+}
+
+#[test]
+fn hb_matvec_and_precond_are_alloc_free_after_warmup() {
+    rfsim_parallel::set_thread_count(1);
+    let (dae, grid) = clipper();
+    let mut hot = HbHotPath::prepare(&dae, &grid).unwrap();
+    let n = hot.unknowns();
+
+    let v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut y = vec![0.0; n];
+    let mut z = vec![0.0; n];
+
+    // Warmup: the first rounds grow the workspace buffers to capacity.
+    for _ in 0..2 {
+        hot.matvec(&v, &mut y);
+        hot.precond_apply(&y, &mut z).unwrap();
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        hot.matvec(&v, &mut y);
+        hot.precond_apply(&y, &mut z).unwrap();
+    }
+    let delta = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta, 0,
+        "HB hot path made {delta} heap allocations across 10 matvec+precond rounds"
+    );
+}

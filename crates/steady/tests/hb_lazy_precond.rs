@@ -1,0 +1,142 @@
+//! Lazy preconditioner refresh: the adaptive policy must converge to the
+//! same answer as per-iteration re-factoring, with bounded Newton work
+//! and strictly fewer block factorizations, and the forced-degradation
+//! path must trigger a re-factor plus a `precond_degraded` health event.
+
+use rfsim_circuit::dae::CircuitDae;
+use rfsim_circuit::prelude::*;
+use rfsim_circuit::Circuit;
+use rfsim_steady::fourier::ToneAxis;
+use rfsim_steady::hb::HbSolver;
+use rfsim_steady::{solve_hb, HbOptions, HbSolution, PrecondRefresh, SpectralGrid};
+
+/// Symmetric diode clipper: strongly nonlinear, so the linearization at
+/// the solution differs sharply from the DC one — the case lazy refresh
+/// must survive.
+fn symmetric_clipper() -> (CircuitDae, SpectralGrid, usize) {
+    let f0 = 1e6;
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let out = ckt.node("out");
+    ckt.add(VSource::sine("V1", a, Circuit::GROUND, 0.0, 2.0, f0));
+    ckt.add(Resistor::new("R1", a, out, 1e3));
+    ckt.add(Diode::new("D1", out, Circuit::GROUND, 1e-14));
+    ckt.add(Diode::new("D2", Circuit::GROUND, out, 1e-14));
+    ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 1e-10));
+    let dae = ckt.into_dae().unwrap();
+    let out_idx = dae.node_index(out).unwrap();
+    let grid = SpectralGrid::single_tone(f0, 15).unwrap();
+    (dae, grid, out_idx)
+}
+
+/// Two-tone multiplier mixer from the paper's mix-product study.
+fn mixer() -> (CircuitDae, SpectralGrid, usize) {
+    let (f1, f2) = (1e5, 9e8);
+    let mut ckt = Circuit::new();
+    let rf = ckt.node("rf");
+    let lo = ckt.node("lo");
+    let out = ckt.node("out");
+    ckt.add(VSource::sine("VRF", rf, Circuit::GROUND, 0.0, 0.1, f1));
+    ckt.add(VSource::sine_fast("VLO", lo, Circuit::GROUND, 0.0, 1.0, f2));
+    ckt.add(Multiplier::new(
+        "MIX",
+        out,
+        Circuit::GROUND,
+        rf,
+        Circuit::GROUND,
+        lo,
+        Circuit::GROUND,
+        1e-3,
+    ));
+    ckt.add(Resistor::new("RL", out, Circuit::GROUND, 1e3).noiseless());
+    let dae = ckt.into_dae().unwrap();
+    let out_idx = dae.node_index(out).unwrap();
+    let grid = SpectralGrid::two_tone(ToneAxis::new(f1, 2), ToneAxis::new(f2, 2)).unwrap();
+    (dae, grid, out_idx)
+}
+
+fn solve_with(dae: &CircuitDae, grid: &SpectralGrid, refresh: PrecondRefresh) -> HbSolution {
+    let opts = HbOptions {
+        solver: HbSolver::Gmres { precondition: true },
+        precond_refresh: refresh,
+        source_steps: 2,
+        ..Default::default()
+    };
+    solve_hb(dae, grid, &opts).unwrap()
+}
+
+fn assert_same_waveform(a: &HbSolution, b: &HbSolution, i: usize) {
+    let (wa, wb) = (a.waveform(i), b.waveform(i));
+    for (x, y) in wa.iter().zip(&wb) {
+        assert!((x - y).abs() < 1e-6, "waveforms diverge: {x} vs {y}");
+    }
+}
+
+#[test]
+fn clipper_adaptive_matches_eager_with_fewer_factorizations() {
+    let (dae, grid, out_idx) = symmetric_clipper();
+    let eager = solve_with(&dae, &grid, PrecondRefresh::EveryIteration);
+    let lazy = solve_with(&dae, &grid, PrecondRefresh::Adaptive { growth: 3.0 });
+    assert_same_waveform(&eager, &lazy, out_idx);
+
+    // Eager re-factors on every Newton iteration.
+    assert_eq!(eager.stats.precond_factorizations, eager.stats.newton_iterations);
+    // Lazy keeps factors across iterations; the clipper converges with
+    // strictly fewer factorizations and no Newton-iteration blow-up.
+    assert!(
+        lazy.stats.precond_factorizations < eager.stats.precond_factorizations,
+        "lazy {} vs eager {}",
+        lazy.stats.precond_factorizations,
+        eager.stats.precond_factorizations
+    );
+    assert!(
+        lazy.stats.newton_iterations <= eager.stats.newton_iterations + 3,
+        "lazy Newton count {} blew past eager {}",
+        lazy.stats.newton_iterations,
+        eager.stats.newton_iterations
+    );
+}
+
+#[test]
+fn mixer_adaptive_matches_eager_with_fewer_factorizations() {
+    let (dae, grid, out_idx) = mixer();
+    let eager = solve_with(&dae, &grid, PrecondRefresh::EveryIteration);
+    let lazy = solve_with(&dae, &grid, PrecondRefresh::Adaptive { growth: 3.0 });
+    assert_same_waveform(&eager, &lazy, out_idx);
+    assert!(
+        lazy.stats.precond_factorizations < eager.stats.precond_factorizations,
+        "lazy {} vs eager {}",
+        lazy.stats.precond_factorizations,
+        eager.stats.precond_factorizations
+    );
+    assert!(lazy.stats.newton_iterations <= eager.stats.newton_iterations + 3);
+}
+
+/// `growth: 0.0` makes every inner-iteration count exceed the threshold,
+/// forcing `precond_degraded` to fire after each correction: the policy
+/// must re-factor on every Newton iteration, exactly like the eager one.
+#[test]
+fn forced_degradation_refactors_every_iteration() {
+    let (dae, grid, out_idx) = symmetric_clipper();
+    let eager = solve_with(&dae, &grid, PrecondRefresh::EveryIteration);
+    let forced = solve_with(&dae, &grid, PrecondRefresh::Adaptive { growth: 0.0 });
+    assert_same_waveform(&eager, &forced, out_idx);
+    assert_eq!(forced.stats.precond_factorizations, forced.stats.newton_iterations);
+    assert_eq!(forced.stats.precond_factorizations, eager.stats.precond_factorizations);
+}
+
+/// With telemetry recording, the forced-degradation run must surface a
+/// `precond_degraded` health event from the HB Newton loop.
+#[test]
+fn forced_degradation_emits_health_event() {
+    let (dae, grid, _) = symmetric_clipper();
+    rfsim_telemetry::set_mode(rfsim_telemetry::Mode::Report);
+    solve_with(&dae, &grid, PrecondRefresh::Adaptive { growth: 0.0 });
+    let snap = rfsim_telemetry::snapshot();
+    rfsim_telemetry::set_mode(rfsim_telemetry::Mode::Off);
+    assert!(
+        snap.health.iter().any(|e| e.monitor == "precond_degraded" && e.solver == "hb.newton"),
+        "no precond_degraded health event recorded: {:?}",
+        snap.health
+    );
+}
