@@ -9,8 +9,8 @@
 //! cost, by contrast, is tone-count-insensitive.
 
 use rfsim::circuit::transient::{transient, TranOptions};
-use rfsim::steady::{solve_hb, HbOptions, SpectralGrid, ToneAxis};
-use rfsim_bench::{heading, switching_mixer, timed, MixerSpec};
+use rfsim::steady::{solve_hb, solve_hb_sweep, HbOptions, SpectralGrid, ToneAxis};
+use rfsim_bench::{heading, sweep_cold, switching_mixer, timed, MixerSpec};
 use rfsim_observe::Harness;
 use std::process::ExitCode;
 
@@ -80,6 +80,72 @@ fn run(harness: &mut Harness) -> Result<(), String> {
     println!(
         "\npaper's point: at 4 tones the traditional dense-Jacobian HB 'would\n\
          probably exceed available memory' — the quadratic column above."
+    );
+
+    // --- Warm-started continuation: the two-tone analysis repeated
+    // across an RF drive-level sweep (the IP3 / compression workload).
+    // Warm mode carries the previous point's solution, the factored
+    // harmonic-block preconditioner, and the recycled Krylov subspace
+    // across points; RFSIM_SWEEP_MODE=cold reruns every point from
+    // scratch so CI can gate the speedup.
+    let cold = sweep_cold();
+    heading(if cold {
+        "RF drive-level sweep — COLD (every point from scratch)"
+    } else {
+        "RF drive-level sweep — warm-started continuation"
+    });
+    let amps: Vec<f64> = (0..8).map(|i| 0.05 + 0.05 * i as f64).collect();
+    let grid2 = SpectralGrid::two_tone(ToneAxis::new(spec.f_rf, h), ToneAxis::new(spec.f_lo, h))
+        .map_err(|e| format!("sweep grid: {e}"))?;
+    // Strong drive needs globalization when solved in isolation: the cold
+    // path ramps the sources at every point, the warm path rides the
+    // sweep's own continuation instead.
+    let sweep_opts = HbOptions { source_steps: 4, ..Default::default() };
+    let n_amps = amps.len();
+    let (sols, t_sweep) = harness.sweep_point(
+        "recycle:amps",
+        &[("points", n_amps as f64), ("cold", if cold { 1.0 } else { 0.0 })],
+        |pm| {
+            let daes: Vec<_> = amps
+                .iter()
+                .map(|&a| switching_mixer(&MixerSpec { rf_amplitude: a, ..spec }).0)
+                .collect();
+            let (sols, t) = timed(|| -> Result<_, String> {
+                if cold {
+                    daes.iter()
+                        .map(|dae| {
+                            solve_hb(dae, &grid2, &sweep_opts)
+                                .map_err(|e| format!("cold sweep point: {e}"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                } else {
+                    let refs: Vec<&dyn rfsim::circuit::dae::Dae> =
+                        daes.iter().map(|d| d as &dyn rfsim::circuit::dae::Dae).collect();
+                    solve_hb_sweep(&refs, &grid2, &sweep_opts)
+                        .map_err(|e| format!("warm sweep: {e}"))
+                }
+            });
+            let sols = sols?;
+            let newton: usize = sols.iter().map(|s| s.stats.newton_iterations).sum();
+            let linear: usize = sols.iter().map(|s| s.stats.linear_iterations).sum();
+            let factorizations: usize = sols.iter().map(|s| s.stats.precond_factorizations).sum();
+            pm.metric("newton_iterations", newton as f64);
+            pm.metric("linear_iterations", linear as f64);
+            pm.metric("precond_factorizations", factorizations as f64);
+            Ok::<_, String>((sols, t))
+        },
+    )?;
+    println!("{:>10} {:>10} {:>10} {:>10}", "A_rf (V)", "newton", "linear", "factor");
+    for (a, s) in amps.iter().zip(&sols) {
+        println!(
+            "{:>10.2} {:>10} {:>10} {:>10}",
+            a, s.stats.newton_iterations, s.stats.linear_iterations, s.stats.precond_factorizations
+        );
+    }
+    println!(
+        "{n_amps} points in {t_sweep:.3} s — {} carries x, the preconditioner\n\
+         factors, and the recycled Krylov space across points.",
+        if cold { "cold mode discards what warm mode" } else { "continuation" }
     );
 
     heading("transient insensitivity to tone count");

@@ -216,6 +216,15 @@ pub fn ablate() -> bool {
     std::env::args().any(|a| a == "--ablate")
 }
 
+/// Whether `RFSIM_SWEEP_MODE=cold` is in force: sweep phases then solve
+/// every point from scratch (no warm starts, no subspace recycling, no
+/// reused factorizations) so CI can record the baseline the warm path is
+/// gated against. Anything else — including unset — selects the warm
+/// continuation path.
+pub fn sweep_cold() -> bool {
+    std::env::var("RFSIM_SWEEP_MODE").map(|v| v.eq_ignore_ascii_case("cold")).unwrap_or(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -82,12 +82,29 @@ enum Block {
     LowRank { row0: usize, col0: usize, u: Mat<f64>, vt: Mat<f64> },
 }
 
+/// Reusable buffers for the serial [`CompressedMatrix::matvec_into`]
+/// path. Behind a `Mutex` because the matvec takes `&self` (the matrix
+/// is shared across GMRES iterations) — uncontended in the serial case,
+/// and the parallel path never touches it.
+#[derive(Debug, Default)]
+struct MatvecScratch {
+    /// Input permuted into cluster order.
+    xp: Vec<f64>,
+    /// Accumulated output in cluster order.
+    yp: Vec<f64>,
+    /// Per-block contribution.
+    buf: Vec<f64>,
+    /// Low-rank intermediate `Vᵀ·x`.
+    t: Vec<f64>,
+}
+
 /// The IES³-compressed potential matrix.
 pub struct CompressedMatrix {
     n: usize,
     /// permuted position → original panel index.
     perm: Vec<usize>,
     blocks: Vec<Block>,
+    scratch: std::sync::Mutex<MatvecScratch>,
 }
 
 impl std::fmt::Debug for CompressedMatrix {
@@ -353,7 +370,12 @@ impl CompressedMatrix {
                 }
             }
         });
-        let cm = CompressedMatrix { n, perm, blocks };
+        let cm = CompressedMatrix {
+            n,
+            perm,
+            blocks,
+            scratch: std::sync::Mutex::new(MatvecScratch::default()),
+        };
         if telemetry::enabled() {
             let lr = cm.low_rank_blocks();
             let bytes = cm.memory_bytes();
@@ -418,12 +440,30 @@ impl CompressedMatrix {
 
     /// Compressed matvec in the **original** panel ordering.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Compressed matvec into a caller-provided buffer. On one thread
+    /// this allocates nothing after warmup (buffers persist in an
+    /// internal scratch), so a GMRES solve over the compressed operator
+    /// runs allocation-free like the HB hot path. With multiple workers
+    /// the per-block contributions compute in parallel and accumulate
+    /// serially in block order, so the result bits are identical to the
+    /// serial path for any thread count.
+    ///
+    /// # Panics
+    /// Panics if `x` or `y` are not `len()` long.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n, "matvec: length mismatch");
+        assert_eq!(y.len(), self.n, "matvec_into: output length mismatch");
+        if parallel::thread_count() <= 1 {
+            self.matvec_serial(x, y);
+            return;
+        }
         // Permute input.
         let xp: Vec<f64> = self.perm.iter().map(|&o| x[o]).collect();
-        // Per-block contributions compute in parallel; the accumulation
-        // below runs serially in block order, so the floating-point add
-        // order — and the result bits — match the serial path exactly.
         let xp_ref = &xp;
         let contribs: Vec<(usize, Vec<f64>)> =
             parallel::par_map_indexed(self.blocks.len(), |k| match &self.blocks[k] {
@@ -444,11 +484,94 @@ impl CompressedMatrix {
             }
         }
         // Un-permute output.
-        let mut y = vec![0.0; self.n];
         for (p, &o) in self.perm.iter().enumerate() {
             y[o] = yp[p];
         }
-        y
+    }
+
+    /// Serial matvec through the persistent scratch: zero allocations
+    /// after the first call, bitwise identical to the parallel path
+    /// (same per-block arithmetic, same block-order accumulation).
+    fn matvec_serial(&self, x: &[f64], y: &mut [f64]) {
+        let mut guard = self.scratch.lock().expect("ies3 scratch poisoned");
+        let MatvecScratch { xp, yp, buf, t } = &mut *guard;
+        xp.clear();
+        xp.extend(self.perm.iter().map(|&o| x[o]));
+        yp.clear();
+        yp.resize(self.n, 0.0);
+        for block in &self.blocks {
+            match block {
+                Block::Dense { row0, col0, m } => {
+                    let xs = &xp[*col0..col0 + m.cols()];
+                    buf.resize(m.rows(), 0.0);
+                    m.matvec_into(xs, buf);
+                    for (i, v) in buf.iter().enumerate() {
+                        yp[row0 + i] += *v;
+                    }
+                }
+                Block::LowRank { row0, col0, u, vt } => {
+                    let xs = &xp[*col0..col0 + vt.cols()];
+                    t.resize(vt.rows(), 0.0);
+                    vt.matvec_into(xs, t);
+                    buf.resize(u.rows(), 0.0);
+                    u.matvec_into(t, buf);
+                    for (i, v) in buf.iter().enumerate() {
+                        yp[row0 + i] += *v;
+                    }
+                }
+            }
+        }
+        for (p, &o) in self.perm.iter().enumerate() {
+            y[o] = yp[p];
+        }
+    }
+
+    /// Applies the operator to `p` vectors at once, amortizing the
+    /// permutation and block-tree traversal and parallelizing over
+    /// `blocks × columns` jointly — the work unit block GMRES drives
+    /// when it solves every conductor excitation against one shared
+    /// operator. Accumulation stays in block order per column, so each
+    /// column is bitwise identical to a standalone [`Self::matvec`].
+    fn matvec_block(&self, xs: &[Vec<f64>], ys: &mut [Vec<f64>]) {
+        let p = xs.len();
+        if p == 0 {
+            return;
+        }
+        // Permute every input once.
+        let xps: Vec<Vec<f64>> =
+            xs.iter().map(|x| self.perm.iter().map(|&o| x[o]).collect()).collect();
+        let xps_ref = &xps;
+        let contribs: Vec<(usize, Vec<f64>)> =
+            parallel::par_map_indexed(self.blocks.len() * p, |k| {
+                let (bi, j) = (k / p, k % p);
+                let xp = &xps_ref[j];
+                match &self.blocks[bi] {
+                    Block::Dense { row0, col0, m } => {
+                        let xs = &xp[*col0..col0 + m.cols()];
+                        (*row0, m.matvec(xs))
+                    }
+                    Block::LowRank { row0, col0, u, vt } => {
+                        let xs = &xp[*col0..col0 + vt.cols()];
+                        let t = vt.matvec(xs);
+                        (*row0, u.matvec(&t))
+                    }
+                }
+            });
+        // Job index order is (block, column), so walking contributions in
+        // order accumulates each column in block order — the same order as
+        // the single-vector paths.
+        let mut yps = vec![vec![0.0; self.n]; p];
+        for (k, (row0, contrib)) in contribs.into_iter().enumerate() {
+            let yp = &mut yps[k % p];
+            for (i, v) in contrib.into_iter().enumerate() {
+                yp[row0 + i] += v;
+            }
+        }
+        for (yp, y) in yps.iter().zip(ys.iter_mut()) {
+            for (pos, &o) in self.perm.iter().enumerate() {
+                y[o] = yp[pos];
+            }
+        }
     }
 }
 
@@ -457,7 +580,10 @@ impl LinearOperator<f64> for CompressedMatrix {
         self.n
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        y.copy_from_slice(&self.matvec(x));
+        self.matvec_into(x, y);
+    }
+    fn apply_block(&self, xs: &[Vec<f64>], ys: &mut [Vec<f64>]) {
+        self.matvec_block(xs, ys);
     }
 }
 
@@ -533,6 +659,35 @@ mod tests {
         let cd: f64 = p.conductor_charges(&qd)[0];
         let cc: f64 = p.conductor_charges(&qc)[0];
         assert!((cd - cc).abs() / cd.abs() < 1e-3);
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_bitwise() {
+        let p = plate_problem(12);
+        let cm = CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default()).unwrap();
+        let x: Vec<f64> = (0..p.len()).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let y1 = cm.matvec(&x);
+        let mut y2 = vec![0.0; p.len()];
+        cm.matvec_into(&x, &mut y2);
+        assert_eq!(y1, y2);
+        // And again through the already-warm scratch.
+        cm.matvec_into(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn apply_block_matches_per_column_bitwise() {
+        use rfsim_numerics::krylov::LinearOperator;
+        let p = plate_problem(12);
+        let cm = CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default()).unwrap();
+        let xs: Vec<Vec<f64>> = (0..3)
+            .map(|j| (0..p.len()).map(|i| ((i * 7 + j * 3) % 5) as f64 - 2.0).collect())
+            .collect();
+        let mut ys = vec![vec![0.0; p.len()]; 3];
+        cm.apply_block(&xs, &mut ys);
+        for (x, y) in xs.iter().zip(&ys) {
+            assert_eq!(&cm.matvec(x), y);
+        }
     }
 
     #[test]

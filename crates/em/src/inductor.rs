@@ -5,10 +5,19 @@
 //! `Q(f)` and `S₁₁(f)`.
 
 use crate::geom::{spiral_panels, spiral_segments, Segment};
+use crate::ies3::{CompressedMatrix, Ies3Options};
 use crate::kernel::GreenFn;
 use crate::mom::{capacitance_matrix, MomProblem};
-use crate::{Result, MU0};
+use crate::{Result, EPS0, MU0};
+use rfsim_numerics::krylov::{
+    gmres_recycled, GmresWorkspace, JacobiPrecond, KrylovOptions, LinearOperator, RecycleSpace,
+};
 use rfsim_numerics::Complex;
+use rfsim_telemetry as telemetry;
+use std::sync::Mutex;
+
+/// Relative permittivity of the silicon substrate under the oxide.
+const EPS_SI: f64 = 11.9;
 
 /// Geometry + material description of a planar spiral inductor.
 #[derive(Debug, Clone)]
@@ -111,6 +120,36 @@ pub fn mutual_inductance(a: &Segment, b: &Segment, nq: usize) -> f64 {
     MU0 / (4.0 * std::f64::consts::PI) * dot * (la / nq as f64) * (lb / nq as f64) * acc
 }
 
+/// The half-space operator at one sweep point, composed from the two
+/// frequency-independent compressed matrices of the decomposition
+/// `A(k) = A_free − k·A_image`: sweeping the substrate image coefficient
+/// `k(f)` costs two compressed matvecs per application and **zero**
+/// re-assembly or re-compression.
+struct HalfSpaceSweepOp<'a> {
+    free: &'a CompressedMatrix,
+    image: &'a CompressedMatrix,
+    k: f64,
+    /// Image-term buffer; `Mutex` because `apply` takes `&self`
+    /// (uncontended — GMRES applies are sequential).
+    scratch: Mutex<Vec<f64>>,
+}
+
+impl LinearOperator<f64> for HalfSpaceSweepOp<'_> {
+    fn dim(&self) -> usize {
+        self.free.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.free.matvec_into(x, y);
+        let mut s = self.scratch.lock().expect("sweep scratch poisoned");
+        s.resize(y.len(), 0.0);
+        self.image.matvec_into(x, &mut s);
+        for (yi, si) in y.iter_mut().zip(s.iter()) {
+            *yi -= self.k * *si;
+        }
+    }
+}
+
 impl SpiralInductor {
     /// The trace segments of this spiral.
     pub fn segments(&self) -> Vec<Segment> {
@@ -164,6 +203,103 @@ impl SpiralInductor {
             r_sub,
             segments: segs.len(),
         })
+    }
+
+    /// Frequency-dependent substrate image coefficient `k(f)`. A lossy
+    /// silicon substrate relaxes from conductor-like behavior (perfect
+    /// image, `k → 1`) below its dielectric relaxation frequency
+    /// `f_relax = 1/(2π·ρ_sub·ε_si)` to a plain dielectric image
+    /// `k_∞ = (ε_si − ε_ox)/(ε_si + ε_ox)` well above it — this is what
+    /// makes the substrate capacitance (and through it `L(f)`, `Q(f)`)
+    /// genuinely frequency-dependent in the Fig 7 extraction.
+    pub fn substrate_image_coefficient(&self, f: f64) -> f64 {
+        let k_inf = (EPS_SI - self.eps_ox) / (EPS_SI + self.eps_ox);
+        let f_relax = 1.0 / (2.0 * std::f64::consts::PI * self.rho_sub * EPS_SI * EPS0);
+        k_inf + (1.0 - k_inf) / (1.0 + (f / f_relax).powi(2))
+    }
+
+    /// Extracts the lumped model across a frequency sweep through the
+    /// IES³ + Krylov-recycling fast path: the free-space and image-term
+    /// compressed matrices build **once**, and every frequency point
+    /// solves the substrate capacitance at its own image coefficient
+    /// `k(f)` with a warm-started, subspace-recycled GMRES — previous
+    /// points' solutions seed and deflate the next solve. Results match
+    /// a cold per-point extraction to the solver tolerance; only the
+    /// work is shared.
+    ///
+    /// # Errors
+    /// Propagates geometry, compression, and GMRES failures.
+    pub fn extract_swept(
+        &self,
+        panels_per_seg: usize,
+        nq: usize,
+        freqs: &[f64],
+    ) -> Result<Vec<SpiralModel>> {
+        let _span = telemetry::span("em.inductor.sweep");
+        let segs = self.segments();
+        let mut l = 0.0;
+        for (i, s) in segs.iter().enumerate() {
+            l += self_inductance(s);
+            for (j, t) in segs.iter().enumerate() {
+                if i != j {
+                    l += mutual_inductance(s, t, nq);
+                }
+            }
+        }
+        let total_len: f64 = segs.iter().map(Segment::length).sum();
+        let r_dc = total_len / (self.sigma * self.width * self.thickness);
+        let f_skin = 1.0 / (std::f64::consts::PI * MU0 * self.sigma * self.thickness.powi(2));
+        let area: f64 = segs.iter().map(|s| s.length() * s.width).sum();
+        let r_sub = self.rho_sub / area.sqrt();
+        // Compress the two kernel halves once for the whole sweep.
+        let panels = spiral_panels(&segs, panels_per_seg, 0);
+        let problem = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: self.eps_ox })?;
+        let image_green = GreenFn::ImageOnly { eps_r: self.eps_ox, z0: 0.0 };
+        let opts = Ies3Options::default();
+        let a_free = CompressedMatrix::build(&problem.panels, &problem.green, &opts)?;
+        let a_image = CompressedMatrix::build(&problem.panels, &image_green, &opts)?;
+        let n = problem.len();
+        // Self-term diagonals of both halves, combined per point into the
+        // Jacobi preconditioner for that point's k.
+        let diag_free: Vec<f64> = (0..n)
+            .map(|i| problem.green.coefficient(&problem.panels[i], &problem.panels[i], i, i))
+            .collect();
+        let diag_image: Vec<f64> = (0..n)
+            .map(|i| image_green.coefficient(&problem.panels[i], &problem.panels[i], i, i))
+            .collect();
+        let v = vec![1.0; n]; // single conductor at 1 V
+        let kopts = KrylovOptions { tol: 1e-9, ..Default::default() };
+        let mut gws = GmresWorkspace::new();
+        let mut recycle = RecycleSpace::new(8);
+        let mut prev_q: Option<Vec<f64>> = None;
+        let mut out = Vec::with_capacity(freqs.len());
+        for &f in freqs {
+            let k = self.substrate_image_coefficient(f);
+            let op = HalfSpaceSweepOp {
+                free: &a_free,
+                image: &a_image,
+                k,
+                scratch: Mutex::new(Vec::new()),
+            };
+            let diag: Vec<f64> =
+                diag_free.iter().zip(&diag_image).map(|(d, m)| d - k * m).collect();
+            let pc = JacobiPrecond::from_diagonal(&diag);
+            // The operator moved with k: restore C = A·U before deflating.
+            recycle.refresh(&op);
+            let (q, _) =
+                gmres_recycled(&op, &v, prev_q.as_deref(), &pc, &kopts, &mut gws, &mut recycle)?;
+            let c_total: f64 = q.iter().sum();
+            prev_q = Some(q);
+            out.push(SpiralModel {
+                l_series: l,
+                r_dc,
+                f_skin,
+                c_ox: c_total / 2.0,
+                r_sub,
+                segments: segs.len(),
+            });
+        }
+        Ok(out)
     }
 }
 
@@ -261,6 +397,50 @@ mod tests {
             ..a
         };
         assert_eq!(mutual_inductance(&a, &d, 16), 0.0);
+    }
+
+    #[test]
+    fn image_coefficient_relaxes_from_ground_to_dielectric() {
+        let sp = SpiralInductor::default();
+        let k_inf = (11.9 - sp.eps_ox) / (11.9 + sp.eps_ox);
+        let lo = sp.substrate_image_coefficient(1.0);
+        let hi = sp.substrate_image_coefficient(1e15);
+        assert!((lo - 1.0).abs() < 1e-6, "conductor-like at DC: {lo}");
+        assert!((hi - k_inf).abs() < 1e-3, "dielectric image at high f: {hi} vs {k_inf}");
+        // Monotone decrease in between.
+        let mid1 = sp.substrate_image_coefficient(1e9);
+        let mid2 = sp.substrate_image_coefficient(5e9);
+        assert!(lo >= mid1 && mid1 >= mid2 && mid2 >= hi);
+    }
+
+    #[test]
+    fn swept_extraction_matches_cold_per_point() {
+        use crate::ies3::{CompressedMatrix, Ies3Options};
+        use rfsim_numerics::krylov::KrylovOptions;
+        let sp = SpiralInductor::default();
+        let freqs = [0.5e9, 2e9, 8e9];
+        let swept = sp.extract_swept(2, 6, &freqs).unwrap();
+        // Cold reference: rebuild the half-space compressed matrix and
+        // solve from scratch at every point.
+        let segs = sp.segments();
+        let panels = crate::geom::spiral_panels(&segs, 2, 0);
+        for (&f, model) in freqs.iter().zip(&swept) {
+            let k = sp.substrate_image_coefficient(f);
+            let green = GreenFn::HalfSpace { eps_r: sp.eps_ox, z0: 0.0, k };
+            let p = MomProblem::new(panels.clone(), green).unwrap();
+            let cm = CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default()).unwrap();
+            let (q, _) = p
+                .solve_iterative(&cm, &[1.0], &KrylovOptions { tol: 1e-9, ..Default::default() })
+                .unwrap();
+            let c_cold: f64 = q.iter().sum::<f64>() / 2.0;
+            assert!(
+                (model.c_ox - c_cold).abs() < 1e-4 * c_cold.abs(),
+                "f = {f}: warm {} vs cold {c_cold}",
+                model.c_ox
+            );
+        }
+        // The substrate relaxation must make C_ox fall with frequency.
+        assert!(swept[0].c_ox > swept[2].c_ox);
     }
 
     #[test]

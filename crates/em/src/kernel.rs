@@ -33,6 +33,18 @@ pub enum GreenFn {
         /// Image reflection coefficient in `[0, 1]`.
         k: f64,
     },
+    /// **Only** the (positive) image-charge term of the half-space kernel
+    /// about `z = z0` — no direct interaction. Not a physical medium on
+    /// its own: it is the second operand of the decomposition
+    /// `A_halfspace(k) = A_free − k·A_image`, which lets a frequency
+    /// sweep compress `A_free` and `A_image` once and revisit any image
+    /// coefficient `k(f)` without re-assembly.
+    ImageOnly {
+        /// Relative permittivity above the interface.
+        eps_r: f64,
+        /// Interface height (m).
+        z0: f64,
+    },
 }
 
 impl GreenFn {
@@ -42,6 +54,7 @@ impl GreenFn {
             GreenFn::FreeSpace { eps_r } => *eps_r,
             GreenFn::GroundPlane { eps_r, .. } => *eps_r,
             GreenFn::HalfSpace { eps_r, .. } => *eps_r,
+            GreenFn::ImageOnly { eps_r, .. } => *eps_r,
         };
         EPS0 * er
     }
@@ -60,6 +73,10 @@ impl GreenFn {
             GreenFn::HalfSpace { z0, k, .. } => {
                 let img = Point3::new(src.x, src.y, 2.0 * z0 - src.z);
                 direct - k / (4.0 * std::f64::consts::PI * eps * obs.distance(&img).max(1e-300))
+            }
+            GreenFn::ImageOnly { z0, .. } => {
+                let img = Point3::new(src.x, src.y, 2.0 * z0 - src.z);
+                1.0 / (4.0 * std::f64::consts::PI * eps * obs.distance(&img).max(1e-300))
             }
         }
     }
@@ -85,6 +102,9 @@ impl GreenFn {
             GreenFn::HalfSpace { z0, k, .. } => {
                 let image = panel_potential(&pi.center, pj, 2.0 * z0 - pj.center.z);
                 scale * (direct - k * image)
+            }
+            GreenFn::ImageOnly { z0, .. } => {
+                scale * panel_potential(&pi.center, pj, 2.0 * z0 - pj.center.z)
             }
         }
     }
@@ -166,6 +186,35 @@ mod tests {
         let vh = GreenFn::HalfSpace { eps_r: 1.0, z0: 0.0, k: 0.6 }.potential(&obs, &src);
         let vg = GreenFn::GroundPlane { eps_r: 1.0, z0: 0.0 }.potential(&obs, &src);
         assert!(vg < vh && vh < vf, "{vg} < {vh} < {vf}");
+    }
+
+    #[test]
+    fn image_only_completes_the_halfspace_decomposition() {
+        // coefficient must satisfy halfspace(k) = free − k·image for any k
+        // — the identity the frequency-sweep operator relies on.
+        let mk = |c: Point3| Panel {
+            center: c,
+            len_a: 2e-6,
+            len_b: 3e-6,
+            axis_a: Point3::new(1.0, 0.0, 0.0),
+            conductor: 0,
+        };
+        let pi = mk(Point3::new(0.0, 0.0, 1e-6));
+        let pj = mk(Point3::new(5e-6, 2e-6, 2e-6));
+        let (eps_r, z0) = (3.9, 0.0);
+        let free = GreenFn::FreeSpace { eps_r }.coefficient(&pi, &pj, 0, 1);
+        let image = GreenFn::ImageOnly { eps_r, z0 }.coefficient(&pi, &pj, 0, 1);
+        for k in [0.0, 0.3, 0.7, 1.0] {
+            let half = GreenFn::HalfSpace { eps_r, z0, k }.coefficient(&pi, &pj, 0, 1);
+            let composed = free - k * image;
+            assert!(
+                (half - composed).abs() <= 1e-12 * half.abs().max(1e-300),
+                "k = {k}: {half} vs {composed}"
+            );
+        }
+        // k = 1 also reproduces the grounded plane.
+        let gnd = GreenFn::GroundPlane { eps_r, z0 }.coefficient(&pi, &pj, 0, 1);
+        assert!((gnd - (free - image)).abs() <= 1e-12 * gnd.abs());
     }
 
     #[test]

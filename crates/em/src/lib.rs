@@ -36,7 +36,7 @@ pub mod sparams;
 pub use geom::{Panel, Point3};
 pub use ies3::{CompressedMatrix, Ies3Options};
 pub use kernel::GreenFn;
-pub use mom::{capacitance_matrix, MomProblem};
+pub use mom::{capacitance_matrix, capacitance_matrix_iterative, MomProblem};
 
 /// Vacuum permittivity (F/m).
 pub const EPS0: f64 = 8.8541878128e-12;

@@ -8,20 +8,33 @@
 //! orders of magnitude" (paper, §4). The dense matrix here is also the
 //! input to the [`ies3`](crate::ies3) compression.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::geom::Panel;
 use crate::kernel::GreenFn;
 use crate::{Error, Result};
-use rfsim_numerics::dense::Mat;
-use rfsim_numerics::krylov::{gmres, JacobiPrecond, KrylovOptions};
+use rfsim_numerics::dense::{Lu, Mat};
+use rfsim_numerics::krylov::{block_gmres, gmres, IterStats, JacobiPrecond, KrylovOptions};
 use rfsim_parallel as parallel;
 
 /// An assembled MoM problem: panels plus kernel.
+///
+/// `panels` and `green` are treated as immutable once constructed: the
+/// dense LU and the Jacobi diagonal are factored/extracted lazily on
+/// first use and cached for every later solve (mutating the public
+/// fields after a solve would leave the caches stale — rebuild with
+/// [`MomProblem::new`] instead).
 #[derive(Debug, Clone)]
 pub struct MomProblem {
     /// The discretization panels.
     pub panels: Vec<Panel>,
     /// The Green's function.
     pub green: GreenFn,
+    /// Factored dense matrix, shared by every [`MomProblem::solve_dense`]
+    /// call after the first.
+    lu: OnceLock<Arc<Lu<f64>>>,
+    /// Analytic self-term Jacobi preconditioner for the iterative path.
+    jacobi: OnceLock<Arc<JacobiPrecond<f64>>>,
 }
 
 impl MomProblem {
@@ -33,7 +46,7 @@ impl MomProblem {
         if panels.is_empty() {
             return Err(Error::Geometry("no panels".into()));
         }
-        Ok(MomProblem { panels, green })
+        Ok(MomProblem { panels, green, lu: OnceLock::new(), jacobi: OnceLock::new() })
     }
 
     /// Number of panels (matrix dimension).
@@ -66,19 +79,45 @@ impl MomProblem {
         a
     }
 
-    /// Solves for panel charges given conductor potentials (dense LU).
+    /// The factored dense matrix, assembled and LU-decomposed on first
+    /// use and cached thereafter.
+    ///
+    /// # Errors
+    /// Propagates singular-matrix errors (the failure is not cached —
+    /// retried on the next call).
+    pub fn factored(&self) -> Result<Arc<Lu<f64>>> {
+        if let Some(lu) = self.lu.get() {
+            return Ok(Arc::clone(lu));
+        }
+        let lu = Arc::new(self.assemble_dense().lu()?);
+        Ok(Arc::clone(self.lu.get_or_init(|| lu)))
+    }
+
+    /// The analytic self-term Jacobi preconditioner for the iterative
+    /// path, extracted once and reused by every solve.
+    pub fn jacobi(&self) -> Arc<JacobiPrecond<f64>> {
+        Arc::clone(self.jacobi.get_or_init(|| {
+            let diag: Vec<f64> = (0..self.panels.len())
+                .map(|i| self.green.coefficient(&self.panels[i], &self.panels[i], i, i))
+                .collect();
+            Arc::new(JacobiPrecond::from_diagonal(&diag))
+        }))
+    }
+
+    /// Solves for panel charges given conductor potentials (dense LU,
+    /// factored once via [`MomProblem::factored`] and reused).
     ///
     /// # Errors
     /// Propagates singular-matrix errors.
     pub fn solve_dense(&self, conductor_volts: &[f64]) -> Result<Vec<f64>> {
-        let a = self.assemble_dense();
+        let lu = self.factored()?;
         let v: Vec<f64> = self.panels.iter().map(|p| conductor_volts[p.conductor]).collect();
-        Ok(a.solve(&v)?)
+        Ok(lu.solve(&v)?)
     }
 
     /// Solves with GMRES against any operator representation of the same
     /// matrix (dense or IES³-compressed), Jacobi-preconditioned with the
-    /// analytic self terms.
+    /// analytic self terms (cached via [`MomProblem::jacobi`]).
     ///
     /// # Errors
     /// Propagates GMRES convergence failures.
@@ -87,13 +126,10 @@ impl MomProblem {
         op: &dyn rfsim_numerics::krylov::LinearOperator<f64>,
         conductor_volts: &[f64],
         opts: &KrylovOptions,
-    ) -> Result<(Vec<f64>, rfsim_numerics::krylov::IterStats)> {
+    ) -> Result<(Vec<f64>, IterStats)> {
         let v: Vec<f64> = self.panels.iter().map(|p| conductor_volts[p.conductor]).collect();
-        let diag: Vec<f64> = (0..self.panels.len())
-            .map(|i| self.green.coefficient(&self.panels[i], &self.panels[i], i, i))
-            .collect();
-        let pc = JacobiPrecond::from_diagonal(&diag);
-        Ok(gmres(op, &v, None, &pc, opts)?)
+        let pc = self.jacobi();
+        Ok(gmres(op, &v, None, pc.as_ref(), opts)?)
     }
 
     /// Sums panel charges per conductor.
@@ -114,8 +150,7 @@ impl MomProblem {
 /// Propagates dense-solve errors.
 pub fn capacitance_matrix(problem: &MomProblem) -> Result<Mat<f64>> {
     let nc = problem.conductor_count();
-    let a = problem.assemble_dense();
-    let lu = a.lu()?;
+    let lu = problem.factored()?;
     let mut c = Mat::zeros(nc, nc);
     for j in 0..nc {
         let volts: Vec<f64> = (0..nc).map(|k| if k == j { 1.0 } else { 0.0 }).collect();
@@ -127,6 +162,39 @@ pub fn capacitance_matrix(problem: &MomProblem) -> Result<Mat<f64>> {
         }
     }
     Ok(c)
+}
+
+/// Extracts the Maxwell capacitance matrix iteratively: **all** conductor
+/// excitations solve together as one block GMRES against a single shared
+/// operator (typically the IES³-compressed matrix), so the Krylov space —
+/// and the per-application traversal cost of the operator — is amortized
+/// across every column instead of rebuilt per conductor.
+///
+/// Returns the capacitance matrix plus the iteration statistics of the
+/// one block solve ([`IterStats::iterations`] counts basis columns across
+/// all right-hand sides).
+///
+/// # Errors
+/// Propagates block-GMRES convergence failures.
+pub fn capacitance_matrix_iterative(
+    problem: &MomProblem,
+    op: &dyn rfsim_numerics::krylov::LinearOperator<f64>,
+    opts: &KrylovOptions,
+) -> Result<(Mat<f64>, IterStats)> {
+    let nc = problem.conductor_count();
+    let bs: Vec<Vec<f64>> = (0..nc)
+        .map(|j| problem.panels.iter().map(|p| if p.conductor == j { 1.0 } else { 0.0 }).collect())
+        .collect();
+    let pc = problem.jacobi();
+    let (qs, stats) = block_gmres(op, &bs, None, pc.as_ref(), opts)?;
+    let mut c = Mat::zeros(nc, nc);
+    for (j, q) in qs.iter().enumerate() {
+        let charges = problem.conductor_charges(q);
+        for i in 0..nc {
+            c[(i, j)] = charges[i];
+        }
+    }
+    Ok((c, stats))
 }
 
 #[cfg(test)]
@@ -194,6 +262,50 @@ mod tests {
         assert!(stats.iterations < 100);
         for (a, b) in qd.iter().zip(&qi) {
             assert!((a - b).abs() < 1e-8 * qd.iter().map(|x| x.abs()).fold(0.0, f64::max));
+        }
+    }
+
+    #[test]
+    fn solve_dense_factors_once() {
+        // Two solves through the cached LU agree with a fresh problem's
+        // answer — the cache returns the same factorization object.
+        let panels = mesh_parallel_plates(1e-3, 5e-5, 6);
+        let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).unwrap();
+        let q1 = p.solve_dense(&[1.0, 0.0]).unwrap();
+        let q2 = p.solve_dense(&[0.0, 1.0]).unwrap();
+        assert!(Arc::ptr_eq(&p.factored().unwrap(), &p.factored().unwrap()));
+        let fresh = MomProblem::new(p.panels.clone(), p.green).unwrap();
+        for (a, b) in q1.iter().zip(&fresh.solve_dense(&[1.0, 0.0]).unwrap()) {
+            assert_eq!(a, b);
+        }
+        for (a, b) in q2.iter().zip(&fresh.solve_dense(&[0.0, 1.0]).unwrap()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn block_capacitance_matches_direct() {
+        let panels = mesh_parallel_plates(1e-3, 5e-5, 6);
+        let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).unwrap();
+        let c_direct = capacitance_matrix(&p).unwrap();
+        let dense = p.assemble_dense();
+        let (c_blk, stats) = capacitance_matrix_iterative(
+            &p,
+            &dense,
+            &KrylovOptions { tol: 1e-10, ..Default::default() },
+        )
+        .unwrap();
+        assert!(stats.iterations > 0);
+        let scale = c_direct[(0, 0)].abs();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (c_direct[(i, j)] - c_blk[(i, j)]).abs() < 1e-6 * scale,
+                    "({i},{j}): {} vs {}",
+                    c_direct[(i, j)],
+                    c_blk[(i, j)]
+                );
+            }
         }
     }
 

@@ -1,0 +1,64 @@
+//! Allocation regression test for the EM hot path: after warmup, ten
+//! consecutive IES³ compressed matvecs through [`CompressedMatrix::
+//! matvec_into`] must perform zero heap allocations — the inner GMRES
+//! loop of every extraction calls it once per iteration.
+//!
+//! This lives in its own integration-test binary because it installs a
+//! counting `#[global_allocator]`. Telemetry stays inactive and the
+//! thread count is pinned to 1 so the serial, scratch-backed path runs —
+//! the parallel path spawns scoped threads, which allocate by design.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rfsim_em::geom::mesh_parallel_plates;
+use rfsim_em::ies3::{CompressedMatrix, Ies3Options};
+use rfsim_em::kernel::GreenFn;
+use rfsim_em::mom::MomProblem;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn compressed_matvec_is_alloc_free_after_warmup() {
+    rfsim_parallel::set_thread_count(1);
+    let panels = mesh_parallel_plates(1e-3, 5e-5, 10);
+    let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 }).unwrap();
+    let cm = CompressedMatrix::build(&p.panels, &p.green, &Ies3Options::default()).unwrap();
+    let n = p.len();
+
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).sin()).collect();
+    let mut y = vec![0.0; n];
+
+    // Warmup: the first applications grow the scratch buffers to size.
+    for _ in 0..2 {
+        cm.matvec_into(&x, &mut y);
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        cm.matvec_into(&x, &mut y);
+    }
+    let delta = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(delta, 0, "IES³ matvec_into made {delta} heap allocations across 10 applications");
+}

@@ -144,8 +144,19 @@ impl<T: Scalar> Mat<T> {
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[T]) -> Vec<T> {
-        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
         let mut y = vec![T::ZERO; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product into a caller-provided buffer (no
+    /// allocation). Identical arithmetic order to [`Mat::matvec`].
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
+        assert_eq!(y.len(), self.rows, "matvec_into: output length mismatch");
         for i in 0..self.rows {
             let row = self.row(i);
             let mut acc = T::ZERO;
@@ -154,7 +165,6 @@ impl<T: Scalar> Mat<T> {
             }
             y[i] = acc;
         }
-        y
     }
 
     /// Matrix–matrix product `A·B`.

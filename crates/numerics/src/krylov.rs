@@ -20,6 +20,18 @@ pub trait LinearOperator<T: Scalar> {
     fn dim(&self) -> usize;
     /// Applies the operator: `y ← A·x`. `y` is pre-sized to `dim()`.
     fn apply(&self, x: &[T], y: &mut [T]);
+    /// Applies the operator to a block of vectors: `ys[j] ← A·xs[j]`.
+    ///
+    /// The default loops over [`LinearOperator::apply`]; operators with
+    /// per-application traversal overhead (the IES³ compressed matrix
+    /// walks its block tree once per call) override this to amortize the
+    /// traversal across the whole block — the multi-RHS path block GMRES
+    /// drives.
+    fn apply_block(&self, xs: &[Vec<T>], ys: &mut [Vec<T>]) {
+        for (x, y) in xs.iter().zip(ys.iter_mut()) {
+            self.apply(x, y);
+        }
+    }
 }
 
 impl<T: Scalar> LinearOperator<T> for crate::dense::Mat<T> {
@@ -531,6 +543,456 @@ fn note_gmres(trace: telemetry::TraceBuf, stats: &IterStats, converged: bool) {
     telemetry::histogram_record("krylov.gmres.iterations_per_solve", stats.iterations as f64);
 }
 
+/// A recycled (deflation) subspace shared across a sweep of related
+/// solves — the GCRO-DR lineage specialized to the sweep workloads here:
+/// frequency/continuation sweeps where consecutive operators and
+/// right-hand sides differ only slightly.
+///
+/// The space maintains the pair `(U, C)` with `C = A·U` and `CᴴC = I`.
+/// Before a solve, [`RecycleSpace::project`] computes the optimal
+/// correction in `span(U)` — `x ← x + U·Cᴴr`, `r ← r − C·Cᴴr` — which
+/// removes the components of the residual that previous solves already
+/// learned how to invert. After a converged solve,
+/// [`RecycleSpace::harvest`] folds the new solution direction into the
+/// space (oldest direction evicted beyond `max_dim`). When the operator
+/// itself changes between sweep points, [`RecycleSpace::refresh`]
+/// recomputes `C = A·U` against the new operator so the invariant — and
+/// therefore the optimality of the projection — is restored.
+#[derive(Debug, Default)]
+pub struct RecycleSpace<T> {
+    u: Vec<Vec<T>>,
+    c: Vec<Vec<T>>,
+    max_dim: usize,
+}
+
+impl<T: Scalar> RecycleSpace<T> {
+    /// An empty space holding at most `max_dim` deflation directions.
+    pub fn new(max_dim: usize) -> Self {
+        RecycleSpace { u: Vec::new(), c: Vec::new(), max_dim }
+    }
+
+    /// Current number of deflation directions.
+    pub fn dim(&self) -> usize {
+        self.u.len()
+    }
+
+    /// Maximum number of directions the space will hold (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.max_dim
+    }
+
+    /// Drops every stored direction.
+    pub fn clear(&mut self) {
+        self.u.clear();
+        self.c.clear();
+    }
+
+    /// Folds the direction `w` (typically a converged solution) into the
+    /// space: `c = A·w` is orthogonalized against the stored `C`, the
+    /// matching combination is removed from `w`, and the normalized pair
+    /// is appended. Near-dependent directions (nothing new to learn) are
+    /// discarded; beyond `max_dim` the oldest pair is evicted.
+    pub fn harvest(&mut self, a: &dyn LinearOperator<T>, w: &[T]) {
+        if self.max_dim == 0 || gnorm2(w) < 1e-300 {
+            return;
+        }
+        let mut c = vec![T::ZERO; a.dim()];
+        a.apply(w, &mut c);
+        let mut u = w.to_vec();
+        let scale = gnorm2(&c);
+        for (ui, ci) in self.u.iter().zip(&self.c) {
+            let alpha = gdot(ci, &c);
+            for ((cj, uj), (ci_j, ui_j)) in c.iter_mut().zip(u.iter_mut()).zip(ci.iter().zip(ui)) {
+                *cj -= alpha * *ci_j;
+                *uj -= alpha * *ui_j;
+            }
+        }
+        let nrm = gnorm2(&c);
+        if nrm <= 1e-10 * scale.max(1e-300) {
+            return; // already represented
+        }
+        for (cj, uj) in c.iter_mut().zip(u.iter_mut()) {
+            *cj = cj.scale_by(1.0 / nrm);
+            *uj = uj.scale_by(1.0 / nrm);
+        }
+        if self.u.len() == self.max_dim {
+            self.u.remove(0);
+            self.c.remove(0);
+        }
+        self.u.push(u);
+        self.c.push(c);
+    }
+
+    /// Re-establishes `C = A·U` (orthonormal) against a **new** operator:
+    /// the sweep moved to the next frequency/parameter point, so the
+    /// stored images are stale. Costs `dim()` operator applications;
+    /// directions that became dependent under the new operator are
+    /// dropped.
+    pub fn refresh(&mut self, a: &dyn LinearOperator<T>) {
+        let n = a.dim();
+        let us = std::mem::take(&mut self.u);
+        self.c.clear();
+        let mut c = vec![T::ZERO; n];
+        for u in us {
+            if u.len() != n {
+                continue; // stale dimension from a different problem
+            }
+            a.apply(&u, &mut c);
+            let mut cu = c.clone();
+            let mut uu = u;
+            let scale = gnorm2(&cu);
+            for (ui, ci) in self.u.iter().zip(&self.c) {
+                let alpha = gdot(ci, &cu);
+                for ((cj, uj), (ci_j, ui_j)) in
+                    cu.iter_mut().zip(uu.iter_mut()).zip(ci.iter().zip(ui))
+                {
+                    *cj -= alpha * *ci_j;
+                    *uj -= alpha * *ui_j;
+                }
+            }
+            let nrm = gnorm2(&cu);
+            if nrm <= 1e-10 * scale.max(1e-300) {
+                continue;
+            }
+            for (cj, uj) in cu.iter_mut().zip(uu.iter_mut()) {
+                *cj = cj.scale_by(1.0 / nrm);
+                *uj = uj.scale_by(1.0 / nrm);
+            }
+            self.u.push(uu);
+            self.c.push(cu);
+        }
+    }
+
+    /// Applies the deflation: given the current residual `r = b − A·x`,
+    /// moves `x` by the optimal correction in `span(U)` and removes the
+    /// matching components from `r`. Returns the space dimension used.
+    pub fn project(&self, x: &mut [T], r: &mut [T]) -> usize {
+        for (ui, ci) in self.u.iter().zip(&self.c) {
+            if ui.len() != x.len() {
+                return 0;
+            }
+            let y = gdot(ci, r);
+            for ((xj, rj), (uj, cj)) in x.iter_mut().zip(r.iter_mut()).zip(ui.iter().zip(ci)) {
+                *xj += y * *uj;
+                *rj -= y * *cj;
+            }
+        }
+        self.dim()
+    }
+}
+
+/// [`gmres_with`] wrapped in subspace recycling: the residual is first
+/// deflated through `recycle` (a warm start in the span of previous
+/// solves), GMRES then finishes from the improved iterate under the
+/// **same** convergence criterion as a cold solve, and the converged
+/// solution direction is harvested back into the space. Counters
+/// `krylov.warm_starts` and `krylov.recycle_dim` record how much the
+/// sweep reused.
+///
+/// The caller is responsible for [`RecycleSpace::refresh`] when the
+/// operator changed since the space was last used; the projection is
+/// only optimal while `C = A·U` holds.
+///
+/// # Errors
+/// Returns [`Error::NoConvergence`] if the iteration budget is exhausted
+/// before the tolerance is met.
+pub fn gmres_recycled<T: Scalar>(
+    a: &dyn LinearOperator<T>,
+    b: &[T],
+    x0: Option<&[T]>,
+    precond: &dyn Preconditioner<T>,
+    opts: &KrylovOptions,
+    ws: &mut GmresWorkspace<T>,
+    recycle: &mut RecycleSpace<T>,
+) -> Result<(Vec<T>, IterStats)> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(Error::DimensionMismatch { expected: n, found: b.len() });
+    }
+    let mut x = x0.map_or_else(|| vec![T::ZERO; n], <[T]>::to_vec);
+    let mut extra_matvecs = 0usize;
+    if recycle.dim() > 0 {
+        let mut r = vec![T::ZERO; n];
+        a.apply(&x, &mut r);
+        extra_matvecs += 1;
+        for (ri, bi) in r.iter_mut().zip(b) {
+            *ri = *bi - *ri;
+        }
+        let used = recycle.project(&mut x, &mut r);
+        if used > 0 {
+            telemetry::counter_add("krylov.warm_starts", 1);
+            telemetry::counter_add("krylov.recycle_dim", used as u64);
+        }
+    }
+    let (x, mut stats) = gmres_with(a, b, Some(&x), precond, opts, ws)?;
+    stats.matvecs += extra_matvecs + 1; // +1 for the harvest below
+    recycle.harvest(a, &x);
+    Ok((x, stats))
+}
+
+/// One Givens rotation of the band-Hessenberg least squares inside
+/// [`block_gmres`], acting on the row pair `(row, row + 1)`.
+struct BlockRotation<T> {
+    row: usize,
+    cs: T,
+    sn: T,
+}
+
+impl<T: Scalar> BlockRotation<T> {
+    /// Builds the rotation sending `(a, b)` to `(√(|a|²+|b|²), 0)`.
+    fn eliminate(a: T, b: T) -> (Self, T) {
+        let denom = (a.modulus().powi(2) + b.modulus().powi(2)).sqrt();
+        if denom == 0.0 {
+            (BlockRotation { row: 0, cs: T::ONE, sn: T::ZERO }, T::ZERO)
+        } else {
+            (
+                BlockRotation { row: 0, cs: a.scale_by(1.0 / denom), sn: b.scale_by(1.0 / denom) },
+                T::from_f64(denom),
+            )
+        }
+    }
+
+    /// Applies the rotation to `col[row]`/`col[row + 1]` (if in range).
+    fn apply(&self, col: &mut [T]) {
+        if self.row + 1 >= col.len() {
+            return;
+        }
+        let top = col[self.row];
+        let bot = col[self.row + 1];
+        col[self.row] = self.cs.conj() * top + self.sn.conj() * bot;
+        col[self.row + 1] = -self.sn * top + self.cs * bot;
+    }
+}
+
+/// Block GMRES for multi-RHS systems `A·x_j = b_j`, sharing one Krylov
+/// space across all right-hand sides (restarted, left-preconditioned).
+///
+/// All `p` right-hand sides expand a single block-Krylov basis, so a
+/// matrix that costs per-application overhead (IES³ tree traversal, HB
+/// FFT setup) is amortized via [`LinearOperator::apply_block`] and the
+/// shared basis typically converges in far fewer total iterations than
+/// `p` independent solves — this is the multi-conductor capacitance
+/// extraction path of the paper's §4 workloads. The small projected
+/// problem is a band-Hessenberg least squares (bandwidth `p`) eliminated
+/// by Givens rotations, exactly generalizing the single-RHS GMRES above;
+/// `p = 1` reproduces its arithmetic.
+///
+/// `opts.restart` bounds the basis **columns** per cycle and
+/// `opts.max_iters` the total columns; [`IterStats::iterations`] counts
+/// columns (= operator applications), so per-RHS cost is
+/// `iterations / p`.
+///
+/// # Errors
+/// [`Error::NoConvergence`] when any right-hand side misses the
+/// tolerance within the budget; dimension mismatches are rejected up
+/// front.
+pub fn block_gmres<T: Scalar>(
+    a: &dyn LinearOperator<T>,
+    bs: &[Vec<T>],
+    x0: Option<&[Vec<T>]>,
+    precond: &dyn Preconditioner<T>,
+    opts: &KrylovOptions,
+) -> Result<(Vec<Vec<T>>, IterStats)> {
+    let n = a.dim();
+    let p = bs.len();
+    if p == 0 {
+        return Ok((Vec::new(), IterStats { iterations: 0, residual: 0.0, matvecs: 0 }));
+    }
+    for b in bs {
+        if b.len() != n {
+            return Err(Error::DimensionMismatch { expected: n, found: b.len() });
+        }
+    }
+    if let Some(xs) = x0 {
+        if xs.len() != p {
+            return Err(Error::DimensionMismatch { expected: p, found: xs.len() });
+        }
+        for x in xs {
+            if x.len() != n {
+                return Err(Error::DimensionMismatch { expected: n, found: x.len() });
+            }
+        }
+    }
+    let _span = telemetry::span("krylov.block_gmres");
+    let mut trace = telemetry::TraceBuf::new("krylov.block_gmres");
+    let mut monitor = telemetry::ResidualMonitor::new("krylov.block_gmres");
+    let mut tail = ResidualTail::new();
+    let mut xs: Vec<Vec<T>> = x0.map_or_else(|| vec![vec![T::ZERO; n]; p], <[Vec<T>]>::to_vec);
+    // Preconditioned RHS norms for the per-RHS relative criterion.
+    let mut zb = vec![T::ZERO; n];
+    let mut bnorms = Vec::with_capacity(p);
+    for b in bs {
+        precond.apply(b, &mut zb)?;
+        bnorms.push(gnorm2(&zb).max(1e-300));
+    }
+    let m = opts.restart.max(1).min(n.max(1));
+    let mut matvecs = 0usize;
+    let mut total_cols = 0usize;
+    let mut ys: Vec<Vec<T>> = vec![vec![T::ZERO; n]; p];
+    let mut work = vec![T::ZERO; n];
+    let mut resid_max = f64::INFINITY;
+    while total_cols < opts.max_iters {
+        // Residual block R_j = M⁻¹(b_j − A·x_j), through the block apply.
+        a.apply_block(&xs, &mut ys);
+        matvecs += p;
+        let mut rblock: Vec<Vec<T>> = Vec::with_capacity(p);
+        for j in 0..p {
+            for i in 0..n {
+                work[i] = bs[j][i] - ys[j][i];
+            }
+            let mut z = vec![T::ZERO; n];
+            precond.apply(&work, &mut z)?;
+            rblock.push(z);
+        }
+        resid_max = rblock.iter().zip(&bnorms).map(|(r, bn)| gnorm2(r) / bn).fold(0.0f64, f64::max);
+        if resid_max <= opts.tol {
+            let stats = IterStats { iterations: total_cols, residual: resid_max, matvecs };
+            note_block_gmres(trace, &stats, p, true);
+            return Ok((xs, stats));
+        }
+        // Block orthonormalization of R into the first p basis vectors;
+        // `g[j]` holds the rotated projected RHS for column j of the block.
+        let mut v: Vec<Vec<T>> = Vec::with_capacity(m + p);
+        let mut g: Vec<Vec<T>> = vec![Vec::new(); p];
+        let mut s = vec![vec![T::ZERO; p]; p]; // S[i][j], upper triangular
+        for (j, mut w) in rblock.into_iter().enumerate() {
+            for i in 0..j {
+                let sij = gdot(&v[i], &w);
+                s[i][j] = sij;
+                for (wk, vk) in w.iter_mut().zip(&v[i]) {
+                    *wk -= sij * *vk;
+                }
+            }
+            let nrm = gnorm2(&w);
+            s[j][j] = T::from_f64(nrm);
+            if nrm > 1e-300 {
+                for wk in w.iter_mut() {
+                    *wk = wk.scale_by(1.0 / nrm);
+                }
+                v.push(w);
+            } else {
+                // Dependent residual column: a zero basis vector keeps the
+                // indexing intact and drops out of every inner product.
+                v.push(vec![T::ZERO; n]);
+            }
+        }
+        for j in 0..p {
+            g[j] = (0..p).map(|i| s[i][j]).collect();
+        }
+        let mut hcols: Vec<Vec<T>> = Vec::with_capacity(m);
+        let mut rotations: Vec<BlockRotation<T>> = Vec::with_capacity(m * p);
+        let mut k_used = 0usize;
+        let mut converged = false;
+        for k in 0..m {
+            if total_cols >= opts.max_iters {
+                break;
+            }
+            total_cols += 1;
+            a.apply(&v[k], &mut work);
+            matvecs += 1;
+            let mut w = vec![T::ZERO; n];
+            precond.apply(&work, &mut w)?;
+            // Modified Gram–Schmidt against every existing basis vector.
+            let mut col = vec![T::ZERO; k + p + 1];
+            for i in 0..k + p {
+                let hik = gdot(&v[i], &w);
+                col[i] = hik;
+                for (wj, vj) in w.iter_mut().zip(&v[i]) {
+                    *wj -= hik * *vj;
+                }
+            }
+            let nrm = gnorm2(&w);
+            col[k + p] = T::from_f64(nrm);
+            if nrm > 1e-300 {
+                for wj in w.iter_mut() {
+                    *wj = wj.scale_by(1.0 / nrm);
+                }
+                v.push(w);
+            } else {
+                v.push(vec![T::ZERO; n]);
+            }
+            // Reduce the new column with all prior rotations, then
+            // eliminate its band (rows k+p … k+1, bottom-up) with p new
+            // ones, mirrored onto every projected RHS.
+            for rot in &rotations {
+                rot.apply(&mut col);
+            }
+            for j in 0..p {
+                g[j].push(T::ZERO);
+            }
+            for t in 0..p {
+                let row = k + p - 1 - t;
+                let (mut rot, rnew) = BlockRotation::eliminate(col[row], col[row + 1]);
+                rot.row = row;
+                col[row] = rnew;
+                col[row + 1] = T::ZERO;
+                for gj in g.iter_mut() {
+                    rot.apply(gj);
+                }
+                rotations.push(rot);
+            }
+            col.truncate(k + 1);
+            hcols.push(col);
+            k_used = k + 1;
+            // Per-RHS residual: the un-eliminated tail of g_j.
+            resid_max = 0.0;
+            for (gj, bn) in g.iter().zip(&bnorms) {
+                let t2: f64 = gj[k + 1..].iter().map(|e| e.modulus().powi(2)).sum();
+                resid_max = resid_max.max(t2.sqrt() / bn);
+            }
+            trace.push(resid_max);
+            monitor.observe(resid_max);
+            tail.push(resid_max);
+            if resid_max <= opts.tol {
+                converged = true;
+                break;
+            }
+        }
+        // Back-substitute R·y_j = g_j[0..k_used] and update every RHS.
+        for (j, gj) in g.iter().enumerate() {
+            let mut y = vec![T::ZERO; k_used];
+            for i in (0..k_used).rev() {
+                let mut acc = gj[i];
+                for c in i + 1..k_used {
+                    acc -= hcols[c][i] * y[c];
+                }
+                if hcols[i][i] == T::ZERO {
+                    y[i] = T::ZERO;
+                } else {
+                    y[i] = acc / hcols[i][i];
+                }
+            }
+            for (c, yc) in y.iter().enumerate() {
+                for (xi, vi) in xs[j].iter_mut().zip(&v[c]) {
+                    *xi += *yc * *vi;
+                }
+            }
+        }
+        if converged {
+            let stats = IterStats { iterations: total_cols, residual: resid_max, matvecs };
+            note_block_gmres(trace, &stats, p, true);
+            return Ok((xs, stats));
+        }
+    }
+    let stats = IterStats { iterations: total_cols, residual: resid_max, matvecs };
+    note_block_gmres(trace, &stats, p, false);
+    Err(Error::NoConvergence {
+        iterations: total_cols,
+        residual: resid_max,
+        residual_tail: tail.to_vec(),
+    })
+}
+
+/// Emits the iteration statistics of one block-GMRES solve.
+fn note_block_gmres(trace: telemetry::TraceBuf, stats: &IterStats, rhs: usize, converged: bool) {
+    trace.commit(converged);
+    telemetry::counter_add("krylov.block_gmres.solves", 1);
+    telemetry::counter_add("krylov.block_gmres.rhs", rhs as u64);
+    telemetry::counter_add("krylov.block_gmres.iterations", stats.iterations as u64);
+    telemetry::counter_add("krylov.block_gmres.matvecs", stats.matvecs as u64);
+    telemetry::histogram_record("krylov.block_gmres.iterations_per_solve", stats.iterations as f64);
+}
+
 /// BiCGStab with left preconditioning.
 ///
 /// # Errors
@@ -890,6 +1352,223 @@ mod tests {
         match gmres(&a, &b, None, &IdentityPrecond, &opts) {
             Err(Error::NoConvergence { iterations, .. }) => assert!(iterations <= 2),
             other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_gmres_matches_per_rhs_real() {
+        let (a, _, _) = spd_system(40);
+        let opts = KrylovOptions::default();
+        let bs: Vec<Vec<f64>> = (0..3)
+            .map(|j| (0..40).map(|i| ((i * 7 + j * 13) % 11) as f64 - 5.0).collect())
+            .collect();
+        let (xs, stats) = block_gmres(&a, &bs, None, &IdentityPrecond, &opts).unwrap();
+        assert!(stats.residual <= opts.tol);
+        for (x, b) in xs.iter().zip(&bs) {
+            let (xref, _) = gmres(&a, b, None, &IdentityPrecond, &opts).unwrap();
+            for (xi, ri) in x.iter().zip(&xref) {
+                assert!((xi - ri).abs() < 1e-7, "{xi} vs {ri}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_gmres_matches_per_rhs_complex() {
+        let n = 24;
+        let a = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                Complex::new(3.0, 0.7)
+            } else if i.abs_diff(j) == 1 {
+                Complex::new(-0.4, 0.3)
+            } else {
+                Complex::ZERO
+            }
+        });
+        let opts = KrylovOptions::default();
+        let bs: Vec<Vec<Complex>> = (0..4)
+            .map(|j| (0..n).map(|i| Complex::from_polar(1.0, (i + j * 5) as f64 * 0.21)).collect())
+            .collect();
+        let (xs, _) = block_gmres(&a, &bs, None, &IdentityPrecond, &opts).unwrap();
+        for (x, b) in xs.iter().zip(&bs) {
+            let (xref, _) = gmres(&a, b, None, &IdentityPrecond, &opts).unwrap();
+            for (xi, ri) in x.iter().zip(&xref) {
+                assert!((*xi - *ri).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn block_gmres_single_rhs_matches_gmres() {
+        let (a, b, _) = spd_system(30);
+        let opts = KrylovOptions::default();
+        let (xs, _) =
+            block_gmres(&a, std::slice::from_ref(&b), None, &IdentityPrecond, &opts).unwrap();
+        let (xref, _) = gmres(&a, &b, None, &IdentityPrecond, &opts).unwrap();
+        for (xi, ri) in xs[0].iter().zip(&xref) {
+            assert!((xi - ri).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn block_gmres_shares_the_space_across_rhs() {
+        // Right-hand sides spanning overlapping directions: the block
+        // solve must need fewer total columns than p independent solves.
+        let (a, b, _) = spd_system(50);
+        let b2: Vec<f64> = b.iter().enumerate().map(|(i, v)| v + 0.01 * (i as f64)).collect();
+        let b3: Vec<f64> = b.iter().enumerate().map(|(i, v)| v - 0.02 * (i as f64)).collect();
+        let bs = vec![b.clone(), b2.clone(), b3.clone()];
+        let opts = KrylovOptions { restart: 80, ..Default::default() };
+        let (_, blk) = block_gmres(&a, &bs, None, &IdentityPrecond, &opts).unwrap();
+        let mut per_rhs = 0;
+        for bj in &bs {
+            let (_, s) = gmres(&a, bj, None, &IdentityPrecond, &opts).unwrap();
+            per_rhs += s.iterations;
+        }
+        assert!(blk.iterations < per_rhs, "block {} !< per-rhs {}", blk.iterations, per_rhs);
+    }
+
+    #[test]
+    fn block_gmres_restarted_converges() {
+        let (a, _, _) = spd_system(40);
+        let opts = KrylovOptions { restart: 7, max_iters: 5000, ..Default::default() };
+        let bs: Vec<Vec<f64>> =
+            (0..2).map(|j| (0..40).map(|i| ((i + j) % 5) as f64 - 2.0).collect()).collect();
+        let (xs, _) = block_gmres(&a, &bs, None, &IdentityPrecond, &opts).unwrap();
+        for (x, b) in xs.iter().zip(&bs) {
+            let ax = a.matvec(x);
+            for (l, r) in ax.iter().zip(b) {
+                assert!((l - r).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn block_gmres_handles_dependent_rhs() {
+        // Second RHS is a scalar multiple of the first: the residual block
+        // is rank-deficient and the dependent column must not derail the
+        // iteration.
+        let (a, b, _) = spd_system(30);
+        let b2: Vec<f64> = b.iter().map(|v| 2.5 * v).collect();
+        let bs = vec![b.clone(), b2.clone()];
+        let (xs, _) =
+            block_gmres(&a, &bs, None, &IdentityPrecond, &KrylovOptions::default()).unwrap();
+        for (x, bj) in xs.iter().zip(&bs) {
+            let ax = a.matvec(x);
+            for (l, r) in ax.iter().zip(bj) {
+                assert!((l - r).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn recycle_space_warm_start_cuts_iterations() {
+        // A sweep of slightly perturbed right-hand sides: with recycling,
+        // later solves should start closer and converge in fewer columns.
+        let (a, b, _) = spd_system(60);
+        let opts = KrylovOptions { restart: 60, ..Default::default() };
+        let mut ws = GmresWorkspace::new();
+        let mut rec = RecycleSpace::new(8);
+        let (_, cold) =
+            gmres_recycled(&a, &b, None, &IdentityPrecond, &opts, &mut ws, &mut rec).unwrap();
+        let mut warm_iters = 0;
+        for k in 1..4 {
+            let bk: Vec<f64> =
+                b.iter().enumerate().map(|(i, v)| v + 0.001 * ((i + k) as f64).sin()).collect();
+            let (x, s) =
+                gmres_recycled(&a, &bk, None, &IdentityPrecond, &opts, &mut ws, &mut rec).unwrap();
+            warm_iters = s.iterations;
+            let ax = a.matvec(&x);
+            for (l, r) in ax.iter().zip(&bk) {
+                assert!((l - r).abs() < 1e-7);
+            }
+        }
+        assert!(warm_iters < cold.iterations, "warm {} !< cold {}", warm_iters, cold.iterations);
+        assert!(rec.dim() > 0);
+    }
+
+    #[test]
+    fn recycle_space_warm_matches_cold_solution() {
+        let (a, b, xref) = spd_system(45);
+        let opts = KrylovOptions::default();
+        let mut ws = GmresWorkspace::new();
+        let mut rec = RecycleSpace::new(6);
+        // Prime the space on a related system, then solve the target.
+        let b0: Vec<f64> = b.iter().map(|v| 0.9 * v + 0.05).collect();
+        gmres_recycled(&a, &b0, None, &IdentityPrecond, &opts, &mut ws, &mut rec).unwrap();
+        let (warm, _) =
+            gmres_recycled(&a, &b, None, &IdentityPrecond, &opts, &mut ws, &mut rec).unwrap();
+        for (wi, ri) in warm.iter().zip(&xref) {
+            assert!((wi - ri).abs() < 1e-7, "{wi} vs {ri}");
+        }
+    }
+
+    #[test]
+    fn recycle_space_refresh_restores_invariant_after_operator_change() {
+        let (a, b, _) = spd_system(40);
+        let a2 = Mat::from_fn(40, 40, |i, j| {
+            if i == j {
+                4.5
+            } else if i.abs_diff(j) == 1 {
+                -1.1
+            } else {
+                0.0
+            }
+        });
+        let opts = KrylovOptions::default();
+        let mut ws = GmresWorkspace::new();
+        let mut rec = RecycleSpace::new(6);
+        gmres_recycled(&a, &b, None, &IdentityPrecond, &opts, &mut ws, &mut rec).unwrap();
+        rec.refresh(&a2);
+        // The invariant C = A₂·U must hold again: projection may not hurt
+        // the solution on the new operator.
+        let (x, _) =
+            gmres_recycled(&a2, &b, None, &IdentityPrecond, &opts, &mut ws, &mut rec).unwrap();
+        let ax = a2.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn recycle_space_evicts_beyond_max_dim() {
+        let (a, b, _) = spd_system(20);
+        let mut rec = RecycleSpace::new(3);
+        for k in 0..6 {
+            let w: Vec<f64> = b.iter().enumerate().map(|(i, v)| v + (i * k) as f64 * 0.1).collect();
+            rec.harvest(&a, &w);
+        }
+        assert!(rec.dim() <= 3);
+        rec.clear();
+        assert_eq!(rec.dim(), 0);
+    }
+
+    #[test]
+    fn recycle_space_ignores_mismatched_dimensions() {
+        let (a, b, _) = spd_system(20);
+        let (a2, b2, _) = spd_system(30);
+        let mut rec = RecycleSpace::new(4);
+        rec.harvest(&a, &b);
+        // Projecting a different-size problem is a no-op, and refresh
+        // against the new operator drops the stale directions.
+        let mut x = vec![0.0; 30];
+        let mut r = b2.clone();
+        assert_eq!(rec.project(&mut x, &mut r), 0);
+        assert!(x.iter().all(|v| *v == 0.0));
+        rec.refresh(&a2);
+        assert_eq!(rec.dim(), 0);
+    }
+
+    #[test]
+    fn apply_block_default_matches_apply() {
+        let (a, b, _) = spd_system(25);
+        let b2: Vec<f64> = b.iter().map(|v| -0.5 * v).collect();
+        let xs = vec![b.clone(), b2.clone()];
+        let mut ys = vec![vec![0.0; 25]; 2];
+        a.apply_block(&xs, &mut ys);
+        for (x, y) in xs.iter().zip(&ys) {
+            let mut yref = vec![0.0; 25];
+            a.apply(x, &mut yref);
+            assert_eq!(y, &yref);
         }
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! rfsim-report <old-dir-or-file> <new-dir-or-file> \
-//!     [--threshold 0.25] [--min-seconds 0.05] [--allow-health]
+//!     [--threshold 0.25] [--min-seconds 0.05] [--allow-health] \
+//!     [--min-speedup 1.3 [--speedup-metric SUBSTR]]
 //! ```
 //!
 //! Prints a per-metric delta table and exits nonzero when any wall-clock
@@ -10,16 +11,32 @@
 //! `--threshold` AND absolute growth past `--min-seconds`), a baseline
 //! id is missing from the new set, a new run recorded a failure, or
 //! (unless `--allow-health`) the new set contains any health event.
+//!
+//! `--min-speedup R` additionally *requires improvement*: every
+//! wall-clock row whose metric path contains `--speedup-metric` (all
+//! wall rows when omitted) must satisfy `old/new ≥ R`, and at least one
+//! such row must exist. CI uses this to gate warm-started sweeps
+//! against their cold baselines.
 
-use rfsim_observe::{compare_sets, load_set, Thresholds};
+use rfsim_observe::{compare_sets, load_set, SpeedupGate, Thresholds};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: rfsim-report <old-dir-or-file> <new-dir-or-file> \
-     [--threshold <frac>] [--min-seconds <s>] [--allow-health]";
+     [--threshold <frac>] [--min-seconds <s>] [--allow-health] \
+     [--min-speedup <ratio>] [--speedup-metric <substr>]";
 
-fn parse_args() -> Result<(std::path::PathBuf, std::path::PathBuf, Thresholds), String> {
+struct Args {
+    old: std::path::PathBuf,
+    new: std::path::PathBuf,
+    thresholds: Thresholds,
+    speedup: Option<SpeedupGate>,
+}
+
+fn parse_args() -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut thresholds = Thresholds::default();
+    let mut min_speedup = None;
+    let mut speedup_metric = String::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -34,25 +51,37 @@ fn parse_args() -> Result<(std::path::PathBuf, std::path::PathBuf, Thresholds), 
                     v.parse().map_err(|_| format!("bad --min-seconds value {v:?}"))?;
             }
             "--allow-health" => thresholds.fail_on_health = false,
+            "--min-speedup" => {
+                let v = args.next().ok_or("--min-speedup needs a value")?;
+                min_speedup =
+                    Some(v.parse().map_err(|_| format!("bad --min-speedup value {v:?}"))?);
+            }
+            "--speedup-metric" => {
+                speedup_metric = args.next().ok_or("--speedup-metric needs a value")?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             _ if arg.starts_with('-') => return Err(format!("unknown flag {arg:?}\n{USAGE}")),
             _ => positional.push(std::path::PathBuf::from(arg)),
         }
     }
+    if min_speedup.is_none() && !speedup_metric.is_empty() {
+        return Err(format!("--speedup-metric requires --min-speedup\n{USAGE}"));
+    }
     let [old, new] = <[std::path::PathBuf; 2]>::try_from(positional)
         .map_err(|_| format!("expected exactly two paths\n{USAGE}"))?;
-    Ok((old, new, thresholds))
+    let speedup = min_speedup.map(|min| SpeedupGate::new(min, speedup_metric.clone()));
+    Ok(Args { old, new, thresholds, speedup })
 }
 
 fn main() -> ExitCode {
-    let (old_path, new_path, thresholds) = match parse_args() {
+    let args = match parse_args() {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
-    let (old, new) = match (load_set(&old_path), load_set(&new_path)) {
+    let (old, new) = match (load_set(&args.old), load_set(&args.new)) {
         (Ok(old), Ok(new)) => (old, new),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("rfsim-report: {e}");
@@ -60,12 +89,26 @@ fn main() -> ExitCode {
         }
     };
     if old.is_empty() {
-        eprintln!("rfsim-report: no BENCH_*.json artifacts in {}", old_path.display());
+        eprintln!("rfsim-report: no BENCH_*.json artifacts in {}", args.old.display());
         return ExitCode::from(2);
     }
-    let cmp = compare_sets(&old, &new, &thresholds);
-    print!("{}", cmp.render(&thresholds));
-    if cmp.failed(&thresholds) {
+    let cmp = compare_sets(&old, &new, &args.thresholds);
+    print!("{}", cmp.render(&args.thresholds));
+    let mut failed = cmp.failed(&args.thresholds);
+    if let Some(gate) = &args.speedup {
+        println!("speedup gate (old/new ≥ {:.2}x on *{}*wall rows):", gate.min, gate.metric);
+        match cmp.check_speedup(gate) {
+            Ok(table) => print!("{table}"),
+            Err(report) => {
+                print!("{report}");
+                if !report.ends_with('\n') {
+                    println!();
+                }
+                failed = true;
+            }
+        }
+    }
+    if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -24,6 +24,28 @@ impl Default for Thresholds {
     }
 }
 
+/// A minimum-speedup gate: asserts that the candidate set is *faster*
+/// than the baseline on selected wall-clock rows (old/new ≥ `min`).
+/// Used by CI to verify warm-started sweeps actually beat cold reruns.
+#[derive(Debug, Clone)]
+pub struct SpeedupGate {
+    /// Required ratio `old / new` (e.g. 1.3 = 30% faster).
+    pub min: f64,
+    /// Substring filter on the metric path; only wall-clock rows whose
+    /// path contains it participate. Empty matches every wall row.
+    pub metric: String,
+    /// Rows with a baseline below this many seconds are skipped — a
+    /// micro-run's jitter is not evidence either way.
+    pub min_seconds: f64,
+}
+
+impl SpeedupGate {
+    /// A gate on rows containing `metric` with the default 50 ms floor.
+    pub fn new(min: f64, metric: impl Into<String>) -> Self {
+        SpeedupGate { min, metric: metric.into(), min_seconds: 0.05 }
+    }
+}
+
 /// One row of the delta table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricDelta {
@@ -79,6 +101,56 @@ impl Comparison {
             || !self.missing.is_empty()
             || !self.failed_runs.is_empty()
             || (thresholds.fail_on_health && !self.health.is_empty())
+    }
+
+    /// Wall-clock rows eligible for `gate` (path contains the filter and
+    /// the baseline is past the jitter floor).
+    pub fn speedup_rows(&self, gate: &SpeedupGate) -> Vec<&MetricDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| {
+                is_wall_metric(&d.metric)
+                    && d.metric.contains(&gate.metric)
+                    && d.old >= gate.min_seconds
+            })
+            .collect()
+    }
+
+    /// Checks `gate` over [`Comparison::speedup_rows`]. Returns the
+    /// rendered verdict table; `Err` when any eligible row falls short of
+    /// the required speedup — or when *no* row matched at all, which
+    /// means the gate is miswired (label renamed, artifact missing) and
+    /// must not pass silently.
+    pub fn check_speedup(&self, gate: &SpeedupGate) -> std::result::Result<String, String> {
+        let rows = self.speedup_rows(gate);
+        if rows.is_empty() {
+            return Err(format!(
+                "speedup gate matched no wall-clock rows containing {:?} \
+                 (baseline ≥ {:.2}s)",
+                gate.metric, gate.min_seconds
+            ));
+        }
+        let mut out = String::new();
+        let mut shortfalls = 0usize;
+        for d in &rows {
+            let speedup = if d.new > 0.0 { d.old / d.new } else { f64::INFINITY };
+            let ok = speedup >= gate.min;
+            shortfalls += usize::from(!ok);
+            let _ = writeln!(
+                out,
+                "{:<6} {:<44} {:>8.2}x (need {:.2}x)  {}",
+                d.id,
+                d.metric,
+                speedup,
+                gate.min,
+                if ok { "ok" } else { "TOO SLOW" },
+            );
+        }
+        if shortfalls > 0 {
+            Err(format!("{out}{shortfalls} row(s) below the {:.2}x speedup gate", gate.min))
+        } else {
+            Ok(out)
+        }
     }
 
     /// Renders the per-metric delta table plus any failure summary.
@@ -230,4 +302,47 @@ pub fn load_set(path: &std::path::Path) -> Result<Vec<BenchArtifact>, String> {
     }
     out.sort_by(|a, b| a.id.cmp(&b.id));
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(metric: &str, old: f64, new: f64) -> MetricDelta {
+        MetricDelta { id: "e99".into(), metric: metric.into(), old, new, regressed: false }
+    }
+
+    #[test]
+    fn speedup_gate_passes_and_fails_on_ratio() {
+        let cmp = Comparison {
+            deltas: vec![
+                delta("sweep.recycle:x.wall_seconds", 2.0, 1.0),
+                delta("sweep.other.wall_seconds", 1.0, 1.0),
+                delta("sweep.recycle:x.counter.krylov.matvecs", 100.0, 40.0),
+            ],
+            ..Default::default()
+        };
+        // Only the wall row matching the filter participates; 2.0x ≥ 1.3x.
+        let gate = SpeedupGate::new(1.3, "recycle:");
+        assert_eq!(cmp.speedup_rows(&gate).len(), 1);
+        assert!(cmp.check_speedup(&gate).is_ok());
+        // Demand more than measured → shortfall.
+        let strict = SpeedupGate::new(2.5, "recycle:");
+        let err = cmp.check_speedup(&strict).unwrap_err();
+        assert!(err.contains("TOO SLOW"), "{err}");
+    }
+
+    #[test]
+    fn speedup_gate_rejects_empty_match_and_micro_rows() {
+        let cmp = Comparison {
+            deltas: vec![delta("sweep.recycle:x.wall_seconds", 0.001, 0.0001)],
+            ..Default::default()
+        };
+        // The only matching row is under the jitter floor → miswired gate.
+        assert!(cmp.check_speedup(&SpeedupGate::new(1.3, "recycle:")).is_err());
+        assert!(cmp.check_speedup(&SpeedupGate::new(1.3, "no-such-label")).is_err());
+        // Lowering the floor admits the row, which passes at 10x.
+        let loose = SpeedupGate { min_seconds: 0.0, ..SpeedupGate::new(1.3, "recycle:") };
+        assert!(cmp.check_speedup(&loose).is_ok());
+    }
 }

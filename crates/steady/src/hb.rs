@@ -22,7 +22,8 @@ use rfsim_circuit::dc::{dc_operating_point, DcOptions};
 use rfsim_numerics::dense::Mat;
 use rfsim_numerics::fft::{self, FftPlan, FftScratch};
 use rfsim_numerics::krylov::{
-    gmres_with, FnOperator, GmresWorkspace, IdentityPrecond, KrylovOptions, Preconditioner,
+    gmres_recycled, gmres_with, FnOperator, GmresWorkspace, IdentityPrecond, KrylovOptions,
+    Preconditioner, RecycleSpace,
 };
 use rfsim_numerics::sparse::{Csr, Triplets};
 use rfsim_numerics::{norm_inf, Complex, ResidualTail};
@@ -474,24 +475,80 @@ impl Preconditioner<f64> for HarmonicBlockPrecond {
     }
 }
 
+/// Newton-loop state that outlives a single [`newton_hb`] call: the
+/// factored harmonic block preconditioner (and the inner-iteration
+/// baseline its lazy-refresh test compares against) plus the Krylov
+/// recycle space. Inside one solve it spans source-stepping levels; in a
+/// sweep ([`HbSweep`]) it spans the sweep points, which is what extends
+/// [`PrecondRefresh::Adaptive`] across point boundaries — a factor is
+/// kept until the growth test or a rescue re-factor says otherwise, no
+/// matter which continuation level or sweep point produced it.
+struct NewtonCarry {
+    precond: Option<HarmonicBlockPrecond>,
+    /// Inner-iteration count right after the last factorization.
+    base_inner: Option<usize>,
+    recycle: RecycleSpace<f64>,
+}
+
+impl NewtonCarry {
+    fn new(recycle_dim: usize) -> Self {
+        NewtonCarry { precond: None, base_inner: None, recycle: RecycleSpace::new(recycle_dim) }
+    }
+
+    /// Drops everything carried — the next correction starts cold.
+    fn reset(&mut self) {
+        self.precond = None;
+        self.base_inner = None;
+        self.recycle.clear();
+    }
+}
+
 /// Solves the periodic (or quasi-periodic) steady state of `dae` on `grid`.
 ///
 /// # Errors
 /// [`Error::NoConvergence`] if Newton stalls, and propagated numerical
 /// errors from factorization/GMRES.
 pub fn solve_hb(dae: &dyn Dae, grid: &SpectralGrid, opts: &HbOptions) -> Result<HbSolution> {
+    let n = dae.dim();
+    let ws = RefCell::new(HbWorkspace::new(grid, n));
+    let mut gws = GmresWorkspace::new();
+    let mut carry = NewtonCarry::new(0);
+    solve_hb_with(dae, grid, opts, None, &ws, &mut gws, &mut carry)
+}
+
+/// The full HB solve with caller-owned hot-path state: workspace, GMRES
+/// basis, and the Newton carry (preconditioner + recycle space). With
+/// `warm_x` the solve starts from a previous solution at full excitation
+/// (no source stepping); without it the initial guess is the DC operating
+/// point broadcast over the grid, refined through `opts.source_steps`.
+fn solve_hb_with(
+    dae: &dyn Dae,
+    grid: &SpectralGrid,
+    opts: &HbOptions,
+    warm_x: Option<&[f64]>,
+    ws: &RefCell<HbWorkspace>,
+    gws: &mut GmresWorkspace<f64>,
+    carry: &mut NewtonCarry,
+) -> Result<HbSolution> {
     let _span = telemetry::span("hb.solve");
     let n = dae.dim();
     let total = grid.samples();
     let nun = total * n;
     telemetry::counter_add("hb.solves", 1);
     telemetry::gauge_set("hb.unknowns", nun as f64);
-    // Initial guess: DC operating point broadcast over the grid.
-    let op = dc_operating_point(dae, &opts.dc)?;
-    let mut x = vec![0.0; nun];
-    for s in 0..total {
-        x[s * n..(s + 1) * n].copy_from_slice(&op.x);
-    }
+    // Initial guess: the warm start, or the DC operating point broadcast
+    // over the grid.
+    let mut x = match warm_x {
+        Some(xs) => xs.to_vec(),
+        None => {
+            let op = dc_operating_point(dae, &opts.dc)?;
+            let mut x = vec![0.0; nun];
+            for s in 0..total {
+                x[s * n..(s + 1) * n].copy_from_slice(&op.x);
+            }
+            x
+        }
+    };
     // Excitation samples and their DC average (for source stepping).
     let mut b_full = vec![0.0; nun];
     {
@@ -512,12 +569,9 @@ pub fn solve_hb(dae: &dyn Dae, grid: &SpectralGrid, opts: &HbOptions) -> Result<
     }
 
     let mut stats = HbStats { unknowns: nun, ..Default::default() };
-    // Hot-path arenas owned by the solve: every per-matvec buffer (C·v,
-    // spectral workspace) and the GMRES basis survive all Newton
-    // iterations and continuation steps.
-    let ws = RefCell::new(HbWorkspace::new(grid, n));
-    let mut gws = GmresWorkspace::new();
-    let steps = opts.source_steps.max(1);
+    // A warm start sits near the full-excitation solution already; source
+    // stepping from the DC average would walk away from it.
+    let steps = if warm_x.is_some() { 1 } else { opts.source_steps.max(1) };
     for step in 1..=steps {
         let alpha = step as f64 / steps as f64;
         let b: Vec<f64> = (0..nun)
@@ -526,7 +580,7 @@ pub fn solve_hb(dae: &dyn Dae, grid: &SpectralGrid, opts: &HbOptions) -> Result<
                 b_dc[i] + alpha * (b_full[si] - b_dc[i])
             })
             .collect();
-        newton_hb(dae, grid, &mut x, &b, opts, &mut stats, &ws, &mut gws)?;
+        newton_hb(dae, grid, &mut x, &b, opts, &mut stats, ws, gws, carry)?;
     }
     telemetry::counter_add("hb.newton.iterations", stats.newton_iterations as u64);
     telemetry::counter_add("hb.gmres.iterations", stats.linear_iterations as u64);
@@ -545,6 +599,7 @@ fn newton_hb(
     stats: &mut HbStats,
     ws: &RefCell<HbWorkspace>,
     gws: &mut GmresWorkspace<f64>,
+    carry: &mut NewtonCarry,
 ) -> Result<()> {
     let n = dae.dim();
     let nun = x.len();
@@ -556,13 +611,7 @@ fn newton_hb(
     let mut tail = ResidualTail::new();
     let mut monitor = telemetry::ResidualMonitor::newton("hb.newton");
     let mut first_inner: Option<usize> = None;
-    // Inner-iteration count observed right after the last preconditioner
-    // refresh: the baseline the lazy-refresh growth test compares against.
-    let mut base_inner: Option<usize> = None;
     let mut flagged_precond = false;
-    // Factored preconditioner kept across Newton iterations; `None` means
-    // a refresh is due at the next correction.
-    let mut precond: Option<HarmonicBlockPrecond> = None;
     let mut last_res = f64::INFINITY;
     for it in 0..opts.max_newton {
         let (r, lins) = assemble(dae, grid, x, b);
@@ -611,40 +660,77 @@ fn newton_hb(
                     matvecs.set(matvecs.get() + 1);
                 });
                 let basis = (opts.krylov.restart.min(nun) + 1) * nun * 8;
+                // The Jacobian moved since the last correction, so the
+                // recycled directions' images are stale: deflating costs a
+                // refresh (`dim` matvecs) to re-establish C = A·U against
+                // the current operator. That only pays when inner solves
+                // are long relative to the space; with the block
+                // preconditioner healthy (a handful of iterations per
+                // correction) the space is pure overhead, so gate on the
+                // measured baseline count.
+                let recycling = carry.recycle.capacity() > 0
+                    && carry.base_inner.is_some_and(|b| b >= 3 * carry.recycle.capacity().max(1));
+                if recycling {
+                    carry.recycle.refresh(&op);
+                }
                 let result = if precondition {
-                    let refactored = precond.is_none();
+                    let refactored = carry.precond.is_none();
                     if refactored {
-                        precond = Some(HarmonicBlockPrecond::new(grid, &lins, n)?);
+                        carry.precond = Some(HarmonicBlockPrecond::new(grid, &lins, n)?);
                         stats.precond_factorizations += 1;
-                        base_inner = None;
+                        carry.base_inner = None;
                     }
                     stats.solver_bytes = stats
                         .solver_bytes
-                        .max(precond.as_ref().expect("factored above").bytes() + basis);
-                    let first_try = gmres_with(
-                        &op,
-                        &r,
-                        None,
-                        precond.as_ref().expect("factored above"),
-                        &opts.krylov,
-                        gws,
-                    );
+                        .max(carry.precond.as_ref().expect("factored above").bytes() + basis);
+                    let first_try = if recycling {
+                        gmres_recycled(
+                            &op,
+                            &r,
+                            None,
+                            carry.precond.as_ref().expect("factored above"),
+                            &opts.krylov,
+                            gws,
+                            &mut carry.recycle,
+                        )
+                    } else {
+                        gmres_with(
+                            &op,
+                            &r,
+                            None,
+                            carry.precond.as_ref().expect("factored above"),
+                            &opts.krylov,
+                            gws,
+                        )
+                    };
                     match first_try {
                         Err(rfsim_numerics::Error::NoConvergence { .. }) if !refactored => {
                             // A kept factor from an earlier linearization
                             // can stall GMRES outright; re-factor at the
                             // current point and retry once before failing.
-                            precond = Some(HarmonicBlockPrecond::new(grid, &lins, n)?);
+                            carry.precond = Some(HarmonicBlockPrecond::new(grid, &lins, n)?);
                             stats.precond_factorizations += 1;
-                            base_inner = None;
-                            gmres_with(
-                                &op,
-                                &r,
-                                None,
-                                precond.as_ref().expect("just factored"),
-                                &opts.krylov,
-                                gws,
-                            )
+                            carry.base_inner = None;
+                            if recycling {
+                                gmres_recycled(
+                                    &op,
+                                    &r,
+                                    None,
+                                    carry.precond.as_ref().expect("just factored"),
+                                    &opts.krylov,
+                                    gws,
+                                    &mut carry.recycle,
+                                )
+                            } else {
+                                gmres_with(
+                                    &op,
+                                    &r,
+                                    None,
+                                    carry.precond.as_ref().expect("just factored"),
+                                    &opts.krylov,
+                                    gws,
+                                )
+                            }
                         }
                         other => other,
                     }
@@ -660,7 +746,7 @@ fn newton_hb(
                 // refresh decision compares against the count right after
                 // the last factorization and is independent of telemetry.
                 let first = *first_inner.get_or_insert(st.iterations);
-                let base = *base_inner.get_or_insert(st.iterations);
+                let base = *carry.base_inner.get_or_insert(st.iterations);
                 let refresh_due = precondition
                     && match opts.precond_refresh {
                         PrecondRefresh::EveryIteration => true,
@@ -689,7 +775,7 @@ fn newton_hb(
                 if refresh_due {
                     // Drop the factor; the next correction re-factors at
                     // its own linearization point.
-                    precond = None;
+                    carry.precond = None;
                 }
                 stats.linear_iterations += st.iterations;
                 stats.matvecs += matvecs.get();
@@ -732,6 +818,119 @@ fn newton_hb(
             residual_tail: tail.to_vec(),
         })
     }
+}
+
+/// Recycle directions carried across sweep points: successive Newton
+/// corrections of neighboring points share dominant directions, and the
+/// refresh cost (`dim` matvecs per correction) stays negligible at this
+/// size.
+const HB_SWEEP_RECYCLE_DIM: usize = 4;
+
+/// Per-sweep state deferred until the first point fixes the DAE
+/// dimension.
+struct SweepState {
+    n: usize,
+    /// Converged solution of the previous point — the next warm start.
+    x: Vec<f64>,
+    ws: RefCell<HbWorkspace>,
+    gws: GmresWorkspace<f64>,
+    carry: NewtonCarry,
+}
+
+/// Warm-started continuation driver for a sweep of related HB problems
+/// on one grid (amplitude sweeps, parameter steps, tone-power curves).
+///
+/// The first point solves cold — DC initial guess plus source stepping —
+/// and every later point starts Newton from the previous converged
+/// solution at full excitation, carrying the matvec workspace, the GMRES
+/// basis, the cached FFT plans (inside the factored preconditioner's
+/// scratch), the factored harmonic block preconditioner (so
+/// [`PrecondRefresh::Adaptive`] extends across point boundaries), and
+/// the Krylov recycle space. Every point converges to the same
+/// `opts.tol` as a cold [`solve_hb`]; a warm start that fails to
+/// converge (a fold in the continuation path) is automatically redone
+/// cold before the error would surface. Counters
+/// `hb.sweep.warm_starts` / `hb.sweep.cold_starts` record the split.
+pub struct HbSweep {
+    grid: SpectralGrid,
+    opts: HbOptions,
+    state: Option<SweepState>,
+}
+
+impl HbSweep {
+    /// A sweep over `grid` with shared solver options.
+    pub fn new(grid: &SpectralGrid, opts: &HbOptions) -> Self {
+        HbSweep { grid: grid.clone(), opts: opts.clone(), state: None }
+    }
+
+    /// Solves the next sweep point. Consecutive calls expect DAEs of the
+    /// same dimension (the same circuit with stepped parameters); a
+    /// dimension change restarts the sweep cold.
+    ///
+    /// # Errors
+    /// [`Error::NoConvergence`] if both the warm start and the cold redo
+    /// fail, plus propagated numerical errors.
+    pub fn solve(&mut self, dae: &dyn Dae) -> Result<HbSolution> {
+        let n = dae.dim();
+        if let Some(st) = self.state.as_mut().filter(|st| st.n == n) {
+            telemetry::counter_add("hb.sweep.warm_starts", 1);
+            let warm = solve_hb_with(
+                dae,
+                &self.grid,
+                &self.opts,
+                Some(&st.x),
+                &st.ws,
+                &mut st.gws,
+                &mut st.carry,
+            );
+            return match warm {
+                Ok(sol) => {
+                    st.x.copy_from_slice(&sol.x);
+                    Ok(sol)
+                }
+                Err(Error::NoConvergence { .. }) => {
+                    // The previous solution attracted Newton to a stall;
+                    // redo this point cold with everything carried dropped.
+                    telemetry::counter_add("hb.sweep.cold_starts", 1);
+                    st.carry.reset();
+                    let sol = solve_hb_with(
+                        dae,
+                        &self.grid,
+                        &self.opts,
+                        None,
+                        &st.ws,
+                        &mut st.gws,
+                        &mut st.carry,
+                    )?;
+                    st.x.copy_from_slice(&sol.x);
+                    Ok(sol)
+                }
+                Err(e) => Err(e),
+            };
+        }
+        telemetry::counter_add("hb.sweep.cold_starts", 1);
+        let ws = RefCell::new(HbWorkspace::new(&self.grid, n));
+        let mut gws = GmresWorkspace::new();
+        let mut carry = NewtonCarry::new(HB_SWEEP_RECYCLE_DIM);
+        let sol = solve_hb_with(dae, &self.grid, &self.opts, None, &ws, &mut gws, &mut carry)?;
+        self.state = Some(SweepState { n, x: sol.x.clone(), ws, gws, carry });
+        Ok(sol)
+    }
+}
+
+/// Solves a sweep of related HB problems in order, warm-starting each
+/// point from the previous solution (see [`HbSweep`]).
+///
+/// # Errors
+/// Propagates the first failing point.
+pub fn solve_hb_sweep(
+    daes: &[&dyn Dae],
+    grid: &SpectralGrid,
+    opts: &HbOptions,
+) -> Result<Vec<HbSolution>> {
+    let _span = telemetry::span("hb.sweep");
+    let mut sweep = HbSweep::new(grid, opts);
+    daes.iter().map(|dae| sweep.solve(*dae)).collect()
 }
 
 /// The HB matvec hot path frozen at one linearization point: the
@@ -915,6 +1114,80 @@ mod tests {
             di_growth > 2.0 * gm_growth,
             "direct growth {di_growth:.1} vs gmres growth {gm_growth:.1}"
         );
+    }
+
+    /// A diode clipper at a given drive amplitude.
+    fn clipper(amp: f64) -> rfsim_circuit::dae::CircuitDae {
+        let f0 = 1e6;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        ckt.add(VSource::sine("V1", a, Circuit::GROUND, 0.0, amp, f0));
+        ckt.add(Resistor::new("R1", a, out, 1e3));
+        ckt.add(Diode::new("D1", out, Circuit::GROUND, 1e-14));
+        ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 1e-9));
+        ckt.into_dae().unwrap()
+    }
+
+    /// Warm-started sweep solutions match independent cold solves within
+    /// the solver tolerance, point for point.
+    #[test]
+    fn sweep_matches_cold_solves() {
+        let grid = SpectralGrid::single_tone(1e6, 11).unwrap();
+        let opts = HbOptions { source_steps: 3, ..Default::default() };
+        let amps = [0.4, 0.5, 0.6, 0.7, 0.8];
+        let daes: Vec<_> = amps.iter().map(|&a| clipper(a)).collect();
+        let refs: Vec<&dyn Dae> = daes.iter().map(|d| d as &dyn Dae).collect();
+        let warm = solve_hb_sweep(&refs, &grid, &opts).unwrap();
+        for (dae, w) in daes.iter().zip(&warm) {
+            let cold = solve_hb(dae, &grid, &opts).unwrap();
+            // Both converged to residual ∞-norm < tol on the same
+            // problem; the iterates themselves agree to a looser bound
+            // set by the Newton tolerance.
+            for (a, b) in w.x.iter().zip(&cold.x) {
+                assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            }
+        }
+    }
+
+    /// The sweep's warm starts spend fewer Newton iterations per point
+    /// than cold solves.
+    #[test]
+    fn sweep_warm_starts_save_newton_iterations() {
+        let grid = SpectralGrid::single_tone(1e6, 11).unwrap();
+        let opts = HbOptions { source_steps: 4, ..Default::default() };
+        let amps = [0.5, 0.55, 0.6, 0.65, 0.7];
+        let daes: Vec<_> = amps.iter().map(|&a| clipper(a)).collect();
+        let refs: Vec<&dyn Dae> = daes.iter().map(|d| d as &dyn Dae).collect();
+        let warm = solve_hb_sweep(&refs, &grid, &opts).unwrap();
+        let warm_newton: usize = warm[1..].iter().map(|s| s.stats.newton_iterations).sum();
+        let cold_newton: usize = daes[1..]
+            .iter()
+            .map(|d| solve_hb(d, &grid, &opts).unwrap().stats.newton_iterations)
+            .sum();
+        assert!(warm_newton < cold_newton, "warm {warm_newton} !< cold {cold_newton}");
+    }
+
+    /// A dimension change mid-sweep falls back to a cold start rather
+    /// than panicking on mismatched buffers.
+    #[test]
+    fn sweep_restarts_on_dimension_change() {
+        let grid = SpectralGrid::single_tone(1e6, 7).unwrap();
+        let mut sweep = HbSweep::new(&grid, &HbOptions::default());
+        let d1 = clipper(0.5);
+        sweep.solve(&d1).unwrap();
+        // A different circuit with more nodes.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let m = ckt.node("m");
+        let out = ckt.node("out");
+        ckt.add(VSource::sine("V1", a, Circuit::GROUND, 0.0, 0.5, 1e6));
+        ckt.add(Resistor::new("R1", a, m, 500.0));
+        ckt.add(Resistor::new("R2", m, out, 500.0));
+        ckt.add(Diode::new("D1", out, Circuit::GROUND, 1e-14));
+        let d2 = ckt.into_dae().unwrap();
+        let sol = sweep.solve(&d2).unwrap();
+        assert_eq!(sol.n, 4);
     }
 
     /// The preconditioner pays for itself on a stiff linear problem.

@@ -24,7 +24,10 @@ pub mod hb;
 pub mod shooting;
 
 pub use fourier::{GridWorkspace, SpectralGrid, ToneAxis};
-pub use hb::{solve_hb, HbHotPath, HbOptions, HbSolution, HbSolver, HbStats, PrecondRefresh};
+pub use hb::{
+    solve_hb, solve_hb_sweep, HbHotPath, HbOptions, HbSolution, HbSolver, HbStats, HbSweep,
+    PrecondRefresh,
+};
 pub use shooting::{shooting, ShootingOptions, ShootingResult};
 
 /// Errors from the steady-state engines.

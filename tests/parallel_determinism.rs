@@ -57,21 +57,47 @@ fn child_workload() {
     emit("ies3_matvec", &cm.matvec(&x));
     emit("ies3_bytes", &[cm.memory_bytes() as f64, cm.low_rank_blocks() as f64]);
 
+    // Block multi-RHS GMRES: every conductor excitation solves together
+    // against the shared compressed operator (joint block×column parallel
+    // matvec, per-column accumulation pinned to block order).
+    let (c, _) = rfsim::em::capacitance_matrix_iterative(
+        &p,
+        &cm,
+        &rfsim::numerics::krylov::KrylovOptions::default(),
+    )
+    .expect("block capacitance");
+    let c = &c;
+    let flat: Vec<f64> = (0..2).flat_map(|i| (0..2).map(move |j| c[(i, j)])).collect();
+    emit("block_capacitance", &flat);
+
     // Harmonic balance with the block preconditioner (parallel per-bin LU
     // factoring + batched bin solves inside every GMRES iteration).
-    let mut ckt = rfsim::circuit::Circuit::new();
     use rfsim::circuit::prelude::*;
-    let inp = ckt.node("in");
-    let out = ckt.node("out");
-    ckt.add(VSource::sine("V1", inp, rfsim::circuit::Circuit::GROUND, 0.0, 1.0, 1e6));
-    ckt.add(Resistor::new("R1", inp, out, 1e3));
-    ckt.add(Diode::new("D1", out, rfsim::circuit::Circuit::GROUND, 1e-13));
-    ckt.add(Capacitor::new("C1", out, rfsim::circuit::Circuit::GROUND, 2e-10));
-    let dae = ckt.into_dae().expect("netlist");
+    let clipper = |amp: f64| {
+        let mut ckt = rfsim::circuit::Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add(VSource::sine("V1", inp, rfsim::circuit::Circuit::GROUND, 0.0, amp, 1e6));
+        ckt.add(Resistor::new("R1", inp, out, 1e3));
+        ckt.add(Diode::new("D1", out, rfsim::circuit::Circuit::GROUND, 1e-13));
+        ckt.add(Capacitor::new("C1", out, rfsim::circuit::Circuit::GROUND, 2e-10));
+        ckt.into_dae().expect("netlist")
+    };
+    let dae = clipper(1.0);
     let grid = SpectralGrid::single_tone(1e6, 10).expect("grid");
     let sol =
         solve_hb(&dae, &grid, &HbOptions { source_steps: 2, ..Default::default() }).expect("hb");
     emit("hb_precond_solution", &sol.x);
+
+    // Warm-started HB amplitude sweep (carried preconditioner factors and
+    // recycled Krylov directions must not break bitwise determinism).
+    let daes: Vec<_> = [0.6, 0.8, 1.0, 1.2].iter().map(|&a| clipper(a)).collect();
+    let refs: Vec<&dyn rfsim::circuit::dae::Dae> =
+        daes.iter().map(|d| d as &dyn rfsim::circuit::dae::Dae).collect();
+    let sweep =
+        rfsim::steady::solve_hb_sweep(&refs, &grid, &HbOptions::default()).expect("hb sweep");
+    let all: Vec<f64> = sweep.iter().flat_map(|s| s.x.iter().copied()).collect();
+    emit("hb_sweep_solution", &all);
 
     // Monte Carlo jitter ensemble (parallel trajectories, per-trajectory
     // seeded RNG).
