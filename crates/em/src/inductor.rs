@@ -20,7 +20,7 @@ use std::sync::Mutex;
 const EPS_SI: f64 = 11.9;
 
 /// Geometry + material description of a planar spiral inductor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpiralInductor {
     /// Outer dimension (m).
     pub outer: f64,
@@ -225,7 +225,7 @@ impl SpiralInductor {
     /// `k(f)` with a warm-started, subspace-recycled GMRES — previous
     /// points' solutions seed and deflate the next solve. Results match
     /// a cold per-point extraction to the solver tolerance; only the
-    /// work is shared.
+    /// work is shared. Convenience wrapper over [`SweptExtractor`].
     ///
     /// # Errors
     /// Propagates geometry, compression, and GMRES failures.
@@ -235,8 +235,64 @@ impl SpiralInductor {
         nq: usize,
         freqs: &[f64],
     ) -> Result<Vec<SpiralModel>> {
-        let _span = telemetry::span("em.inductor.sweep");
-        let segs = self.segments();
+        let mut engine = SweptExtractor::new(self, panels_per_seg, nq)?;
+        freqs.iter().map(|&f| engine.extract_at(f)).collect()
+    }
+}
+
+/// The resident warm state of a swept extraction: the compressed
+/// free-space and image-term IES³ operators (built once per geometry),
+/// the self-term diagonals feeding each point's Jacobi preconditioner,
+/// and the GMRES workspace / recycle space / previous solution that
+/// warm-start every further frequency point.
+///
+/// [`SpiralInductor::extract_swept`] drives this for a fixed frequency
+/// list; the type is public so a long-running caller (the `rfsim-serve`
+/// daemon) can keep one extractor per geometry resident across requests
+/// — a second request at the same or a nearby frequency reuses the
+/// built operators and the recycled Krylov subspace instead of paying a
+/// cold build. Every point still converges to the configured GMRES
+/// tolerance, so warm answers agree with cold ones to that tolerance.
+pub struct SweptExtractor {
+    spiral: SpiralInductor,
+    /// Frequency-independent model values, with `c_ox` left at the last
+    /// solved point (overwritten per [`SweptExtractor::extract_at`]).
+    base: SpiralModel,
+    a_free: CompressedMatrix,
+    a_image: CompressedMatrix,
+    diag_free: Vec<f64>,
+    diag_image: Vec<f64>,
+    kopts: KrylovOptions,
+    gws: GmresWorkspace<f64>,
+    recycle: RecycleSpace<f64>,
+    prev_q: Option<Vec<f64>>,
+    points_solved: u64,
+}
+
+impl SweptExtractor {
+    /// Builds the sweep state for `spiral` at the default 1e-9 GMRES
+    /// tolerance (the [`SpiralInductor::extract_swept`] setting).
+    ///
+    /// # Errors
+    /// Propagates geometry and compression failures.
+    pub fn new(spiral: &SpiralInductor, panels_per_seg: usize, nq: usize) -> Result<Self> {
+        Self::with_tolerance(spiral, panels_per_seg, nq, 1e-9)
+    }
+
+    /// [`SweptExtractor::new`] with an explicit GMRES relative tolerance.
+    /// Tightening it tightens the warm-vs-cold agreement of the answers
+    /// (the serve warm-cache tests run at 1e-12).
+    ///
+    /// # Errors
+    /// Propagates geometry and compression failures.
+    pub fn with_tolerance(
+        spiral: &SpiralInductor,
+        panels_per_seg: usize,
+        nq: usize,
+        tol: f64,
+    ) -> Result<Self> {
+        let _span = telemetry::span("em.inductor.sweep.build");
+        let segs = spiral.segments();
         let mut l = 0.0;
         for (i, s) in segs.iter().enumerate() {
             l += self_inductance(s);
@@ -247,14 +303,14 @@ impl SpiralInductor {
             }
         }
         let total_len: f64 = segs.iter().map(Segment::length).sum();
-        let r_dc = total_len / (self.sigma * self.width * self.thickness);
-        let f_skin = 1.0 / (std::f64::consts::PI * MU0 * self.sigma * self.thickness.powi(2));
+        let r_dc = total_len / (spiral.sigma * spiral.width * spiral.thickness);
+        let f_skin = 1.0 / (std::f64::consts::PI * MU0 * spiral.sigma * spiral.thickness.powi(2));
         let area: f64 = segs.iter().map(|s| s.length() * s.width).sum();
-        let r_sub = self.rho_sub / area.sqrt();
+        let r_sub = spiral.rho_sub / area.sqrt();
         // Compress the two kernel halves once for the whole sweep.
         let panels = spiral_panels(&segs, panels_per_seg, 0);
-        let problem = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: self.eps_ox })?;
-        let image_green = GreenFn::ImageOnly { eps_r: self.eps_ox, z0: 0.0 };
+        let problem = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: spiral.eps_ox })?;
+        let image_green = GreenFn::ImageOnly { eps_r: spiral.eps_ox, z0: 0.0 };
         let opts = Ies3Options::default();
         let a_free = CompressedMatrix::build(&problem.panels, &problem.green, &opts)?;
         let a_image = CompressedMatrix::build(&problem.panels, &image_green, &opts)?;
@@ -267,39 +323,80 @@ impl SpiralInductor {
         let diag_image: Vec<f64> = (0..n)
             .map(|i| image_green.coefficient(&problem.panels[i], &problem.panels[i], i, i))
             .collect();
-        let v = vec![1.0; n]; // single conductor at 1 V
-        let kopts = KrylovOptions { tol: 1e-9, ..Default::default() };
-        let mut gws = GmresWorkspace::new();
-        let mut recycle = RecycleSpace::new(8);
-        let mut prev_q: Option<Vec<f64>> = None;
-        let mut out = Vec::with_capacity(freqs.len());
-        for &f in freqs {
-            let k = self.substrate_image_coefficient(f);
-            let op = HalfSpaceSweepOp {
-                free: &a_free,
-                image: &a_image,
-                k,
-                scratch: Mutex::new(Vec::new()),
-            };
-            let diag: Vec<f64> =
-                diag_free.iter().zip(&diag_image).map(|(d, m)| d - k * m).collect();
-            let pc = JacobiPrecond::from_diagonal(&diag);
-            // The operator moved with k: restore C = A·U before deflating.
-            recycle.refresh(&op);
-            let (q, _) =
-                gmres_recycled(&op, &v, prev_q.as_deref(), &pc, &kopts, &mut gws, &mut recycle)?;
-            let c_total: f64 = q.iter().sum();
-            prev_q = Some(q);
-            out.push(SpiralModel {
-                l_series: l,
-                r_dc,
-                f_skin,
-                c_ox: c_total / 2.0,
-                r_sub,
-                segments: segs.len(),
-            });
-        }
-        Ok(out)
+        Ok(SweptExtractor {
+            spiral: spiral.clone(),
+            base: SpiralModel { l_series: l, r_dc, f_skin, c_ox: 0.0, r_sub, segments: segs.len() },
+            a_free,
+            a_image,
+            diag_free,
+            diag_image,
+            kopts: KrylovOptions { tol, ..Default::default() },
+            gws: GmresWorkspace::new(),
+            recycle: RecycleSpace::new(8),
+            prev_q: None,
+            points_solved: 0,
+        })
+    }
+
+    /// Solves one frequency point, warm-started from every point solved
+    /// before it (on this extractor, in any order).
+    ///
+    /// # Errors
+    /// Propagates GMRES failures.
+    pub fn extract_at(&mut self, f: f64) -> Result<SpiralModel> {
+        let _span = telemetry::span("em.inductor.sweep");
+        let k = self.spiral.substrate_image_coefficient(f);
+        let op = HalfSpaceSweepOp {
+            free: &self.a_free,
+            image: &self.a_image,
+            k,
+            scratch: Mutex::new(Vec::new()),
+        };
+        let diag: Vec<f64> =
+            self.diag_free.iter().zip(&self.diag_image).map(|(d, m)| d - k * m).collect();
+        let pc = JacobiPrecond::from_diagonal(&diag);
+        // The operator moved with k: restore C = A·U before deflating.
+        self.recycle.refresh(&op);
+        let v = vec![1.0; self.a_free.len()]; // single conductor at 1 V
+        let (q, _) = gmres_recycled(
+            &op,
+            &v,
+            self.prev_q.as_deref(),
+            &pc,
+            &self.kopts,
+            &mut self.gws,
+            &mut self.recycle,
+        )?;
+        let c_total: f64 = q.iter().sum();
+        self.prev_q = Some(q);
+        self.points_solved += 1;
+        Ok(SpiralModel { c_ox: c_total / 2.0, ..self.base.clone() })
+    }
+
+    /// Number of panels in the MoM discretization.
+    pub fn panels(&self) -> usize {
+        self.a_free.len()
+    }
+
+    /// Whether a previous solution exists to warm-start the next point.
+    pub fn is_warm(&self) -> bool {
+        self.prev_q.is_some()
+    }
+
+    /// Frequency points solved on this extractor so far.
+    pub fn points_solved(&self) -> u64 {
+        self.points_solved
+    }
+
+    /// Approximate resident bytes: the two compressed operators plus the
+    /// diagonals, recycle space, and previous solution. What an eviction
+    /// would free — used by `rfsim-serve` for its cache budget.
+    pub fn memory_bytes(&self) -> usize {
+        let n = self.a_free.len();
+        let vectors = 2 * n // diagonals
+            + self.prev_q.as_ref().map_or(0, Vec::len)
+            + 2 * self.recycle.dim() * n; // U and C blocks
+        self.a_free.memory_bytes() + self.a_image.memory_bytes() + vectors * 8
     }
 }
 

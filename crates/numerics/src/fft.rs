@@ -29,6 +29,7 @@
 use crate::Complex;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// In-place radix-2 decimation-in-time FFT.
@@ -401,19 +402,51 @@ impl FftPlan {
 }
 
 static PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time view of the process-wide [`plan`] cache, for callers
+/// (the `rfsim-serve` daemon, warm-cache tests) that need hit/miss state
+/// without scraping telemetry counters. Unlike the `fft.plan_hits` /
+/// `fft.plan_misses` telemetry counters, these totals accumulate whether
+/// or not a telemetry sink is active, and they survive
+/// `rfsim_telemetry::reset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache since process start.
+    pub hits: u64,
+    /// Lookups that had to build a new plan.
+    pub misses: u64,
+    /// Distinct transform lengths currently cached.
+    pub plans: usize,
+}
+
+/// Returns the current [`plan`] cache statistics.
+pub fn plan_cache_stats() -> PlanCacheStats {
+    let plans =
+        PLAN_CACHE.get().map_or(0, |c| c.lock().unwrap_or_else(PoisonError::into_inner).len());
+    PlanCacheStats {
+        hits: PLAN_HITS.load(Ordering::Relaxed),
+        misses: PLAN_MISSES.load(Ordering::Relaxed),
+        plans,
+    }
+}
 
 /// Returns the shared transform plan for length `n`, building and caching
 /// it on first use (keyed by length alone — a plan serves forward and
 /// inverse, plain and strided execution). Lookups are counted as
-/// `fft.plan_hits` / `fft.plan_misses`. Pair the plan with a per-caller
-/// [`FftScratch`]; the plan itself is immutable and thread-safe.
+/// `fft.plan_hits` / `fft.plan_misses` and in [`plan_cache_stats`]. Pair
+/// the plan with a per-caller [`FftScratch`]; the plan itself is
+/// immutable and thread-safe.
 pub fn plan(n: usize) -> Arc<FftPlan> {
     let cache = PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(p) = map.get(&n) {
+        PLAN_HITS.fetch_add(1, Ordering::Relaxed);
         rfsim_telemetry::counter_add("fft.plan_hits", 1);
         return Arc::clone(p);
     }
+    PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
     rfsim_telemetry::counter_add("fft.plan_misses", 1);
     let p = Arc::new(FftPlan::new(n));
     map.insert(n, Arc::clone(&p));
@@ -726,6 +759,20 @@ mod tests {
         let b = plan(37);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.len(), 37);
+    }
+
+    #[test]
+    fn plan_cache_stats_track_hits_and_misses() {
+        // A length no other test uses, so the first lookup is a miss
+        // regardless of test ordering within the process.
+        let before = plan_cache_stats();
+        let _ = plan(4099);
+        let mid = plan_cache_stats();
+        assert!(mid.misses > before.misses, "first lookup must miss");
+        let _ = plan(4099);
+        let after = plan_cache_stats();
+        assert!(after.hits > mid.hits, "second lookup must hit");
+        assert!(after.plans >= 1);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! The `rfsim-serve` daemon: binds, prints the address, and serves
+//! until a client sends `{"op":"shutdown"}` (or the process is
+//! killed). See DESIGN.md §13 and the README "Serving" section.
+
+use rfsim_serve::{Server, ServerConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: rfsim-serve [--addr HOST:PORT] [--workers N] \
+                     [--queue N] [--cache-mb N] [--artifacts DIR]";
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut config = ServerConfig { addr: "127.0.0.1:4668".to_string(), ..Default::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| args.next().ok_or(format!("{flag} needs {what}\n{USAGE}"));
+        match flag.as_str() {
+            "--addr" => config.addr = value("HOST:PORT")?,
+            "--workers" => {
+                config.workers = value("N")?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue" => {
+                config.queue_capacity = value("N")?.parse().map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--cache-mb" => {
+                let mb: usize = value("N")?.parse().map_err(|e| format!("--cache-mb: {e}"))?;
+                config.cache_budget_bytes = mb << 20;
+            }
+            "--artifacts" => config.artifact_dir = Some(value("DIR")?.into()),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(dir) = &config.artifact_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("rfsim-serve: creating {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let server = match Server::spawn(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rfsim-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("rfsim-serve listening on {}", server.addr());
+    server.run_until_shutdown();
+    println!("rfsim-serve: drained and stopped");
+    ExitCode::SUCCESS
+}

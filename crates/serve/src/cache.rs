@@ -1,0 +1,181 @@
+//! Resident warm-state cache with LRU eviction under a byte budget
+//! (DESIGN.md §13.3).
+//!
+//! Entries are *checked out* (removed) by the worker running a job and
+//! *checked in* again afterwards — ownership moves to exactly one job
+//! at a time, so the solver state inside needs no locking of its own.
+//! Two concurrent jobs on the same key simply mean the second runs
+//! cold and its check-in supersedes the first; correctness never
+//! depends on a hit.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Implemented by cached values so eviction can enforce the budget.
+pub trait CacheWeight {
+    /// Approximate resident bytes this entry pins.
+    fn weight_bytes(&self) -> usize;
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Checkouts that found a resident entry.
+    pub hits: u64,
+    /// Checkouts that found nothing (job runs cold).
+    pub misses: u64,
+    /// Entries dropped to stay under the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently resident (checked-out entries excluded).
+    pub resident_bytes: usize,
+}
+
+struct Slot<V> {
+    value: V,
+    bytes: usize,
+    /// Monotone recency stamp; smallest = least recently used.
+    seq: u64,
+}
+
+/// A keyed warm-state cache. `counters` are the telemetry counter
+/// names bumped on hit / miss / eviction, in that order (the
+/// `counter_add` sink wants `'static` names).
+pub struct WarmCache<V> {
+    counters: [&'static str; 3],
+    budget_bytes: usize,
+    map: Mutex<HashMap<String, Slot<V>>>,
+    seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: CacheWeight> WarmCache<V> {
+    /// An empty cache evicting past `budget_bytes`.
+    pub fn new(counters: [&'static str; 3], budget_bytes: usize) -> Self {
+        WarmCache {
+            counters,
+            budget_bytes,
+            map: Mutex::new(HashMap::new()),
+            seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Removes and returns the entry for `key`, counting a hit or miss.
+    pub fn checkout(&self, key: &str) -> Option<V> {
+        let taken = lock(&self.map).remove(key).map(|s| s.value);
+        if taken.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            rfsim_telemetry::counter_add(self.counters[0], 1);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            rfsim_telemetry::counter_add(self.counters[1], 1);
+        }
+        taken
+    }
+
+    /// Returns an entry after a job, making it the most recently used,
+    /// then evicts least-recently-used entries until the budget holds.
+    /// The entry just checked in is never evicted — a single oversized
+    /// value still serves its own repeats.
+    pub fn checkin(&self, key: String, value: V) {
+        let bytes = value.weight_bytes();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut map = lock(&self.map);
+        map.insert(key.clone(), Slot { value, bytes, seq });
+        let mut total: usize = map.values().map(|s| s.bytes).sum();
+        while total > self.budget_bytes {
+            let Some(victim) = map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, s)| s.seq)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(s) = map.remove(&victim) {
+                total -= s.bytes;
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            rfsim_telemetry::counter_add(self.counters[2], 1);
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let map = lock(&self.map);
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: map.len(),
+            resident_bytes: map.values().map(|s| s.bytes).sum(),
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Blob(usize);
+    impl CacheWeight for Blob {
+        fn weight_bytes(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn checkout_counts_hits_and_misses() {
+        let c = WarmCache::new(
+            ["serve.cache.t0.hits", "serve.cache.t0.misses", "serve.cache.t0.evictions"],
+            1 << 20,
+        );
+        assert!(c.checkout("a").is_none());
+        c.checkin("a".into(), Blob(100));
+        assert!(c.checkout("a").is_some());
+        // Checkout removed it: the next one misses again.
+        assert!(c.checkout("a").is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 0));
+    }
+
+    #[test]
+    fn evicts_least_recently_used_under_budget() {
+        let c = WarmCache::new(
+            ["serve.cache.t1.hits", "serve.cache.t1.misses", "serve.cache.t1.evictions"],
+            250,
+        );
+        c.checkin("a".into(), Blob(100));
+        c.checkin("b".into(), Blob(100));
+        // Touch `a` so `b` becomes the LRU entry.
+        let a = c.checkout("a").unwrap();
+        c.checkin("a".into(), a);
+        c.checkin("c".into(), Blob(100));
+        let map_has = |k: &str| c.checkout(k).is_some();
+        assert!(!map_has("b"), "LRU entry should have been evicted");
+        assert!(map_has("a"));
+        assert!(map_has("c"));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_checkin_survives_alone() {
+        let c = WarmCache::new(
+            ["serve.cache.t2.hits", "serve.cache.t2.misses", "serve.cache.t2.evictions"],
+            10,
+        );
+        c.checkin("big".into(), Blob(1000));
+        assert!(c.checkout("big").is_some());
+    }
+}

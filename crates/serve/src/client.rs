@@ -1,0 +1,81 @@
+//! A minimal blocking client for tests, benches, and examples: one
+//! TCP connection, synchronous request/response frames.
+
+use crate::wire::{read_frame, write_frame, FrameError};
+use rfsim_telemetry::Json;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket/framing trouble.
+    Frame(FrameError),
+    /// The server closed the connection before replying.
+    Disconnected,
+    /// The reply was not valid JSON (a server bug, not a client one).
+    BadReply(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::BadReply(msg) => write!(f, "unparseable reply: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// One synchronous connection to a server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects.
+    ///
+    /// # Errors
+    /// Socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Sends one request object and waits for the reply object.
+    ///
+    /// # Errors
+    /// Framing/socket failures or an unparseable reply.
+    pub fn call(&mut self, request: &Json) -> Result<Json, ClientError> {
+        self.send_raw(request.to_string_compact().as_bytes())?;
+        self.recv()
+    }
+
+    /// Sends raw payload bytes as one frame — the fuzz tests use this
+    /// to deliver deliberately malformed requests.
+    ///
+    /// # Errors
+    /// Framing/socket failures.
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, payload).map_err(|e| ClientError::Frame(FrameError::Io(e)))
+    }
+
+    /// Reads the next reply frame.
+    ///
+    /// # Errors
+    /// Framing/socket failures, EOF, or an unparseable reply.
+    pub fn recv(&mut self) -> Result<Json, ClientError> {
+        let payload = read_frame(&mut self.stream)?.ok_or(ClientError::Disconnected)?;
+        let text =
+            std::str::from_utf8(&payload).map_err(|e| ClientError::BadReply(e.to_string()))?;
+        Json::parse(text).map_err(|e| ClientError::BadReply(format!("{e:?}")))
+    }
+}

@@ -1,0 +1,351 @@
+//! The TCP front of the service (DESIGN.md §13.1): one accept loop,
+//! one thread per connection, jobs funneled through the bounded
+//! [`Scheduler`] into the shared [`Engine`]. Requests on a connection
+//! are answered in order; clients wanting concurrency open more
+//! connections (the load generator does exactly that).
+
+use crate::engine::{Engine, JobOutcome, COLD_ENV};
+use crate::protocol::{error_response, ok_response, parse_request, Envelope, ErrorKind, Request};
+use crate::scheduler::{Reject, Scheduler, SchedulerStats};
+use crate::wire::{read_frame, write_frame, FrameError, MAX_JSON_DEPTH};
+use rfsim_telemetry::{self as telemetry, Json};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (the default, for tests).
+    pub addr: String,
+    /// Worker threads; 0 means the `RFSIM_THREADS` resolution.
+    pub workers: usize,
+    /// Admission limit: queued (not yet running) jobs beyond this are
+    /// rejected with `overloaded`.
+    pub queue_capacity: usize,
+    /// Combined warm-cache byte budget (split across the caches).
+    pub cache_budget_bytes: usize,
+    /// If set, every job's telemetry artifact is also written here as
+    /// `job-<seq>.json` (the response carries it regardless).
+    pub artifact_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            cache_budget_bytes: 64 << 20,
+            artifact_dir: None,
+        }
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    scheduler: Scheduler,
+    stop: Mutex<bool>,
+    stop_cv: Condvar,
+    conns: Mutex<Vec<TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    artifact_dir: Option<PathBuf>,
+    job_seq: AtomicU64,
+    stopping: AtomicBool,
+}
+
+/// A running service instance. Spawn with [`Server::spawn`], stop with
+/// [`Server::shutdown`] (drains accepted jobs before returning).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and worker pool, and returns.
+    /// Forces telemetry on (`Report`) when it is off, as the counters
+    /// in job artifacts are part of the protocol contract.
+    ///
+    /// # Errors
+    /// Socket bind failures.
+    pub fn spawn(config: ServerConfig) -> std::io::Result<Server> {
+        if telemetry::mode() == telemetry::Mode::Off {
+            telemetry::set_mode(telemetry::Mode::Report);
+        }
+        let cold = std::env::var(COLD_ENV).is_ok_and(|v| v == "cold");
+        let workers =
+            if config.workers == 0 { rfsim_parallel::thread_count() } else { config.workers };
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: Engine::new(config.cache_budget_bytes, cold),
+            scheduler: Scheduler::new(workers, config.queue_capacity),
+            stop: Mutex::new(false),
+            stop_cv: Condvar::new(),
+            conns: Mutex::new(Vec::new()),
+            conn_threads: Mutex::new(Vec::new()),
+            artifact_dir: config.artifact_dir,
+            job_seq: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("rfsim-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(Server { addr, shared, accept: Some(accept) })
+    }
+
+    /// The bound address (with the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Scheduler statistics (queue depth, rejections, ...).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.shared.scheduler.stats()
+    }
+
+    /// Cache statistics: (harmonic balance, extraction).
+    pub fn cache_stats(&self) -> (crate::cache::CacheStats, crate::cache::CacheStats) {
+        self.shared.engine.cache_stats()
+    }
+
+    /// Whether a client asked the server to stop (`op:"shutdown"`).
+    pub fn shutdown_requested(&self) -> bool {
+        *lock(&self.shared.stop)
+    }
+
+    /// Parks until a client requests shutdown, then tears down. The
+    /// daemon binary's main loop.
+    pub fn run_until_shutdown(self) {
+        {
+            let mut stop = lock(&self.shared.stop);
+            while !*stop {
+                stop = self
+                    .shared
+                    .stop_cv
+                    .wait(stop)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        self.shutdown();
+    }
+
+    /// Orderly teardown: stop accepting connections, stop admitting
+    /// jobs, drain every accepted job, then close connections and join
+    /// all threads. Accepted jobs are never lost.
+    pub fn shutdown(mut self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        *lock(&self.shared.stop) = true;
+        self.shared.stop_cv.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Drain: everything admitted runs to completion and its
+        // connection thread gets to write the response.
+        self.shared.scheduler.shutdown();
+        // Now unblock connection threads parked in read_frame.
+        for s in lock(&self.shared.conns).drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        let handles: Vec<_> = lock(&self.shared.conn_threads).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            lock(&shared.conns).push(clone);
+        }
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("rfsim-serve-conn".to_string())
+            .spawn(move || handle_conn(stream, &conn_shared));
+        match handle {
+            Ok(h) => lock(&shared.conn_threads).push(h),
+            Err(e) => eprintln!("rfsim-serve: spawn connection thread: {e}"),
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(None) => break, // clean EOF
+            Ok(Some(payload)) => {
+                telemetry::counter_add("serve.requests", 1);
+                let (reply, close) = process_frame(shared, &payload);
+                if write_frame(&mut stream, reply.to_string_compact().as_bytes()).is_err() {
+                    break;
+                }
+                if close {
+                    break;
+                }
+            }
+            Err(FrameError::Oversized { announced }) => {
+                // Protocol violation: answer, then drop the connection —
+                // the framing can no longer be trusted.
+                let reply = error_response(
+                    None,
+                    ErrorKind::BadRequest,
+                    &format!("oversized frame ({announced} bytes)"),
+                );
+                let _ = write_frame(&mut stream, reply.to_string_compact().as_bytes());
+                break;
+            }
+            Err(_) => break, // truncated stream or socket error
+        }
+    }
+    // The accept loop keeps a clone of this stream for shutdown; an
+    // explicit shutdown here (not just the drop) is what delivers the
+    // clean EOF the client is promised.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Turns one frame into (reply, close-connection?). Never panics on
+/// attacker-controlled payloads: every malformation maps to
+/// `bad_request` and the connection survives.
+fn process_frame(shared: &Arc<Shared>, payload: &[u8]) -> (Json, bool) {
+    let Ok(text) = std::str::from_utf8(payload) else {
+        return (error_response(None, ErrorKind::BadRequest, "frame is not UTF-8"), false);
+    };
+    if !crate::wire::depth_within(payload, MAX_JSON_DEPTH) {
+        let msg = format!("JSON nesting exceeds {MAX_JSON_DEPTH} levels");
+        return (error_response(None, ErrorKind::BadRequest, &msg), false);
+    }
+    let value = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            let msg = format!("invalid JSON: {e:?}");
+            return (error_response(None, ErrorKind::BadRequest, &msg), false);
+        }
+    };
+    // Pull the id out even when the request is otherwise invalid, so
+    // pipelining clients can correlate the failure.
+    let id = value.get("id").and_then(Json::as_f64);
+    let env = match parse_request(&value) {
+        Ok(env) => env,
+        Err(msg) => return (error_response(id, ErrorKind::BadRequest, &msg), false),
+    };
+    match env.req {
+        Request::Ping => (
+            ok_response(env.id, "ping", false, Json::obj([("pong", Json::Bool(true))]), Json::Null),
+            false,
+        ),
+        Request::Stats => (stats_response(shared, &env), false),
+        Request::Shutdown => {
+            *lock(&shared.stop) = true;
+            shared.stop_cv.notify_all();
+            let result = Json::obj([("stopping", Json::Bool(true))]);
+            (ok_response(env.id, "shutdown", false, result, Json::Null), true)
+        }
+        ref req @ (Request::Sleep { .. } | Request::Hb(_) | Request::Extract(_)) => {
+            (run_job(shared, env.id, req), false)
+        }
+    }
+}
+
+fn op_name(req: &Request) -> &'static str {
+    match req {
+        Request::Ping => "ping",
+        Request::Stats => "stats",
+        Request::Shutdown => "shutdown",
+        Request::Sleep { .. } => "sleep",
+        Request::Hb(_) => "hb",
+        Request::Extract(_) => "extract",
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, id: Option<f64>, req: &Request) -> Json {
+    let op = op_name(req);
+    let (tx, rx) = mpsc::channel::<JobOutcome>();
+    let job_shared = Arc::clone(shared);
+    let job_req = req.clone();
+    let submitted = shared.scheduler.submit(Box::new(move || {
+        let outcome = job_shared.engine.execute(&job_req);
+        if let Some(dir) = &job_shared.artifact_dir {
+            let seq = job_shared.job_seq.fetch_add(1, Ordering::Relaxed);
+            let path = dir.join(format!("job-{seq:06}.json"));
+            if let Err(e) = std::fs::write(&path, outcome.artifact.to_string_pretty()) {
+                eprintln!("rfsim-serve: writing {}: {e}", path.display());
+            }
+        }
+        // The connection may have died while we ran; that only loses
+        // the response, never the job.
+        let _ = tx.send(outcome);
+    }));
+    match submitted {
+        Err(Reject::Overloaded) => {
+            error_response(id, ErrorKind::Overloaded, "job queue is full, retry later")
+        }
+        Err(Reject::ShuttingDown) => {
+            error_response(id, ErrorKind::ShuttingDown, "server is draining")
+        }
+        Ok(()) => match rx.recv() {
+            Ok(outcome) => match outcome.result {
+                Ok(result) => ok_response(id, op, outcome.warm, result, outcome.artifact),
+                Err((kind, msg)) => error_response(id, kind, &msg),
+            },
+            // Unreachable in practice: accepted jobs always run.
+            Err(_) => error_response(id, ErrorKind::ShuttingDown, "job dropped during shutdown"),
+        },
+    }
+}
+
+fn cache_stats_json(s: crate::cache::CacheStats) -> Json {
+    Json::obj([
+        ("hits", Json::Num(s.hits as f64)),
+        ("misses", Json::Num(s.misses as f64)),
+        ("evictions", Json::Num(s.evictions as f64)),
+        ("entries", Json::Num(s.entries as f64)),
+        ("resident_bytes", Json::Num(s.resident_bytes as f64)),
+    ])
+}
+
+fn stats_response(shared: &Arc<Shared>, env: &Envelope) -> Json {
+    let q = shared.scheduler.stats();
+    let (hb, em) = shared.engine.cache_stats();
+    let fft = rfsim_numerics::fft::plan_cache_stats();
+    let result = Json::obj([
+        (
+            "queue",
+            Json::obj([
+                ("depth", Json::Num(q.depth as f64)),
+                ("peak_depth", Json::Num(q.peak_depth as f64)),
+                ("active", Json::Num(q.active as f64)),
+                ("accepted", Json::Num(q.accepted as f64)),
+                ("rejected", Json::Num(q.rejected as f64)),
+                ("completed", Json::Num(q.completed as f64)),
+                ("capacity", Json::Num(q.capacity as f64)),
+                ("workers", Json::Num(q.workers as f64)),
+            ]),
+        ),
+        ("cache", Json::obj([("hb", cache_stats_json(hb)), ("em", cache_stats_json(em))])),
+        (
+            "fft",
+            Json::obj([
+                ("plan_hits", Json::Num(fft.hits as f64)),
+                ("plan_misses", Json::Num(fft.misses as f64)),
+                ("plans", Json::Num(fft.plans as f64)),
+            ]),
+        ),
+    ]);
+    ok_response(env.id, "stats", false, result, Json::Null)
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

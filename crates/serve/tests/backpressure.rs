@@ -1,0 +1,178 @@
+//! Backpressure and shutdown battery (ISSUE 7 satellite): flood the
+//! server past its admission limit from many client threads and
+//! assert bounded queue depth, explicit `overloaded` rejections (no
+//! hangs), zero lost accepted jobs, and a clean drain on shutdown.
+//! CI runs this file under both RFSIM_THREADS=1 and =4; the servers
+//! here pin their own worker counts so the assertions stay exact
+//! either way.
+
+use rfsim_serve::{Client, Server, ServerConfig};
+use rfsim_telemetry::Json;
+use std::time::{Duration, Instant};
+
+fn call(client: &mut Client, req: &str) -> Json {
+    client.call(&Json::parse(req).expect("test request JSON")).expect("call")
+}
+
+fn is_ok(reply: &Json) -> bool {
+    reply.get("ok") == Some(&Json::Bool(true))
+}
+
+fn error_kind(reply: &Json) -> Option<String> {
+    reply.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str).map(String::from)
+}
+
+/// Occupies the single worker and fills the queue, then verifies that
+/// further submissions are refused immediately and that every accepted
+/// job still completes.
+#[test]
+fn flood_is_rejected_without_hanging_or_losing_jobs() {
+    const CAPACITY: usize = 4;
+    let server =
+        Server::spawn(ServerConfig { workers: 1, queue_capacity: CAPACITY, ..Default::default() })
+            .expect("spawn server");
+    let addr = server.addr();
+
+    // One long job pins the single worker; once it is running, short
+    // jobs fill every queue slot. Each job rides its own connection.
+    let mut sleepers = vec![std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        let reply = call(&mut c, r#"{"op":"sleep","id":0,"ms":1500}"#);
+        is_ok(&reply)
+    })];
+    let t0 = Instant::now();
+    while server.scheduler_stats().active < 1 {
+        assert!(t0.elapsed() < Duration::from_secs(10), "long job never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for i in 1..=CAPACITY {
+        sleepers.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let reply = call(&mut c, &format!(r#"{{"op":"sleep","id":{i},"ms":50}}"#));
+            is_ok(&reply)
+        }));
+    }
+    while server.scheduler_stats().depth < CAPACITY {
+        assert!(t0.elapsed() < Duration::from_secs(10), "sleepers never filled the queue");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Flood from several client threads: every extra job must be
+    // rejected explicitly and quickly — no hangs, no silent drops.
+    let floods: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut rejected = 0;
+                for i in 0..3 {
+                    let t1 = Instant::now();
+                    let reply = call(&mut c, &format!(r#"{{"op":"sleep","id":{t}{i},"ms":1}}"#));
+                    assert!(
+                        t1.elapsed() < Duration::from_secs(2),
+                        "reject must be immediate, not queued behind sleepers"
+                    );
+                    assert!(!is_ok(&reply));
+                    assert_eq!(error_kind(&reply).as_deref(), Some("overloaded"));
+                    rejected += 1;
+                }
+                rejected
+            })
+        })
+        .collect();
+    let rejected: usize = floods.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(rejected, 12, "every flood request must get an explicit rejection");
+
+    // Queue depth stayed bounded the whole time.
+    let stats = server.scheduler_stats();
+    assert!(stats.peak_depth <= CAPACITY, "queue depth exceeded the admission limit");
+    assert_eq!(stats.accepted, (1 + CAPACITY) as u64);
+    assert!(stats.rejected >= 12);
+
+    // Every accepted sleeper completes and reports success.
+    for h in sleepers {
+        assert!(h.join().unwrap(), "an accepted job was lost");
+    }
+    // The reply reaches the client just before the scheduler marks the
+    // job completed; give the counter a bounded moment to catch up.
+    let t1 = Instant::now();
+    let stats = loop {
+        let stats = server.scheduler_stats();
+        if stats.completed == stats.accepted || t1.elapsed() > Duration::from_secs(2) {
+            break stats;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(stats.completed, stats.accepted, "accepted and completed must match");
+    server.shutdown();
+}
+
+/// Shutdown with work still in flight: the accepted job finishes and
+/// its client gets the response before the server tears down.
+#[test]
+fn shutdown_drains_in_flight_jobs() {
+    let server =
+        Server::spawn(ServerConfig { workers: 1, queue_capacity: 4, ..Default::default() })
+            .expect("spawn server");
+    let addr = server.addr();
+
+    let in_flight = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        let reply = call(&mut c, r#"{"op":"sleep","id":1,"ms":300}"#);
+        is_ok(&reply)
+    });
+    while server.scheduler_stats().active == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let t0 = Instant::now();
+    server.shutdown();
+    assert!(
+        t0.elapsed() >= Duration::from_millis(100),
+        "shutdown must wait for the in-flight job, not abandon it"
+    );
+    assert!(in_flight.join().unwrap(), "the drained job's response was lost");
+}
+
+/// After a shutdown request over the wire, the daemon loop stops and
+/// new jobs on still-open connections are refused while the drain runs.
+#[test]
+fn wire_shutdown_request_stops_the_server() {
+    let server =
+        Server::spawn(ServerConfig { workers: 2, queue_capacity: 4, ..Default::default() })
+            .expect("spawn server");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    let reply = call(&mut client, r#"{"op":"shutdown","id":1}"#);
+    assert!(is_ok(&reply));
+    assert!(server.shutdown_requested());
+    server.shutdown();
+    // The listener is gone: new connections are refused (or reset).
+    let mut dead = match Client::connect(addr) {
+        Err(_) => return,
+        Ok(c) => c,
+    };
+    assert!(
+        dead.call(&Json::parse(r#"{"op":"ping"}"#).unwrap()).is_err(),
+        "server must be unreachable after shutdown"
+    );
+}
+
+/// The determinism matrix: identical requests produce identical bytes
+/// regardless of the worker-pool width (RFSIM_THREADS is the ambient
+/// matrix; worker counts here exercise intra-server concurrency).
+#[test]
+fn results_are_identical_across_worker_counts() {
+    let hb = r#"{"op":"hb","id":1,"circuit":"clipper","f0":1e6,"harmonics":5,"amp":1.0}"#;
+    let mut answers = Vec::new();
+    for workers in [1, 4] {
+        let server =
+            Server::spawn(ServerConfig { workers, ..Default::default() }).expect("spawn server");
+        let mut client = Client::connect(server.addr()).unwrap();
+        let reply = call(&mut client, hb);
+        assert!(is_ok(&reply));
+        let v = reply.get("result").and_then(|r| r.get("vout_dc")).and_then(Json::as_f64).unwrap();
+        answers.push(v);
+        server.shutdown();
+    }
+    assert_eq!(answers[0].to_bits(), answers[1].to_bits(), "bitwise determinism across pools");
+}

@@ -1,0 +1,173 @@
+//! Warm-cache integration battery (ISSUE 7 satellite): an in-process
+//! server, the same jobs submitted repeatedly, and the returned
+//! per-job telemetry counters as the proof of reuse — `fft.plan_hits`
+//! and `hb.sweep.warm_starts` for harmonic balance, `krylov.warm_starts`
+//! and the `serve.cache.em.*` counters for extraction — plus numerical
+//! agreement between warm and cold answers to 1e-10.
+//!
+//! Every server here runs `workers: 1` so jobs execute one at a time
+//! and the counter deltas in each response are exactly that job's.
+
+use rfsim_serve::{Client, Server, ServerConfig};
+use rfsim_telemetry::Json;
+
+fn one_worker_server() -> Server {
+    Server::spawn(ServerConfig { workers: 1, ..Default::default() }).expect("spawn server")
+}
+
+fn call(client: &mut Client, req: &str) -> Json {
+    let reply = client.call(&Json::parse(req).expect("test request JSON")).expect("call");
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "request failed: {req} -> {reply:?}");
+    reply
+}
+
+fn warm(reply: &Json) -> bool {
+    reply.get("warm") == Some(&Json::Bool(true))
+}
+
+fn counter(reply: &Json, name: &str) -> u64 {
+    reply
+        .get("telemetry")
+        .and_then(|t| t.get("sweep"))
+        .and_then(Json::as_arr)
+        .and_then(|s| s.first())
+        .and_then(|p| p.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0) as u64
+}
+
+fn result_num(reply: &Json, name: &str) -> f64 {
+    reply
+        .get("result")
+        .and_then(|r| r.get(name))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing result.{name} in {reply:?}"))
+}
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(f64::MIN_POSITIVE)
+}
+
+const EXTRACT: &str = r#"{"op":"extract","id":1,"freq":2.4e9,"panels_per_seg":2,"nq":4}"#;
+const EXTRACT_NEARBY: &str = r#"{"op":"extract","id":2,"freq":2.5e9,"panels_per_seg":2,"nq":4}"#;
+
+#[test]
+fn extraction_repeats_hit_recycle_space_and_agree_with_cold() {
+    let server = one_worker_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Cold first job: builds the IES³ operators, no reuse possible.
+    let cold = call(&mut client, EXTRACT);
+    assert!(!warm(&cold), "first job cannot be warm");
+    assert!(counter(&cold, "serve.cache.em.misses") > 0);
+
+    // Same job again: the resident extractor serves it, and the GMRES
+    // solve warm-starts from the previous solution.
+    let repeat = call(&mut client, EXTRACT);
+    assert!(warm(&repeat), "identical repeat must find the resident extractor");
+    assert!(counter(&repeat, "serve.cache.em.hits") > 0);
+    assert!(
+        counter(&repeat, "krylov.warm_starts") > 0,
+        "repeat extraction must warm-start GMRES: {repeat:?}"
+    );
+
+    // Nearby frequency: same geometry, different image coefficient —
+    // still warm, still recycled.
+    let nearby = call(&mut client, EXTRACT_NEARBY);
+    assert!(warm(&nearby), "nearby frequency must reuse the extractor");
+    assert!(counter(&nearby, "krylov.warm_starts") > 0);
+
+    // Numerical agreement with a cold server answering the same jobs.
+    let cold_server = one_worker_server();
+    let mut cold_client = Client::connect(cold_server.addr()).unwrap();
+    let cold_repeat = call(&mut cold_client, EXTRACT);
+    let cold_server2 = one_worker_server();
+    let mut cold_client2 = Client::connect(cold_server2.addr()).unwrap();
+    let cold_nearby = call(&mut cold_client2, EXTRACT_NEARBY);
+    for name in ["c_ox", "l_series", "r_sub"] {
+        assert!(
+            rel_diff(result_num(&repeat, name), result_num(&cold_repeat, name)) <= 1e-10,
+            "warm repeat {name} drifted from cold"
+        );
+        assert!(
+            rel_diff(result_num(&nearby, name), result_num(&cold_nearby, name)) <= 1e-10,
+            "warm nearby-frequency {name} drifted from cold"
+        );
+    }
+
+    cold_server2.shutdown();
+    cold_server.shutdown();
+    server.shutdown();
+}
+
+const HB: &str = r#"{"op":"hb","id":3,"circuit":"rectifier","f0":1e6,"harmonics":7,"amp":1.0}"#;
+
+#[test]
+fn hb_repeats_hit_plan_cache_and_sweep_state() {
+    let server = one_worker_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let cold = call(&mut client, HB);
+    assert!(!warm(&cold));
+
+    let repeat = call(&mut client, HB);
+    assert!(warm(&repeat), "identical repeat must find the resident sweep");
+    assert!(
+        counter(&repeat, "fft.plan_hits") > 0,
+        "repeat HB must hit the process-wide FFT plan cache: {repeat:?}"
+    );
+    assert!(counter(&repeat, "hb.sweep.warm_starts") > 0);
+    assert!(counter(&repeat, "serve.cache.hb.hits") > 0);
+
+    // The warm start is already converged, so the repeat answer is
+    // bitwise identical, which is stronger than the 1e-10 requirement.
+    for name in ["vout_dc", "vout_h1", "vout_h2"] {
+        assert_eq!(
+            result_num(&cold, name),
+            result_num(&repeat, name),
+            "{name} must be bitwise equal"
+        );
+    }
+
+    // A nearby amplitude reuses the sweep state (warm Newton start) and
+    // agrees with a cold server to 1e-10.
+    let nearby = r#"{"op":"hb","id":4,"circuit":"rectifier","f0":1e6,"harmonics":7,"amp":1.02}"#;
+    let warm_nearby = call(&mut client, nearby);
+    assert!(warm(&warm_nearby), "nearby amplitude must reuse the resident sweep");
+
+    let cold_server = one_worker_server();
+    let mut cold_client = Client::connect(cold_server.addr()).unwrap();
+    let cold_nearby = call(&mut cold_client, nearby);
+    for name in ["vout_dc", "vout_h1", "vout_h2"] {
+        assert!(
+            rel_diff(result_num(&warm_nearby, name), result_num(&cold_nearby, name)) <= 1e-10,
+            "warm nearby-amplitude {name} drifted from cold"
+        );
+    }
+
+    cold_server.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn stats_reports_resident_state_and_fft_plans() {
+    let server = one_worker_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    call(&mut client, HB);
+    call(&mut client, HB);
+    let stats = call(&mut client, r#"{"op":"stats"}"#);
+    let get = |path: &[&str]| {
+        let mut v = stats.get("result").unwrap();
+        for p in path {
+            v = v.get(p).unwrap_or(&Json::Null);
+        }
+        v.as_f64().unwrap_or(0.0)
+    };
+    assert!(get(&["cache", "hb", "hits"]) >= 1.0);
+    assert!(get(&["cache", "hb", "entries"]) >= 1.0);
+    assert!(get(&["cache", "hb", "resident_bytes"]) > 0.0);
+    assert!(get(&["fft", "plans"]) >= 1.0, "FFT plan cache must hold plans: {stats:?}");
+    assert_eq!(get(&["queue", "workers"]), 1.0);
+    server.shutdown();
+}

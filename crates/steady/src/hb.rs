@@ -483,7 +483,12 @@ impl Preconditioner<f64> for HarmonicBlockPrecond {
 /// [`PrecondRefresh::Adaptive`] across point boundaries — a factor is
 /// kept until the growth test or a rescue re-factor says otherwise, no
 /// matter which continuation level or sweep point produced it.
-struct NewtonCarry {
+///
+/// The type is public so long-running callers (the `rfsim-serve` daemon,
+/// warm-cache tests) can own the carried state across solves through
+/// [`solve_hb_carried`] and query how warm it is, without reaching into
+/// this module's internals.
+pub struct NewtonCarry {
     precond: Option<HarmonicBlockPrecond>,
     /// Inner-iteration count right after the last factorization.
     base_inner: Option<usize>,
@@ -491,15 +496,34 @@ struct NewtonCarry {
 }
 
 impl NewtonCarry {
-    fn new(recycle_dim: usize) -> Self {
+    /// A cold carry whose recycle space keeps up to `recycle_dim`
+    /// deflation directions (0 disables recycling).
+    pub fn new(recycle_dim: usize) -> Self {
         NewtonCarry { precond: None, base_inner: None, recycle: RecycleSpace::new(recycle_dim) }
     }
 
     /// Drops everything carried — the next correction starts cold.
-    fn reset(&mut self) {
+    pub fn reset(&mut self) {
         self.precond = None;
         self.base_inner = None;
         self.recycle.clear();
+    }
+
+    /// Whether a factored harmonic block preconditioner is being carried.
+    pub fn has_preconditioner(&self) -> bool {
+        self.precond.is_some()
+    }
+
+    /// Current number of recycled Krylov directions.
+    pub fn recycle_dim(&self) -> usize {
+        self.recycle.dim()
+    }
+
+    /// Approximate resident bytes of the carried state (preconditioner
+    /// factors; the recycle space's share is counted by its owner, which
+    /// knows the operator dimension).
+    pub fn bytes(&self) -> usize {
+        self.precond.as_ref().map_or(0, HarmonicBlockPrecond::bytes)
     }
 }
 
@@ -514,6 +538,37 @@ pub fn solve_hb(dae: &dyn Dae, grid: &SpectralGrid, opts: &HbOptions) -> Result<
     let mut gws = GmresWorkspace::new();
     let mut carry = NewtonCarry::new(0);
     solve_hb_with(dae, grid, opts, None, &ws, &mut gws, &mut carry)
+}
+
+/// [`solve_hb`] with a caller-owned [`NewtonCarry`]: the factored block
+/// preconditioner and recycle space persist in `carry` across calls, so
+/// a long-running caller (the `rfsim-serve` daemon, warm-cache tests)
+/// can pay the factorization once and reuse it for related solves. With
+/// `warm_x` (a previous solution on the same grid and DAE dimension) the
+/// solve also skips source stepping and starts Newton there; results
+/// converge to the same `opts.tol` as a cold solve either way.
+///
+/// # Errors
+/// [`Error::NoConvergence`] if Newton stalls, plus propagated numerical
+/// errors — a carried preconditioner that no longer matches the operator
+/// is re-factored and retried once automatically before failing.
+///
+/// # Panics
+/// Panics if `warm_x` has a length other than `grid.samples() * dae.dim()`.
+pub fn solve_hb_carried(
+    dae: &dyn Dae,
+    grid: &SpectralGrid,
+    opts: &HbOptions,
+    warm_x: Option<&[f64]>,
+    carry: &mut NewtonCarry,
+) -> Result<HbSolution> {
+    let n = dae.dim();
+    if let Some(xs) = warm_x {
+        assert_eq!(xs.len(), grid.samples() * n, "solve_hb_carried: warm_x length mismatch");
+    }
+    let ws = RefCell::new(HbWorkspace::new(grid, n));
+    let mut gws = GmresWorkspace::new();
+    solve_hb_with(dae, grid, opts, warm_x, &ws, &mut gws, carry)
 }
 
 /// The full HB solve with caller-owned hot-path state: workspace, GMRES
@@ -861,6 +916,30 @@ impl HbSweep {
     /// A sweep over `grid` with shared solver options.
     pub fn new(grid: &SpectralGrid, opts: &HbOptions) -> Self {
         HbSweep { grid: grid.clone(), opts: opts.clone(), state: None }
+    }
+
+    /// Whether the sweep holds a converged previous point, i.e. the next
+    /// [`HbSweep::solve`] of a same-dimension DAE will start warm.
+    pub fn is_warm(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// The carried Newton state, once the first point has solved.
+    pub fn carry(&self) -> Option<&NewtonCarry> {
+        self.state.as_ref().map(|st| &st.carry)
+    }
+
+    /// Approximate resident bytes of the warm state: previous solution,
+    /// matvec workspace, preconditioner factors, and recycle space. What
+    /// a cache eviction would actually free — used by `rfsim-serve` to
+    /// keep resident sweeps under a memory budget.
+    pub fn state_bytes(&self) -> usize {
+        self.state.as_ref().map_or(0, |st| {
+            let nun = st.x.len();
+            // x + workspace cv, the recycle space's U and C blocks, and
+            // the carried preconditioner factors.
+            (2 * nun + 2 * st.carry.recycle.dim() * nun) * 8 + st.carry.bytes()
+        })
     }
 
     /// Solves the next sweep point. Consecutive calls expect DAEs of the

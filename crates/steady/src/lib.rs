@@ -25,8 +25,8 @@ pub mod shooting;
 
 pub use fourier::{GridWorkspace, SpectralGrid, ToneAxis};
 pub use hb::{
-    solve_hb, solve_hb_sweep, HbHotPath, HbOptions, HbSolution, HbSolver, HbStats, HbSweep,
-    PrecondRefresh,
+    solve_hb, solve_hb_carried, solve_hb_sweep, HbHotPath, HbOptions, HbSolution, HbSolver,
+    HbStats, HbSweep, NewtonCarry, PrecondRefresh,
 };
 pub use shooting::{shooting, ShootingOptions, ShootingResult};
 
