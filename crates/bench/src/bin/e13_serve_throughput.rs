@@ -19,7 +19,7 @@
 use rfsim_bench::{heading, sweep_cold};
 use rfsim_observe::Harness;
 use rfsim_serve::{Client, Server, ServerConfig};
-use rfsim_telemetry::Json;
+use rfsim_telemetry::{Histogram, Json};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -80,6 +80,23 @@ fn issue(client: &mut Client, req: &str) -> Result<(f64, bool), String> {
         return Err(format!("request refused: {req} -> {reply:?}"));
     }
     Ok((ms, reply.get("warm") == Some(&Json::Bool(true))))
+}
+
+/// Scrapes the daemon's cumulative `serve.latency.total_ms` histogram
+/// via the `metrics` op. Deltas of two scrapes give the distribution of
+/// exactly the jobs run in between (see `Histogram::delta`).
+fn scrape_latency(client: &mut Client) -> Result<Histogram, String> {
+    let req = Json::obj([("op", Json::Str("metrics".to_string()))]);
+    let reply = client.call(&req).map_err(|e| format!("metrics scrape failed: {e:?}"))?;
+    if reply.get("ok") != Some(&Json::Bool(true)) {
+        return Err(format!("metrics op refused: {reply:?}"));
+    }
+    Ok(reply
+        .get("result")
+        .and_then(|r| r.get("histograms"))
+        .and_then(|h| h.get("serve.latency.total_ms"))
+        .and_then(Histogram::from_json)
+        .unwrap_or_default())
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -146,10 +163,16 @@ fn run(h: &mut Harness) -> Result<(), String> {
     // whole key groups (`group % CLIENTS == c`), so identical keys are
     // never in flight twice and every repeat is eligible for a warm hit.
     heading("steady state (concurrent repeats)");
-    let (steady_ms, warm_hits, total) = h.sweep_point(
+    let (steady_ms, warm_hits, total, daemon) = h.sweep_point(
         "serve:steady",
         &[("clients", CLIENTS as f64), ("rounds", ROUNDS as f64)],
         |pm| {
+            // Bracket the phase with daemon-side histogram scrapes: the
+            // delta is the latency distribution of exactly this phase's
+            // jobs, as the server measured them (excluding client-side
+            // syscall and RTT overhead).
+            let mut scraper = Client::connect(addr).map_err(|e| format!("connect: {e:?}"))?;
+            let before = scrape_latency(&mut scraper)?;
             let t0 = Instant::now();
             let handles: Vec<_> = (0..CLIENTS)
                 .map(|c| {
@@ -185,12 +208,21 @@ fn run(h: &mut Harness) -> Result<(), String> {
             let wall = t0.elapsed().as_secs_f64();
             let total = lats.len();
             lats.sort_by(|a, b| a.total_cmp(b));
+            let daemon = scrape_latency(&mut scraper)?.delta(&before);
+            if daemon.count != total as u64 {
+                return Err(format!(
+                    "daemon histogram saw {} jobs in the steady window, clients issued {total}",
+                    daemon.count
+                ));
+            }
             pm.metric("requests", total as f64);
             pm.metric("rps", total as f64 / wall);
             pm.metric("p50_ms", percentile(&lats, 0.50));
             pm.metric("p99_ms", percentile(&lats, 0.99));
+            pm.metric("daemon_p50_ms", daemon.p50());
+            pm.metric("daemon_p99_ms", daemon.p99());
             pm.metric("warm_hits", warm_hits as f64);
-            Ok::<_, String>((lats, warm_hits, total))
+            Ok::<_, String>((lats, warm_hits, total, daemon))
         },
     )?;
 
@@ -232,7 +264,21 @@ fn run(h: &mut Harness) -> Result<(), String> {
     println!("{:>22} {:>12}", "steady requests", total);
     println!("{:>22} {:>12.1}", "steady p50 (ms)", percentile(sorted, 0.50));
     println!("{:>22} {:>12.1}", "steady p99 (ms)", percentile(sorted, 0.99));
+    println!("{:>22} {:>12.1}", "daemon p50 (ms)", daemon.p50());
+    println!("{:>22} {:>12.1}", "daemon p99 (ms)", daemon.p99());
     println!("{:>22} {:>12}", "steady warm hits", warm_hits);
+    // The daemon-side view should track the client-side one: the gap is
+    // client syscall + RTT overhead plus the histogram's ~2.2% bucket
+    // error. Disagreement is reported, not gated — micro-runs on loaded
+    // CI hosts jitter too much for a hard latency-agreement bound.
+    let p50_gap = (daemon.p50() / percentile(sorted, 0.50).max(1e-9)).ln().abs();
+    if p50_gap > 0.10 {
+        println!(
+            "note: daemon-side p50 differs from client-side by {:.0}% \
+             (connection overhead dominates at micro-run latencies)",
+            (p50_gap.exp() - 1.0) * 100.0
+        );
+    }
     println!("{:>22} {:>12.1}", "repeat median (ms)", percentile(&repeat_ms, 0.50));
     println!("{:>22} {:>12.1}x", "warm/cold ratio", ratio);
 

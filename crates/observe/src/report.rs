@@ -237,6 +237,23 @@ pub fn compare(
             }
         }
     }
+    // Latency-quantile rows from embedded telemetry histograms, for
+    // names present on both sides. `Histogram::from_json` accepts both
+    // the bucketed shape and the old moments-only shape (where the
+    // quantile estimates degrade to the max), so mixed-vintage artifact
+    // sets still compare instead of erroring.
+    let old_hists = rfsim_telemetry::Snapshot::histograms_from_json(&old.telemetry);
+    let new_hists = rfsim_telemetry::Snapshot::histograms_from_json(&new.telemetry);
+    if let (Some(oh), Some(nh)) = (old_hists, new_hists) {
+        for (k, n) in &nh {
+            let Some(o) = oh.get(k) else { continue };
+            if o.count == 0 || n.count == 0 {
+                continue;
+            }
+            push(format!("telemetry.histogram.{k}.p50"), o.p50(), n.p50());
+            push(format!("telemetry.histogram.{k}.p99"), o.p99(), n.p99());
+        }
+    }
     rows
 }
 
@@ -330,6 +347,54 @@ mod tests {
         let strict = SpeedupGate::new(2.5, "recycle:");
         let err = cmp.check_speedup(&strict).unwrap_err();
         assert!(err.contains("TOO SLOW"), "{err}");
+    }
+
+    #[test]
+    fn compare_adds_histogram_quantile_rows_and_tolerates_old_shape() {
+        use rfsim_telemetry::Json;
+        fn artifact(telemetry: Json) -> BenchArtifact {
+            BenchArtifact {
+                schema_version: crate::SCHEMA_VERSION,
+                id: "e99".into(),
+                git_sha: "test".into(),
+                threads: 1,
+                wall_seconds: 1.0,
+                failure: None,
+                phases: Vec::new(),
+                sweep: Vec::new(),
+                telemetry,
+            }
+        }
+        let bucketed = {
+            let mut h = rfsim_telemetry::Histogram::new();
+            for i in 1..=100 {
+                h.record(f64::from(i));
+            }
+            Json::obj([("histograms", Json::obj([("serve.latency.total_ms", h.to_json())]))])
+        };
+        // Old moments-only shape on the baseline side still pairs up.
+        let old_shape = Json::obj([(
+            "histograms",
+            Json::obj([(
+                "serve.latency.total_ms",
+                Json::obj([
+                    ("count", Json::Num(100.0)),
+                    ("sum", Json::Num(5050.0)),
+                    ("min", Json::Num(1.0)),
+                    ("max", Json::Num(100.0)),
+                    ("mean", Json::Num(50.5)),
+                ]),
+            )]),
+        )]);
+        let t = Thresholds::default();
+        let rows = compare(&artifact(old_shape), &artifact(bucketed.clone()), &t);
+        let quantile_rows: Vec<_> =
+            rows.iter().filter(|d| d.metric.starts_with("telemetry.histogram.")).collect();
+        assert_eq!(quantile_rows.len(), 2, "p50 and p99 rows: {rows:?}");
+        assert!(quantile_rows.iter().all(|d| !d.regressed), "quantile rows never gate");
+        // Artifacts without telemetry produce no histogram rows.
+        let rows = compare(&artifact(Json::Null), &artifact(bucketed), &t);
+        assert!(rows.iter().all(|d| !d.metric.starts_with("telemetry.histogram.")));
     }
 
     #[test]

@@ -6,7 +6,8 @@ use rfsim_serve::{Server, ServerConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: rfsim-serve [--addr HOST:PORT] [--workers N] \
-                     [--queue N] [--cache-mb N] [--artifacts DIR]";
+                     [--queue N] [--cache-mb N] [--artifacts DIR] \
+                     [--access-log PATH] [--flight N]";
 
 fn parse_args() -> Result<ServerConfig, String> {
     let mut config = ServerConfig { addr: "127.0.0.1:4668".to_string(), ..Default::default() };
@@ -26,6 +27,11 @@ fn parse_args() -> Result<ServerConfig, String> {
                 config.cache_budget_bytes = mb << 20;
             }
             "--artifacts" => config.artifact_dir = Some(value("DIR")?.into()),
+            "--access-log" => config.access_log = Some(value("PATH")?.into()),
+            "--flight" => {
+                config.flight_capacity =
+                    value("N")?.parse().map_err(|e| format!("--flight: {e}"))?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }

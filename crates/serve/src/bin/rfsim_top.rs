@@ -1,0 +1,201 @@
+//! `rfsim-top` — a one-screen live view of a running `rfsim-serve`.
+//!
+//! Polls the `stats` and `metrics` ops on an interval and renders
+//! throughput (rps over the last interval), latency quantiles (p50/p99
+//! of the interval, recovered from the daemon-side cumulative
+//! histograms via `Histogram::delta`), queue depth, in-flight jobs,
+//! warm-hit ratio, and cache residency. No extra server support is
+//! needed beyond the two ops, so it works against any live daemon.
+
+use rfsim_serve::Client;
+use rfsim_telemetry::{Histogram, Json};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "usage: rfsim-top [--addr HOST:PORT] [--interval SECS] \
+                     [--count N] [--once]";
+
+struct Options {
+    addr: String,
+    interval: f64,
+    /// Number of screens to draw; `None` runs until the connection
+    /// drops or the process is killed.
+    count: Option<u64>,
+    /// Plain single-shot output (no ANSI clear), for scripts.
+    once: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opt =
+        Options { addr: "127.0.0.1:4668".to_string(), interval: 2.0, count: None, once: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| args.next().ok_or(format!("{flag} needs {what}\n{USAGE}"));
+        match flag.as_str() {
+            "--addr" => opt.addr = value("HOST:PORT")?,
+            "--interval" => {
+                opt.interval = value("SECS")?.parse().map_err(|e| format!("--interval: {e}"))?;
+                if opt.interval <= 0.0 || opt.interval.is_nan() {
+                    return Err("--interval must be positive".to_string());
+                }
+            }
+            "--count" => {
+                opt.count = Some(value("N")?.parse().map_err(|e| format!("--count: {e}"))?);
+            }
+            "--once" => {
+                opt.once = true;
+                opt.count = Some(1);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opt)
+}
+
+/// The counters/histogram state one poll extracts; deltas between two
+/// polls give the windowed view.
+struct Sample {
+    at: Instant,
+    completed: f64,
+    cache_hits: f64,
+    cache_lookups: f64,
+    total_ms: Histogram,
+}
+
+fn num(v: Option<&Json>) -> f64 {
+    v.and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn poll(client: &mut Client) -> Result<(Json, Sample), String> {
+    let stats = client
+        .call(&Json::obj([("op", Json::Str("stats".to_string()))]))
+        .map_err(|e| format!("stats: {e}"))?;
+    let metrics = client
+        .call(&Json::obj([("op", Json::Str("metrics".to_string()))]))
+        .map_err(|e| format!("metrics: {e}"))?;
+    let sr = stats.get("result").cloned().unwrap_or(Json::Null);
+    let mr = metrics.get("result").cloned().unwrap_or(Json::Null);
+    let counters = mr.get("counters").cloned().unwrap_or(Json::Null);
+    let hits = num(counters.get("serve.cache.hb.hits")) + num(counters.get("serve.cache.em.hits"));
+    let lookups = hits
+        + num(counters.get("serve.cache.hb.misses"))
+        + num(counters.get("serve.cache.em.misses"));
+    let total_ms = mr
+        .get("histograms")
+        .and_then(|h| h.get("serve.latency.total_ms"))
+        .and_then(Histogram::from_json)
+        .unwrap_or_default();
+    let sample = Sample {
+        at: Instant::now(),
+        completed: num(sr.get("queue").and_then(|q| q.get("completed"))),
+        cache_hits: hits,
+        cache_lookups: lookups,
+        total_ms,
+    };
+    Ok((sr, sample))
+}
+
+fn render(addr: &str, stats: &Json, now: &Sample, prev: Option<&Sample>) -> String {
+    use std::fmt::Write as _;
+    let q = stats.get("queue").cloned().unwrap_or(Json::Null);
+    let cache = stats.get("cache").cloned().unwrap_or(Json::Null);
+    let (rps, window, hit_pct) = match prev {
+        Some(p) => {
+            let dt = now.at.duration_since(p.at).as_secs_f64().max(1e-9);
+            let jobs = (now.completed - p.completed).max(0.0);
+            let lookups = (now.cache_lookups - p.cache_lookups).max(0.0);
+            let hits = (now.cache_hits - p.cache_hits).max(0.0);
+            let pct = if lookups > 0.0 { 100.0 * hits / lookups } else { 0.0 };
+            (jobs / dt, now.total_ms.delta(&p.total_ms), pct)
+        }
+        // First screen: cumulative since the daemon started.
+        None => {
+            let pct = if now.cache_lookups > 0.0 {
+                100.0 * now.cache_hits / now.cache_lookups
+            } else {
+                0.0
+            };
+            (0.0, now.total_ms.clone(), pct)
+        }
+    };
+    let (p50, p99) = if window.count > 0 {
+        (window.p50(), window.p99())
+    } else {
+        (now.total_ms.p50(), now.total_ms.p99())
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "rfsim-top — {addr}");
+    let _ = writeln!(
+        out,
+        "jobs     {rps:8.1} rps   p50 {p50:9.3} ms   p99 {p99:9.3} ms   ({} in window)",
+        window.count,
+    );
+    let _ = writeln!(
+        out,
+        "queue    depth {:>5}   inflight {:>4}   accepted {:>8}   rejected {:>6}   workers {:>3}",
+        num(q.get("depth")),
+        num(q.get("active")),
+        num(q.get("accepted")),
+        num(q.get("rejected")),
+        num(q.get("workers")),
+    );
+    let _ = writeln!(out, "warm     hit ratio {hit_pct:5.1}%");
+    for kind in ["hb", "em"] {
+        let c = cache.get(kind).cloned().unwrap_or(Json::Null);
+        let _ = writeln!(
+            out,
+            "cache/{kind} entries {:>4}   resident {:>9.0} B   hits {:>7}   misses {:>7}   \
+             evictions {:>5}",
+            num(c.get("entries")),
+            num(c.get("resident_bytes")),
+            num(c.get("hits")),
+            num(c.get("misses")),
+            num(c.get("evictions")),
+        );
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let opt = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(&opt.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rfsim-top: connect {}: {e}", opt.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut prev: Option<Sample> = None;
+    let mut drawn = 0u64;
+    loop {
+        let (stats, sample) = match poll(&mut client) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rfsim-top: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let screen = render(&opt.addr, &stats, &sample, prev.as_ref());
+        if opt.once {
+            print!("{screen}");
+        } else {
+            // ANSI clear + home, then the fresh screen.
+            print!("\x1b[2J\x1b[H{screen}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        prev = Some(sample);
+        drawn += 1;
+        if opt.count.is_some_and(|n| drawn >= n) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(opt.interval));
+    }
+}

@@ -41,10 +41,13 @@ struct Slot<V> {
 }
 
 /// A keyed warm-state cache. `counters` are the telemetry counter
-/// names bumped on hit / miss / eviction, in that order (the
-/// `counter_add` sink wants `'static` names).
+/// names bumped on hit / miss / eviction, in that order; `gauges` are
+/// the resident-bytes / resident-entries gauge names kept live on
+/// every checkout, check-in, and eviction (the telemetry sinks want
+/// `'static` names).
 pub struct WarmCache<V> {
     counters: [&'static str; 3],
+    gauges: [&'static str; 2],
     budget_bytes: usize,
     map: Mutex<HashMap<String, Slot<V>>>,
     seq: AtomicU64,
@@ -55,9 +58,14 @@ pub struct WarmCache<V> {
 
 impl<V: CacheWeight> WarmCache<V> {
     /// An empty cache evicting past `budget_bytes`.
-    pub fn new(counters: [&'static str; 3], budget_bytes: usize) -> Self {
+    pub fn new(
+        counters: [&'static str; 3],
+        gauges: [&'static str; 2],
+        budget_bytes: usize,
+    ) -> Self {
         WarmCache {
             counters,
+            gauges,
             budget_bytes,
             map: Mutex::new(HashMap::new()),
             seq: AtomicU64::new(0),
@@ -67,9 +75,23 @@ impl<V: CacheWeight> WarmCache<V> {
         }
     }
 
+    /// Publishes the resident bytes/entries gauges from the map state.
+    fn publish_gauges(&self, map: &HashMap<String, Slot<V>>) {
+        let bytes: usize = map.values().map(|s| s.bytes).sum();
+        rfsim_telemetry::gauge_set(self.gauges[0], bytes as f64);
+        rfsim_telemetry::gauge_set(self.gauges[1], map.len() as f64);
+    }
+
     /// Removes and returns the entry for `key`, counting a hit or miss.
     pub fn checkout(&self, key: &str) -> Option<V> {
-        let taken = lock(&self.map).remove(key).map(|s| s.value);
+        let taken = {
+            let mut map = lock(&self.map);
+            let taken = map.remove(key).map(|s| s.value);
+            if taken.is_some() {
+                self.publish_gauges(&map);
+            }
+            taken
+        };
         if taken.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             rfsim_telemetry::counter_add(self.counters[0], 1);
@@ -105,6 +127,7 @@ impl<V: CacheWeight> WarmCache<V> {
             self.evictions.fetch_add(1, Ordering::Relaxed);
             rfsim_telemetry::counter_add(self.counters[2], 1);
         }
+        self.publish_gauges(&map);
     }
 
     /// Current statistics.
@@ -139,6 +162,7 @@ mod tests {
     fn checkout_counts_hits_and_misses() {
         let c = WarmCache::new(
             ["serve.cache.t0.hits", "serve.cache.t0.misses", "serve.cache.t0.evictions"],
+            ["serve.cache.t0.bytes", "serve.cache.t0.entries"],
             1 << 20,
         );
         assert!(c.checkout("a").is_none());
@@ -154,6 +178,7 @@ mod tests {
     fn evicts_least_recently_used_under_budget() {
         let c = WarmCache::new(
             ["serve.cache.t1.hits", "serve.cache.t1.misses", "serve.cache.t1.evictions"],
+            ["serve.cache.t1.bytes", "serve.cache.t1.entries"],
             250,
         );
         c.checkin("a".into(), Blob(100));
@@ -170,9 +195,29 @@ mod tests {
     }
 
     #[test]
+    fn publishes_resident_gauges() {
+        rfsim_telemetry::set_mode(rfsim_telemetry::Mode::Report);
+        let c = WarmCache::new(
+            ["serve.cache.t3.hits", "serve.cache.t3.misses", "serve.cache.t3.evictions"],
+            ["serve.cache.t3.bytes", "serve.cache.t3.entries"],
+            1 << 20,
+        );
+        c.checkin("a".into(), Blob(100));
+        c.checkin("b".into(), Blob(50));
+        let g = rfsim_telemetry::snapshot().gauges;
+        assert_eq!(g["serve.cache.t3.bytes"], 150.0);
+        assert_eq!(g["serve.cache.t3.entries"], 2.0);
+        let _ = c.checkout("a");
+        let g = rfsim_telemetry::snapshot().gauges;
+        assert_eq!(g["serve.cache.t3.bytes"], 50.0);
+        assert_eq!(g["serve.cache.t3.entries"], 1.0);
+    }
+
+    #[test]
     fn oversized_checkin_survives_alone() {
         let c = WarmCache::new(
             ["serve.cache.t2.hits", "serve.cache.t2.misses", "serve.cache.t2.evictions"],
+            ["serve.cache.t2.bytes", "serve.cache.t2.entries"],
             10,
         );
         c.checkin("big".into(), Blob(1000));

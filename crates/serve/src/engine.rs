@@ -52,6 +52,8 @@ pub struct JobOutcome {
     pub result: Result<Json, (ErrorKind, String)>,
     /// Whether resident warm state served this job.
     pub warm: bool,
+    /// Wall-clock execution time on the worker.
+    pub exec_seconds: f64,
     /// Per-job `rfsim-observe` artifact (JSON form).
     pub artifact: Json,
 }
@@ -72,10 +74,12 @@ impl Engine {
         Engine {
             hb: WarmCache::new(
                 ["serve.cache.hb.hits", "serve.cache.hb.misses", "serve.cache.hb.evictions"],
+                ["serve.cache.hb.bytes", "serve.cache.hb.entries"],
                 half,
             ),
             extract: WarmCache::new(
                 ["serve.cache.em.hits", "serve.cache.em.misses", "serve.cache.em.evictions"],
+                ["serve.cache.em.bytes", "serve.cache.em.entries"],
                 half,
             ),
             cold,
@@ -97,6 +101,7 @@ impl Engine {
         let start = Instant::now();
         let (op, params, outcome) = match req {
             Request::Sleep { ms } => {
+                let _span = rfsim_telemetry::span("serve.exec.sleep");
                 std::thread::sleep(std::time::Duration::from_millis(*ms));
                 (
                     "sleep",
@@ -104,10 +109,19 @@ impl Engine {
                     Ok((Json::Obj(BTreeMap::new()), false)),
                 )
             }
-            Request::Hb(job) => ("hb", hb_params(job), self.run_hb(job)),
-            Request::Extract(job) => ("extract", extract_params(job), self.run_extract(job)),
-            // Ping/stats/shutdown are answered inline by the server and
-            // never reach a worker.
+            Request::Hb(job) => {
+                let _span = rfsim_telemetry::span("serve.exec.hb");
+                ("hb", hb_params(job), self.run_hb(job))
+            }
+            Request::Extract(job) => {
+                let _span = rfsim_telemetry::span("serve.exec.extract");
+                ("extract", extract_params(job), self.run_extract(job))
+            }
+            // The crash-test op: the server's worker harness catches
+            // this, dumps the flight recorder, and answers `solver`.
+            Request::Panic => panic!("deliberate panic requested by op:\"panic\""),
+            // Ping/stats/metrics/dump/shutdown are answered inline by
+            // the server and never reach a worker.
             _ => ("noop", Vec::new(), Ok((Json::Obj(BTreeMap::new()), false))),
         };
         let wall = start.elapsed().as_secs_f64();
@@ -118,7 +132,7 @@ impl Engine {
         };
         counters.insert("serve.job.warm".to_string(), u64::from(warm));
         let artifact = job_artifact(op, params, wall, &result, counters);
-        JobOutcome { result, warm, artifact }
+        JobOutcome { result, warm, exec_seconds: wall, artifact }
     }
 
     fn run_hb(&self, job: &HbJob) -> Result<(Json, bool), (ErrorKind, String)> {

@@ -34,6 +34,7 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod observability;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
@@ -42,6 +43,7 @@ pub mod wire;
 pub use cache::{CacheStats, CacheWeight, WarmCache};
 pub use client::{Client, ClientError};
 pub use engine::{Engine, JobOutcome, CIRCUITS, COLD_ENV};
+pub use observability::{AccessLog, FlightRecorder, RequestRecord};
 pub use protocol::{
     error_response, ok_response, parse_request, Envelope, ErrorKind, ExtractJob, HbJob, Request,
 };

@@ -1,0 +1,235 @@
+//! Request tracing, the JSONL access log, and the flight recorder
+//! (DESIGN.md §14).
+//!
+//! Every request the server parses gets a monotonically increasing
+//! request id (`req` in the response). When the request finishes — ok,
+//! solver failure, or admission reject — a [`RequestRecord`] with the
+//! queue/exec/total latency breakdown is appended to the in-memory
+//! [`FlightRecorder`] ring (dumped by the `dump` op, and automatically
+//! when a worker panics) and, when `--access-log` is set, written as
+//! one JSON line to the [`AccessLog`].
+
+use rfsim_telemetry::Json;
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One completed (or refused) request, with its latency breakdown.
+///
+/// `queue_ms + exec_ms ≤ total_ms`: the total also covers frame
+/// parsing and the response hand-off back to the connection thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// Server-assigned request id, echoed as `req` in the response.
+    pub req_id: u64,
+    /// Client-chosen correlation id, echoed as `id` (absent → None).
+    pub client_id: Option<f64>,
+    /// Operation name (`hb`, `extract`, `sleep`, `ping`, ...).
+    pub op: String,
+    /// Completion time, milliseconds since the Unix epoch.
+    pub unix_ms: f64,
+    /// Time spent queued before a worker picked the job up (0 for
+    /// inline ops).
+    pub queue_ms: f64,
+    /// Time executing on the worker (or inline).
+    pub exec_ms: f64,
+    /// Frame receipt to response ready.
+    pub total_ms: f64,
+    /// Whether resident warm state served the job.
+    pub warm: bool,
+    /// `"ok"`, or the error kind (`overloaded`, `solver`, ...).
+    pub outcome: String,
+}
+
+impl RequestRecord {
+    /// Serializes as the access-log line / flight-recorder entry shape.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("req", Json::Num(self.req_id as f64)),
+            ("id", self.client_id.map_or(Json::Null, Json::Num)),
+            ("op", Json::Str(self.op.clone())),
+            ("unix_ms", Json::Num(self.unix_ms)),
+            ("queue_ms", Json::Num(self.queue_ms)),
+            ("exec_ms", Json::Num(self.exec_ms)),
+            ("total_ms", Json::Num(self.total_ms)),
+            ("warm", Json::Bool(self.warm)),
+            ("outcome", Json::Str(self.outcome.clone())),
+        ])
+    }
+
+    /// Rebuilds a record from its JSON form.
+    pub fn from_json(v: &Json) -> Option<RequestRecord> {
+        Some(RequestRecord {
+            req_id: v.get("req")?.as_f64()? as u64,
+            client_id: v.get("id").and_then(Json::as_f64),
+            op: v.get("op")?.as_str()?.to_string(),
+            unix_ms: v.get("unix_ms")?.as_f64()?,
+            queue_ms: v.get("queue_ms")?.as_f64()?,
+            exec_ms: v.get("exec_ms")?.as_f64()?,
+            total_ms: v.get("total_ms")?.as_f64()?,
+            warm: matches!(v.get("warm")?, Json::Bool(true)),
+            outcome: v.get("outcome")?.as_str()?.to_string(),
+        })
+    }
+}
+
+/// Milliseconds since the Unix epoch, for record timestamps.
+pub fn unix_ms_now() -> f64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0.0, |d| d.as_secs_f64() * 1e3)
+}
+
+/// Fixed-size ring of the most recent [`RequestRecord`]s. Post-mortems
+/// read it via the `dump` protocol op; a worker panic dumps it to disk
+/// automatically so the state leading up to the crash survives without
+/// a reproduction.
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<RequestRecord>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder { capacity, ring: Mutex::new(VecDeque::with_capacity(capacity)) }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends one record, dropping the oldest past capacity.
+    pub fn record(&self, record: RequestRecord) {
+        let mut ring = lock(&self.ring);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// The retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<RequestRecord> {
+        lock(&self.ring).iter().cloned().collect()
+    }
+
+    /// The `dump`-op payload: capacity plus the retained records.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("capacity", Json::Num(self.capacity as f64)),
+            ("records", Json::Arr(self.snapshot().iter().map(RequestRecord::to_json).collect())),
+        ])
+    }
+
+    /// Writes the dump to `path` (the automatic panic dump).
+    ///
+    /// # Errors
+    /// File I/O failures.
+    pub fn dump_to(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_string_pretty())
+    }
+}
+
+/// Append-only JSONL access log: one [`RequestRecord`] per line,
+/// flushed per record so a crashed or killed daemon loses at most the
+/// line being written.
+pub struct AccessLog {
+    path: PathBuf,
+    out: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl AccessLog {
+    /// Opens (appends to) the log at `path`.
+    ///
+    /// # Errors
+    /// File creation/open failures.
+    pub fn open(path: &Path) -> std::io::Result<AccessLog> {
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(AccessLog { path: path.to_path_buf(), out: Mutex::new(std::io::BufWriter::new(file)) })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record as a JSON line. Write failures are reported
+    /// to stderr, never propagated — losing a log line must not fail
+    /// the request it describes.
+    pub fn write(&self, record: &RequestRecord) {
+        let line = record.to_json().to_string_compact();
+        let mut out = lock(&self.out);
+        if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+            eprintln!("rfsim-serve: access log {}: {e}", self.path.display());
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(req_id: u64) -> RequestRecord {
+        RequestRecord {
+            req_id,
+            client_id: Some(7.5),
+            op: "hb".to_string(),
+            unix_ms: 1.7e12,
+            queue_ms: 0.25,
+            exec_ms: 3.5,
+            total_ms: 4.0,
+            warm: true,
+            outcome: "ok".to_string(),
+        }
+    }
+
+    #[test]
+    fn record_json_round_trips() {
+        let r = record(42);
+        assert_eq!(RequestRecord::from_json(&r.to_json()).unwrap(), r);
+        let mut anon = record(43);
+        anon.client_id = None;
+        assert_eq!(RequestRecord::from_json(&anon.to_json()).unwrap(), anon);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_last_n() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..10 {
+            fr.record(record(i));
+        }
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.iter().map(|r| r.req_id).collect::<Vec<_>>(), vec![7, 8, 9]);
+        let dump = fr.to_json();
+        assert_eq!(dump.get("capacity").unwrap().as_f64(), Some(3.0));
+        assert_eq!(dump.get("records").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn access_log_appends_parseable_lines() {
+        let path =
+            std::env::temp_dir().join(format!("rfsim-access-test-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = AccessLog::open(&path).unwrap();
+            log.write(&record(1));
+            log.write(&record(2));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let recs: Vec<RequestRecord> = text
+            .lines()
+            .map(|l| RequestRecord::from_json(&Json::parse(l).unwrap()).unwrap())
+            .collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1], record(2));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -31,6 +31,16 @@ pub enum Request {
     Ping,
     /// Queue/cache/counter introspection; answered inline.
     Stats,
+    /// Full metrics snapshot (counters, gauges, quantile histograms)
+    /// plus a Prometheus text rendering; answered inline.
+    Metrics,
+    /// Flight-recorder dump: the last N request records; answered
+    /// inline.
+    Dump,
+    /// Deliberately panics the worker that picks it up. Exists to test
+    /// the panic containment and automatic flight-recorder dump; the
+    /// worker survives and the client gets a `solver` error.
+    Panic,
     /// Asks the server to stop accepting work and drain.
     Shutdown,
     /// Occupies a worker for `ms` milliseconds. Exists for the
@@ -234,6 +244,9 @@ pub fn parse_request(v: &Json) -> Result<Envelope, String> {
     let req = match op {
         "ping" => Request::Ping,
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
+        "dump" => Request::Dump,
+        "panic" => Request::Panic,
         "shutdown" => Request::Shutdown,
         "sleep" => {
             let ms = finite(v.get("ms").ok_or("sleep: missing \"ms\"")?, "ms")?;

@@ -119,6 +119,7 @@ impl Scheduler {
         }
         st.jobs.push_back(job);
         st.peak_depth = st.peak_depth.max(st.jobs.len());
+        rfsim_telemetry::gauge_set("serve.queue.depth", st.jobs.len() as f64);
         self.shared.accepted.fetch_add(1, Ordering::Relaxed);
         drop(st);
         self.shared.work.notify_one();
@@ -159,6 +160,8 @@ fn worker_loop(shared: &Shared) {
             loop {
                 if let Some(job) = st.jobs.pop_front() {
                     st.active += 1;
+                    rfsim_telemetry::gauge_set("serve.queue.depth", st.jobs.len() as f64);
+                    rfsim_telemetry::gauge_set("serve.inflight", st.active as f64);
                     break job;
                 }
                 if !st.open {
@@ -168,7 +171,11 @@ fn worker_loop(shared: &Shared) {
             }
         };
         job();
-        lock(&shared.state).active -= 1;
+        {
+            let mut st = lock(&shared.state);
+            st.active -= 1;
+            rfsim_telemetry::gauge_set("serve.inflight", st.active as f64);
+        }
         shared.completed.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -5,15 +5,18 @@
 //! connections (the load generator does exactly that).
 
 use crate::engine::{Engine, JobOutcome, COLD_ENV};
+use crate::observability::{unix_ms_now, AccessLog, FlightRecorder, RequestRecord};
 use crate::protocol::{error_response, ok_response, parse_request, Envelope, ErrorKind, Request};
 use crate::scheduler::{Reject, Scheduler, SchedulerStats};
 use crate::wire::{read_frame, write_frame, FrameError, MAX_JSON_DEPTH};
 use rfsim_telemetry::{self as telemetry, Json};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Tunables of a [`Server`].
 #[derive(Debug, Clone)]
@@ -28,8 +31,14 @@ pub struct ServerConfig {
     /// Combined warm-cache byte budget (split across the caches).
     pub cache_budget_bytes: usize,
     /// If set, every job's telemetry artifact is also written here as
-    /// `job-<seq>.json` (the response carries it regardless).
+    /// `job-<req>.json` (the response carries it regardless).
     pub artifact_dir: Option<PathBuf>,
+    /// If set, every request is appended as one JSON line (the
+    /// [`RequestRecord`] shape) to this file.
+    pub access_log: Option<PathBuf>,
+    /// Flight-recorder depth: the last N request records retained in
+    /// memory for the `dump` op and the automatic panic dump.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -40,6 +49,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_budget_bytes: 64 << 20,
             artifact_dir: None,
+            access_log: None,
+            flight_capacity: 128,
         }
     }
 }
@@ -52,8 +63,13 @@ struct Shared {
     conns: Mutex<Vec<TcpStream>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     artifact_dir: Option<PathBuf>,
-    job_seq: AtomicU64,
+    flight: FlightRecorder,
+    access: Option<AccessLog>,
+    req_seq: AtomicU64,
     stopping: AtomicBool,
+    /// Set the moment an `op:"shutdown"` request parses — strictly
+    /// before its reply is written, unlike `stop` (see `handle_conn`).
+    shutdown_seen: AtomicBool,
 }
 
 /// A running service instance. Spawn with [`Server::spawn`], stop with
@@ -70,7 +86,7 @@ impl Server {
     /// in job artifacts are part of the protocol contract.
     ///
     /// # Errors
-    /// Socket bind failures.
+    /// Socket bind or access-log open failures.
     pub fn spawn(config: ServerConfig) -> std::io::Result<Server> {
         if telemetry::mode() == telemetry::Mode::Off {
             telemetry::set_mode(telemetry::Mode::Report);
@@ -78,6 +94,7 @@ impl Server {
         let cold = std::env::var(COLD_ENV).is_ok_and(|v| v == "cold");
         let workers =
             if config.workers == 0 { rfsim_parallel::thread_count() } else { config.workers };
+        let access = config.access_log.as_deref().map(AccessLog::open).transpose()?;
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -88,8 +105,11 @@ impl Server {
             conns: Mutex::new(Vec::new()),
             conn_threads: Mutex::new(Vec::new()),
             artifact_dir: config.artifact_dir,
-            job_seq: AtomicU64::new(0),
+            flight: FlightRecorder::new(config.flight_capacity),
+            access,
+            req_seq: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
+            shutdown_seen: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -115,7 +135,7 @@ impl Server {
 
     /// Whether a client asked the server to stop (`op:"shutdown"`).
     pub fn shutdown_requested(&self) -> bool {
-        *lock(&self.shared.stop)
+        self.shared.shutdown_seen.load(Ordering::Acquire) || *lock(&self.shared.stop)
     }
 
     /// Parks until a client requests shutdown, then tears down. The
@@ -192,6 +212,11 @@ fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
                     break;
                 }
                 if close {
+                    // A `shutdown` request: its reply is on the wire,
+                    // so it is now safe to wake `run_until_shutdown`
+                    // and let teardown close the sockets.
+                    *lock(&shared.stop) = true;
+                    shared.stop_cv.notify_all();
                     break;
                 }
             }
@@ -219,6 +244,7 @@ fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
 /// attacker-controlled payloads: every malformation maps to
 /// `bad_request` and the connection survives.
 fn process_frame(shared: &Arc<Shared>, payload: &[u8]) -> (Json, bool) {
+    let t_recv = Instant::now();
     let Ok(text) = std::str::from_utf8(payload) else {
         return (error_response(None, ErrorKind::BadRequest, "frame is not UTF-8"), false);
     };
@@ -240,28 +266,47 @@ fn process_frame(shared: &Arc<Shared>, payload: &[u8]) -> (Json, bool) {
         Ok(env) => env,
         Err(msg) => return (error_response(id, ErrorKind::BadRequest, &msg), false),
     };
-    match env.req {
+    let req_id = shared.req_seq.fetch_add(1, Ordering::Relaxed);
+    let op = op_name(&env.req);
+    let (mut reply, close, timing) = match env.req {
         Request::Ping => (
             ok_response(env.id, "ping", false, Json::obj([("pong", Json::Bool(true))]), Json::Null),
             false,
+            None,
         ),
-        Request::Stats => (stats_response(shared, &env), false),
+        Request::Stats => (stats_response(shared, &env), false, None),
+        Request::Metrics => (metrics_response(shared, &env), false, None),
+        Request::Dump => {
+            let result = shared.flight.to_json();
+            (ok_response(env.id, "dump", false, result, Json::Null), false, None)
+        }
         Request::Shutdown => {
-            *lock(&shared.stop) = true;
-            shared.stop_cv.notify_all();
+            // Only record the request here; the stop condvar is
+            // signalled by the connection loop AFTER this reply is on
+            // the wire — signalling now would race teardown's socket
+            // shutdown against our own write and could cut the reply
+            // off.
+            shared.shutdown_seen.store(true, Ordering::Release);
             let result = Json::obj([("stopping", Json::Bool(true))]);
-            (ok_response(env.id, "shutdown", false, result, Json::Null), true)
+            (ok_response(env.id, "shutdown", false, result, Json::Null), true, None)
         }
-        ref req @ (Request::Sleep { .. } | Request::Hb(_) | Request::Extract(_)) => {
-            (run_job(shared, env.id, req), false)
+        ref
+        req @ (Request::Sleep { .. } | Request::Hb(_) | Request::Extract(_) | Request::Panic) => {
+            let (reply, timing) = run_job(shared, req_id, env.id, req);
+            (reply, false, Some(timing))
         }
-    }
+    };
+    finish_request(shared, req_id, env.id, op, t_recv, timing, &mut reply);
+    (reply, close)
 }
 
 fn op_name(req: &Request) -> &'static str {
     match req {
         Request::Ping => "ping",
         Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Dump => "dump",
+        Request::Panic => "panic",
         Request::Shutdown => "shutdown",
         Request::Sleep { .. } => "sleep",
         Request::Hb(_) => "hb",
@@ -269,40 +314,192 @@ fn op_name(req: &Request) -> &'static str {
     }
 }
 
-fn run_job(shared: &Arc<Shared>, id: Option<f64>, req: &Request) -> Json {
+/// Queue/exec latency split of a completed job (inline ops have none:
+/// their execution is the whole request).
+struct Timing {
+    queue_ms: f64,
+    exec_ms: f64,
+}
+
+/// What a worker hands back over the response channel.
+enum WorkerResult {
+    Done { outcome: JobOutcome, queue_ms: f64 },
+    Panicked { queue_ms: f64, exec_ms: f64 },
+}
+
+fn run_job(shared: &Arc<Shared>, req_id: u64, id: Option<f64>, req: &Request) -> (Json, Timing) {
     let op = op_name(req);
-    let (tx, rx) = mpsc::channel::<JobOutcome>();
+    let (tx, rx) = mpsc::channel::<WorkerResult>();
     let job_shared = Arc::clone(shared);
     let job_req = req.clone();
+    let enqueued = Instant::now();
     let submitted = shared.scheduler.submit(Box::new(move || {
-        let outcome = job_shared.engine.execute(&job_req);
-        if let Some(dir) = &job_shared.artifact_dir {
-            let seq = job_shared.job_seq.fetch_add(1, Ordering::Relaxed);
-            let path = dir.join(format!("job-{seq:06}.json"));
-            if let Err(e) = std::fs::write(&path, outcome.artifact.to_string_pretty()) {
-                eprintln!("rfsim-serve: writing {}: {e}", path.display());
+        let queue_ms = enqueued.elapsed().as_secs_f64() * 1e3;
+        let t_exec = Instant::now();
+        // Contain worker panics: the worker thread survives, the client
+        // gets a structured `solver` error, and the flight recorder is
+        // dumped so the requests leading up to the crash are preserved.
+        let ran = catch_unwind(AssertUnwindSafe(|| job_shared.engine.execute(&job_req)));
+        let result = match ran {
+            Ok(outcome) => {
+                if let Some(dir) = &job_shared.artifact_dir {
+                    let path = dir.join(format!("job-{req_id:06}.json"));
+                    if let Err(e) = std::fs::write(&path, outcome.artifact.to_string_pretty()) {
+                        eprintln!("rfsim-serve: writing {}: {e}", path.display());
+                    }
+                }
+                WorkerResult::Done { outcome, queue_ms }
             }
-        }
+            Err(_) => {
+                telemetry::counter_add("serve.worker.panics", 1);
+                let dir = job_shared.artifact_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+                let path = dir.join(format!("flight-panic-{req_id:06}.json"));
+                match job_shared.flight.dump_to(&path) {
+                    Ok(()) => eprintln!(
+                        "rfsim-serve: worker panicked on req {req_id}; flight recorder dumped \
+                         to {}",
+                        path.display()
+                    ),
+                    Err(e) => eprintln!(
+                        "rfsim-serve: worker panicked on req {req_id}; flight dump to {} \
+                         failed: {e}",
+                        path.display()
+                    ),
+                }
+                WorkerResult::Panicked { queue_ms, exec_ms: t_exec.elapsed().as_secs_f64() * 1e3 }
+            }
+        };
         // The connection may have died while we ran; that only loses
         // the response, never the job.
-        let _ = tx.send(outcome);
+        let _ = tx.send(result);
     }));
+    let zero = Timing { queue_ms: 0.0, exec_ms: 0.0 };
     match submitted {
         Err(Reject::Overloaded) => {
-            error_response(id, ErrorKind::Overloaded, "job queue is full, retry later")
+            (error_response(id, ErrorKind::Overloaded, "job queue is full, retry later"), zero)
         }
         Err(Reject::ShuttingDown) => {
-            error_response(id, ErrorKind::ShuttingDown, "server is draining")
+            (error_response(id, ErrorKind::ShuttingDown, "server is draining"), zero)
         }
         Ok(()) => match rx.recv() {
-            Ok(outcome) => match outcome.result {
-                Ok(result) => ok_response(id, op, outcome.warm, result, outcome.artifact),
-                Err((kind, msg)) => error_response(id, kind, &msg),
-            },
+            Ok(WorkerResult::Done { outcome, queue_ms }) => {
+                let timing = Timing { queue_ms, exec_ms: outcome.exec_seconds * 1e3 };
+                let reply = match outcome.result {
+                    Ok(result) => ok_response(id, op, outcome.warm, result, outcome.artifact),
+                    Err((kind, msg)) => error_response(id, kind, &msg),
+                };
+                (reply, timing)
+            }
+            Ok(WorkerResult::Panicked { queue_ms, exec_ms }) => (
+                error_response(
+                    id,
+                    ErrorKind::Solver,
+                    "worker panicked executing the job (flight recorder dumped)",
+                ),
+                Timing { queue_ms, exec_ms },
+            ),
             // Unreachable in practice: accepted jobs always run.
-            Err(_) => error_response(id, ErrorKind::ShuttingDown, "job dropped during shutdown"),
+            Err(_) => {
+                (error_response(id, ErrorKind::ShuttingDown, "job dropped during shutdown"), zero)
+            }
         },
     }
+}
+
+/// Per-op latency histogram names (`histogram_record` wants `'static`).
+fn op_latency_histogram(op: &str) -> Option<&'static str> {
+    match op {
+        "hb" => Some("serve.latency.hb.total_ms"),
+        "extract" => Some("serve.latency.extract.total_ms"),
+        "sleep" => Some("serve.latency.sleep.total_ms"),
+        "panic" => Some("serve.latency.panic.total_ms"),
+        _ => None,
+    }
+}
+
+/// Closes out one request: stamps the request id into the reply,
+/// records the latency histograms (job ops only — inline introspection
+/// must not pollute the job latency distribution), and appends the
+/// [`RequestRecord`] to the flight recorder and the access log.
+fn finish_request(
+    shared: &Arc<Shared>,
+    req_id: u64,
+    client_id: Option<f64>,
+    op: &str,
+    t_recv: Instant,
+    timing: Option<Timing>,
+    reply: &mut Json,
+) {
+    if let Json::Obj(m) = reply {
+        m.insert("req".to_string(), Json::Num(req_id as f64));
+    }
+    let total_ms = t_recv.elapsed().as_secs_f64() * 1e3;
+    let (queue_ms, exec_ms) = match &timing {
+        Some(t) => (t.queue_ms, t.exec_ms),
+        // Inline ops never queue; their execution is the whole request.
+        None => (0.0, total_ms),
+    };
+    if timing.is_some() {
+        telemetry::histogram_record("serve.latency.queue_ms", queue_ms);
+        telemetry::histogram_record("serve.latency.exec_ms", exec_ms);
+        telemetry::histogram_record("serve.latency.total_ms", total_ms);
+        if let Some(name) = op_latency_histogram(op) {
+            telemetry::histogram_record(name, total_ms);
+        }
+    }
+    let outcome = match reply.get("ok") {
+        Some(Json::Bool(true)) => "ok".to_string(),
+        _ => reply
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .unwrap_or("error")
+            .to_string(),
+    };
+    let warm = matches!(reply.get("warm"), Some(Json::Bool(true)));
+    let record = RequestRecord {
+        req_id,
+        client_id,
+        op: op.to_string(),
+        unix_ms: unix_ms_now(),
+        queue_ms,
+        exec_ms,
+        total_ms,
+        warm,
+        outcome,
+    };
+    if let Some(log) = &shared.access {
+        log.write(&record);
+    }
+    shared.flight.record(record);
+}
+
+/// The `metrics` op: refreshes the live serve gauges, then returns the
+/// full counters/gauges/histograms snapshot alongside a Prometheus
+/// text rendering of the same data.
+fn metrics_response(shared: &Arc<Shared>, env: &Envelope) -> Json {
+    let q = shared.scheduler.stats();
+    telemetry::gauge_set("serve.queue.depth", q.depth as f64);
+    telemetry::gauge_set("serve.inflight", q.active as f64);
+    let snap = telemetry::snapshot();
+    let result = Json::obj([
+        (
+            "counters",
+            Json::Obj(
+                snap.counters.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Obj(snap.gauges.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect()),
+        ),
+        (
+            "histograms",
+            Json::Obj(snap.histograms.iter().map(|(k, h)| (k.clone(), h.to_json())).collect()),
+        ),
+        ("prometheus", Json::Str(snap.render_prometheus())),
+    ]);
+    ok_response(env.id, "metrics", false, result, Json::Null)
 }
 
 fn cache_stats_json(s: crate::cache::CacheStats) -> Json {

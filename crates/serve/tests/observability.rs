@@ -1,0 +1,243 @@
+//! Live-observability battery (ISSUE 8): request ids traced from
+//! responses into the JSONL access log with a consistent
+//! queue/exec/total latency breakdown, the `metrics` op exposing
+//! quantile histograms and Prometheus text, the flight recorder's
+//! ring semantics through the `dump` op, panic containment with the
+//! automatic flight dump, and a schema round-trip property for the
+//! access-log record shape.
+//!
+//! Servers here pin `workers: 1` so the latency assertions are
+//! deterministic under both RFSIM_THREADS matrices.
+
+use proptest::prelude::*;
+use rfsim_serve::{Client, RequestRecord, Server, ServerConfig};
+use rfsim_telemetry::{Histogram, Json};
+use std::path::PathBuf;
+
+fn call(client: &mut Client, req: &str) -> Json {
+    client.call(&Json::parse(req).expect("test request JSON")).expect("call")
+}
+
+fn is_ok(reply: &Json) -> bool {
+    reply.get("ok") == Some(&Json::Bool(true))
+}
+
+fn req_id(reply: &Json) -> u64 {
+    reply.get("req").and_then(Json::as_f64).expect("reply carries a req id") as u64
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rfsim-obs-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Every response carries the server-assigned `req` id, the access log
+/// has exactly one line per request with the same id, and each line's
+/// latency breakdown satisfies queue + exec ≤ total.
+#[test]
+fn request_ids_trace_from_responses_into_access_log() {
+    let dir = scratch("access");
+    let log_path = dir.join("access.jsonl");
+    let server = Server::spawn(ServerConfig {
+        workers: 1,
+        access_log: Some(log_path.clone()),
+        ..Default::default()
+    })
+    .expect("spawn server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let mut expected = Vec::new(); // (req_id, client_id, op)
+    for (i, req) in [
+        r#"{"op":"hb","id":10,"circuit":"rectifier","f0":1e6,"harmonics":5}"#,
+        r#"{"op":"sleep","id":11,"ms":5}"#,
+        r#"{"op":"ping","id":12}"#,
+        r#"{"op":"hb","id":13,"circuit":"rectifier","f0":1e6,"harmonics":5}"#,
+        r#"{"op":"stats"}"#,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let reply = call(&mut client, req);
+        assert!(is_ok(&reply), "request {i} failed: {reply:?}");
+        let op = Json::parse(req).unwrap().get("op").unwrap().as_str().unwrap().to_string();
+        expected.push((req_id(&reply), reply.get("id").and_then(Json::as_f64), op));
+    }
+    server.shutdown();
+
+    let text = std::fs::read_to_string(&log_path).expect("read access log");
+    let records: Vec<RequestRecord> = text
+        .lines()
+        .map(|l| RequestRecord::from_json(&Json::parse(l).expect("access log line is JSON")))
+        .map(|r| r.expect("access log line matches the record schema"))
+        .collect();
+    assert_eq!(records.len(), expected.len(), "one line per request");
+    for ((rid, cid, op), rec) in expected.iter().zip(&records) {
+        assert_eq!(rec.req_id, *rid, "access-log req id matches the response");
+        assert_eq!(rec.client_id, *cid);
+        assert_eq!(&rec.op, op);
+        assert_eq!(rec.outcome, "ok");
+        assert!(
+            rec.queue_ms + rec.exec_ms <= rec.total_ms + 1e-6,
+            "queue {} + exec {} must not exceed total {}",
+            rec.queue_ms,
+            rec.exec_ms,
+            rec.total_ms
+        );
+        assert!(rec.total_ms >= 0.0 && rec.unix_ms > 0.0);
+    }
+    // The sleep job really slept: its exec time shows it.
+    let sleep = records.iter().find(|r| r.op == "sleep").unwrap();
+    assert!(sleep.exec_ms >= 5.0, "sleep exec_ms = {}", sleep.exec_ms);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `metrics` op returns the latency histograms (parseable into
+/// `Histogram` with sane quantiles) and a Prometheus rendering of the
+/// same data.
+#[test]
+fn metrics_op_exposes_quantiles_and_prometheus_text() {
+    let server =
+        Server::spawn(ServerConfig { workers: 1, ..Default::default() }).expect("spawn server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for i in 0..4 {
+        let reply = call(&mut client, &format!(r#"{{"op":"sleep","id":{i},"ms":{}}}"#, 1 + i % 2));
+        assert!(is_ok(&reply));
+    }
+    let reply = call(&mut client, r#"{"op":"metrics","id":99}"#);
+    assert!(is_ok(&reply), "metrics failed: {reply:?}");
+    let result = reply.get("result").expect("metrics result");
+
+    let h = result
+        .get("histograms")
+        .and_then(|hs| hs.get("serve.latency.total_ms"))
+        .and_then(Histogram::from_json)
+        .expect("serve.latency.total_ms histogram");
+    // Telemetry is process-global, so concurrent tests in this binary
+    // may contribute too: assert lower bounds only.
+    assert!(h.count >= 4, "at least the 4 jobs just run, got {}", h.count);
+    assert!(h.p50() > 0.0 && h.p99() >= h.p50(), "p50 {} p99 {}", h.p50(), h.p99());
+
+    let queue_h = result
+        .get("histograms")
+        .and_then(|hs| hs.get("serve.latency.queue_ms"))
+        .and_then(Histogram::from_json)
+        .expect("serve.latency.queue_ms histogram");
+    assert!(queue_h.count >= 4);
+
+    let prom = result.get("prometheus").and_then(Json::as_str).expect("prometheus text");
+    assert!(prom.contains("# TYPE rfsim_serve_latency_total_ms summary"));
+    assert!(prom.contains("rfsim_serve_latency_total_ms{quantile=\"0.99\"}"));
+    assert!(prom.contains("rfsim_serve_latency_total_ms_count"));
+    for line in prom.lines() {
+        assert!(
+            line.starts_with('#') || line.split_whitespace().count() == 2,
+            "malformed exposition line: {line:?}"
+        );
+    }
+    server.shutdown();
+}
+
+/// The flight recorder keeps exactly the last N records, oldest first,
+/// and the `dump` op exposes them.
+#[test]
+fn dump_returns_the_last_n_requests() {
+    let server =
+        Server::spawn(ServerConfig { workers: 1, flight_capacity: 3, ..Default::default() })
+            .expect("spawn server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut ids = Vec::new();
+    for i in 0..6 {
+        let reply = call(&mut client, &format!(r#"{{"op":"sleep","id":{i},"ms":0}}"#));
+        assert!(is_ok(&reply));
+        ids.push(req_id(&reply));
+    }
+    let reply = call(&mut client, r#"{"op":"dump"}"#);
+    assert!(is_ok(&reply));
+    let result = reply.get("result").expect("dump result");
+    assert_eq!(result.get("capacity").and_then(Json::as_f64), Some(3.0));
+    let records = result.get("records").and_then(Json::as_arr).expect("records array");
+    assert_eq!(records.len(), 3, "ring holds exactly the last 3");
+    let dumped: Vec<u64> = records
+        .iter()
+        .map(|r| RequestRecord::from_json(r).expect("record schema").req_id)
+        .collect();
+    assert_eq!(dumped, ids[3..], "the three most recent requests, oldest first");
+    server.shutdown();
+}
+
+/// A worker panic is contained: the client gets a `solver` error, the
+/// flight recorder is dumped to disk automatically (capturing the
+/// requests that led up to the crash), and the same worker keeps
+/// serving afterwards.
+#[test]
+fn worker_panic_dumps_flight_recorder_and_keeps_serving() {
+    let dir = scratch("panic");
+    let server = Server::spawn(ServerConfig {
+        workers: 1,
+        artifact_dir: Some(dir.clone()),
+        ..Default::default()
+    })
+    .expect("spawn server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let before = call(&mut client, r#"{"op":"sleep","id":1,"ms":0}"#);
+    assert!(is_ok(&before));
+    let crash = call(&mut client, r#"{"op":"panic","id":2}"#);
+    assert!(!is_ok(&crash));
+    assert_eq!(
+        crash.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("solver"),
+        "panic surfaces as a structured solver error: {crash:?}"
+    );
+    let panic_req = req_id(&crash);
+
+    // The single worker survived the panic and still runs jobs.
+    let after = call(&mut client, r#"{"op":"sleep","id":3,"ms":0}"#);
+    assert!(is_ok(&after), "worker must survive the panic: {after:?}");
+
+    let dump_path = dir.join(format!("flight-panic-{panic_req:06}.json"));
+    let text = std::fs::read_to_string(&dump_path).expect("automatic flight dump exists");
+    let dump = Json::parse(&text).expect("flight dump is JSON");
+    let records = dump.get("records").and_then(Json::as_arr).expect("records");
+    let ops: Vec<&str> =
+        records.iter().filter_map(|r| r.get("op").and_then(Json::as_str)).collect();
+    assert!(ops.contains(&"sleep"), "dump captures the requests before the crash, got {ops:?}");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The access-log record schema round-trips losslessly through its
+    /// JSONL form for arbitrary field values.
+    #[test]
+    fn access_record_schema_round_trips(
+        req_id in 0u64..(1 << 53),
+        client_id in (0u8..2, -1e9f64..1e9).prop_map(|(has, v)| (has == 1).then_some(v)),
+        op_idx in 0usize..4,
+        unix_ms in 0.0f64..2e12,
+        queue_ms in 0.0f64..1e6,
+        exec_ms in 0.0f64..1e6,
+        warm in (0u8..2).prop_map(|b| b == 1),
+        ok in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let record = RequestRecord {
+            req_id,
+            client_id,
+            op: ["hb", "extract", "sleep", "ping"][op_idx].to_string(),
+            unix_ms,
+            queue_ms,
+            exec_ms,
+            total_ms: queue_ms + exec_ms,
+            warm,
+            outcome: if ok { "ok".to_string() } else { "overloaded".to_string() },
+        };
+        let line = record.to_json().to_string_compact();
+        prop_assert!(!line.contains('\n'), "one record = one line");
+        let back = RequestRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+        prop_assert_eq!(back, record);
+    }
+}

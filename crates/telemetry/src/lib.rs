@@ -56,7 +56,7 @@ mod trace;
 
 pub use health::{record_health, HealthEvent, HealthStatus, ResidualMonitor, MAX_HEALTH_EVENTS};
 pub use json::Json;
-pub use metrics::{counter_add, gauge_set, histogram_record, Histogram};
+pub use metrics::{counter_add, gauge_set, histogram_record, Histogram, NUM_BUCKETS, SUB_BUCKETS};
 pub use span::{span, span_dyn, SpanGuard, SpanNode};
 pub use trace::{record_trace, ConvergenceTrace, TraceBuf, MAX_TRACES};
 
@@ -242,22 +242,7 @@ impl Snapshot {
                 ),
             ])
         }
-        let histograms = self
-            .histograms
-            .iter()
-            .map(|(k, h)| {
-                (
-                    k.clone(),
-                    Json::obj([
-                        ("count", Json::Num(h.count as f64)),
-                        ("sum", Json::Num(h.sum)),
-                        ("min", Json::Num(h.min)),
-                        ("max", Json::Num(h.max)),
-                        ("mean", Json::Num(h.mean())),
-                    ]),
-                )
-            })
-            .collect();
+        let histograms = self.histograms.iter().map(|(k, h)| (k.clone(), h.to_json())).collect();
         let traces = self
             .traces
             .iter()
@@ -324,6 +309,14 @@ impl Snapshot {
         Some(out)
     }
 
+    /// Rebuilds the histograms of a snapshot from its JSON
+    /// serialization. Tolerates both the current bucketed shape and the
+    /// pre-quantile moments-only shape (see [`Histogram::from_json`]).
+    pub fn histograms_from_json(value: &Json) -> Option<BTreeMap<String, Histogram>> {
+        let Json::Obj(m) = value.get("histograms")? else { return None };
+        m.iter().map(|(k, h)| Some((k.clone(), Histogram::from_json(h)?))).collect()
+    }
+
     /// Rebuilds the traces of a snapshot from its JSON serialization
     /// (spans/metrics are aggregate-only and not reconstructed).
     pub fn traces_from_json(value: &Json) -> Option<Vec<ConvergenceTrace>> {
@@ -343,6 +336,43 @@ impl Snapshot {
             });
         }
         Some(out)
+    }
+
+    /// Renders the metrics sections (counters, gauges, histograms) in
+    /// the Prometheus text exposition format. Dots and other
+    /// non-identifier characters become underscores under an `rfsim_`
+    /// prefix; histograms render as summaries with
+    /// `quantile="0.5|0.9|0.99|0.999"` series plus `_sum`/`_count`.
+    /// Spans, traces, and health events have no Prometheus equivalent
+    /// and are omitted.
+    pub fn render_prometheus(&self) -> String {
+        fn prom_name(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 6);
+            out.push_str("rfsim_");
+            out.extend(name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }));
+            out
+        }
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let n = prom_name(k);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let n = prom_name(k);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let n = prom_name(k);
+            let _ = writeln!(out, "# TYPE {n} summary");
+            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)] {
+                let _ = writeln!(out, "{n}{{quantile=\"{label}\"}} {}", h.quantile(q));
+            }
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
     }
 
     /// Renders the human-readable report.
@@ -390,13 +420,16 @@ impl Snapshot {
             }
         }
         if !self.histograms.is_empty() {
-            let _ = writeln!(out, "histograms (count / mean / min / max):");
+            let _ = writeln!(out, "histograms (count / mean / p50 / p95 / p99 / min / max):");
             for (k, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {k:<44} {:>8} / {:.3} / {:.3} / {:.3}",
+                    "  {k:<44} {:>8} / {:.3} / {:.3} / {:.3} / {:.3} / {:.3} / {:.3}",
                     h.count,
                     h.mean(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
                     h.min,
                     h.max
                 );

@@ -1,0 +1,108 @@
+//! Property tests for the log-bucketed quantile histogram (ISSUE 8):
+//! quantile estimates stay within the bucket-width relative-error bound
+//! of the exact sorted-sample quantiles, merge is exact on bucket
+//! counts (and associative), and snapshot deltas recover the interval
+//! distribution exactly.
+
+use proptest::prelude::*;
+use rfsim_telemetry::{Histogram, SUB_BUCKETS};
+
+/// Positive samples spanning twelve decades, the range of everything
+/// recorded in practice (iteration counts, milliseconds, ratios).
+fn samples(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-6.0f64..6.0, n)
+        .prop_map(|exps| exps.into_iter().map(|e| 10f64.powf(e)).collect())
+}
+
+fn record_all(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Exact nearest-rank quantile of a sorted sample set — the definition
+/// `Histogram::quantile` estimates.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The estimate and the exact nearest-rank sample share a bucket,
+    /// so their ratio is bounded by the bucket width 2^(1/SUB_BUCKETS).
+    #[test]
+    fn quantile_estimates_have_bounded_relative_error(
+        values in samples(1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let h = record_all(&values);
+        let mut sorted = values;
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let exact = exact_quantile(&sorted, q);
+        let est = h.quantile(q);
+        let bound = (1.0f64 / SUB_BUCKETS as f64).exp2().ln() + 1e-9;
+        prop_assert!(
+            (est / exact).ln().abs() <= bound,
+            "q={q}: estimate {est} vs exact {exact} (bound {bound})"
+        );
+    }
+
+    /// Merging is associative and equals recording everything into one
+    /// histogram: bucket counts, count, min, and max exactly; the sum
+    /// to floating-point roundoff.
+    #[test]
+    fn merge_is_associative_and_matches_single_recording(
+        a in samples(0..50),
+        b in samples(0..50),
+        c in samples(0..50),
+    ) {
+        let (ha, hb, hc) = (record_all(&a), record_all(&b), record_all(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.count, right.count);
+        prop_assert_eq!(left.min, right.min);
+        prop_assert_eq!(left.max, right.max);
+        prop_assert!(left.nonzero_buckets().eq(right.nonzero_buckets()));
+        prop_assert!((left.sum - right.sum).abs() <= 1e-9 * left.sum.abs().max(1.0));
+
+        let all: Vec<f64> = a.into_iter().chain(b).chain(c).collect();
+        let whole = record_all(&all);
+        prop_assert_eq!(left.count, whole.count);
+        prop_assert!(left.nonzero_buckets().eq(whole.nonzero_buckets()));
+    }
+
+    /// A snapshot delta reproduces the bucket counts of exactly the
+    /// observations recorded after the snapshot.
+    #[test]
+    fn delta_is_exact_on_buckets(
+        before in samples(0..50),
+        after in samples(0..50),
+    ) {
+        let earlier = record_all(&before);
+        let mut h = earlier.clone();
+        for &v in &after {
+            h.record(v);
+        }
+        let d = h.delta(&earlier);
+        let expected = record_all(&after);
+        prop_assert_eq!(d.count, expected.count);
+        prop_assert!(d.nonzero_buckets().eq(expected.nonzero_buckets()));
+    }
+
+    /// JSON round-trip is lossless for the bucketed shape.
+    #[test]
+    fn json_round_trip_is_lossless(values in samples(0..80)) {
+        let h = record_all(&values);
+        let back = Histogram::from_json(&h.to_json()).unwrap();
+        prop_assert_eq!(back, h);
+    }
+}
