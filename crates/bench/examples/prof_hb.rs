@@ -1,0 +1,25 @@
+//! Span profile of the e02 HB mixer-ladder workload: one solve, then
+//! the telemetry span tree, so kernel-level time (assembly, FFT,
+//! per-bin triangular solves, matvecs) is attributable without a
+//! sampling profiler. Usage:
+//!
+//! ```text
+//! RFSIM_THREADS=1 cargo run --release -p rfsim-bench --example prof_hb -- 144
+//! RFSIM_SIMD=off RFSIM_THREADS=1 ... # scalar-dispatch comparison leg
+//! ```
+use rfsim::steady::{solve_hb, HbOptions, SpectralGrid, ToneAxis};
+use rfsim_bench::{modulator_chain, ModulatorSpec};
+
+fn main() {
+    let stages: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(144);
+    let spec = ModulatorSpec { f_bb: 1e6, f_lo: 100e6, ..ModulatorSpec::default() };
+    let (dae, _out) = modulator_chain(&spec, stages);
+    let grid =
+        SpectralGrid::two_tone(ToneAxis::new(spec.f_bb, 5), ToneAxis::new(spec.f_lo, 5)).unwrap();
+    let t0 = std::time::Instant::now();
+    let sol = solve_hb(&dae, &grid, &HbOptions::default()).unwrap();
+    let wall = t0.elapsed().as_secs_f64();
+    println!("wall {:.3}s unknowns {}", wall, sol.stats.unknowns);
+    let snap = rfsim::telemetry::snapshot();
+    print!("{}", snap.render_report());
+}

@@ -10,7 +10,7 @@
 
 use rfsim::circuit::transient::{transient, TranOptions};
 use rfsim::steady::{solve_hb, HbOptions, HbSolver, SpectralGrid, ToneAxis};
-use rfsim_bench::{ablate, heading, quadrature_modulator, timed, ModulatorSpec};
+use rfsim_bench::{ablate, heading, modulator_chain, quadrature_modulator, timed, ModulatorSpec};
 use rfsim_observe::Harness;
 use std::process::ExitCode;
 
@@ -67,6 +67,30 @@ fn run(h: &mut Harness) -> Result<(), String> {
         "\nshape: transient cost grows ∝ ratio (paper: 'several hundred thousand\n\
          cycles' at ratio 2×10⁴); HB cost is flat — set by harmonics, not ratio."
     );
+
+    heading("HB wall on the mixer ladder (kernel-dominated: block LU + GMRES + FFT)");
+    println!("{:>10} {:>12} {:>10} {:>12}", "stages", "unknowns", "reps", "wall (s)");
+    for (stages, reps) in [(128usize, 2usize), (144, 2)] {
+        let spec = ModulatorSpec { f_bb: 1e6, f_lo: 100e6, ..Default::default() };
+        let (dae, _) = modulator_chain(&spec, stages);
+        let grid = SpectralGrid::two_tone(ToneAxis::new(spec.f_bb, 5), ToneAxis::new(spec.f_lo, 5))
+            .map_err(|e| format!("spectral grid (ladder, {stages} stages): {e}"))?;
+        let label = format!("hb:ladder stages={stages}");
+        h.sweep_point(&label, &[("stages", stages as f64), ("reps", reps as f64)], |pm| {
+            let mut unknowns = 0usize;
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                let sol = solve_hb(&dae, &grid, &HbOptions::default())
+                    .map_err(|e| format!("HB ladder ({stages} stages): {e}"))?;
+                unknowns = sol.stats.unknowns;
+            }
+            let t = t0.elapsed().as_secs_f64();
+            pm.metric("hb_unknowns", unknowns as f64);
+            pm.metric("seconds_per_solve", t / reps as f64);
+            println!("{:>10} {:>12} {:>10} {:>12.3}", stages, unknowns, reps, t);
+            Ok::<_, String>(())
+        })?;
+    }
 
     if ablate() {
         heading("HB linear-solver ablation (direct vs GMRES ± preconditioner)");

@@ -80,6 +80,32 @@ fn run(h: &mut Harness) -> Result<(), String> {
     println!("memory  ~ n^{:.2}   (dense: n^2.00)", slope(&mems));
     println!("time    ~ n^{:.2}   (dense LU: n^3.00)", slope(&times));
 
+    heading("dense O(n²) assembly wall (batched panel quadrature)");
+    println!("{:>7} {:>10} {:>12}", "n", "reps", "wall (s)");
+    for n_side in [16usize, 24] {
+        let panels = mesh_parallel_plates(1e-3, 1e-4, n_side);
+        let p = MomProblem::new(panels, GreenFn::FreeSpace { eps_r: 1.0 })
+            .map_err(|e| format!("MoM setup (assembly, n_side {n_side}): {e}"))?;
+        let n = p.len();
+        let reps = (3_000_000 / (n * n)).max(1);
+        let label = format!("assemble:n={n}");
+        h.sweep_point(&label, &[("n", n as f64), ("reps", reps as f64)], |pm| {
+            let mut trace = 0.0;
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                let a = p.assemble_dense();
+                trace += a[(0, 0)];
+            }
+            let t = t0.elapsed().as_secs_f64();
+            pm.metric("ns_per_entry", t * 1e9 / (n * n * reps) as f64);
+            println!("{:>7} {:>10} {:>12.3}", n, reps, t);
+            if !trace.is_finite() {
+                return Err("dense assembly produced non-finite entries".into());
+            }
+            Ok::<_, String>(())
+        })?;
+    }
+
     if ablate() {
         heading("ablation: rank tolerance ε vs memory and accuracy");
         // Reference from the dense solve at moderate size.

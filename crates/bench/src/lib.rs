@@ -172,6 +172,50 @@ pub fn switching_mixer(spec: &MixerSpec) -> (CircuitDae, NodeId) {
     (dae, out)
 }
 
+/// Builds the modulator followed by a ladder of `stages` buffered RF
+/// sections: a unity-gain transconductance buffer into a 1 kΩ load with a
+/// mild cubic compression and a wideband RC pole per stage. Every stage
+/// adds one node, so the harmonic-balance Jacobian's per-frequency blocks
+/// grow with `stages` — this is the kernel-dominated HB workload (blocked
+/// complex LU + triangular solves + GMRES orthogonalization) used by the
+/// e02 `hb:` speedup rows.
+pub fn modulator_chain(spec: &ModulatorSpec, stages: usize) -> (CircuitDae, NodeId) {
+    let mut ckt = Circuit::new();
+    let bb_i = ckt.node("bb_i");
+    let lo_i = ckt.node("lo_i");
+    let mix = ckt.node("mix");
+    ckt.add(VSource::sine("VBI", bb_i, Circuit::GROUND, 0.0, 1.0, spec.f_bb));
+    ckt.add(VSource::sine_fast("VLI", lo_i, Circuit::GROUND, 0.0, 1.0, spec.f_lo));
+    ckt.add(Multiplier::new(
+        "MIX",
+        mix,
+        Circuit::GROUND,
+        bb_i,
+        Circuit::GROUND,
+        lo_i,
+        Circuit::GROUND,
+        -1e-3,
+    ));
+    ckt.add(Resistor::new("RMIX", mix, Circuit::GROUND, 1e3).noiseless());
+    let mut prev = mix;
+    for k in 0..stages {
+        let nk = ckt.node(&format!("st{k}"));
+        // Unity voltage gain: gm · RL = 1e-3 · 1e3.
+        ckt.add(Vccs::new(&format!("GM{k}"), nk, Circuit::GROUND, prev, Circuit::GROUND, -1e-3));
+        ckt.add(Resistor::new(&format!("RL{k}"), nk, Circuit::GROUND, 1e3).noiseless());
+        // Mild compression keeps every stage nonlinear without spraying
+        // energy past the truncated spectrum.
+        ckt.add(NonlinearConductance::new(&format!("NL{k}"), nk, Circuit::GROUND, 0.0, 2e-5));
+        // Pole a decade above the carrier: shapes the spectrum without
+        // killing the signal down the ladder.
+        let c = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 10.0 * spec.f_lo);
+        ckt.add(Capacitor::new(&format!("CP{k}"), nk, Circuit::GROUND, c));
+        prev = nk;
+    }
+    let dae = ckt.into_dae().expect("valid modulator chain netlist");
+    (dae, prev)
+}
+
 /// Wall-clock of a closure in seconds, with its result.
 ///
 /// Thin wrapper over a telemetry span: the duration also lands in the

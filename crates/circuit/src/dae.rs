@@ -382,8 +382,8 @@ impl Dae for CircuitDae {
         assert_eq!(x.len(), self.dim, "eval: solution length mismatch");
         f.fill(0.0);
         q.fill(0.0);
-        *g = Triplets::new(self.dim, self.dim);
-        *c = Triplets::new(self.dim, self.dim);
+        g.reset(self.dim, self.dim);
+        c.reset(self.dim, self.dim);
         for (di, d) in self.devices.iter().enumerate() {
             let mut ctx = LoadCtx { x, nn: self.nn, branch0: self.branch_offsets[di], f, q, g, c };
             d.load(&mut ctx);

@@ -18,8 +18,10 @@ use crate::geom::Panel;
 use crate::kernel::GreenFn;
 use crate::{Error, Result};
 use rfsim_numerics::dense::{Mat, Qr};
+use rfsim_numerics::kernels;
 use rfsim_numerics::krylov::LinearOperator;
 use rfsim_numerics::svd::Svd;
+use rfsim_numerics::AlignedVec;
 use rfsim_parallel as parallel;
 use rfsim_telemetry as telemetry;
 
@@ -88,14 +90,15 @@ enum Block {
 /// and the parallel path never touches it.
 #[derive(Debug, Default)]
 struct MatvecScratch {
-    /// Input permuted into cluster order.
-    xp: Vec<f64>,
+    /// Input permuted into cluster order (32-byte aligned for the SIMD
+    /// block kernels).
+    xp: AlignedVec<f64>,
     /// Accumulated output in cluster order.
-    yp: Vec<f64>,
+    yp: AlignedVec<f64>,
     /// Per-block contribution.
-    buf: Vec<f64>,
+    buf: AlignedVec<f64>,
     /// Low-rank intermediate `Vᵀ·x`.
-    t: Vec<f64>,
+    t: AlignedVec<f64>,
 }
 
 /// The IES³-compressed potential matrix.
@@ -179,10 +182,12 @@ fn build_tree(panels: &[Panel], perm: &mut Vec<usize>, leaf_size: usize) -> (Vec
     (clusters, root)
 }
 
-/// Adaptive cross approximation of the block `A[rows, cols]` given an
-/// entry oracle, followed by SVD recompression. Returns `(U, Vᵀ)`.
+/// Adaptive cross approximation of the block `A[rows, cols]`, sampling
+/// whole kernel rows/columns through the batched quadrature, followed by
+/// SVD recompression. Returns `(U, Vᵀ)`.
 fn aca_block(
-    entry: &dyn Fn(usize, usize) -> f64,
+    panels: &[Panel],
+    green: &GreenFn,
     rows: &[usize],
     cols: &[usize],
     tol: f64,
@@ -197,14 +202,10 @@ fn aca_block(
     for _k in 0..max_rank.min(m).min(n) {
         // Residual row at row_pivot.
         let mut r = vec![0.0; n];
-        for (j, rj) in r.iter_mut().enumerate() {
-            *rj = entry(rows[row_pivot], cols[j]);
-        }
+        green.coefficient_row_into(&panels[rows[row_pivot]], panels, cols, &mut r);
         for (u, v) in us.iter().zip(&vs) {
             let s = u[row_pivot];
-            for j in 0..n {
-                r[j] -= s * v[j];
-            }
+            kernels::axpy_f64(-s, v, &mut r);
         }
         used_rows[row_pivot] = true;
         // Column pivot.
@@ -222,17 +223,13 @@ fn aca_block(
         let v: Vec<f64> = r.iter().map(|x| x / pivot).collect();
         // Residual column at cp.
         let mut c = vec![0.0; m];
-        for (i, ci) in c.iter_mut().enumerate() {
-            *ci = entry(rows[i], cols[cp]);
-        }
+        green.coefficient_col_into(&panels[cols[cp]], panels, rows, &mut c);
         for (u, vv) in us.iter().zip(&vs) {
             let s = vv[cp];
-            for i in 0..m {
-                c[i] -= s * u[i];
-            }
+            kernels::axpy_f64(-s, u, &mut c);
         }
-        let unorm: f64 = c.iter().map(|x| x * x).sum::<f64>().sqrt();
-        let vnorm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let unorm: f64 = kernels::norm2_sq_f64(&c).sqrt();
+        let vnorm: f64 = kernels::norm2_sq_f64(&v).sqrt();
         approx_norm2 += (unorm * vnorm).powi(2);
         us.push(c.clone());
         vs.push(v);
@@ -309,6 +306,7 @@ impl CompressedMatrix {
             return Err(Error::Geometry("no panels".into()));
         }
         let _span = telemetry::span("ies3.build");
+        kernels::note_dispatch(1);
         let n = panels.len();
         let mut perm: Vec<usize> = (0..n).collect();
         let (clusters, root) = build_tree(panels, &mut perm, opts.leaf_size);
@@ -351,23 +349,27 @@ impl CompressedMatrix {
         // Phase 2 (parallel): each block compresses independently; results
         // land back in job order.
         let perm_ref = &perm;
-        let blocks = parallel::par_map_indexed(jobs.len(), |k| {
-            let entry = |gi: usize, gj: usize| green.coefficient(&panels[gi], &panels[gj], gi, gj);
-            match jobs[k] {
-                Job::LowRank { ci, cj } => {
-                    let (a, b) = (&clusters[ci], &clusters[cj]);
-                    let rows: Vec<usize> = perm_ref[a.lo..a.hi].to_vec();
-                    let cols: Vec<usize> = perm_ref[b.lo..b.hi].to_vec();
-                    let (u, vt) = aca_block(&entry, &rows, &cols, opts.tol, opts.max_rank);
-                    Block::LowRank { row0: a.lo, col0: b.lo, u, vt }
+        let blocks = parallel::par_map_indexed(jobs.len(), |k| match jobs[k] {
+            Job::LowRank { ci, cj } => {
+                let (a, b) = (&clusters[ci], &clusters[cj]);
+                let rows: Vec<usize> = perm_ref[a.lo..a.hi].to_vec();
+                let cols: Vec<usize> = perm_ref[b.lo..b.hi].to_vec();
+                let (u, vt) = aca_block(panels, green, &rows, &cols, opts.tol, opts.max_rank);
+                Block::LowRank { row0: a.lo, col0: b.lo, u, vt }
+            }
+            Job::Dense { ci, cj } => {
+                let (a, b) = (&clusters[ci], &clusters[cj]);
+                let cols: Vec<usize> = perm_ref[b.lo..b.hi].to_vec();
+                let mut m = Mat::zeros(a.len(), b.len());
+                for i in 0..a.len() {
+                    green.coefficient_row_into(
+                        &panels[perm_ref[a.lo + i]],
+                        panels,
+                        &cols,
+                        m.row_mut(i),
+                    );
                 }
-                Job::Dense { ci, cj } => {
-                    let (a, b) = (&clusters[ci], &clusters[cj]);
-                    let m = Mat::from_fn(a.len(), b.len(), |i, j| {
-                        entry(perm_ref[a.lo + i], perm_ref[b.lo + j])
-                    });
-                    Block::Dense { row0: a.lo, col0: b.lo, m }
-                }
+                Block::Dense { row0: a.lo, col0: b.lo, m }
             }
         });
         let cm = CompressedMatrix {
@@ -458,6 +460,7 @@ impl CompressedMatrix {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n, "matvec: length mismatch");
         assert_eq!(y.len(), self.n, "matvec_into: output length mismatch");
+        kernels::note_dispatch(1);
         if parallel::thread_count() <= 1 {
             self.matvec_serial(x, y);
             return;

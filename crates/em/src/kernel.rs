@@ -137,17 +137,23 @@ pub fn rect_integral(x0: f64, x1: f64, y0: f64, y1: f64, z: f64) -> f64 {
     f(x1, y1) - f(x0, y1) - f(x1, y0) + f(x0, y0)
 }
 
-/// `∫ 1/|obs − r'| dA'` over the source panel, with the source plane
-/// placed at height `src_z` (pass the mirrored height for image terms).
-/// The panel's in-plane frame is `(axis_a, ẑ × axis_a)`.
-fn panel_potential(obs: &Point3, src: &Panel, src_z: f64) -> f64 {
+/// In-plane relative coordinates `(du, dv)` of `obs` in the source
+/// panel's frame `(axis_a, ẑ × axis_a)`.
+fn in_plane(obs: &Point3, src: &Panel) -> (f64, f64) {
     let ax = src.axis_a;
-    // In-plane relative coordinates of the observation point.
     let rx = obs.x - src.center.x;
     let ry = obs.y - src.center.y;
     let du = rx * ax.x + ry * ax.y;
     // Second axis = ẑ × axis_a = (−ax.y, ax.x).
     let dv = -rx * ax.y + ry * ax.x;
+    (du, dv)
+}
+
+/// `∫ 1/|obs − r'| dA'` over the source panel, with the source plane
+/// placed at height `src_z` (pass the mirrored height for image terms).
+/// The panel's in-plane frame is `(axis_a, ẑ × axis_a)`.
+fn panel_potential(obs: &Point3, src: &Panel, src_z: f64) -> f64 {
+    let (du, dv) = in_plane(obs, src);
     let dz = obs.z - src_z;
     rect_integral(
         du - src.len_a / 2.0,
@@ -156,6 +162,205 @@ fn panel_potential(obs: &Point3, src: &Panel, src_z: f64) -> f64 {
         dv + src.len_b / 2.0,
         dz,
     )
+}
+
+/// Corner signs of the four-corner antiderivative evaluation in
+/// [`rect_integral`]: `f(x1,y1) − f(x0,y1) − f(x1,y0) + f(x0,y0)`.
+const CORNER_SIGNS: [f64; 4] = [1.0, -1.0, -1.0, 1.0];
+
+/// Corner-evaluation arrays for the batched quadrature: per corner, the
+/// arguments and multipliers of the two `asinh` terms and the `atan`
+/// term of the [`rect_integral`] antiderivative. The argument arrays are
+/// transformed **in place** by the vectorized slice kernels.
+#[derive(Debug, Default)]
+struct QuadScratch {
+    asinh_a: Vec<f64>,
+    mult_a: Vec<f64>,
+    asinh_b: Vec<f64>,
+    mult_b: Vec<f64>,
+    atan_c: Vec<f64>,
+    mult_c: Vec<f64>,
+}
+
+impl QuadScratch {
+    fn with_capacity(m: usize) -> Self {
+        QuadScratch {
+            asinh_a: Vec::with_capacity(m),
+            mult_a: Vec::with_capacity(m),
+            asinh_b: Vec::with_capacity(m),
+            mult_b: Vec::with_capacity(m),
+            atan_c: Vec::with_capacity(m),
+            mult_c: Vec::with_capacity(m),
+        }
+    }
+
+    /// Pushes the four corner evaluations of one rectangle integral with
+    /// the source plane at signed height `dz` below the observation
+    /// point. A vanishing term (`hx`, `hy`, or `az` zero) is encoded as
+    /// a zero argument **and** zero multiplier, so it contributes exactly
+    /// 0 — matching the guard branches in [`rect_integral`].
+    fn push_corners(&mut self, du: f64, dv: f64, dz: f64, la: f64, lb: f64) {
+        let x0 = du - la / 2.0;
+        let x1 = du + la / 2.0;
+        let y0 = dv - lb / 2.0;
+        let y1 = dv + lb / 2.0;
+        let az = dz.abs();
+        for (x, y) in [(x1, y1), (x0, y1), (x1, y0), (x0, y0)] {
+            let hx = (x * x + dz * dz).sqrt();
+            let hy = (y * y + dz * dz).sqrt();
+            let r = (x * x + y * y + dz * dz).sqrt();
+            if hx > 0.0 {
+                self.asinh_a.push(y / hx);
+                self.mult_a.push(x);
+            } else {
+                self.asinh_a.push(0.0);
+                self.mult_a.push(0.0);
+            }
+            if hy > 0.0 {
+                self.asinh_b.push(x / hy);
+                self.mult_b.push(y);
+            } else {
+                self.asinh_b.push(0.0);
+                self.mult_b.push(0.0);
+            }
+            if az > 0.0 {
+                self.atan_c.push(x * y / (az * r));
+                self.mult_c.push(az);
+            } else {
+                self.atan_c.push(0.0);
+                self.mult_c.push(0.0);
+            }
+        }
+    }
+
+    /// Combines the four corner evaluations starting at `k` after the
+    /// slice kernels transformed the argument arrays in place.
+    fn quad(&self, k: usize) -> f64 {
+        let mut acc = 0.0;
+        for (c, sign) in CORNER_SIGNS.iter().enumerate() {
+            let i = k + c;
+            acc += sign
+                * (self.mult_a[i] * self.asinh_a[i] + self.mult_b[i] * self.asinh_b[i]
+                    - self.mult_c[i] * self.atan_c[i]);
+        }
+        acc
+    }
+}
+
+impl GreenFn {
+    /// Batched coefficient evaluation through the vectorized
+    /// `asinh`/`atan` slice kernels: `out[t] = coefficient` for the
+    /// `t`-th (observation point, source panel) pair. Only called when
+    /// SIMD dispatch is active; accuracy vs the scalar path is bounded
+    /// by the ~1 ulp vector transcendentals.
+    fn batch_coefficients<'a>(
+        &self,
+        n: usize,
+        pair: impl Fn(usize) -> (&'a Point3, &'a Panel),
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(out.len(), n);
+        let eps = self.eps();
+        // Result = scale · (direct + w·image) per variant.
+        let (has_direct, image) = match self {
+            GreenFn::FreeSpace { .. } => (true, None),
+            GreenFn::GroundPlane { z0, .. } => (true, Some((*z0, -1.0))),
+            GreenFn::HalfSpace { z0, k, .. } => (true, Some((*z0, -*k))),
+            GreenFn::ImageOnly { z0, .. } => (false, Some((*z0, 1.0))),
+        };
+        let evals_per = 4 * (usize::from(has_direct) + usize::from(image.is_some()));
+        let mut s = QuadScratch::with_capacity(n * evals_per);
+        for t in 0..n {
+            let (obs, src) = pair(t);
+            let (du, dv) = in_plane(obs, src);
+            if has_direct {
+                s.push_corners(du, dv, obs.z - src.center.z, src.len_a, src.len_b);
+            }
+            if let Some((z0, _)) = image {
+                s.push_corners(du, dv, obs.z - (2.0 * z0 - src.center.z), src.len_a, src.len_b);
+            }
+        }
+        rfsim_numerics::kernels::asinh_slice(&mut s.asinh_a);
+        rfsim_numerics::kernels::asinh_slice(&mut s.asinh_b);
+        rfsim_numerics::kernels::atan_slice(&mut s.atan_c);
+        let mut k = 0;
+        for (t, o) in out.iter_mut().enumerate() {
+            let (_, src) = pair(t);
+            let scale = 1.0 / (4.0 * std::f64::consts::PI * eps * src.area());
+            let mut val = 0.0;
+            if has_direct {
+                val += s.quad(k);
+                k += 4;
+            }
+            if let Some((_, w)) = image {
+                val += w * s.quad(k);
+                k += 4;
+            }
+            *o = scale * val;
+        }
+    }
+
+    /// Row fill `out[c] = coefficient(pi, panels[cols[c]])`, batched
+    /// through the vectorized quadrature when SIMD dispatch is active;
+    /// bitwise-identical scalar evaluation otherwise.
+    ///
+    /// # Panics
+    /// Panics if `cols.len() != out.len()`.
+    pub fn coefficient_row_into(
+        &self,
+        pi: &Panel,
+        panels: &[Panel],
+        cols: &[usize],
+        out: &mut [f64],
+    ) {
+        assert_eq!(cols.len(), out.len(), "coefficient_row_into: length mismatch");
+        if rfsim_numerics::kernels::simd_active() {
+            self.batch_coefficients(cols.len(), |t| (&pi.center, &panels[cols[t]]), out);
+        } else {
+            for (o, &j) in out.iter_mut().zip(cols) {
+                *o = self.coefficient(pi, &panels[j], 0, j);
+            }
+        }
+    }
+
+    /// Column fill `out[r] = coefficient(panels[rows[r]], pj)`, batched
+    /// through the vectorized quadrature when SIMD dispatch is active;
+    /// bitwise-identical scalar evaluation otherwise.
+    ///
+    /// # Panics
+    /// Panics if `rows.len() != out.len()`.
+    pub fn coefficient_col_into(
+        &self,
+        pj: &Panel,
+        panels: &[Panel],
+        rows: &[usize],
+        out: &mut [f64],
+    ) {
+        assert_eq!(rows.len(), out.len(), "coefficient_col_into: length mismatch");
+        if rfsim_numerics::kernels::simd_active() {
+            self.batch_coefficients(rows.len(), |t| (&panels[rows[t]].center, pj), out);
+        } else {
+            for (o, &i) in out.iter_mut().zip(rows) {
+                *o = self.coefficient(&panels[i], pj, i, 0);
+            }
+        }
+    }
+
+    /// Full-row fill `out[j] = coefficient(pi, panels[j])` — the dense
+    /// assembly hot path, without index indirection.
+    ///
+    /// # Panics
+    /// Panics if `panels.len() != out.len()`.
+    pub fn coefficient_row_full(&self, pi: &Panel, panels: &[Panel], out: &mut [f64]) {
+        assert_eq!(panels.len(), out.len(), "coefficient_row_full: length mismatch");
+        if rfsim_numerics::kernels::simd_active() {
+            self.batch_coefficients(panels.len(), |t| (&pi.center, &panels[t]), out);
+        } else {
+            for (j, (o, pj)) in out.iter_mut().zip(panels).enumerate() {
+                *o = self.coefficient(pi, pj, 0, j);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

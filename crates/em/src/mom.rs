@@ -68,13 +68,15 @@ impl MomProblem {
     /// the "traditional" representation IES³ compresses away).
     pub fn assemble_dense(&self) -> Mat<f64> {
         let n = self.panels.len();
+        rfsim_numerics::kernels::note_dispatch(1);
         let mut a = Mat::zeros(n, n);
         // Row-parallel fill: the matrix is row-major, so each chunk of `n`
-        // entries is one row and rows are disjoint.
+        // entries is one row and rows are disjoint. Each row batches its
+        // quadrature through the vectorized kernels when SIMD dispatch is
+        // active (per-row batching keeps the result independent of the
+        // thread count either way).
         parallel::par_chunks_mut(a.as_mut_slice(), n, |i, row| {
-            for (j, v) in row.iter_mut().enumerate() {
-                *v = self.green.coefficient(&self.panels[i], &self.panels[j], i, j);
-            }
+            self.green.coefficient_row_full(&self.panels[i], &self.panels, row);
         });
         a
     }

@@ -16,6 +16,9 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// let j = Complex::I;
 /// assert_eq!(j * j, Complex::new(-1.0, 0.0));
 /// ```
+// repr(C) pins the (re, im) field order: the SIMD kernels view
+// `&[Complex]` as interleaved f64 pairs.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
     /// Real part.
@@ -230,29 +233,31 @@ impl Sum for Complex {
     }
 }
 
-/// Euclidean norm of a complex vector.
+/// Euclidean norm of a complex vector (SIMD-dispatched; the scalar path
+/// keeps the historical `Σ |z|²` accumulation bitwise).
 pub fn cnorm2(v: &[Complex]) -> f64 {
-    v.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt()
+    crate::kernels::cnorm2_sq(v).sqrt()
 }
 
 /// Conjugated dot product `⟨a, b⟩ = Σ āᵢ bᵢ` (conjugate-linear in `a`).
+/// SIMD-dispatched; the scalar path keeps the historical accumulation
+/// order bitwise.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn cdot(a: &[Complex], b: &[Complex]) -> Complex {
     assert_eq!(a.len(), b.len(), "cdot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x.conj() * *y).sum()
+    crate::kernels::cdot(a, b)
 }
 
-/// `y ← y + alpha·x` for complex vectors.
+/// `y ← y + alpha·x` for complex vectors (SIMD-dispatched; the scalar
+/// path keeps the historical loop bitwise).
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn caxpy(alpha: Complex, x: &[Complex], y: &mut [Complex]) {
     assert_eq!(x.len(), y.len(), "caxpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * *xi;
-    }
+    crate::kernels::caxpy(alpha, x, y);
 }
 
 #[cfg(test)]

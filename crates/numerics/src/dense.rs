@@ -11,6 +11,11 @@ use crate::{Error, Result};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
+/// Panel width for the blocked LU factorization. Sized so a panel row
+/// segment plus the pivot row stay L1-resident; factors of order ≤ 32
+/// (the HB per-bin blocks) degenerate to the classic unblocked sweep.
+pub const LU_PANEL: usize = 32;
+
 /// A dense row-major matrix over scalar type `T`.
 ///
 /// ```
@@ -158,12 +163,9 @@ impl<T: Scalar> Mat<T> {
         assert_eq!(x.len(), self.cols, "matvec: length mismatch");
         assert_eq!(y.len(), self.rows, "matvec_into: output length mismatch");
         for i in 0..self.rows {
-            let row = self.row(i);
-            let mut acc = T::ZERO;
-            for (a, b) in row.iter().zip(x) {
-                acc += *a * *b;
-            }
-            y[i] = acc;
+            // Unconjugated row·x kernel; its scalar fallback matches the
+            // historical accumulation loop bitwise.
+            y[i] = T::slice_dotu(self.row(i), x);
         }
     }
 
@@ -175,14 +177,15 @@ impl<T: Scalar> Mat<T> {
         assert_eq!(self.cols, b.rows, "matmul: inner dimension mismatch");
         let mut c = Mat::zeros(self.rows, b.cols);
         for i in 0..self.rows {
+            let ci = c.row_mut(i);
             for k in 0..self.cols {
                 let aik = self[(i, k)];
                 if aik == T::ZERO {
                     continue;
                 }
-                for j in 0..b.cols {
-                    c[(i, j)] += aik * b[(k, j)];
-                }
+                // ikj update c_i ← c_i + a_ik·b_k as a row axpy; the
+                // scalar fallback matches the historical loop bitwise.
+                T::slice_axpy(aik, b.row(k), ci);
             }
         }
         c
@@ -205,7 +208,24 @@ impl<T: Scalar> Mat<T> {
         self.data.iter().fold(0.0, |m, v| m.max(v.modulus()))
     }
 
-    /// LU factorization with partial pivoting.
+    /// Splits out row `k` (shared) and row `i` (mutable). Requires `k < i`.
+    fn row_pair_mut(&mut self, k: usize, i: usize) -> (&[T], &mut [T]) {
+        debug_assert!(k < i, "row_pair_mut: need k < i");
+        let c = self.cols;
+        let (top, bottom) = self.data.split_at_mut(i * c);
+        (&top[k * c..(k + 1) * c], &mut bottom[..c])
+    }
+
+    /// LU factorization with partial pivoting, organized as a blocked
+    /// right-looking panel sweep (panel width [`LU_PANEL`]).
+    ///
+    /// Within a panel, rank-1 updates touch only the panel's own columns;
+    /// the update of the trailing block is deferred to one pass of long
+    /// row axpys per panel, which both streams cache lines and feeds the
+    /// SIMD axpy kernel. Every element still receives its updates in
+    /// ascending-`k` order with the same multiplier values, so the
+    /// factorization (pivot choices included) is bitwise-identical to the
+    /// classic unblocked loop whenever the scalar kernels are active.
     ///
     /// # Errors
     /// Returns [`Error::Singular`] if a pivot is exactly zero, and
@@ -215,45 +235,65 @@ impl<T: Scalar> Mat<T> {
             return Err(Error::InvalidArgument("lu: matrix must be square"));
         }
         rfsim_telemetry::counter_add("lu.dense.factorizations", 1);
+        crate::kernels::note_dispatch(1);
         let n = self.rows;
         let mut a = self.clone();
         let mut perm: Vec<usize> = (0..n).collect();
         let mut sign_swaps = 0usize;
-        for k in 0..n {
-            // Partial pivot: largest modulus in column k at or below row k.
-            let mut p = k;
-            let mut pmax = a[(k, k)].modulus();
-            for i in k + 1..n {
-                let m = a[(i, k)].modulus();
-                if m > pmax {
-                    pmax = m;
-                    p = i;
+        let mut kb = 0usize;
+        while kb < n {
+            let pe = (kb + LU_PANEL).min(n);
+            for k in kb..pe {
+                // Partial pivot: largest modulus in column k at or below
+                // row k.
+                let mut p = k;
+                let mut pmax = a[(k, k)].modulus();
+                for i in k + 1..n {
+                    let m = a[(i, k)].modulus();
+                    if m > pmax {
+                        pmax = m;
+                        p = i;
+                    }
+                }
+                if pmax == 0.0 {
+                    return Err(Error::Singular(k));
+                }
+                if p != k {
+                    for j in 0..n {
+                        let tmp = a[(k, j)];
+                        a[(k, j)] = a[(p, j)];
+                        a[(p, j)] = tmp;
+                    }
+                    perm.swap(k, p);
+                    sign_swaps += 1;
+                }
+                let pivot = a[(k, k)];
+                for i in k + 1..n {
+                    let l = a[(i, k)] / pivot;
+                    a[(i, k)] = l;
+                    if l == T::ZERO {
+                        continue;
+                    }
+                    // In-panel rank-1 update: panel columns only.
+                    let (rk, ri) = a.row_pair_mut(k, i);
+                    T::slice_axpy(-l, &rk[k + 1..pe], &mut ri[k + 1..pe]);
                 }
             }
-            if pmax == 0.0 {
-                return Err(Error::Singular(k));
-            }
-            if p != k {
-                for j in 0..n {
-                    let tmp = a[(k, j)];
-                    a[(k, j)] = a[(p, j)];
-                    a[(p, j)] = tmp;
-                }
-                perm.swap(k, p);
-                sign_swaps += 1;
-            }
-            let pivot = a[(k, k)];
-            for i in k + 1..n {
-                let l = a[(i, k)] / pivot;
-                a[(i, k)] = l;
-                if l == T::ZERO {
-                    continue;
-                }
-                for j in k + 1..n {
-                    let akj = a[(k, j)];
-                    a[(i, j)] -= l * akj;
+            // Deferred trailing update: columns pe..n catch up on every
+            // elimination step of this panel, in ascending-k order.
+            if pe < n {
+                for i in kb + 1..n {
+                    for k in kb..pe.min(i) {
+                        let l = a[(i, k)];
+                        if l == T::ZERO {
+                            continue;
+                        }
+                        let (rk, ri) = a.row_pair_mut(k, i);
+                        T::slice_axpy(-l, &rk[pe..], &mut ri[pe..]);
+                    }
                 }
             }
+            kb = pe;
         }
         Ok(Lu { lu: a, perm, sign_swaps })
     }
@@ -426,6 +466,21 @@ impl<T: Scalar> Lu<T> {
         for (xi, &p) in x.iter_mut().zip(&self.perm) {
             *xi = b[p];
         }
+        if crate::kernels::simd_active() {
+            // Row-dot substitution: one fused reduction per row. The
+            // reduction reassociates relative to the sequential loop, so
+            // this arm only runs under the tolerance-gated SIMD dispatch.
+            for i in 1..n {
+                let (head, tail) = x.split_at_mut(i);
+                tail[0] -= T::slice_dotu(&self.lu.row(i)[..i], head);
+            }
+            for i in (0..n).rev() {
+                let (head, tail) = x.split_at_mut(i + 1);
+                let acc = head[i] - T::slice_dotu(&self.lu.row(i)[i + 1..], tail);
+                head[i] = acc / self.lu[(i, i)];
+            }
+            return Ok(());
+        }
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
             let mut acc = x[i];
@@ -493,6 +548,111 @@ impl<T: Scalar> Lu<T> {
     }
 }
 
+/// Single-precision shadow of a factored complex [`Lu`]: the factors are
+/// stored row-major as interleaved re/im `f32` pairs, halving the memory
+/// traffic of every triangular solve, while the substitution itself
+/// accumulates in f64 (see [`kernels::cdotu_widen`]).
+///
+/// Intended for preconditioner application — the outer iteration
+/// converges on the true f64 residual, so ~7 significant digits in the
+/// *preconditioning operator* cost nothing in final accuracy. Built with
+/// [`Lu::to_single`], which refuses factors that do not survive the
+/// narrowing (overflow or a diagonal that underflows to zero).
+///
+/// [`kernels::cdotu_widen`]: crate::kernels::cdotu_widen
+pub struct LuSingle {
+    /// Row-major interleaved re/im factors (`2·n·n` values).
+    lu: Vec<f32>,
+    perm: Vec<usize>,
+    n: usize,
+}
+
+impl Lu<crate::Complex> {
+    /// Narrows the factors to an f32 [`LuSingle`], or `None` when any
+    /// entry overflows f32 or a pivot underflows to zero — callers fall
+    /// back to the full-precision solve in that case.
+    pub fn to_single(&self) -> Option<LuSingle> {
+        let n = self.lu.rows;
+        let mut data = Vec::with_capacity(2 * n * n);
+        for i in 0..n {
+            for z in self.lu.row(i) {
+                let (re, im) = (z.re as f32, z.im as f32);
+                if !re.is_finite() || !im.is_finite() {
+                    return None;
+                }
+                data.push(re);
+                data.push(im);
+            }
+        }
+        for i in 0..n {
+            if data[2 * i * n + 2 * i] == 0.0 && data[2 * i * n + 2 * i + 1] == 0.0 {
+                return None;
+            }
+        }
+        Some(LuSingle { lu: data, perm: self.perm.clone(), n })
+    }
+}
+
+impl LuSingle {
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Resident bytes of the narrowed factors.
+    pub fn bytes(&self) -> usize {
+        self.lu.len() * 4 + self.perm.len() * 8
+    }
+
+    /// Solves `A·x ≈ b` against the narrowed factors (forward + back
+    /// substitution with f64 accumulation). Relative accuracy is limited
+    /// by the f32 factor storage, roughly `1e-6·κ(A)`.
+    ///
+    /// # Errors
+    /// Returns [`Error::DimensionMismatch`] when `b` or `x` has the
+    /// wrong length.
+    pub fn solve_into(&self, b: &[crate::Complex], x: &mut [crate::Complex]) -> Result<()> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(Error::DimensionMismatch { expected: n, found: b.len() });
+        }
+        if x.len() != n {
+            return Err(Error::DimensionMismatch { expected: n, found: x.len() });
+        }
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
+        // Row-dot substitution, same shape as the f64 SIMD arm of
+        // `Lu::solve_into`: one fused reduction per row.
+        for i in 1..n {
+            let row = &self.lu[2 * i * n..2 * i * n + 2 * i];
+            let (head, tail) = x.split_at_mut(i);
+            tail[0] -= crate::kernels::cdotu_widen(row, head);
+        }
+        for i in (0..n).rev() {
+            let row = &self.lu[2 * i * n + 2 * (i + 1)..2 * (i + 1) * n];
+            let diag = crate::Complex::new(
+                self.lu[2 * i * n + 2 * i] as f64,
+                self.lu[2 * i * n + 2 * i + 1] as f64,
+            );
+            let (head, tail) = x.split_at_mut(i + 1);
+            let acc = head[i] - crate::kernels::cdotu_widen(row, tail);
+            head[i] = acc / diag;
+        }
+        Ok(())
+    }
+
+    /// Allocating form of [`LuSingle::solve_into`].
+    ///
+    /// # Errors
+    /// Returns [`Error::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[crate::Complex]) -> Result<Vec<crate::Complex>> {
+        let mut x = vec![crate::Complex::ZERO; self.n];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+}
+
 /// Householder QR factorization of a real or complex matrix, `A = Q·R`.
 ///
 /// Used by the Arnoldi ROM and by least-squares fits in the extraction crate.
@@ -533,9 +693,7 @@ impl<T: Scalar> Qr<T> {
                     let qi = q.col(i);
                     let h = crate::scalar::gdot(&qi, &v);
                     r[(i, j)] += h;
-                    for k in 0..m {
-                        v[k] -= h * qi[k];
-                    }
+                    T::slice_axpy(-h, &qi, &mut v);
                 }
             }
             let nrm = crate::scalar::gnorm2(&v);
@@ -543,9 +701,7 @@ impl<T: Scalar> Qr<T> {
                 return Err(Error::Breakdown("qr: linearly dependent column"));
             }
             r[(j, j)] = T::from_f64(nrm);
-            for x in &mut v {
-                *x = x.scale_by(1.0 / nrm);
-            }
+            T::slice_scale(&mut v, 1.0 / nrm);
             q.set_col(j, &v);
         }
         Ok(Qr { q, r })

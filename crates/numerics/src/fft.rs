@@ -34,6 +34,11 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// In-place radix-2 decimation-in-time FFT.
 ///
+/// Builds the per-stage twiddles with the same `w ← w·wlen` recurrence
+/// the cached [`FftPlan`] tables use and runs the shared butterfly
+/// executor, so this unplanned entry point stays bitwise-identical to the
+/// planned path under **both** kernel dispatch modes (scalar and AVX2).
+///
 /// # Panics
 /// Panics if `data.len()` is not a power of two (use [`dft`] for arbitrary
 /// lengths).
@@ -44,37 +49,7 @@ pub fn fft_pow2(data: &mut [Complex]) {
     if n <= 1 {
         return;
     }
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 1..n {
-        let mut bit = n >> 1;
-        while j & bit != 0 {
-            j ^= bit;
-            bit >>= 1;
-        }
-        j |= bit;
-        if i < j {
-            data.swap(i, j);
-        }
-    }
-    let mut len = 2;
-    while len <= n {
-        let ang = -2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::from_polar(1.0, ang);
-        let mut i = 0;
-        while i < n {
-            let mut w = Complex::ONE;
-            for k in 0..len / 2 {
-                let u = data[i + k];
-                let v = data[i + k + len / 2] * w;
-                data[i + k] = u + v;
-                data[i + k + len / 2] = u - v;
-                w *= wlen;
-            }
-            i += len;
-        }
-        len <<= 1;
-    }
+    Pow2Tables::build(n).forward(data);
 }
 
 /// In-place inverse radix-2 FFT (normalized by 1/n).
@@ -142,24 +117,10 @@ impl Pow2Tables {
                 data.swap(i, j);
             }
         }
-        let mut off = 0usize;
-        let mut len = 2;
-        while len <= n {
-            let half = len / 2;
-            let tw = &self.twiddles[off..off + half];
-            let mut i = 0;
-            while i < n {
-                for k in 0..half {
-                    let u = data[i + k];
-                    let v = data[i + k + half] * tw[k];
-                    data[i + k] = u + v;
-                    data[i + k + half] = u - v;
-                }
-                i += len;
-            }
-            off += half;
-            len <<= 1;
-        }
+        // Shared butterfly executor: scalar loop replays the historical
+        // staged butterflies bitwise; the AVX2 arm packs two butterflies
+        // per vector (tolerance-gated reassociation via FMA).
+        crate::kernels::fft_stages(data, &self.twiddles);
     }
 
     /// In-place inverse FFT (normalized by 1/n); bitwise identical to
@@ -175,6 +136,79 @@ impl Pow2Tables {
             *z = z.conj().scale(scale);
         }
     }
+
+    /// Forward-transforms `count` interleaved lines directly on the
+    /// strided layout (line `i` keeps sample `s` at `field[s·stride + i]`):
+    /// row-swap bit reversal, then each butterfly runs across the batch
+    /// axis, which is contiguous — no gather/scatter, one broadcast
+    /// twiddle per butterfly. Per line this performs the same staged
+    /// butterflies as [`Pow2Tables::forward`]; the SIMD complex product
+    /// uses FMA, so results sit within kernel tolerance of the gathered
+    /// path rather than bitwise on it.
+    fn forward_strided_batch(&self, field: &mut [Complex], count: usize, stride: usize) {
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            if i < j {
+                let (lo, hi) = row_pair_mut(field, stride, count, i, j);
+                lo.swap_with_slice(hi);
+            }
+        }
+        let mut off = 0usize;
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let tw = &self.twiddles[off..off + half];
+            let mut base = 0usize;
+            while base < n {
+                for k in 0..half {
+                    let (lo, hi) = row_pair_mut(field, stride, count, base + k, base + k + half);
+                    crate::kernels::cbutterfly_rows(lo, hi, tw[k]);
+                }
+                base += len;
+            }
+            off += half;
+            len <<= 1;
+        }
+    }
+
+    /// Inverse counterpart of [`Pow2Tables::forward_strided_batch`]
+    /// (conjugate rows, forward, conjugate-and-scale by 1/n — the same
+    /// structure as [`Pow2Tables::inverse`]).
+    fn inverse_strided_batch(&self, field: &mut [Complex], count: usize, stride: usize) {
+        let n = self.n;
+        for s in 0..n {
+            crate::kernels::cconj_scale(&mut field[s * stride..s * stride + count], 1.0);
+        }
+        self.forward_strided_batch(field, count, stride);
+        let scale = 1.0 / n as f64;
+        for s in 0..n {
+            crate::kernels::cconj_scale(&mut field[s * stride..s * stride + count], scale);
+        }
+    }
+}
+
+/// Two disjoint row views (`r1 < r2`, first `count` entries each) of a
+/// sample-major strided field.
+fn row_pair_mut(
+    field: &mut [Complex],
+    stride: usize,
+    count: usize,
+    r1: usize,
+    r2: usize,
+) -> (&mut [Complex], &mut [Complex]) {
+    debug_assert!(r1 < r2);
+    let (a, b) = field.split_at_mut(r2 * stride);
+    (&mut a[r1 * stride..r1 * stride + count], &mut b[..count])
 }
 
 /// Cached Bluestein machinery for one non-power-of-two length `n`: the
@@ -189,7 +223,22 @@ struct BluesteinTables {
     kernel_fwd: Vec<Complex>,
     chirp_inv: Vec<Complex>,
     kernel_inv: Vec<Complex>,
+    /// Dense n-th root twiddles for small lengths (`n ≤ SMALL_DENSE_MAX`):
+    /// `dense_fwd[j] = exp(−2πij/n)` and `dense_inv[j] = conj(·)/n` with
+    /// the inverse normalization folded in. The batched strided executor
+    /// applies these as a direct n×n matrix — for lengths this small that
+    /// is fewer operations (and far less traffic) than the Bluestein
+    /// convolution through two padded power-of-two FFTs.
+    dense_fwd: Option<Vec<Complex>>,
+    dense_inv: Option<Vec<Complex>>,
 }
+
+/// Largest length executed as a dense twiddle matrix by the batched
+/// strided path. At `n` points the dense apply costs `n²` multiply-adds
+/// per line versus roughly `m·log₂m + 3m` (with `m = 2^⌈log₂(2n−1)⌉`)
+/// for Bluestein, so the dense form wins comfortably through every odd
+/// harmonic-balance axis (`2h+1 ≤ 15` for `h ≤ 7`).
+const SMALL_DENSE_MAX: usize = 16;
 
 impl BluesteinTables {
     fn build(n: usize) -> Self {
@@ -197,7 +246,27 @@ impl BluesteinTables {
         let pow2 = Pow2Tables::build(m);
         let (chirp_fwd, kernel_fwd) = Self::chirp_and_kernel(n, m, &pow2, false);
         let (chirp_inv, kernel_inv) = Self::chirp_and_kernel(n, m, &pow2, true);
-        BluesteinTables { m, pow2, chirp_fwd, kernel_fwd, chirp_inv, kernel_inv }
+        let (dense_fwd, dense_inv) = if n <= SMALL_DENSE_MAX {
+            let fwd: Vec<Complex> = (0..n)
+                .map(|j| {
+                    Complex::from_polar(1.0, -2.0 * std::f64::consts::PI * j as f64 / n as f64)
+                })
+                .collect();
+            let inv = fwd.iter().map(|w| w.conj().scale(1.0 / n as f64)).collect();
+            (Some(fwd), Some(inv))
+        } else {
+            (None, None)
+        };
+        BluesteinTables {
+            m,
+            pow2,
+            chirp_fwd,
+            kernel_fwd,
+            chirp_inv,
+            kernel_inv,
+            dense_fwd,
+            dense_inv,
+        }
     }
 
     fn chirp_and_kernel(
@@ -246,6 +315,79 @@ impl BluesteinTables {
         for k in 0..n {
             data[k] = work[k] * chirp[k];
         }
+    }
+
+    /// Batched chirp-z transform of `count` interleaved lines: the chirp
+    /// and kernel rows apply one constant per sample row, and both inner
+    /// power-of-two convolution FFTs run through the batched strided
+    /// executor. `work` holds the `m × count` convolution field.
+    fn execute_strided_batch(
+        &self,
+        field: &mut [Complex],
+        count: usize,
+        stride: usize,
+        work: &mut Vec<Complex>,
+        inverse: bool,
+    ) {
+        let n = field.len() / stride;
+        let (chirp, kernel) = if inverse {
+            (&self.chirp_inv, &self.kernel_inv)
+        } else {
+            (&self.chirp_fwd, &self.kernel_fwd)
+        };
+        work.clear();
+        work.resize(self.m * count, Complex::ZERO);
+        for k in 0..n {
+            crate::kernels::cmul_rows(
+                &mut work[k * count..(k + 1) * count],
+                &field[k * stride..k * stride + count],
+                chirp[k],
+            );
+        }
+        self.pow2.forward_strided_batch(work, count, count);
+        for (s, &w) in kernel.iter().enumerate() {
+            crate::kernels::cmul_row_inplace(&mut work[s * count..(s + 1) * count], w);
+        }
+        self.pow2.inverse_strided_batch(work, count, count);
+        for k in 0..n {
+            crate::kernels::cmul_rows(
+                &mut field[k * stride..k * stride + count],
+                &work[k * count..(k + 1) * count],
+                chirp[k],
+            );
+        }
+    }
+
+    /// Batched direct DFT across `count` interleaved lines for small
+    /// lengths: output row `k` is `Σₛ w^{ks}·(input row s)`, applied with
+    /// contiguous row kernels over the batch axis. Returns `false` (and
+    /// touches nothing) when the plan length is above [`SMALL_DENSE_MAX`].
+    /// Inverse normalization is already folded into the twiddle table.
+    fn dense_strided_batch(
+        &self,
+        field: &mut [Complex],
+        count: usize,
+        stride: usize,
+        work: &mut Vec<Complex>,
+        inverse: bool,
+    ) -> bool {
+        let Some(tw) = (if inverse { self.dense_inv.as_ref() } else { self.dense_fwd.as_ref() })
+        else {
+            return false;
+        };
+        let n = tw.len();
+        work.clear();
+        for s in 0..n {
+            work.extend_from_slice(&field[s * stride..s * stride + count]);
+        }
+        for k in 0..n {
+            let row = &mut field[k * stride..k * stride + count];
+            crate::kernels::cmul_rows(row, &work[..count], tw[0]);
+            for s in 1..n {
+                crate::kernels::caxpy(tw[k * s % n], &work[s * count..(s + 1) * count], row);
+            }
+        }
+        true
     }
 }
 
@@ -315,6 +457,7 @@ impl FftPlan {
     pub fn forward(&self, data: &mut [Complex], scratch: &mut FftScratch) {
         assert_eq!(data.len(), self.n, "FftPlan::forward: length mismatch");
         rfsim_telemetry::counter_add("fft.calls", 1);
+        crate::kernels::note_dispatch(1);
         match &self.kind {
             PlanKind::Trivial => {}
             PlanKind::Pow2(t) => t.forward(data),
@@ -329,6 +472,7 @@ impl FftPlan {
     pub fn inverse(&self, data: &mut [Complex], scratch: &mut FftScratch) {
         assert_eq!(data.len(), self.n, "FftPlan::inverse: length mismatch");
         rfsim_telemetry::counter_add("fft.calls", 1);
+        crate::kernels::note_dispatch(1);
         match &self.kind {
             PlanKind::Trivial => {}
             PlanKind::Pow2(t) => t.inverse(data),
@@ -344,9 +488,13 @@ impl FftPlan {
 
     /// Forward-transforms `count` interleaved lines of a sample-major
     /// field in place: line `i` has its sample `s` at `field[s·stride + i]`
-    /// (so `field.len() == self.len()·stride` and `count ≤ stride`). Each
-    /// line is gathered into scratch, transformed, and scattered back —
-    /// bitwise identical to transforming the lines one by one.
+    /// (so `field.len() == self.len()·stride` and `count ≤ stride`).
+    /// Under scalar dispatch each line is gathered into scratch,
+    /// transformed, and scattered back — bitwise identical to transforming
+    /// the lines one by one. Under SIMD dispatch the butterflies run
+    /// directly on the strided layout across the contiguous batch axis
+    /// (within kernel tolerance of the per-line result, like every other
+    /// SIMD kernel path).
     pub fn forward_strided(
         &self,
         field: &mut [Complex],
@@ -379,6 +527,40 @@ impl FftPlan {
     ) {
         assert!(count <= stride, "FftPlan: batch count {count} exceeds stride {stride}");
         assert_eq!(field.len(), self.n * stride, "FftPlan: strided field length mismatch");
+        // Batched direct execution on the strided layout: butterflies and
+        // chirp rows run across the contiguous batch axis instead of
+        // gathering each line (which re-streams the whole field per line).
+        // SIMD-path only — the scalar arm keeps the historical gather loop
+        // and with it the bitwise reference behaviour.
+        if crate::kernels::simd_active() && count > 1 {
+            rfsim_telemetry::counter_add("fft.calls", count as u64);
+            crate::kernels::note_dispatch(count as u64);
+            match &self.kind {
+                PlanKind::Trivial => {}
+                PlanKind::Pow2(t) => {
+                    if inverse {
+                        t.inverse_strided_batch(field, count, stride);
+                    } else {
+                        t.forward_strided_batch(field, count, stride);
+                    }
+                }
+                PlanKind::Bluestein(t) => {
+                    if !t.dense_strided_batch(field, count, stride, &mut scratch.work, inverse) {
+                        t.execute_strided_batch(field, count, stride, &mut scratch.work, inverse);
+                        if inverse {
+                            let scale = 1.0 / self.n as f64;
+                            for s in 0..self.n {
+                                crate::kernels::cscale(
+                                    &mut field[s * stride..s * stride + count],
+                                    scale,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
         // The line buffer leaves the scratch while the transform may use
         // the scratch's Bluestein buffer.
         let mut line = std::mem::take(&mut scratch.line);
@@ -749,7 +931,14 @@ mod tests {
             let line: Vec<Complex> = (0..ns).map(|s| field[s * stride + i]).collect();
             let expect = if i < count { reference::dft(&line) } else { line };
             let got: Vec<Complex> = (0..ns).map(|s| batched[s * stride + i]).collect();
-            assert_bitwise(&got, &expect);
+            if crate::kernels::simd_active() && i < count {
+                // The batched SIMD executor is tolerance-level against the
+                // per-line path (FMA butterflies), like every SIMD kernel.
+                assert_close(&got, &expect, 1e-12);
+            } else {
+                // Scalar dispatch gathers line by line: bitwise contract.
+                assert_bitwise(&got, &expect);
+            }
         }
     }
 

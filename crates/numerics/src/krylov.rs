@@ -7,6 +7,7 @@
 //! is never formed — only its action on a vector — and GMRES solves the
 //! Newton correction through a [`LinearOperator`].
 
+use crate::aligned::AlignedVec;
 use crate::scalar::{gdot, gnorm2, Scalar};
 use crate::{Error, ResidualTail, Result};
 use rfsim_telemetry as telemetry;
@@ -266,8 +267,9 @@ impl<T: Scalar> Preconditioner<T> for BlockDiagPrecond<T> {
         for (k, lu) in self.blocks.iter().enumerate() {
             let lo = self.offsets[k];
             let hi = self.offsets[k + 1];
-            let x = lu.solve(&r[lo..hi])?;
-            z[lo..hi].copy_from_slice(&x);
+            // Batched allocation-free triangular solves straight into the
+            // output window; identical arithmetic to `Lu::solve`.
+            lu.solve_into(&r[lo..hi], &mut z[lo..hi])?;
         }
         Ok(())
     }
@@ -308,21 +310,24 @@ impl Default for KrylovOptions {
 /// Buffers grow to the largest problem seen and are then reused
 /// allocation-free; results are bitwise identical to [`gmres`].
 #[derive(Debug)]
-pub struct GmresWorkspace<T> {
-    v: Vec<Vec<T>>,
+pub struct GmresWorkspace<T: Copy> {
+    // The n-length arena buffers live in 32-byte [`AlignedVec`] storage so
+    // the AVX2 kernels see aligned loads; the O(m) Givens/Hessenberg
+    // arrays stay in plain `Vec`s.
+    v: Vec<AlignedVec<T>>,
     h: Vec<Vec<T>>,
     cs: Vec<T>,
     sn: Vec<T>,
     g: Vec<T>,
     y: Vec<T>,
-    zb: Vec<T>,
-    work: Vec<T>,
-    r: Vec<T>,
-    z: Vec<T>,
-    w: Vec<T>,
+    zb: AlignedVec<T>,
+    work: AlignedVec<T>,
+    r: AlignedVec<T>,
+    z: AlignedVec<T>,
+    w: AlignedVec<T>,
 }
 
-impl<T> Default for GmresWorkspace<T> {
+impl<T: Copy> Default for GmresWorkspace<T> {
     fn default() -> Self {
         GmresWorkspace {
             v: Vec::new(),
@@ -331,16 +336,16 @@ impl<T> Default for GmresWorkspace<T> {
             sn: Vec::new(),
             g: Vec::new(),
             y: Vec::new(),
-            zb: Vec::new(),
-            work: Vec::new(),
-            r: Vec::new(),
-            z: Vec::new(),
-            w: Vec::new(),
+            zb: AlignedVec::new(),
+            work: AlignedVec::new(),
+            r: AlignedVec::new(),
+            z: AlignedVec::new(),
+            w: AlignedVec::new(),
         }
     }
 }
 
-impl<T> GmresWorkspace<T> {
+impl<T: Copy> GmresWorkspace<T> {
     /// An empty workspace; buffers are sized on first use.
     pub fn new() -> Self {
         Self::default()
@@ -349,6 +354,12 @@ impl<T> GmresWorkspace<T> {
 
 /// Zero-fills `buf` at length `n`, reusing its allocation.
 fn reset_buf<T: Scalar>(buf: &mut Vec<T>, n: usize) {
+    buf.clear();
+    buf.resize(n, T::ZERO);
+}
+
+/// [`reset_buf`] for the 32-byte-aligned arena buffers.
+fn reset_avec<T: Scalar>(buf: &mut AlignedVec<T>, n: usize) {
     buf.clear();
     buf.resize(n, T::ZERO);
 }
@@ -391,6 +402,7 @@ pub fn gmres_with<T: Scalar>(
         return Err(Error::DimensionMismatch { expected: n, found: b.len() });
     }
     let _span = telemetry::span("krylov.gmres");
+    crate::kernels::note_dispatch(1);
     let mut trace = telemetry::TraceBuf::new("krylov.gmres");
     let mut monitor = telemetry::ResidualMonitor::new("krylov.gmres");
     let mut tail = ResidualTail::new();
@@ -400,16 +412,16 @@ pub fn gmres_with<T: Scalar>(
     let mut total_iters = 0usize;
 
     // Preconditioned RHS norm for the relative criterion.
-    reset_buf(&mut ws.zb, n);
+    reset_avec(&mut ws.zb, n);
     precond.apply(b, &mut ws.zb)?;
     let bnorm = gnorm2(&ws.zb).max(1e-300);
 
-    reset_buf(&mut ws.work, n);
-    reset_buf(&mut ws.r, n);
-    reset_buf(&mut ws.z, n);
-    reset_buf(&mut ws.w, n);
+    reset_avec(&mut ws.work, n);
+    reset_avec(&mut ws.r, n);
+    reset_avec(&mut ws.z, n);
+    reset_avec(&mut ws.w, n);
     if ws.v.len() < m + 1 {
-        ws.v.resize_with(m + 1, Vec::new);
+        ws.v.resize_with(m + 1, AlignedVec::new);
     }
     if ws.h.len() < m + 1 {
         ws.h.resize_with(m + 1, Vec::new);
@@ -438,10 +450,9 @@ pub fn gmres_with<T: Scalar>(
         reset_buf(&mut ws.sn, m);
         reset_buf(&mut ws.g, m + 1);
         ws.g[0] = T::from_f64(beta);
-        reset_buf(&mut ws.v[0], n);
-        for (v0, zi) in ws.v[0].iter_mut().zip(&ws.z) {
-            *v0 = zi.scale_by(1.0 / beta);
-        }
+        reset_avec(&mut ws.v[0], n);
+        ws.v[0].copy_from_slice(&ws.z);
+        T::slice_scale(&mut ws.v[0], 1.0 / beta);
         let mut k_used = 0;
         for k in 0..m {
             if total_iters >= opts.max_iters {
@@ -451,13 +462,11 @@ pub fn gmres_with<T: Scalar>(
             a.apply(&ws.v[k], &mut ws.work);
             matvecs += 1;
             precond.apply(&ws.work, &mut ws.w)?;
-            // Modified Gram–Schmidt.
+            // Modified Gram–Schmidt via the dispatched slice kernels.
             for i in 0..=k {
                 let hik = gdot(&ws.v[i], &ws.w);
                 ws.h[i][k] = hik;
-                for (wj, vj) in ws.w.iter_mut().zip(&ws.v[i]) {
-                    *wj -= hik * *vj;
-                }
+                T::slice_axpy(-hik, &ws.v[i], &mut ws.w);
             }
             let hk1 = gnorm2(&ws.w);
             ws.h[k + 1][k] = T::from_f64(hk1);
@@ -496,10 +505,9 @@ pub fn gmres_with<T: Scalar>(
             if resid_norm <= opts.tol {
                 break;
             }
-            reset_buf(&mut ws.v[k + 1], n);
-            for (vk1, wj) in ws.v[k + 1].iter_mut().zip(&ws.w) {
-                *vk1 = wj.scale_by(1.0 / hk1);
-            }
+            reset_avec(&mut ws.v[k + 1], n);
+            ws.v[k + 1].copy_from_slice(&ws.w);
+            T::slice_scale(&mut ws.v[k + 1], 1.0 / hk1);
         }
         // Solve the small triangular system h[0..k_used][..]·y = g.
         reset_buf(&mut ws.y, k_used);
@@ -515,9 +523,7 @@ pub fn gmres_with<T: Scalar>(
             }
         }
         for (j, yj) in ws.y.iter().enumerate() {
-            for i in 0..n {
-                x[i] += *yj * ws.v[j][i];
-            }
+            T::slice_axpy(*yj, &ws.v[j], &mut x);
         }
         if resid_norm <= opts.tol {
             let stats = IterStats { iterations: total_iters, residual: resid_norm, matvecs };
@@ -602,19 +608,15 @@ impl<T: Scalar> RecycleSpace<T> {
         let scale = gnorm2(&c);
         for (ui, ci) in self.u.iter().zip(&self.c) {
             let alpha = gdot(ci, &c);
-            for ((cj, uj), (ci_j, ui_j)) in c.iter_mut().zip(u.iter_mut()).zip(ci.iter().zip(ui)) {
-                *cj -= alpha * *ci_j;
-                *uj -= alpha * *ui_j;
-            }
+            T::slice_axpy(-alpha, ci, &mut c);
+            T::slice_axpy(-alpha, ui, &mut u);
         }
         let nrm = gnorm2(&c);
         if nrm <= 1e-10 * scale.max(1e-300) {
             return; // already represented
         }
-        for (cj, uj) in c.iter_mut().zip(u.iter_mut()) {
-            *cj = cj.scale_by(1.0 / nrm);
-            *uj = uj.scale_by(1.0 / nrm);
-        }
+        T::slice_scale(&mut c, 1.0 / nrm);
+        T::slice_scale(&mut u, 1.0 / nrm);
         if self.u.len() == self.max_dim {
             self.u.remove(0);
             self.c.remove(0);
@@ -643,21 +645,15 @@ impl<T: Scalar> RecycleSpace<T> {
             let scale = gnorm2(&cu);
             for (ui, ci) in self.u.iter().zip(&self.c) {
                 let alpha = gdot(ci, &cu);
-                for ((cj, uj), (ci_j, ui_j)) in
-                    cu.iter_mut().zip(uu.iter_mut()).zip(ci.iter().zip(ui))
-                {
-                    *cj -= alpha * *ci_j;
-                    *uj -= alpha * *ui_j;
-                }
+                T::slice_axpy(-alpha, ci, &mut cu);
+                T::slice_axpy(-alpha, ui, &mut uu);
             }
             let nrm = gnorm2(&cu);
             if nrm <= 1e-10 * scale.max(1e-300) {
                 continue;
             }
-            for (cj, uj) in cu.iter_mut().zip(uu.iter_mut()) {
-                *cj = cj.scale_by(1.0 / nrm);
-                *uj = uj.scale_by(1.0 / nrm);
-            }
+            T::slice_scale(&mut cu, 1.0 / nrm);
+            T::slice_scale(&mut uu, 1.0 / nrm);
             self.u.push(uu);
             self.c.push(cu);
         }
@@ -672,10 +668,8 @@ impl<T: Scalar> RecycleSpace<T> {
                 return 0;
             }
             let y = gdot(ci, r);
-            for ((xj, rj), (uj, cj)) in x.iter_mut().zip(r.iter_mut()).zip(ui.iter().zip(ci)) {
-                *xj += y * *uj;
-                *rj -= y * *cj;
-            }
+            T::slice_axpy(y, ui, x);
+            T::slice_axpy(-y, ci, r);
         }
         self.dim()
     }
@@ -814,6 +808,7 @@ pub fn block_gmres<T: Scalar>(
         }
     }
     let _span = telemetry::span("krylov.block_gmres");
+    crate::kernels::note_dispatch(1);
     let mut trace = telemetry::TraceBuf::new("krylov.block_gmres");
     let mut monitor = telemetry::ResidualMonitor::new("krylov.block_gmres");
     let mut tail = ResidualTail::new();
@@ -859,16 +854,12 @@ pub fn block_gmres<T: Scalar>(
             for i in 0..j {
                 let sij = gdot(&v[i], &w);
                 s[i][j] = sij;
-                for (wk, vk) in w.iter_mut().zip(&v[i]) {
-                    *wk -= sij * *vk;
-                }
+                T::slice_axpy(-sij, &v[i], &mut w);
             }
             let nrm = gnorm2(&w);
             s[j][j] = T::from_f64(nrm);
             if nrm > 1e-300 {
-                for wk in w.iter_mut() {
-                    *wk = wk.scale_by(1.0 / nrm);
-                }
+                T::slice_scale(&mut w, 1.0 / nrm);
                 v.push(w);
             } else {
                 // Dependent residual column: a zero basis vector keeps the
@@ -897,16 +888,12 @@ pub fn block_gmres<T: Scalar>(
             for i in 0..k + p {
                 let hik = gdot(&v[i], &w);
                 col[i] = hik;
-                for (wj, vj) in w.iter_mut().zip(&v[i]) {
-                    *wj -= hik * *vj;
-                }
+                T::slice_axpy(-hik, &v[i], &mut w);
             }
             let nrm = gnorm2(&w);
             col[k + p] = T::from_f64(nrm);
             if nrm > 1e-300 {
-                for wj in w.iter_mut() {
-                    *wj = wj.scale_by(1.0 / nrm);
-                }
+                T::slice_scale(&mut w, 1.0 / nrm);
                 v.push(w);
             } else {
                 v.push(vec![T::ZERO; n]);
@@ -963,9 +950,7 @@ pub fn block_gmres<T: Scalar>(
                 }
             }
             for (c, yc) in y.iter().enumerate() {
-                for (xi, vi) in xs[j].iter_mut().zip(&v[c]) {
-                    *xi += *yc * *vi;
-                }
+                T::slice_axpy(*yc, &v[c], &mut xs[j]);
             }
         }
         if converged {
@@ -1010,6 +995,7 @@ pub fn bicgstab<T: Scalar>(
         return Err(Error::DimensionMismatch { expected: n, found: b.len() });
     }
     let _span = telemetry::span("krylov.bicgstab");
+    crate::kernels::note_dispatch(1);
     let mut trace = telemetry::TraceBuf::new("krylov.bicgstab");
     let mut monitor = telemetry::ResidualMonitor::new("krylov.bicgstab");
     let mut tail = ResidualTail::new();

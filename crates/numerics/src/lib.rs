@@ -33,17 +33,20 @@
 //! # }
 //! ```
 
+pub mod aligned;
 pub mod complex;
 pub mod dense;
 pub mod eig;
 pub mod fft;
 pub mod interp;
+pub mod kernels;
 pub mod krylov;
 pub mod quad;
 pub mod scalar;
 pub mod sparse;
 pub mod svd;
 
+pub use aligned::AlignedVec;
 pub use complex::Complex;
 pub use dense::Mat;
 pub use scalar::Scalar;
@@ -161,7 +164,7 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// assert_eq!(rfsim_numerics::norm2(&[3.0, 4.0]), 5.0);
 /// ```
 pub fn norm2(v: &[f64]) -> f64 {
-    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+    kernels::norm2_sq_f64(v).sqrt()
 }
 
 /// Infinity norm of a real vector (0 for the empty vector).
@@ -186,7 +189,7 @@ pub fn norm_inf(v: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    kernels::dot_f64(a, b)
 }
 
 /// `y ← y + alpha * x` for real vectors.
@@ -195,9 +198,7 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    kernels::axpy_f64(alpha, x, y);
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! The [`Scalar`] abstraction that lets dense/sparse factorizations and
 //! Krylov solvers be written once for both `f64` and [`Complex`].
 
-use crate::Complex;
+use crate::{kernels, Complex};
 use std::fmt::Debug;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
@@ -46,6 +46,23 @@ pub trait Scalar:
     fn scale_by(self, s: f64) -> Self;
     /// Returns `true` if the value contains a NaN component.
     fn is_nan(self) -> bool;
+
+    // Slice-level hooks routed through the runtime-dispatched SIMD
+    // kernels in [`crate::kernels`]. The generic solvers (GMRES MGS,
+    // dense LU, triangular solves) call these instead of open-coded
+    // loops; each hook's scalar fallback is bitwise-identical to the
+    // loop it replaced.
+
+    /// Conjugated dot product `Σ conj(aᵢ)·bᵢ` over slices.
+    fn slice_dot(a: &[Self], b: &[Self]) -> Self;
+    /// Unconjugated dot product `Σ aᵢ·bᵢ` over slices.
+    fn slice_dotu(a: &[Self], b: &[Self]) -> Self;
+    /// Euclidean norm of a slice.
+    fn slice_norm2(v: &[Self]) -> f64;
+    /// `y ← y + α·x` over slices.
+    fn slice_axpy(alpha: Self, x: &[Self], y: &mut [Self]);
+    /// `v ← s·v` for a real factor `s`.
+    fn slice_scale(v: &mut [Self], s: f64);
 }
 
 mod private {
@@ -76,6 +93,22 @@ impl Scalar for f64 {
     fn is_nan(self) -> bool {
         f64::is_nan(self)
     }
+
+    fn slice_dot(a: &[Self], b: &[Self]) -> Self {
+        kernels::dot_f64(a, b)
+    }
+    fn slice_dotu(a: &[Self], b: &[Self]) -> Self {
+        kernels::dot_f64(a, b)
+    }
+    fn slice_norm2(v: &[Self]) -> f64 {
+        kernels::norm2_sq_f64(v).sqrt()
+    }
+    fn slice_axpy(alpha: Self, x: &[Self], y: &mut [Self]) {
+        kernels::axpy_f64(alpha, x, y);
+    }
+    fn slice_scale(v: &mut [Self], s: f64) {
+        kernels::scale_f64(v, s);
+    }
 }
 
 impl Scalar for Complex {
@@ -100,24 +133,45 @@ impl Scalar for Complex {
     fn is_nan(self) -> bool {
         Complex::is_nan(self)
     }
+
+    fn slice_dot(a: &[Self], b: &[Self]) -> Self {
+        kernels::cdot(a, b)
+    }
+    fn slice_dotu(a: &[Self], b: &[Self]) -> Self {
+        kernels::cdotu(a, b)
+    }
+    fn slice_norm2(v: &[Self]) -> f64 {
+        if kernels::simd_active() {
+            kernels::cnorm2_sq(v).sqrt()
+        } else {
+            // Historical gnorm2 accumulation: Σ hypot(re, im)², which is
+            // NOT bit-identical to Σ (re² + im²). Preserved verbatim so
+            // RFSIM_SIMD=off reproduces today's MGS normalizations.
+            v.iter().map(|x| x.modulus() * x.modulus()).sum::<f64>().sqrt()
+        }
+    }
+    fn slice_axpy(alpha: Self, x: &[Self], y: &mut [Self]) {
+        kernels::caxpy(alpha, x, y);
+    }
+    fn slice_scale(v: &mut [Self], s: f64) {
+        kernels::cscale(v, s);
+    }
 }
 
-/// Euclidean norm of a generic scalar vector.
+/// Euclidean norm of a generic scalar vector (SIMD-dispatched; the
+/// scalar path keeps the historical accumulation bitwise).
 pub fn gnorm2<T: Scalar>(v: &[T]) -> f64 {
-    v.iter().map(|x| x.modulus() * x.modulus()).sum::<f64>().sqrt()
+    T::slice_norm2(v)
 }
 
-/// Conjugated dot product `Σ conj(aᵢ)·bᵢ`.
+/// Conjugated dot product `Σ conj(aᵢ)·bᵢ` (SIMD-dispatched; the scalar
+/// path keeps the historical accumulation bitwise).
 ///
 /// # Panics
 /// Panics if lengths differ.
 pub fn gdot<T: Scalar>(a: &[T], b: &[T]) -> T {
     assert_eq!(a.len(), b.len(), "gdot: length mismatch");
-    let mut acc = T::ZERO;
-    for (x, y) in a.iter().zip(b) {
-        acc += x.conj() * *y;
-    }
-    acc
+    T::slice_dot(a, b)
 }
 
 #[cfg(test)]

@@ -117,6 +117,88 @@ impl<T: Scalar> Triplets<T> {
         }
         Csr { rows: self.rows, cols: self.cols, row_ptr, col_idx: out_cols, vals: out_vals }
     }
+
+    /// Drops every entry, keeping the allocation, and resets the shape —
+    /// the reuse form of [`Triplets::new`] for stamping loops that
+    /// rebuild the same matrix every iteration.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.entries.clear();
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Converts to CSR like [`Triplets::to_csr`] but keeps every stamped
+    /// position — exact-zero sums stay as explicit entries — and returns,
+    /// for each raw entry in push order, the index of the CSR value slot
+    /// it accumulates into.
+    ///
+    /// This is the *stamp map* for assembly loops whose sparsity is
+    /// iteration-invariant: build the pattern once, then refill a value
+    /// buffer with [`Triplets::scatter_into`] on every subsequent stamp,
+    /// skipping the per-row sort entirely. Keeping structural zeros makes
+    /// the pattern valid for every iteration, not just the one that
+    /// built it.
+    pub fn to_pattern(&self) -> (Csr<T>, Vec<usize>) {
+        let mut counts = vec![0usize; self.rows + 1];
+        for &(i, _, _) in &self.entries {
+            counts[i + 1] += 1;
+        }
+        for i in 0..self.rows {
+            counts[i + 1] += counts[i];
+        }
+        // Bucket raw-entry ids by row, preserving push order within a row.
+        let mut ids = vec![0usize; self.entries.len()];
+        let mut next = counts.clone();
+        for (k, &(i, _, _)) in self.entries.iter().enumerate() {
+            ids[next[i]] = k;
+            next[i] += 1;
+        }
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut out_cols = Vec::with_capacity(self.entries.len());
+        let mut out_vals = Vec::with_capacity(self.entries.len());
+        let mut slots = vec![0usize; self.entries.len()];
+        let mut row: Vec<(usize, usize)> = Vec::new();
+        for i in 0..self.rows {
+            row.clear();
+            row.extend(ids[counts[i]..counts[i + 1]].iter().map(|&k| (self.entries[k].1, k)));
+            row.sort_by_key(|&(c, _)| c);
+            let mut idx = 0;
+            while idx < row.len() {
+                let c = row[idx].0;
+                let slot = out_cols.len();
+                out_cols.push(c);
+                let mut v = T::ZERO;
+                while idx < row.len() && row[idx].0 == c {
+                    v += self.entries[row[idx].1].2;
+                    slots[row[idx].1] = slot;
+                    idx += 1;
+                }
+                out_vals.push(v);
+            }
+            row_ptr[i + 1] = out_cols.len();
+        }
+        (
+            Csr { rows: self.rows, cols: self.cols, row_ptr, col_idx: out_cols, vals: out_vals },
+            slots,
+        )
+    }
+
+    /// Accumulates this builder's raw values into `vals` through the slot
+    /// map produced by [`Triplets::to_pattern`] on an identically-stamped
+    /// builder. `vals` is zeroed first; duplicates sum in push order,
+    /// matching the pattern build bitwise.
+    ///
+    /// # Panics
+    /// Panics if `slots` does not have one slot per raw entry.
+    pub fn scatter_into(&self, slots: &[usize], vals: &mut [T]) {
+        assert_eq!(slots.len(), self.entries.len(), "stamp map length mismatch");
+        for v in vals.iter_mut() {
+            *v = T::ZERO;
+        }
+        for (&(_, _, v), &slot) in self.entries.iter().zip(slots) {
+            vals[slot] += v;
+        }
+    }
 }
 
 /// Compressed-sparse-row matrix.
@@ -147,6 +229,12 @@ impl<T: Scalar> Csr<T> {
     /// Number of columns.
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// Mutable view of the stored values in row-major slot order, for
+    /// restamping through a [`Triplets::to_pattern`] slot map.
+    pub fn vals_mut(&mut self) -> &mut [T] {
+        &mut self.vals
     }
 
     /// Number of stored nonzeros.
@@ -200,12 +288,16 @@ impl<T: Scalar> Csr<T> {
     pub fn matvec_into(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.cols, "matvec: length mismatch");
         assert_eq!(y.len(), self.rows, "matvec_into: output length mismatch");
-        for i in 0..self.rows {
+        // Iterator form lets the row slices elide the per-element bounds
+        // checks on `vals`/`col_idx`; the accumulation order (ascending k)
+        // is unchanged, so results stay bitwise identical.
+        for (yi, w) in y.iter_mut().zip(self.row_ptr.windows(2)) {
+            let (lo, hi) = (w[0], w[1]);
             let mut acc = T::ZERO;
-            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                acc += self.vals[k] * x[self.col_idx[k]];
+            for (v, &c) in self.vals[lo..hi].iter().zip(&self.col_idx[lo..hi]) {
+                acc += *v * x[c];
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 

@@ -205,8 +205,11 @@ proptest! {
         }
     }
 
+    // Bitwise under scalar dispatch (the gather loop transforms the lines
+    // one by one); within kernel tolerance under SIMD dispatch (the
+    // batched executor runs FMA butterflies across the batch axis).
     #[test]
-    fn strided_batch_matches_per_line_bitwise(
+    fn strided_batch_matches_per_line(
         (ns, count, field, inverse) in (1usize..25, 1usize..7, 0usize..2)
             .prop_flat_map(|(ns, count, inv)| {
                 (Just(ns), Just(count), complex_vec(ns * count), Just(inv == 1))
@@ -220,6 +223,7 @@ proptest! {
         } else {
             plan.forward_strided(&mut batched, count, count, &mut scratch);
         }
+        let simd = rfsim_numerics::kernels::simd_active();
         for i in 0..count {
             let mut line: Vec<Complex> = (0..ns).map(|s| field[s * count + i]).collect();
             if inverse {
@@ -229,8 +233,14 @@ proptest! {
             }
             for (s, v) in line.iter().enumerate() {
                 let w = batched[s * count + i];
-                prop_assert_eq!(v.re.to_bits(), w.re.to_bits());
-                prop_assert_eq!(v.im.to_bits(), w.im.to_bits());
+                if simd {
+                    let scale = v.abs().max(1.0);
+                    prop_assert!((*v - w).abs() <= 1e-12 * scale,
+                        "line {} sample {}: {} vs {}", i, s, v, w);
+                } else {
+                    prop_assert_eq!(v.re.to_bits(), w.re.to_bits());
+                    prop_assert_eq!(v.im.to_bits(), w.im.to_bits());
+                }
             }
         }
     }

@@ -19,14 +19,14 @@ use crate::fourier::{GridWorkspace, SpectralGrid};
 use crate::{Error, Result};
 use rfsim_circuit::dae::Dae;
 use rfsim_circuit::dc::{dc_operating_point, DcOptions};
-use rfsim_numerics::dense::Mat;
+use rfsim_numerics::dense::{LuSingle, Mat};
 use rfsim_numerics::fft::{self, FftPlan, FftScratch};
 use rfsim_numerics::krylov::{
     gmres_recycled, gmres_with, FnOperator, GmresWorkspace, IdentityPrecond, KrylovOptions,
     Preconditioner, RecycleSpace,
 };
 use rfsim_numerics::sparse::{Csr, Triplets};
-use rfsim_numerics::{norm_inf, Complex, ResidualTail};
+use rfsim_numerics::{norm_inf, AlignedVec, Complex, ResidualTail};
 use rfsim_parallel as parallel;
 use rfsim_telemetry as telemetry;
 use std::cell::RefCell;
@@ -163,13 +163,49 @@ struct SampleLin {
     c: Csr<f64>,
 }
 
+/// Sparsity pattern plus stamp map shared by every sample whose raw
+/// stamp sequence matches: `proto` holds the position-complete CSR
+/// (explicit zeros retained) and `slots` routes each raw triplet to its
+/// value slot, so restamping is a zero + scatter-add instead of a
+/// per-row sort with fresh allocations.
+struct PatternMap {
+    proto: Csr<f64>,
+    slots: Vec<usize>,
+    /// Raw stamp count the map was built from — a mismatch (a device
+    /// changing its stamp footprint) falls back to a rebuild.
+    stamps: usize,
+}
+
+/// Reused buffers for [`assemble`]: the triplet builders and the cached
+/// per-matrix stamp maps. Owned by the solve so the pattern survives
+/// across Newton iterations and source-stepping levels.
+#[derive(Default)]
+struct StampCache {
+    g: Option<PatternMap>,
+    c: Option<PatternMap>,
+}
+
+fn stamp_csr(t: &Triplets, pm: &mut Option<PatternMap>) -> Csr<f64> {
+    if pm.as_ref().is_none_or(|p| p.stamps != t.len()) {
+        let (proto, slots) = t.to_pattern();
+        *pm = Some(PatternMap { proto: proto.clone(), slots, stamps: t.len() });
+        return proto;
+    }
+    let p = pm.as_ref().expect("checked above");
+    let mut csr = p.proto.clone();
+    t.scatter_into(&p.slots, csr.vals_mut());
+    csr
+}
+
 /// Evaluates residual and per-sample linearizations at `x`.
 fn assemble(
     dae: &dyn Dae,
     grid: &SpectralGrid,
     x: &[f64],
     b: &[f64],
+    cache: &mut StampCache,
 ) -> (Vec<f64>, Vec<SampleLin>) {
+    let _span = telemetry::span("hb.assemble");
     let n = dae.dim();
     let total = grid.samples();
     let mut fall = vec![0.0; total * n];
@@ -183,7 +219,7 @@ fn assemble(
         dae.eval(&x[s * n..(s + 1) * n], &mut f, &mut q, &mut gt, &mut ct);
         fall[s * n..(s + 1) * n].copy_from_slice(&f);
         qall[s * n..(s + 1) * n].copy_from_slice(&q);
-        lins.push(SampleLin { g: gt.to_csr(), c: ct.to_csr() });
+        lins.push(SampleLin { g: stamp_csr(&gt, &mut cache.g), c: stamp_csr(&ct, &mut cache.c) });
     }
     // R = D·q + f − b.
     let mut r = fall;
@@ -200,13 +236,16 @@ fn assemble(
 /// first performs zero heap allocation.
 #[derive(Debug)]
 struct HbWorkspace {
-    cv: Vec<f64>,
+    /// 32-byte aligned so the SIMD axpy/matvec kernels see aligned rows.
+    cv: AlignedVec<f64>,
     grid_ws: GridWorkspace,
 }
 
 impl HbWorkspace {
     fn new(grid: &SpectralGrid, n: usize) -> Self {
-        HbWorkspace { cv: vec![0.0; grid.samples() * n], grid_ws: grid.workspace() }
+        let mut cv = AlignedVec::new();
+        cv.resize(grid.samples() * n, 0.0);
+        HbWorkspace { cv, grid_ws: grid.workspace() }
     }
 }
 
@@ -219,6 +258,7 @@ fn apply_jacobian(
     y: &mut [f64],
     ws: &mut HbWorkspace,
 ) {
+    let _span = telemetry::span("hb.matvec");
     for (s, lin) in lins.iter().enumerate() {
         let vs = &v[s * n..(s + 1) * n];
         lin.c.matvec_into(vs, &mut ws.cv[s * n..(s + 1) * n]);
@@ -235,6 +275,15 @@ struct HarmonicBlockPrecond {
     n: usize,
     /// Factored complex blocks, one per frequency bin (row-major over axes).
     blocks: Vec<rfsim_numerics::dense::Lu<Complex>>,
+    /// Single-precision shadows of `blocks`, present (for every bin, or
+    /// none) only under SIMD dispatch. The per-bin triangular solves are
+    /// memory-traffic-bound once the factor set outgrows L2, so halving
+    /// the stored bytes is worth more than wider arithmetic; the
+    /// substitution still accumulates in f64 and the outer Newton/GMRES
+    /// iterations converge on the true residual, so the narrowing never
+    /// shows up in final accuracy. Empty under `RFSIM_SIMD=off`, keeping
+    /// the scalar path bitwise-identical to the historical solver.
+    blocks_f32: Vec<rfsim_numerics::dense::LuSingle>,
     /// Reusable apply buffers for the serial path. `Preconditioner::apply`
     /// takes `&self`, so interior mutability is required; a `Mutex` (not a
     /// `RefCell`) keeps the type `Sync` for the parallel path's scoped
@@ -248,8 +297,8 @@ struct HarmonicBlockPrecond {
 /// solve output, the transform scratch, and the cached per-axis plans.
 #[derive(Debug)]
 struct PrecondScratch {
-    spec: Vec<Complex>,
-    sol: Vec<Complex>,
+    spec: AlignedVec<Complex>,
+    sol: AlignedVec<Complex>,
     fft: FftScratch,
     plans: Vec<Arc<FftPlan>>,
 }
@@ -257,8 +306,8 @@ struct PrecondScratch {
 impl PrecondScratch {
     fn new(grid: &SpectralGrid) -> Self {
         PrecondScratch {
-            spec: Vec::new(),
-            sol: Vec::new(),
+            spec: AlignedVec::new(),
+            sol: AlignedVec::new(),
             fft: FftScratch::new(),
             plans: grid.axes().iter().map(|ax| fft::plan(ax.samples())).collect(),
         }
@@ -297,34 +346,59 @@ impl HarmonicBlockPrecond {
         for lu in lus {
             blocks.push(lu.map_err(Error::Numerics)?);
         }
+        // Narrow the factors for the SIMD apply path; all-or-nothing so a
+        // single overflowing block falls the whole preconditioner back to
+        // full precision rather than mixing per-bin accuracy.
+        let mut blocks_f32 = Vec::new();
+        if rfsim_numerics::kernels::simd_active() {
+            blocks_f32.reserve(total);
+            for lu in &blocks {
+                match lu.to_single() {
+                    Some(s) => blocks_f32.push(s),
+                    None => {
+                        blocks_f32.clear();
+                        break;
+                    }
+                }
+            }
+        }
         telemetry::counter_add("hb.precond.factorizations", 1);
         Ok(HarmonicBlockPrecond {
             grid: grid.clone(),
             n,
             blocks,
+            blocks_f32,
             scratch: Mutex::new(PrecondScratch::new(grid)),
         })
     }
 
     fn bytes(&self) -> usize {
         self.blocks.len() * self.n * self.n * 16
+            + self.blocks_f32.iter().map(LuSingle::bytes).sum::<usize>()
     }
 
     /// Allocation-free apply: batched strided transforms over the scratch
-    /// field, per-bin `solve_into`, inverse transforms. Bitwise identical
-    /// to the parallel path (both execute the same planned per-line
-    /// transform and block solve for every unknown and bin).
+    /// field, per-bin `solve_into`, inverse transforms. Under scalar
+    /// dispatch this is bitwise identical to [`Self::apply_parallel`]
+    /// (both execute the same planned per-line transform and f64 block
+    /// solve for every unknown and bin); under SIMD dispatch the
+    /// transforms run batched across the field and the bin solves hit the
+    /// narrowed [`LuSingle`] factors, with `par_bins` fanning the solves
+    /// out over the worker pool (index-ordered, so the result is the
+    /// same for every thread count).
     fn apply_serial(
         &self,
         r: &[f64],
         z: &mut [f64],
         ws: &mut PrecondScratch,
+        par_bins: bool,
     ) -> rfsim_numerics::Result<()> {
         let n = self.n;
         let total = self.grid.samples();
         let axes = self.grid.axes();
         ws.spec.clear();
         ws.spec.extend(r.iter().map(|&v| Complex::from_re(v)));
+        let _span_fwd = telemetry::span("hb.precond.fft_fwd");
         match axes.len() {
             1 => ws.plans[0].forward_strided(&mut ws.spec, n, n, &mut ws.fft),
             2 => {
@@ -340,12 +414,31 @@ impl HarmonicBlockPrecond {
             }
             _ => unreachable!(),
         }
-        ws.sol.clear();
-        ws.sol.resize(n, Complex::ZERO);
-        for bin in 0..total {
-            self.blocks[bin].solve_into(&ws.spec[bin * n..(bin + 1) * n], &mut ws.sol)?;
-            ws.spec[bin * n..(bin + 1) * n].copy_from_slice(&ws.sol);
+        drop(_span_fwd);
+        let _span_trsv = telemetry::span("hb.precond.trsv");
+        if par_bins && !self.blocks_f32.is_empty() {
+            let spec = &ws.spec;
+            let sols = parallel::par_map_indexed(total, move |bin| {
+                self.blocks_f32[bin].solve(&spec[bin * n..(bin + 1) * n])
+            });
+            for (bin, sol) in sols.into_iter().enumerate() {
+                ws.spec[bin * n..(bin + 1) * n].copy_from_slice(&sol?);
+            }
+        } else {
+            ws.sol.clear();
+            ws.sol.resize(n, Complex::ZERO);
+            for bin in 0..total {
+                let rhs_range = bin * n..(bin + 1) * n;
+                if let Some(lu32) = self.blocks_f32.get(bin) {
+                    lu32.solve_into(&ws.spec[rhs_range.clone()], &mut ws.sol)?;
+                } else {
+                    self.blocks[bin].solve_into(&ws.spec[rhs_range.clone()], &mut ws.sol)?;
+                }
+                ws.spec[rhs_range].copy_from_slice(&ws.sol);
+            }
         }
+        drop(_span_trsv);
+        let _span_inv = telemetry::span("hb.precond.fft_inv");
         match axes.len() {
             1 => ws.plans[0].inverse_strided(&mut ws.spec, n, n, &mut ws.fft),
             2 => {
@@ -358,7 +451,7 @@ impl HarmonicBlockPrecond {
             }
             _ => unreachable!(),
         }
-        for (zi, c) in z.iter_mut().zip(&ws.spec) {
+        for (zi, c) in z.iter_mut().zip(ws.spec.iter()) {
             *zi = c.re;
         }
         Ok(())
@@ -466,10 +559,20 @@ fn signed_bin(b: usize, ns: usize) -> i64 {
 
 impl Preconditioner<f64> for HarmonicBlockPrecond {
     fn apply(&self, r: &[f64], z: &mut [f64]) -> rfsim_numerics::Result<()> {
+        let _span = telemetry::span("hb.precond.apply");
         let small = self.grid.samples() * self.n < PRECOND_PAR_MIN_UNKNOWNS;
+        // Under SIMD dispatch the batched strided transforms beat the
+        // per-line parallel path outright, so every thread count runs the
+        // same executor (keeping results thread-count-invariant) and only
+        // the per-bin block solves fan out over the pool.
+        if rfsim_numerics::kernels::simd_active() {
+            let par_bins = !small && parallel::thread_count() > 1;
+            let mut ws = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+            return self.apply_serial(r, z, &mut ws, par_bins);
+        }
         if small || parallel::thread_count() <= 1 {
             let mut ws = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
-            return self.apply_serial(r, z, &mut ws);
+            return self.apply_serial(r, z, &mut ws, false);
         }
         self.apply_parallel(r, z)
     }
@@ -624,6 +727,7 @@ fn solve_hb_with(
     }
 
     let mut stats = HbStats { unknowns: nun, ..Default::default() };
+    let mut stamp_cache = StampCache::default();
     // A warm start sits near the full-excitation solution already; source
     // stepping from the DC average would walk away from it.
     let steps = if warm_x.is_some() { 1 } else { opts.source_steps.max(1) };
@@ -635,7 +739,7 @@ fn solve_hb_with(
                 b_dc[i] + alpha * (b_full[si] - b_dc[i])
             })
             .collect();
-        newton_hb(dae, grid, &mut x, &b, opts, &mut stats, ws, gws, carry)?;
+        newton_hb(dae, grid, &mut x, &b, opts, &mut stats, ws, gws, carry, &mut stamp_cache)?;
     }
     telemetry::counter_add("hb.newton.iterations", stats.newton_iterations as u64);
     telemetry::counter_add("hb.gmres.iterations", stats.linear_iterations as u64);
@@ -655,6 +759,7 @@ fn newton_hb(
     ws: &RefCell<HbWorkspace>,
     gws: &mut GmresWorkspace<f64>,
     carry: &mut NewtonCarry,
+    cache: &mut StampCache,
 ) -> Result<()> {
     let n = dae.dim();
     let nun = x.len();
@@ -669,7 +774,7 @@ fn newton_hb(
     let mut flagged_precond = false;
     let mut last_res = f64::INFINITY;
     for it in 0..opts.max_newton {
-        let (r, lins) = assemble(dae, grid, x, b);
+        let (r, lins) = assemble(dae, grid, x, b, cache);
         let res = norm_inf(&r);
         last_res = res;
         trace.push(res);
@@ -842,7 +947,7 @@ fn newton_hb(
         let mut improved = false;
         for _ in 0..8 {
             let xt: Vec<f64> = x.iter().zip(&dx).map(|(xi, di)| xi - alpha * di).collect();
-            let (rt, _) = assemble(dae, grid, &xt, b);
+            let (rt, _) = assemble(dae, grid, &xt, b, cache);
             if norm_inf(&rt).is_finite() && norm_inf(&rt) < res {
                 *x = xt;
                 improved = true;
@@ -857,7 +962,7 @@ fn newton_hb(
         }
     }
     // Final check.
-    let (r, _) = assemble(dae, grid, x, b);
+    let (r, _) = assemble(dae, grid, x, b, cache);
     let final_res = norm_inf(&r);
     trace.push(final_res);
     monitor.observe(final_res);
@@ -1041,7 +1146,7 @@ impl HbHotPath {
             x[s * n..(s + 1) * n].copy_from_slice(&op.x);
         }
         let b = vec![0.0; total * n];
-        let (_r, lins) = assemble(dae, grid, &x, &b);
+        let (_r, lins) = assemble(dae, grid, &x, &b, &mut StampCache::default());
         let precond = HarmonicBlockPrecond::new(grid, &lins, n)?;
         Ok(HbHotPath { grid: grid.clone(), n, lins, precond, ws: HbWorkspace::new(grid, n) })
     }

@@ -6,6 +6,11 @@
 //! set. The child branch runs every parallelized kernel and prints one
 //! `DET <kernel> <fnv-hash-of-f64-bits>` line per result vector; the
 //! parent compares the serial and 4-thread transcripts line by line.
+//!
+//! The matrix runs under both SIMD dispatch modes: the default AVX2 path
+//! and `RFSIM_SIMD=off`. The two modes legitimately differ from each
+//! other (vector reductions reassociate), but *within* each mode the
+//! thread count must not change a single bit.
 
 use rfsim::em::geom::{mesh_parallel_plates, mesh_plate};
 use rfsim::em::ies3::{CompressedMatrix, Ies3Options};
@@ -89,6 +94,28 @@ fn child_workload() {
         solve_hb(&dae, &grid, &HbOptions { source_steps: 2, ..Default::default() }).expect("hb");
     emit("hb_precond_solution", &sol.x);
 
+    // A clipper ladder big enough to cross the preconditioner's parallel
+    // threshold (unknowns ≥ 4096), so the per-bin triangular solves fan
+    // out across the pool. Under SIMD dispatch every thread count must
+    // route through the same batched FFT executor — this case would catch
+    // a per-line fallback sneaking back into the multi-thread path.
+    let ladder = {
+        let mut ckt = rfsim::circuit::Circuit::new();
+        let mut prev = ckt.node("in");
+        ckt.add(VSource::sine("V1", prev, rfsim::circuit::Circuit::GROUND, 0.0, 1.0, 1e6));
+        for k in 0..100 {
+            let cur = ckt.node(&format!("n{k}"));
+            ckt.add(Resistor::new(&format!("R{k}"), prev, cur, 1e3));
+            ckt.add(Diode::new(&format!("D{k}"), cur, rfsim::circuit::Circuit::GROUND, 1e-13));
+            ckt.add(Capacitor::new(&format!("C{k}"), cur, rfsim::circuit::Circuit::GROUND, 2e-10));
+            prev = cur;
+        }
+        ckt.into_dae().expect("ladder netlist")
+    };
+    let big_grid = SpectralGrid::single_tone(1e6, 20).expect("grid");
+    let sol = solve_hb(&ladder, &big_grid, &HbOptions::default()).expect("hb ladder");
+    emit("hb_ladder_solution", &sol.x);
+
     // Warm-started HB amplitude sweep (carried preconditioner factors and
     // recycled Krylov directions must not break bitwise determinism).
     let daes: Vec<_> = [0.6, 0.8, 1.0, 1.2].iter().map(|&a| clipper(a)).collect();
@@ -116,16 +143,22 @@ fn child_workload() {
 }
 
 fn run_child(test_name: &str, threads: &str) -> Vec<String> {
+    run_child_simd(test_name, threads, None)
+}
+
+fn run_child_simd(test_name: &str, threads: &str, simd: Option<&str>) -> Vec<String> {
     let exe = std::env::current_exe().expect("current exe");
-    let out = Command::new(exe)
-        .args(["--exact", test_name, "--nocapture", "--test-threads", "1"])
+    let mut cmd = Command::new(exe);
+    cmd.args(["--exact", test_name, "--nocapture", "--test-threads", "1"])
         .env(CHILD_VAR, "1")
-        .env(rfsim::parallel::ENV_VAR, threads)
-        .output()
-        .expect("spawn child test process");
+        .env(rfsim::parallel::ENV_VAR, threads);
+    if let Some(mode) = simd {
+        cmd.env("RFSIM_SIMD", mode);
+    }
+    let out = cmd.output().expect("spawn child test process");
     assert!(
         out.status.success(),
-        "child (RFSIM_THREADS={threads}) failed: {}",
+        "child (RFSIM_THREADS={threads}, RFSIM_SIMD={simd:?}) failed: {}",
         String::from_utf8_lossy(&out.stderr)
     );
     // libtest prints `test <name> ... ` without a newline before the test
@@ -157,6 +190,29 @@ fn parallel_and_serial_runs_are_bitwise_identical() {
     let (s, p) = (dets(&serial), dets(&parallel));
     assert!(!s.is_empty(), "child produced no DET lines");
     assert_eq!(s, p, "serial and 4-thread kernel hashes diverge");
+}
+
+#[test]
+fn scalar_dispatch_runs_are_bitwise_identical_across_threads() {
+    if std::env::var(CHILD_VAR).is_ok() {
+        child_workload();
+        return;
+    }
+    // Same matrix with the SIMD kill-switch thrown: the scalar reference
+    // kernels must also be thread-count invariant. (The scalar and SIMD
+    // transcripts differ from *each other* — reductions reassociate —
+    // which is exactly why each mode is checked against itself.)
+    let name = "scalar_dispatch_runs_are_bitwise_identical_across_threads";
+    let serial = run_child_simd(name, "1", Some("off"));
+    let parallel = run_child_simd(name, "4", Some("off"));
+    assert!(serial.contains(&"THREADS 1".to_string()), "serial child: {serial:?}");
+    assert!(parallel.contains(&"THREADS 4".to_string()), "parallel child: {parallel:?}");
+    let dets = |lines: &[String]| -> Vec<String> {
+        lines.iter().filter(|l| l.starts_with("DET ")).cloned().collect()
+    };
+    let (s, p) = (dets(&serial), dets(&parallel));
+    assert!(!s.is_empty(), "child produced no DET lines");
+    assert_eq!(s, p, "serial and 4-thread hashes diverge under RFSIM_SIMD=off");
 }
 
 #[test]
