@@ -269,6 +269,16 @@ pub fn sweep_cold() -> bool {
     std::env::var("RFSIM_SWEEP_MODE").map(|v| v.eq_ignore_ascii_case("cold")).unwrap_or(false)
 }
 
+/// Whether `RFSIM_SWEEP_MODE=adaptive` is in force: drive sweeps
+/// through the rational-surrogate layer (`AdaptiveSweep`), issuing true
+/// solves only where the cross-validated model is uncertain and
+/// answering the remaining grid points from the fit. CI gates this mode
+/// against the warm fixed-grid leg on both wall clock and the
+/// `em.true_solves` counter ratio.
+pub fn sweep_adaptive() -> bool {
+    std::env::var("RFSIM_SWEEP_MODE").map(|v| v.eq_ignore_ascii_case("adaptive")).unwrap_or(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -213,6 +213,11 @@ impl SpiralInductor {
     /// makes the substrate capacitance (and through it `L(f)`, `Q(f)`)
     /// genuinely frequency-dependent in the Fig 7 extraction.
     pub fn substrate_image_coefficient(&self, f: f64) -> f64 {
+        // Counted so the sweep paths can prove k(f) is hoisted: exactly
+        // one evaluation per solved frequency point, never one per
+        // GMRES iteration (see the regression test in
+        // `tests/adaptive_sweep.rs`).
+        telemetry::counter_add("em.inductor.k_evals", 1);
         let k_inf = (EPS_SI - self.eps_ox) / (EPS_SI + self.eps_ox);
         let f_relax = 1.0 / (2.0 * std::f64::consts::PI * self.rho_sub * EPS_SI * EPS0);
         k_inf + (1.0 - k_inf) / (1.0 + (f / f_relax).powi(2))
@@ -344,7 +349,23 @@ impl SweptExtractor {
     /// # Errors
     /// Propagates GMRES failures.
     pub fn extract_at(&mut self, f: f64) -> Result<SpiralModel> {
+        let c_total = self.solve_c_total(f)?;
+        Ok(self.model_from_c_total(c_total))
+    }
+
+    /// One true EM solve: the total substrate capacitance at `f`. The
+    /// image coefficient `k(f)` is loop-invariant across the GMRES
+    /// iterations of a point, so it is hoisted here — evaluated exactly
+    /// once per frequency point and passed by value into the sweep
+    /// operator, the Jacobi diagonal, and the recycle refresh. Every
+    /// call is counted under `em.true_solves`; this is the quantity the
+    /// adaptive sweep exists to minimize.
+    ///
+    /// # Errors
+    /// Propagates GMRES failures.
+    pub fn solve_c_total(&mut self, f: f64) -> Result<f64> {
         let _span = telemetry::span("em.inductor.sweep");
+        telemetry::counter_add("em.true_solves", 1);
         let k = self.spiral.substrate_image_coefficient(f);
         let op = HalfSpaceSweepOp {
             free: &self.a_free,
@@ -370,7 +391,16 @@ impl SweptExtractor {
         let c_total: f64 = q.iter().sum();
         self.prev_q = Some(q);
         self.points_solved += 1;
-        Ok(SpiralModel { c_ox: c_total / 2.0, ..self.base.clone() })
+        Ok(c_total)
+    }
+
+    /// Assembles the lumped model from a total substrate capacitance —
+    /// every other model value is frequency-independent and shared. Both
+    /// the true-solve path ([`SweptExtractor::extract_at`]) and the
+    /// surrogate path (`AdaptiveSweep`, which gets `c_total` from the
+    /// fitted model instead of a solve) go through here.
+    pub fn model_from_c_total(&self, c_total: f64) -> SpiralModel {
+        SpiralModel { c_ox: c_total / 2.0, ..self.base.clone() }
     }
 
     /// Number of panels in the MoM discretization.

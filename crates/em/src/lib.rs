@@ -22,9 +22,12 @@
 //! giving near-linear storage and matvec, solved with Krylov iteration.
 //!
 //! [`inductor`] builds quasi-static spiral-inductor models on a lossy
-//! substrate (Fig 7), and [`sparams`] converts extracted impedances to
-//! S-parameters.
+//! substrate (Fig 7), [`sparams`] converts extracted impedances to
+//! S-parameters, and [`adaptive`] drives frequency sweeps through a
+//! rational surrogate so true solves are only issued where the model is
+//! uncertain.
 
+pub mod adaptive;
 pub mod fd;
 pub mod geom;
 pub mod ies3;
@@ -33,6 +36,7 @@ pub mod kernel;
 pub mod mom;
 pub mod sparams;
 
+pub use adaptive::AdaptiveSweep;
 pub use geom::{Panel, Point3};
 pub use ies3::{CompressedMatrix, Ies3Options};
 pub use kernel::GreenFn;

@@ -3,7 +3,8 @@
 //! ```text
 //! rfsim-report <old-dir-or-file> <new-dir-or-file> \
 //!     [--threshold 0.25] [--min-seconds 0.05] [--allow-health] \
-//!     [--min-speedup 1.3 [--speedup-metric SUBSTR]]
+//!     [--min-speedup 1.3 [--speedup-metric SUBSTR] [--speedup-min-seconds 0.05]] \
+//!     [--max-count-ratio METRIC R]...
 //! ```
 //!
 //! Prints a per-metric delta table and exits nonzero when any wall-clock
@@ -16,20 +17,30 @@
 //! wall-clock row whose metric path contains `--speedup-metric` (all
 //! wall rows when omitted) must satisfy `old/new ≥ R`, and at least one
 //! such row must exist. CI uses this to gate warm-started sweeps
-//! against their cold baselines.
+//! against their cold baselines. `--speedup-min-seconds` lowers (or
+//! raises) the gate's baseline jitter floor for fast sub-50 ms legs.
+//!
+//! `--max-count-ratio METRIC R` gates on telemetry *counters* instead
+//! of wall clock: every counter row whose path contains METRIC must
+//! satisfy `new/old ≤ R` (at least one row must match). Counters are
+//! deterministic where wall time is noisy — CI asserts "the adaptive
+//! sweep issues ≤⅓ the fixed grid's `em.true_solves`" directly. The
+//! flag repeats for multiple counter gates.
 
-use rfsim_observe::{compare_sets, load_set, SpeedupGate, Thresholds};
+use rfsim_observe::{compare_sets, load_set, CountRatioGate, SpeedupGate, Thresholds};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: rfsim-report <old-dir-or-file> <new-dir-or-file> \
      [--threshold <frac>] [--min-seconds <s>] [--allow-health] \
-     [--min-speedup <ratio>] [--speedup-metric <substr>]";
+     [--min-speedup <ratio>] [--speedup-metric <substr>] \
+     [--speedup-min-seconds <s>] [--max-count-ratio <metric> <ratio>]...";
 
 struct Args {
     old: std::path::PathBuf,
     new: std::path::PathBuf,
     thresholds: Thresholds,
     speedup: Option<SpeedupGate>,
+    count_ratios: Vec<CountRatioGate>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +48,8 @@ fn parse_args() -> Result<Args, String> {
     let mut thresholds = Thresholds::default();
     let mut min_speedup = None;
     let mut speedup_metric = String::new();
+    let mut speedup_min_seconds = None;
+    let mut count_ratios = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -59,18 +72,37 @@ fn parse_args() -> Result<Args, String> {
             "--speedup-metric" => {
                 speedup_metric = args.next().ok_or("--speedup-metric needs a value")?;
             }
+            "--speedup-min-seconds" => {
+                let v = args.next().ok_or("--speedup-min-seconds needs a value")?;
+                speedup_min_seconds =
+                    Some(v.parse().map_err(|_| format!("bad --speedup-min-seconds value {v:?}"))?);
+            }
+            "--max-count-ratio" => {
+                let metric = args.next().ok_or("--max-count-ratio needs <metric> <ratio>")?;
+                let v = args.next().ok_or("--max-count-ratio needs <metric> <ratio>")?;
+                let max = v.parse().map_err(|_| format!("bad --max-count-ratio ratio {v:?}"))?;
+                count_ratios.push(CountRatioGate::new(max, metric));
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             _ if arg.starts_with('-') => return Err(format!("unknown flag {arg:?}\n{USAGE}")),
             _ => positional.push(std::path::PathBuf::from(arg)),
         }
     }
-    if min_speedup.is_none() && !speedup_metric.is_empty() {
-        return Err(format!("--speedup-metric requires --min-speedup\n{USAGE}"));
+    if min_speedup.is_none() && (!speedup_metric.is_empty() || speedup_min_seconds.is_some()) {
+        return Err(format!(
+            "--speedup-metric / --speedup-min-seconds require --min-speedup\n{USAGE}"
+        ));
     }
     let [old, new] = <[std::path::PathBuf; 2]>::try_from(positional)
         .map_err(|_| format!("expected exactly two paths\n{USAGE}"))?;
-    let speedup = min_speedup.map(|min| SpeedupGate::new(min, speedup_metric.clone()));
-    Ok(Args { old, new, thresholds, speedup })
+    let speedup = min_speedup.map(|min| {
+        let mut gate = SpeedupGate::new(min, speedup_metric.clone());
+        if let Some(floor) = speedup_min_seconds {
+            gate.min_seconds = floor;
+        }
+        gate
+    });
+    Ok(Args { old, new, thresholds, speedup, count_ratios })
 }
 
 fn main() -> ExitCode {
@@ -98,6 +130,19 @@ fn main() -> ExitCode {
     if let Some(gate) = &args.speedup {
         println!("speedup gate (old/new ≥ {:.2}x on *{}*wall rows):", gate.min, gate.metric);
         match cmp.check_speedup(gate) {
+            Ok(table) => print!("{table}"),
+            Err(report) => {
+                print!("{report}");
+                if !report.ends_with('\n') {
+                    println!();
+                }
+                failed = true;
+            }
+        }
+    }
+    for gate in &args.count_ratios {
+        println!("count-ratio gate (new/old ≤ {:.3} on *{}* counter rows):", gate.max, gate.metric);
+        match cmp.check_count_ratio(gate) {
             Ok(table) => print!("{table}"),
             Err(report) => {
                 print!("{report}");

@@ -42,5 +42,6 @@ pub mod report;
 pub use artifact::{git_sha, BenchArtifact, Phase, SweepPoint, SCHEMA_VERSION};
 pub use harness::{Harness, PointMetrics, BENCH_DIR_VAR};
 pub use report::{
-    compare, compare_sets, load_set, Comparison, MetricDelta, SpeedupGate, Thresholds,
+    compare, compare_sets, load_set, Comparison, CountRatioGate, MetricDelta, SpeedupGate,
+    Thresholds,
 };

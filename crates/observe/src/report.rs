@@ -46,6 +46,28 @@ impl SpeedupGate {
     }
 }
 
+/// A maximum-count-ratio gate on telemetry *counter* rows: asserts the
+/// candidate set consumed at most `max` times the baseline's count
+/// (`new/old ≤ max`). Where the speedup gate argues from wall clock —
+/// noisy on loaded CI machines — this argues from the counted work
+/// itself: "the adaptive sweep issued ≤⅓ the fixed grid's
+/// `em.true_solves`" is a deterministic claim.
+#[derive(Debug, Clone)]
+pub struct CountRatioGate {
+    /// Largest allowed `new / old` ratio (e.g. 0.34 = at most a third).
+    pub max: f64,
+    /// Substring filter on the counter-row path
+    /// (`sweep.<label>.counter.<name>`); every matching row must hold.
+    pub metric: String,
+}
+
+impl CountRatioGate {
+    /// A gate on counter rows whose path contains `metric`.
+    pub fn new(max: f64, metric: impl Into<String>) -> Self {
+        CountRatioGate { max, metric: metric.into() }
+    }
+}
+
 /// One row of the delta table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricDelta {
@@ -148,6 +170,57 @@ impl Comparison {
         }
         if shortfalls > 0 {
             Err(format!("{out}{shortfalls} row(s) below the {:.2}x speedup gate", gate.min))
+        } else {
+            Ok(out)
+        }
+    }
+
+    /// Counter rows eligible for `gate` (path contains the filter).
+    pub fn count_ratio_rows(&self, gate: &CountRatioGate) -> Vec<&MetricDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.metric.contains(".counter.") && d.metric.contains(&gate.metric))
+            .collect()
+    }
+
+    /// Checks `gate` over [`Comparison::count_ratio_rows`]. Returns the
+    /// rendered verdict table; `Err` when any eligible row exceeds the
+    /// allowed ratio — or when *no* row matched, which means the gate is
+    /// miswired (counter renamed, label missing from one side) and must
+    /// not pass silently. A baseline of zero with a nonzero candidate
+    /// fails: the candidate spent a resource the baseline never touched.
+    pub fn check_count_ratio(&self, gate: &CountRatioGate) -> std::result::Result<String, String> {
+        let rows = self.count_ratio_rows(gate);
+        if rows.is_empty() {
+            return Err(format!(
+                "count-ratio gate matched no counter rows containing {:?}",
+                gate.metric
+            ));
+        }
+        let mut out = String::new();
+        let mut excesses = 0usize;
+        for d in &rows {
+            let (ratio, ok) = if d.old == 0.0 {
+                (f64::INFINITY, d.new == 0.0)
+            } else {
+                let r = d.new / d.old;
+                (r, r <= gate.max)
+            };
+            excesses += usize::from(!ok);
+            let _ = writeln!(
+                out,
+                "{:<6} {:<44} {:>6.0} -> {:>6.0}  ratio {:>6.3} (max {:.3})  {}",
+                d.id,
+                d.metric,
+                d.old,
+                d.new,
+                ratio,
+                gate.max,
+                if ok { "ok" } else { "TOO MANY" },
+            );
+        }
+        if excesses > 0 {
+            Err(format!("{out}{excesses} row(s) above the {:.3}x count-ratio gate", gate.max))
         } else {
             Ok(out)
         }
@@ -409,5 +482,49 @@ mod tests {
         // Lowering the floor admits the row, which passes at 10x.
         let loose = SpeedupGate { min_seconds: 0.0, ..SpeedupGate::new(1.3, "recycle:") };
         assert!(cmp.check_speedup(&loose).is_ok());
+    }
+
+    #[test]
+    fn count_ratio_gate_passes_and_fails_on_ratio() {
+        let cmp = Comparison {
+            deltas: vec![
+                delta("sweep.recycle:freqs.counter.em.true_solves", 16.0, 5.0),
+                // Wall rows never participate in a count gate.
+                delta("sweep.recycle:freqs.wall_seconds", 2.0, 1.0),
+                delta("sweep.recycle:freqs.counter.krylov.matvecs", 100.0, 30.0),
+            ],
+            ..Default::default()
+        };
+        let gate = CountRatioGate::new(0.34, "em.true_solves");
+        assert_eq!(cmp.count_ratio_rows(&gate).len(), 1);
+        assert!(cmp.check_count_ratio(&gate).is_ok());
+        // 5/16 ≈ 0.3125 > 0.25 → excess.
+        let strict = CountRatioGate::new(0.25, "em.true_solves");
+        let err = cmp.check_count_ratio(&strict).unwrap_err();
+        assert!(err.contains("TOO MANY"), "{err}");
+        // An unfiltered gate spans every counter row; matvecs pass at
+        // 0.30 but true_solves (0.3125) trips a 0.31 cap.
+        let all = CountRatioGate::new(0.31, "");
+        assert_eq!(cmp.count_ratio_rows(&all).len(), 2);
+        assert!(cmp.check_count_ratio(&all).is_err());
+    }
+
+    #[test]
+    fn count_ratio_gate_rejects_empty_match_and_new_spend() {
+        let cmp = Comparison {
+            deltas: vec![delta("sweep.adaptive.counter.em.true_solves", 0.0, 3.0)],
+            ..Default::default()
+        };
+        // Zero baseline with nonzero candidate: new resource spend.
+        let err = cmp.check_count_ratio(&CountRatioGate::new(0.34, "em.true_solves")).unwrap_err();
+        assert!(err.contains("TOO MANY"), "{err}");
+        // No matching row at all: miswired gate must not pass.
+        assert!(cmp.check_count_ratio(&CountRatioGate::new(0.34, "no-such-counter")).is_err());
+        // Zero on both sides is a clean pass.
+        let idle = Comparison {
+            deltas: vec![delta("sweep.adaptive.counter.em.true_solves", 0.0, 0.0)],
+            ..Default::default()
+        };
+        assert!(idle.check_count_ratio(&CountRatioGate::new(0.34, "em.true_solves")).is_ok());
     }
 }

@@ -20,8 +20,13 @@
 //!   non-passive reduced-order models" ([`passivity`] detects and
 //!   post-processes those);
 //! - [`noise_rom`]: the Padé-accelerated wideband noise evaluation of
-//!   Feldmann & Freund \[7\].
+//!   Feldmann & Freund \[7\];
+//! - [`aaa`] + [`surrogate`]: data-driven barycentric rational fitting
+//!   with a cross-validated error estimator — the model layer of the
+//!   adaptive sweep drivers in `rfsim-em` and `rfsim-steady`, which
+//!   issue true solves only where the surrogate is uncertain.
 
+pub mod aaa;
 pub mod arnoldi;
 pub mod awe;
 pub mod macromodel;
@@ -30,7 +35,9 @@ pub mod passivity;
 pub mod prima;
 pub mod pvl;
 pub mod statespace;
+pub mod surrogate;
 
+pub use aaa::{AaaFit, AaaOptions};
 pub use arnoldi::arnoldi_rom;
 pub use awe::awe_rom;
 pub use macromodel::RomImpedance;
@@ -38,6 +45,7 @@ pub use passivity::{enforce_passivity, is_passive, PassivityReport};
 pub use prima::prima_rom;
 pub use pvl::pvl_rom;
 pub use statespace::{DescriptorSystem, ReducedModel};
+pub use surrogate::{fit_adaptive, AdaptiveReport, RationalSurrogate, SurrogateOptions};
 
 /// Errors from the model-reduction algorithms.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,520 @@
+//! Rational surrogate with a cross-validated error estimator — the model
+//! side of the adaptive sweep driver (DESIGN.md §16).
+//!
+//! A [`RationalSurrogate`] accumulates true solves `(x, y₀..y_c)` of an
+//! expensive frequency- or parameter-sweep response, fits each channel
+//! with the barycentric AAA interpolant of [`crate::aaa`], and estimates
+//! its own pointwise error by cross-validation: a second fit with one
+//! interior sample *held out* must agree with the full fit everywhere on
+//! a dense probe grid, and must predict the held-out sample itself. Where
+//! the two fits disagree the model is uncertain — that is exactly where
+//! [`fit_adaptive`] places the next true solve (greedy bisection of the
+//! worst probe interval), and exactly where a model-first query refuses
+//! to answer.
+//!
+//! The query contract is conservative in two ways a serving cache needs:
+//! a query at a *previously solved* `x` returns the stored true solve
+//! bit-for-bit (never the model), and an off-sample query is only
+//! answered when the fit converged **and** the local error estimate is
+//! within tolerance — otherwise the caller gets `None` and must issue a
+//! true solve (counted under `surrogate.rejected`).
+//!
+//! Counters: `surrogate.fits` (models fitted), `surrogate.hits` (queries
+//! answered from the model or sample store), `surrogate.rejected`
+//! (queries declined), `surrogate.true_solves` (solver calls issued by
+//! [`fit_adaptive`]; serving layers count their miss-path solves under
+//! the same name).
+
+use crate::aaa::{AaaFit, AaaOptions};
+use crate::{Error, Result};
+use rfsim_telemetry as telemetry;
+
+/// Knobs for [`RationalSurrogate`] and [`fit_adaptive`].
+#[derive(Debug, Clone, Copy)]
+pub struct SurrogateOptions {
+    /// Relative accuracy target: the model only answers queries where
+    /// the cross-validated error estimate is below this (relative to the
+    /// per-channel sample scale).
+    pub rel_tol: f64,
+    /// Support-point cap per channel fit.
+    pub max_support: usize,
+    /// Fewest samples before a fit is attempted (≥ 4: the held-out
+    /// validation fit needs at least 3).
+    pub min_samples: usize,
+    /// Hard cap on true solves per [`fit_adaptive`] call.
+    pub max_solves: usize,
+    /// Probe-grid resolution for the cross-validation error profile.
+    pub probe_points: usize,
+    /// Place seeds, probes, and bisections in log-x (positive domains —
+    /// frequency sweeps); falls back to linear when the domain touches 0.
+    pub log_spacing: bool,
+}
+
+impl Default for SurrogateOptions {
+    fn default() -> Self {
+        SurrogateOptions {
+            rel_tol: 1e-6,
+            max_support: 12,
+            min_samples: 4,
+            max_solves: 32,
+            probe_points: 129,
+            log_spacing: true,
+        }
+    }
+}
+
+/// The fitted state: per-channel full fits plus the cross-validation
+/// error profile they were judged by.
+struct FittedModel {
+    full: Vec<AaaFit>,
+    probe_x: Vec<f64>,
+    probe_err: Vec<f64>,
+    cv_error: f64,
+    converged: bool,
+}
+
+/// A multi-channel rational surrogate over one scalar sweep variable.
+pub struct RationalSurrogate {
+    opts: SurrogateOptions,
+    channels: usize,
+    /// Sample locations, ascending.
+    xs: Vec<f64>,
+    /// Per-sample channel values, row `i` belongs to `xs[i]`.
+    ys: Vec<Vec<f64>>,
+    /// Insertion order of sample locations (for hold-out selection).
+    added: Vec<f64>,
+    model: Option<FittedModel>,
+}
+
+impl RationalSurrogate {
+    /// An empty surrogate for `channels` response channels.
+    pub fn new(channels: usize, opts: SurrogateOptions) -> Self {
+        RationalSurrogate {
+            opts,
+            channels,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            added: Vec::new(),
+            model: None,
+        }
+    }
+
+    /// Records a true solve. A repeat `x` replaces the stored values.
+    /// Invalidates the current fit (callers decide when to [`Self::refit`]).
+    ///
+    /// # Errors
+    /// [`Error::InvalidSetup`] on channel-count mismatch or non-finite data.
+    pub fn add_sample(&mut self, x: f64, ys: &[f64]) -> Result<()> {
+        if ys.len() != self.channels {
+            return Err(Error::InvalidSetup(format!(
+                "surrogate: {} channels, sample has {}",
+                self.channels,
+                ys.len()
+            )));
+        }
+        if !x.is_finite() || ys.iter().any(|v| !v.is_finite()) {
+            return Err(Error::InvalidSetup("surrogate: non-finite sample".to_string()));
+        }
+        self.model = None;
+        match self.xs.binary_search_by(|p| p.total_cmp(&x)) {
+            Ok(i) => self.ys[i] = ys.to_vec(),
+            Err(i) => {
+                self.xs.insert(i, x);
+                self.ys.insert(i, ys.to_vec());
+                self.added.push(x);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether no samples are stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Sample locations, ascending.
+    pub fn samples(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Whether the current fit passed cross-validation at `rel_tol`.
+    pub fn is_converged(&self) -> bool {
+        self.model.as_ref().is_some_and(|m| m.converged)
+    }
+
+    /// Cross-validated error estimate of the current fit (max over the
+    /// probe grid), or ∞ with no fit.
+    pub fn cv_error(&self) -> f64 {
+        self.model.as_ref().map_or(f64::INFINITY, |m| m.cv_error)
+    }
+
+    /// Per-channel sample scale `max|y_c|` (the residual normalizer).
+    fn channel_scale(&self, c: usize) -> f64 {
+        self.ys.iter().map(|row| row[c].abs()).fold(0.0, f64::max)
+    }
+
+    /// Refits the model from the stored samples. Returns whether the new
+    /// fit converged (and is therefore allowed to answer off-sample
+    /// queries). With fewer than `min_samples` samples this is a no-op
+    /// returning `false`.
+    pub fn refit(&mut self) -> bool {
+        self.model = None;
+        let n = self.xs.len();
+        if n < self.opts.min_samples.max(4) {
+            return false;
+        }
+        let aaa = AaaOptions {
+            tol: 0.1 * self.opts.rel_tol,
+            max_support: self.opts.max_support,
+            ..Default::default()
+        };
+        // Hold out the most recently added interior sample — the point
+        // the model was most uncertain about when it was requested. The
+        // validation fit must both match the full fit between samples
+        // and predict the held-out truth.
+        let lo = self.xs[0];
+        let hi = self.xs[n - 1];
+        let held_x = self
+            .added
+            .iter()
+            .rev()
+            .find(|&&x| x != lo && x != hi)
+            .copied()
+            .unwrap_or_else(|| self.xs[n / 2]);
+        let held_i = self.xs.iter().position(|&x| x == held_x).expect("held sample present");
+        let loo_x: Vec<f64> =
+            self.xs.iter().enumerate().filter(|(i, _)| *i != held_i).map(|(_, &x)| x).collect();
+
+        let mut full = Vec::with_capacity(self.channels);
+        let mut loo = Vec::with_capacity(self.channels);
+        let mut in_sample = 0.0f64;
+        let mut saturated = false;
+        for c in 0..self.channels {
+            let ys: Vec<f64> = self.ys.iter().map(|row| row[c]).collect();
+            let loo_y: Vec<f64> = self
+                .ys
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != held_i)
+                .map(|(_, r)| r[c])
+                .collect();
+            let Ok(f) = AaaFit::fit(&self.xs, &ys, &aaa) else { return false };
+            let Ok(g) = AaaFit::fit(&loo_x, &loo_y, &aaa) else { return false };
+            // A fit that used (nearly) every sample as a support point is
+            // pure interpolation with no leftover evidence — never
+            // converged, regardless of what cross-validation says.
+            saturated |= f.order() + 1 >= n;
+            in_sample = in_sample.max(f.max_rel_residual());
+            full.push(f);
+            loo.push(g);
+        }
+
+        let probe_x = self.spaced(lo, hi, self.opts.probe_points.max(16));
+        let mut probe_err = Vec::with_capacity(probe_x.len());
+        let mut cv = 0.0f64;
+        for &x in &probe_x {
+            let mut e = 0.0f64;
+            for c in 0..self.channels {
+                let s = self.channel_scale(c);
+                if s == 0.0 {
+                    continue;
+                }
+                e = e.max((full[c].eval(x) - loo[c].eval(x)).abs() / s);
+            }
+            cv = cv.max(e);
+            probe_err.push(e);
+        }
+        // The held-out truth itself: the strongest single check.
+        for (c, g) in loo.iter().enumerate() {
+            let s = self.channel_scale(c);
+            if s > 0.0 {
+                cv = cv.max((g.eval(held_x) - self.ys[held_i][c]).abs() / s);
+            }
+        }
+        let converged = !saturated && cv <= self.opts.rel_tol && in_sample <= self.opts.rel_tol;
+        self.model = Some(FittedModel { full, probe_x, probe_err, cv_error: cv, converged });
+        telemetry::counter_add("surrogate.fits", 1);
+        converged
+    }
+
+    /// Cross-validated error estimate at `x` (linear interpolation of
+    /// the probe profile; ∞ outside the sampled band or with no fit).
+    pub fn estimated_error_at(&self, x: f64) -> f64 {
+        let Some(m) = &self.model else { return f64::INFINITY };
+        let px = &m.probe_x;
+        if px.is_empty() || x < px[0] || x > px[px.len() - 1] {
+            return f64::INFINITY;
+        }
+        let i = px.partition_point(|&p| p < x).clamp(1, px.len() - 1);
+        let (x0, x1) = (px[i - 1], px[i]);
+        let (e0, e1) = (m.probe_err[i - 1], m.probe_err[i]);
+        if x1 == x0 {
+            e0.max(e1)
+        } else {
+            e0 + (e1 - e0) * (x - x0) / (x1 - x0)
+        }
+    }
+
+    /// Answers a query from the stored samples or the converged model,
+    /// or declines (`None`) where a true solve is required. Exact sample
+    /// locations return the stored solve bit-for-bit.
+    pub fn query(&self, x: f64) -> Option<Vec<f64>> {
+        if let Ok(i) = self.xs.binary_search_by(|p| p.total_cmp(&x)) {
+            telemetry::counter_add("surrogate.hits", 1);
+            return Some(self.ys[i].clone());
+        }
+        let served = self.model.as_ref().filter(|m| m.converged).and_then(|m| {
+            (self.estimated_error_at(x) <= self.opts.rel_tol)
+                .then(|| m.full.iter().map(|f| f.eval(x)).collect::<Vec<f64>>())
+        });
+        match served {
+            Some(v) => {
+                telemetry::counter_add("surrogate.hits", 1);
+                Some(v)
+            }
+            None => {
+                telemetry::counter_add("surrogate.rejected", 1);
+                None
+            }
+        }
+    }
+
+    /// Evaluates the fitted model at `x` regardless of convergence
+    /// state, for diagnostics (`None` with no fit).
+    pub fn eval_model(&self, x: f64) -> Option<Vec<f64>> {
+        self.model.as_ref().map(|m| m.full.iter().map(|f| f.eval(x)).collect())
+    }
+
+    /// The next solve location: the probe point with the worst error
+    /// estimate, snapped to the midpoint (log or linear per the options)
+    /// of the bracketing solved interval — strictly between two existing
+    /// samples, so it always adds information. Falls back to the widest
+    /// unsampled gap when no profile exists; `None` below two samples.
+    pub fn suggest_next(&self) -> Option<f64> {
+        if self.xs.len() < 2 {
+            return None;
+        }
+        let worst = self.model.as_ref().and_then(|m| {
+            m.probe_x
+                .iter()
+                .zip(&m.probe_err)
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .filter(|(_, &e)| e > 0.0)
+                .map(|(&x, _)| x)
+        });
+        let interval = match worst {
+            Some(x) => {
+                let i = self.xs.partition_point(|&p| p < x).clamp(1, self.xs.len() - 1);
+                (self.xs[i - 1], self.xs[i])
+            }
+            None => self.widest_gap(),
+        };
+        let mid = self.midpoint(interval.0, interval.1);
+        // Degenerate interval (adjacent samples too close to split):
+        // take the widest gap instead.
+        if mid <= interval.0 || mid >= interval.1 {
+            let (a, b) = self.widest_gap();
+            let m = self.midpoint(a, b);
+            (m > a && m < b).then_some(m)
+        } else {
+            Some(mid)
+        }
+    }
+
+    fn widest_gap(&self) -> (f64, f64) {
+        let log = self.log_ok();
+        self.xs
+            .windows(2)
+            .map(|w| {
+                let gap = if log { (w[1] / w[0]).ln() } else { w[1] - w[0] };
+                (gap, (w[0], w[1]))
+            })
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, iv)| iv)
+            .expect("at least two samples")
+    }
+
+    fn log_ok(&self) -> bool {
+        self.opts.log_spacing && self.xs.first().is_some_and(|&x| x > 0.0)
+    }
+
+    fn midpoint(&self, a: f64, b: f64) -> f64 {
+        if self.log_ok() {
+            (a * b).sqrt()
+        } else {
+            0.5 * (a + b)
+        }
+    }
+
+    /// `count` locations spanning `[lo, hi]` inclusive, log-spaced when
+    /// the options and domain allow.
+    fn spaced(&self, lo: f64, hi: f64, count: usize) -> Vec<f64> {
+        let log = self.opts.log_spacing && lo > 0.0;
+        (0..count)
+            .map(|i| {
+                let t = i as f64 / (count - 1) as f64;
+                if log {
+                    lo * (hi / lo).powf(t)
+                } else {
+                    lo + (hi - lo) * t
+                }
+            })
+            .collect()
+    }
+
+    /// Approximate heap bytes: samples plus fitted models. What a cache
+    /// eviction would free.
+    pub fn memory_bytes(&self) -> usize {
+        let samples = self.xs.len() * (1 + self.channels) * 8;
+        let model = self.model.as_ref().map_or(0, |m| {
+            m.full.iter().map(AaaFit::memory_bytes).sum::<usize>() + 2 * m.probe_x.len() * 8
+        });
+        samples + model
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &SurrogateOptions {
+        &self.opts
+    }
+}
+
+/// Outcome of one [`fit_adaptive`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveReport {
+    /// True solves issued by this call.
+    pub solves: usize,
+    /// Whether the final fit passed cross-validation.
+    pub converged: bool,
+    /// Final cross-validated error estimate.
+    pub cv_error: f64,
+}
+
+/// Drives a surrogate to convergence over `[lo, hi]`: solve a coarse
+/// seed set (`min_samples` points, endpoints included), fit, then
+/// repeatedly solve at the location the error estimator distrusts most,
+/// until the model meets `rel_tol` everywhere or `max_solves` true
+/// solves have been spent. Already-stored samples are never re-solved,
+/// so re-running over a grown band only pays for the new region.
+///
+/// # Errors
+/// Propagates the first `solve` failure.
+pub fn fit_adaptive<E>(
+    surrogate: &mut RationalSurrogate,
+    lo: f64,
+    hi: f64,
+    mut solve: impl FnMut(f64) -> std::result::Result<Vec<f64>, E>,
+) -> std::result::Result<AdaptiveReport, E> {
+    let _span = telemetry::span("rom.surrogate.fit_adaptive");
+    let mut solves = 0usize;
+    let opts = surrogate.opts;
+    let mut issue = |s: &mut RationalSurrogate, x: f64, solves: &mut usize| {
+        if s.xs.binary_search_by(|p| p.total_cmp(&x)).is_ok() {
+            return Ok(());
+        }
+        let y = solve(x)?;
+        telemetry::counter_add("surrogate.true_solves", 1);
+        *solves += 1;
+        // Non-finite or mismatched data is the driver's own misuse.
+        s.add_sample(x, &y).expect("solver returned a valid sample");
+        Ok(())
+    };
+    let seeds = surrogate.spaced(lo, hi, opts.min_samples.max(2));
+    for x in seeds {
+        issue(surrogate, x, &mut solves)?;
+    }
+    surrogate.refit();
+    while !surrogate.is_converged() && solves < opts.max_solves {
+        let Some(x) = surrogate.suggest_next() else { break };
+        issue(surrogate, x, &mut solves)?;
+        surrogate.refit();
+    }
+    Ok(AdaptiveReport {
+        solves,
+        converged: surrogate.is_converged(),
+        cv_error: surrogate.cv_error(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The e09-shaped response: a dielectric-relaxation rational plus a
+    /// smooth composition, on a GHz-scale log band.
+    fn relaxation(f: f64) -> f64 {
+        let k = 0.5 + 0.5 / (1.0 + (f / 3e9).powi(2));
+        1e-13 * (0.8 + 0.4 * k)
+    }
+
+    #[test]
+    fn adaptive_converges_on_rational_response_with_few_solves() {
+        let mut s = RationalSurrogate::new(1, SurrogateOptions::default());
+        let report =
+            fit_adaptive(&mut s, 0.5e9, 20e9, |f| Ok::<_, ()>(vec![relaxation(f)])).unwrap();
+        assert!(report.converged, "cv error {}", report.cv_error);
+        assert!(report.solves <= 8, "too many solves: {}", report.solves);
+        // Model answers off-sample queries within tolerance.
+        for i in 0..50 {
+            let f = 0.6e9 * (19e9f64 / 0.6e9).powf(i as f64 / 49.0);
+            let got = s.query(f).expect("converged model must answer in-band");
+            let rel = (got[0] - relaxation(f)).abs() / relaxation(f);
+            assert!(rel < 1e-4, "f={f:.3e}: rel err {rel:.3e}");
+        }
+    }
+
+    #[test]
+    fn exact_sample_queries_are_bitwise() {
+        let mut s = RationalSurrogate::new(2, SurrogateOptions::default());
+        s.add_sample(1e9, &[0.123456789, 42.0]).unwrap();
+        assert_eq!(s.query(1e9), Some(vec![0.123456789, 42.0]));
+        // Off-sample with no fit: declined.
+        assert_eq!(s.query(2e9), None);
+    }
+
+    #[test]
+    fn unconverged_model_declines_off_sample_queries() {
+        let mut s =
+            RationalSurrogate::new(1, SurrogateOptions { rel_tol: 1e-12, ..Default::default() });
+        // A non-rational response at 4 samples cannot pass validation.
+        for &x in &[1.0, 2.0, 4.0, 8.0] {
+            s.add_sample(x, &[x.ln() * (5.0 * x).sin()]).unwrap();
+        }
+        assert!(!s.refit());
+        assert!(s.query(3.0).is_none());
+        assert_eq!(s.query(2.0), Some(vec![2.0f64.ln() * 10.0f64.sin()]));
+    }
+
+    #[test]
+    fn suggest_next_lands_strictly_between_samples() {
+        let mut s = RationalSurrogate::new(1, SurrogateOptions::default());
+        for &x in &[1.0, 10.0, 100.0] {
+            s.add_sample(x, &[x]).unwrap();
+        }
+        let next = s.suggest_next().unwrap();
+        assert!(next > 1.0 && next < 100.0);
+        assert!(s.samples().iter().all(|&x| x != next));
+    }
+
+    #[test]
+    fn adaptive_spends_more_solves_on_harder_responses() {
+        let easy = {
+            let mut s = RationalSurrogate::new(1, SurrogateOptions::default());
+            fit_adaptive(&mut s, 1.0, 100.0, |x| Ok::<_, ()>(vec![1.0 / (1.0 + x)])).unwrap()
+        };
+        let hard = {
+            let opts = SurrogateOptions { rel_tol: 1e-8, ..Default::default() };
+            let mut s = RationalSurrogate::new(1, opts);
+            fit_adaptive(&mut s, 1.0, 100.0, |x| {
+                Ok::<_, ()>(vec![(x.ln() * 2.0).sin() / (1.0 + 0.01 * x)])
+            })
+            .unwrap()
+        };
+        assert!(easy.converged);
+        assert!(hard.solves > easy.solves, "easy {} vs hard {}", easy.solves, hard.solves);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the AAA barycentric rational fitter: exact
+//! recovery of randomly parameterized rationals, pole-location accuracy,
+//! and monotone residual decrease as the support cap grows.
+
+use proptest::prelude::*;
+use rfsim_rom::aaa::{AaaFit, AaaOptions};
+
+/// Samples `n` equispaced points on `[0, 1]`.
+fn unit_grid(n: usize) -> Vec<f64> {
+    (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A random partial-fraction rational with poles outside the sample
+    /// interval is recovered essentially exactly — at the samples (the
+    /// fitter's own residual) and off the samples (true generalization,
+    /// checked at midpoints the fit never saw).
+    #[test]
+    fn recovers_random_rationals(
+        c0 in 0.5f64..2.0,
+        r1 in 0.5f64..2.0,
+        r2 in 0.5f64..2.0,
+        p1 in 1.3f64..3.0,
+        p2 in -3.0f64..-1.3,
+    ) {
+        let truth = |x: f64| c0 + r1 / (x - p1) + r2 / (x - p2);
+        let xs = unit_grid(41);
+        let ys: Vec<f64> = xs.iter().map(|&x| truth(x)).collect();
+        let fit = AaaFit::fit(&xs, &ys, &AaaOptions::default()).expect("fit");
+        prop_assert!(
+            fit.max_rel_residual() < 1e-10,
+            "in-sample residual {:.3e}", fit.max_rel_residual()
+        );
+        // Degree (2,2) truth: three support points suffice; the greedy
+        // stage must not balloon past the data's intrinsic order.
+        prop_assert!(fit.order() <= 5, "order {} for a degree-2 rational", fit.order());
+        for w in xs.windows(2) {
+            let mid = 0.5 * (w[0] + w[1]);
+            let rel = (fit.eval(mid) - truth(mid)).abs() / truth(mid).abs().max(1e-300);
+            prop_assert!(rel < 1e-8, "off-sample drift {rel:.3e} at {mid}");
+        }
+    }
+
+    /// The fitted barycentric form localizes a real simple pole to high
+    /// relative accuracy via its companion-matrix eigenvalues.
+    #[test]
+    fn localizes_a_real_pole(p in 1.2f64..2.5, res in 0.5f64..2.0, c0 in -1.0f64..1.0) {
+        let truth = |x: f64| c0 + res / (x - p);
+        let xs = unit_grid(31);
+        let ys: Vec<f64> = xs.iter().map(|&x| truth(x)).collect();
+        let fit = AaaFit::fit(&xs, &ys, &AaaOptions::default()).expect("fit");
+        let poles = fit.poles().expect("poles");
+        let nearest = poles
+            .iter()
+            .map(|z| ((z.re - p).powi(2) + z.im.powi(2)).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(nearest / p < 1e-6, "pole off by {nearest:.3e} (truth {p})");
+    }
+
+    /// With Lawson polish disabled the fitter keeps the best support set
+    /// seen, so the reported residual never increases as the cap grows.
+    #[test]
+    fn residual_is_monotone_in_support_cap(
+        a in 1.0f64..4.0,
+        b in 0.2f64..1.0,
+    ) {
+        // Smooth but non-rational: every extra support point can help.
+        let truth = |x: f64| (a * x).tanh() + b * (-x * x).exp();
+        let xs = unit_grid(61);
+        let ys: Vec<f64> = xs.iter().map(|&x| truth(x)).collect();
+        let mut prev = f64::INFINITY;
+        for cap in 2..=9 {
+            let fit = AaaFit::fit(
+                &xs,
+                &ys,
+                &AaaOptions { tol: 0.0, max_support: cap, lawson_iters: 0 },
+            )
+            .expect("fit");
+            prop_assert!(
+                fit.max_rel_residual() <= prev,
+                "cap {cap}: residual rose {prev:.3e} -> {:.3e}",
+                fit.max_rel_residual()
+            );
+            prev = fit.max_rel_residual();
+        }
+        prop_assert!(prev < 1e-7, "cap 9 should fit a smooth curve, got {prev:.3e}");
+    }
+
+    /// The barycentric form interpolates its support points exactly, for
+    /// arbitrary smooth data.
+    #[test]
+    fn interpolates_support_points(k in 0.5f64..6.0) {
+        let xs = unit_grid(25);
+        let ys: Vec<f64> = xs.iter().map(|&x| (k * x).sin() + 2.0).collect();
+        let fit = AaaFit::fit(&xs, &ys, &AaaOptions::default()).expect("fit");
+        for (&x, &y) in xs.iter().zip(&ys) {
+            if fit.support().contains(&x) {
+                let rel = (fit.eval(x) - y).abs() / y.abs();
+                prop_assert!(rel < 1e-13, "support point {x} off by {rel:.3e}");
+            }
+        }
+    }
+}

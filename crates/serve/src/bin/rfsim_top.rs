@@ -60,6 +60,8 @@ struct Sample {
     completed: f64,
     cache_hits: f64,
     cache_lookups: f64,
+    /// Cumulative `surrogate.{hits,true_solves,fits,rejected}` counters.
+    surrogate: [f64; 4],
     total_ms: Histogram,
 }
 
@@ -86,11 +88,14 @@ fn poll(client: &mut Client) -> Result<(Json, Sample), String> {
         .and_then(|h| h.get("serve.latency.total_ms"))
         .and_then(Histogram::from_json)
         .unwrap_or_default();
+    let surrogate = ["hits", "true_solves", "fits", "rejected"]
+        .map(|k| num(counters.get(&format!("surrogate.{k}"))));
     let sample = Sample {
         at: Instant::now(),
         completed: num(sr.get("queue").and_then(|q| q.get("completed"))),
         cache_hits: hits,
         cache_lookups: lookups,
+        surrogate,
         total_ms,
     };
     Ok((sr, sample))
@@ -154,6 +159,19 @@ fn render(addr: &str, stats: &Json, now: &Sample, prev: Option<&Sample>) -> Stri
             num(c.get("evictions")),
         );
     }
+    let s = cache.get("surrogate").cloned().unwrap_or(Json::Null);
+    let [hits, solves, fits, rejected] = now.surrogate;
+    let _ = writeln!(
+        out,
+        "surrogate entries {:>2}   resident {:>9.0} B   hits {:>7}   true-solves {:>5}   \
+         fits {:>5}   rejected {:>5}",
+        num(s.get("entries")),
+        num(s.get("resident_bytes")),
+        hits,
+        solves,
+        fits,
+        rejected,
+    );
     out
 }
 

@@ -130,6 +130,17 @@ impl<V: CacheWeight> WarmCache<V> {
         self.publish_gauges(&map);
     }
 
+    /// Folds a per-entry measure over the resident entries (an entry
+    /// checked out by a running job is not visible): `(contributing
+    /// entries, summed value)`, where `None` means "does not
+    /// contribute". Lets the engine report residency of state nested
+    /// inside entries — e.g. fitted surrogates — without the cache
+    /// knowing their shape.
+    pub fn aggregate(&self, f: impl Fn(&V) -> Option<usize>) -> (usize, usize) {
+        let map = lock(&self.map);
+        map.values().filter_map(|s| f(&s.value)).fold((0, 0), |(n, total), v| (n + 1, total + v))
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
         let map = lock(&self.map);

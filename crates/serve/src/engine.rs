@@ -11,6 +11,7 @@
 use crate::cache::{CacheStats, CacheWeight, WarmCache};
 use crate::protocol::{ErrorKind, ExtractJob, HbJob, Request};
 use rfsim_circuit::prelude::*;
+use rfsim_em::adaptive::{AdaptiveSweep, SurrogateOptions, EXTRACT_SURROGATE_TOL};
 use rfsim_em::inductor::SweptExtractor;
 use rfsim_observe::{git_sha, BenchArtifact, SweepPoint, SCHEMA_VERSION};
 use rfsim_steady::{HbOptions, HbSweep, SpectralGrid};
@@ -36,13 +37,16 @@ impl CacheWeight for HbEntry {
     }
 }
 
+/// A resident extraction sweep: the warm operators plus the fitted
+/// rational surrogate, so repeat queries on a known geometry are
+/// answered from the model with zero true solves (DESIGN.md §16).
 struct ExtractEntry {
-    extractor: SweptExtractor,
+    sweep: AdaptiveSweep,
 }
 
 impl CacheWeight for ExtractEntry {
     fn weight_bytes(&self) -> usize {
-        self.extractor.memory_bytes().max(1024)
+        self.sweep.memory_bytes().max(1024)
     }
 }
 
@@ -89,6 +93,16 @@ impl Engine {
     /// Cache statistics: (harmonic balance, extraction).
     pub fn cache_stats(&self) -> (CacheStats, CacheStats) {
         (self.hb.stats(), self.extract.stats())
+    }
+
+    /// Surrogate residency across the resident extraction entries:
+    /// `(entries holding at least one fitted sample, summed surrogate
+    /// bytes)`.
+    pub fn surrogate_stats(&self) -> (usize, usize) {
+        self.extract.aggregate(|e| {
+            let s = e.sweep.surrogate();
+            (!s.is_empty()).then(|| s.memory_bytes())
+        })
     }
 
     /// Runs one queued job, timing it and attributing telemetry counter
@@ -164,24 +178,35 @@ impl Engine {
     fn run_extract(&self, job: &ExtractJob) -> Result<(Json, bool), (ErrorKind, String)> {
         let key = job.cache_key();
         let entry = if self.cold { None } else { self.extract.checkout(&key) };
-        let warm = entry.as_ref().is_some_and(|e| e.extractor.is_warm());
+        let warm = entry.as_ref().is_some_and(|e| e.sweep.is_warm());
         let mut entry = match entry {
             Some(e) => e,
             None => ExtractEntry {
-                extractor: SweptExtractor::with_tolerance(
-                    &job.geometry,
-                    job.panels_per_seg,
-                    job.nq,
-                    job.tol,
-                )
-                .map_err(|e| (ErrorKind::Solver, e.to_string()))?,
+                sweep: AdaptiveSweep::from_extractor(
+                    SweptExtractor::with_tolerance(
+                        &job.geometry,
+                        job.panels_per_seg,
+                        job.nq,
+                        job.tol,
+                    )
+                    .map_err(|e| (ErrorKind::Solver, e.to_string()))?,
+                    SurrogateOptions { rel_tol: EXTRACT_SURROGATE_TOL, ..Default::default() },
+                ),
             },
         };
+        // Model-first: a repeat frequency on a resident geometry is
+        // answered bit-for-bit from the surrogate's stored solve and a
+        // trusted fit answers any in-band frequency — only genuinely
+        // new queries reach the EM solver (`surrogate.{hits,rejected}`
+        // and `em.true_solves` record the split per job).
         let model =
-            entry.extractor.extract_at(job.freq).map_err(|e| (ErrorKind::Solver, e.to_string()))?;
-        let panels = entry.extractor.panels();
+            entry.sweep.extract_at(job.freq).map_err(|e| (ErrorKind::Solver, e.to_string()))?;
+        let panels = entry.sweep.engine().panels();
         if !self.cold {
             self.extract.checkin(key, entry);
+            let (entries, bytes) = self.surrogate_stats();
+            rfsim_telemetry::gauge_set("serve.cache.surrogate.entries", entries as f64);
+            rfsim_telemetry::gauge_set("serve.cache.surrogate.bytes", bytes as f64);
         }
         let result = Json::obj([
             ("l_series", Json::Num(model.l_series)),

@@ -515,6 +515,7 @@ fn cache_stats_json(s: crate::cache::CacheStats) -> Json {
 fn stats_response(shared: &Arc<Shared>, env: &Envelope) -> Json {
     let q = shared.scheduler.stats();
     let (hb, em) = shared.engine.cache_stats();
+    let (sur_entries, sur_bytes) = shared.engine.surrogate_stats();
     let fft = rfsim_numerics::fft::plan_cache_stats();
     let result = Json::obj([
         (
@@ -530,7 +531,23 @@ fn stats_response(shared: &Arc<Shared>, env: &Envelope) -> Json {
                 ("workers", Json::Num(q.workers as f64)),
             ]),
         ),
-        ("cache", Json::obj([("hb", cache_stats_json(hb)), ("em", cache_stats_json(em))])),
+        (
+            "cache",
+            Json::obj([
+                ("hb", cache_stats_json(hb)),
+                ("em", cache_stats_json(em)),
+                // Fitted surrogates nested inside the resident em
+                // entries: the state that answers repeat extraction
+                // traffic with zero true solves (DESIGN.md §16).
+                (
+                    "surrogate",
+                    Json::obj([
+                        ("entries", Json::Num(sur_entries as f64)),
+                        ("resident_bytes", Json::Num(sur_bytes as f64)),
+                    ]),
+                ),
+            ]),
+        ),
         (
             "fft",
             Json::obj([

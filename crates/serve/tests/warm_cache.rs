@@ -1,8 +1,9 @@
 //! Warm-cache integration battery (ISSUE 7 satellite): an in-process
 //! server, the same jobs submitted repeatedly, and the returned
 //! per-job telemetry counters as the proof of reuse — `fft.plan_hits`
-//! and `hb.sweep.warm_starts` for harmonic balance, `krylov.warm_starts`
-//! and the `serve.cache.em.*` counters for extraction — plus numerical
+//! and `hb.sweep.warm_starts` for harmonic balance; `surrogate.hits`
+//! (and a zero `em.true_solves` delta), `krylov.warm_starts`, and the
+//! `serve.cache.em.*` counters for extraction — plus numerical
 //! agreement between warm and cold answers to 1e-10.
 //!
 //! Every server here runs `workers: 1` so jobs execute one at a time
@@ -62,20 +63,28 @@ fn extraction_repeats_hit_recycle_space_and_agree_with_cold() {
     assert!(!warm(&cold), "first job cannot be warm");
     assert!(counter(&cold, "serve.cache.em.misses") > 0);
 
-    // Same job again: the resident extractor serves it, and the GMRES
-    // solve warm-starts from the previous solution.
+    // Same job again: the resident surrogate answers it from the
+    // stored solve — zero true EM solves (DESIGN.md §16).
     let repeat = call(&mut client, EXTRACT);
     assert!(warm(&repeat), "identical repeat must find the resident extractor");
     assert!(counter(&repeat, "serve.cache.em.hits") > 0);
     assert!(
-        counter(&repeat, "krylov.warm_starts") > 0,
-        "repeat extraction must warm-start GMRES: {repeat:?}"
+        counter(&repeat, "surrogate.hits") > 0,
+        "repeat extraction must be served by the surrogate: {repeat:?}"
+    );
+    assert_eq!(
+        counter(&repeat, "em.true_solves"),
+        0,
+        "surrogate-served repeat must not touch the EM solver: {repeat:?}"
     );
 
-    // Nearby frequency: same geometry, different image coefficient —
-    // still warm, still recycled.
+    // Nearby frequency: one stored sample cannot be a trusted model, so
+    // the surrogate declines and a true solve runs — warm-started and
+    // Krylov-recycled off the previous frequency's solution.
     let nearby = call(&mut client, EXTRACT_NEARBY);
     assert!(warm(&nearby), "nearby frequency must reuse the extractor");
+    assert!(counter(&nearby, "surrogate.rejected") > 0);
+    assert!(counter(&nearby, "em.true_solves") > 0);
     assert!(counter(&nearby, "krylov.warm_starts") > 0);
 
     // Numerical agreement with a cold server answering the same jobs.
@@ -156,6 +165,7 @@ fn stats_reports_resident_state_and_fft_plans() {
     let mut client = Client::connect(server.addr()).unwrap();
     call(&mut client, HB);
     call(&mut client, HB);
+    call(&mut client, EXTRACT);
     let stats = call(&mut client, r#"{"op":"stats"}"#);
     let get = |path: &[&str]| {
         let mut v = stats.get("result").unwrap();
@@ -168,6 +178,11 @@ fn stats_reports_resident_state_and_fft_plans() {
     assert!(get(&["cache", "hb", "entries"]) >= 1.0);
     assert!(get(&["cache", "hb", "resident_bytes"]) > 0.0);
     assert!(get(&["fft", "plans"]) >= 1.0, "FFT plan cache must hold plans: {stats:?}");
+    assert!(
+        get(&["cache", "surrogate", "entries"]) >= 1.0,
+        "extraction must leave a fitted surrogate resident: {stats:?}"
+    );
+    assert!(get(&["cache", "surrogate", "resident_bytes"]) > 0.0);
     assert_eq!(get(&["queue", "workers"]), 1.0);
     server.shutdown();
 }

@@ -1,0 +1,227 @@
+//! Adaptive parameter sweeps over the harmonic-balance continuation
+//! engine (DESIGN.md §16).
+//!
+//! [`HbSweep`] already makes each continuation point cheap — warm Newton
+//! starts, carried preconditioner factors, a recycled Krylov space — but
+//! a fixed grid still pays one full HB solve per point. The responses a
+//! sweep reads off those solutions (output power vs drive, conversion
+//! gain vs LO, harmonic levels vs bias) are smooth functions of the
+//! swept parameter, which makes them exactly what the barycentric
+//! rational surrogate in `rfsim-rom` models well. [`AdaptiveHbSweep`]
+//! composes the two: true HB solves are issued only where the
+//! cross-validated model is uncertain, and once the fit converges every
+//! further query on the band is answered without touching Newton at
+//! all.
+//!
+//! The caller supplies two closures: `build` maps the swept parameter to
+//! the DAE at that point (a re-biased circuit, a re-powered source), and
+//! `respond` distills the converged [`HbSolution`] into the scalar
+//! channels worth modeling. Both stay outside this module so the driver
+//! is agnostic to what is being swept.
+
+use crate::hb::{HbOptions, HbSolution, HbSweep};
+use crate::{Result, SpectralGrid};
+use rfsim_circuit::dae::Dae;
+use rfsim_rom::surrogate::{fit_adaptive, AdaptiveReport, RationalSurrogate, SurrogateOptions};
+use rfsim_telemetry as telemetry;
+
+/// An [`HbSweep`] wrapped in a rational surrogate over one swept
+/// parameter: true solves run through the warm continuation engine and
+/// feed the model; converged bands answer queries model-first.
+pub struct AdaptiveHbSweep {
+    sweep: HbSweep,
+    surrogate: RationalSurrogate,
+    true_solves: u64,
+}
+
+impl AdaptiveHbSweep {
+    /// An adaptive sweep on `grid` with `channels` modeled response
+    /// channels (what the `respond` closure returns per point).
+    pub fn new(
+        grid: &SpectralGrid,
+        opts: &HbOptions,
+        channels: usize,
+        sopts: SurrogateOptions,
+    ) -> Self {
+        AdaptiveHbSweep {
+            sweep: HbSweep::new(grid, opts),
+            surrogate: RationalSurrogate::new(channels, sopts),
+            true_solves: 0,
+        }
+    }
+
+    /// Refines the surrogate over the parameter band `[lo, hi]`: seed
+    /// solves through the warm continuation engine, rational fit, then
+    /// one true solve at the most-distrusted parameter per round until
+    /// the cross-validated error meets tolerance (or the solve cap).
+    ///
+    /// `build` constructs the DAE at a parameter value; `respond` reads
+    /// the modeled channels out of its converged solution.
+    ///
+    /// # Errors
+    /// Propagates HB convergence and numerical failures.
+    pub fn fit_band<D, B, R>(
+        &mut self,
+        lo: f64,
+        hi: f64,
+        mut build: B,
+        respond: R,
+    ) -> Result<AdaptiveReport>
+    where
+        D: Dae,
+        B: FnMut(f64) -> D,
+        R: Fn(f64, &HbSolution) -> Vec<f64>,
+    {
+        let _span = telemetry::span("hb.sweep.adaptive");
+        let (sweep, surrogate) = (&mut self.sweep, &mut self.surrogate);
+        let solves = &mut self.true_solves;
+        fit_adaptive(surrogate, lo, hi, |p| {
+            let dae = build(p);
+            let sol = sweep.solve(&dae)?;
+            telemetry::counter_add("hb.true_solves", 1);
+            *solves += 1;
+            Ok(respond(p, &sol))
+        })
+    }
+
+    /// Answers the modeled channels at `p` from the surrogate alone —
+    /// zero HB solves. `None` where the model is not trusted; exact
+    /// previously-solved parameters are answered bit-for-bit.
+    pub fn query(&self, p: f64) -> Option<Vec<f64>> {
+        self.surrogate.query(p)
+    }
+
+    /// Model-first point evaluation: a trusted surrogate answers
+    /// without solving; otherwise one true warm-started HB solve runs
+    /// and feeds the model.
+    ///
+    /// # Errors
+    /// Propagates HB convergence and numerical failures from the miss
+    /// path.
+    pub fn solve_at<D, B, R>(&mut self, p: f64, mut build: B, respond: R) -> Result<Vec<f64>>
+    where
+        D: Dae,
+        B: FnMut(f64) -> D,
+        R: Fn(f64, &HbSolution) -> Vec<f64>,
+    {
+        if let Some(y) = self.surrogate.query(p) {
+            return Ok(y);
+        }
+        let dae = build(p);
+        let sol = self.sweep.solve(&dae)?;
+        telemetry::counter_add("hb.true_solves", 1);
+        telemetry::counter_add("surrogate.true_solves", 1);
+        self.true_solves += 1;
+        let y = respond(p, &sol);
+        // Non-finite or mismatched channels are the respond closure's
+        // own misuse, same contract as `fit_adaptive`.
+        self.surrogate.add_sample(p, &y).expect("respond returned a valid sample");
+        self.surrogate.refit();
+        Ok(y)
+    }
+
+    /// True HB solves issued through the continuation engine so far.
+    pub fn true_solves(&self) -> u64 {
+        self.true_solves
+    }
+
+    /// Whether the wrapped continuation engine holds a converged
+    /// previous point (the next miss starts warm).
+    pub fn is_warm(&self) -> bool {
+        self.sweep.is_warm()
+    }
+
+    /// The surrogate state (samples, convergence, error estimate).
+    pub fn surrogate(&self) -> &RationalSurrogate {
+        &self.surrogate
+    }
+
+    /// Resident bytes: carried continuation state plus surrogate
+    /// samples/fits.
+    pub fn memory_bytes(&self) -> usize {
+        self.sweep.state_bytes() + self.surrogate.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsim_circuit::dae::CircuitDae;
+    use rfsim_circuit::prelude::*;
+    use rfsim_circuit::Circuit;
+
+    const F0: f64 = 1e9;
+
+    /// A driven RC diode clipper whose fundamental response varies
+    /// smoothly (and nonlinearly) with drive amplitude. Node layout is
+    /// identical at every amplitude, so the output index is stable.
+    fn clipper(amp: f64) -> (CircuitDae, usize) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        ckt.add(VSource::sine("V1", a, Circuit::GROUND, 0.0, amp, F0));
+        ckt.add(Resistor::new("R1", a, out, 50.0));
+        ckt.add(Capacitor::new("C1", out, Circuit::GROUND, 3e-12));
+        ckt.add(Diode::new("D1", out, Circuit::GROUND, 1e-14));
+        let dae = ckt.into_dae().unwrap();
+        let idx = dae.node_index(out).unwrap();
+        (dae, idx)
+    }
+
+    fn grid() -> SpectralGrid {
+        SpectralGrid::single_tone(F0, 5).unwrap()
+    }
+
+    fn fundamental(sol: &HbSolution) -> f64 {
+        let (_, idx) = clipper(0.1);
+        sol.amplitude(idx, &[1])
+    }
+
+    #[test]
+    fn band_fit_then_queries_issue_no_solves() {
+        let mut ad = AdaptiveHbSweep::new(
+            &grid(),
+            &HbOptions::default(),
+            1,
+            SurrogateOptions { rel_tol: 1e-6, max_solves: 24, ..Default::default() },
+        );
+        let report =
+            ad.fit_band(0.05, 0.6, |p| clipper(p).0, |_, sol| vec![fundamental(sol)]).unwrap();
+        assert!(report.converged, "cv error {:.3e}", report.cv_error);
+        assert_eq!(report.solves as u64, ad.true_solves());
+        let before = ad.true_solves();
+        for i in 0..9 {
+            let p = 0.08 + 0.5 * i as f64 / 8.0;
+            assert!(ad.query(p).is_some(), "converged band must answer at {p}");
+        }
+        assert_eq!(ad.true_solves(), before, "model queries must not solve");
+    }
+
+    #[test]
+    fn model_matches_direct_solve() {
+        let mut ad = AdaptiveHbSweep::new(
+            &grid(),
+            &HbOptions::default(),
+            1,
+            SurrogateOptions { rel_tol: 1e-6, max_solves: 24, ..Default::default() },
+        );
+        ad.fit_band(0.05, 0.6, |p| clipper(p).0, |_, sol| vec![fundamental(sol)]).unwrap();
+        let p = 0.333;
+        let modeled = ad.query(p).expect("in-band query")[0];
+        let direct = crate::hb::solve_hb(&clipper(p).0, &grid(), &HbOptions::default()).unwrap();
+        let truth = fundamental(&direct);
+        let rel = (modeled - truth).abs() / truth.abs();
+        assert!(rel < 1e-4, "model vs direct HB: {rel:.3e}");
+    }
+
+    #[test]
+    fn solve_at_misses_then_serves_exact_repeats() {
+        let mut ad =
+            AdaptiveHbSweep::new(&grid(), &HbOptions::default(), 1, SurrogateOptions::default());
+        let first = ad.solve_at(0.25, |p| clipper(p).0, |_, sol| vec![fundamental(sol)]).unwrap();
+        assert_eq!(ad.true_solves(), 1);
+        let repeat = ad.solve_at(0.25, |p| clipper(p).0, |_, sol| vec![fundamental(sol)]).unwrap();
+        assert_eq!(ad.true_solves(), 1, "exact repeat must be model-served");
+        assert_eq!(first[0].to_bits(), repeat[0].to_bits());
+    }
+}

@@ -1,0 +1,94 @@
+//! Adaptive-sweep acceptance battery (ISSUE 10): the surrogate-driven
+//! sweep must reproduce the dense fixed-grid extraction on the e09
+//! inductor — across its substrate-relaxation band — within the
+//! experiment's existing tolerance, from at most a third of the true
+//! EM solves; and the per-frequency image coefficient `k(f)` must be
+//! evaluated exactly once per solved point (the loop-invariant hoist in
+//! `SweptExtractor::solve_c_total`).
+
+use rfsim::em::adaptive::AdaptiveSweep;
+use rfsim::em::inductor::{SpiralInductor, SweptExtractor};
+use rfsim::telemetry;
+
+/// The e09 bench sweep grid: 16 log-spaced points, 0.5–20 GHz, across
+/// the substrate's dielectric-relaxation knee.
+fn e09_grid() -> Vec<f64> {
+    (0..16).map(|i| 0.5e9 * (20e9f64 / 0.5e9).powf(i as f64 / 15.0)).collect()
+}
+
+fn counter(name: &str) -> u64 {
+    telemetry::snapshot().counters.get(name).copied().unwrap_or(0)
+}
+
+// One sequential test: the telemetry counters it measures are
+// process-global, so the two phases must not run on parallel test
+// threads.
+#[test]
+fn adaptive_agreement_solve_budget_and_k_hoist() {
+    adaptive_matches_dense_grid_with_three_times_fewer_solves();
+    image_coefficient_is_evaluated_once_per_solved_point();
+}
+
+fn adaptive_matches_dense_grid_with_three_times_fewer_solves() {
+    telemetry::set_mode(telemetry::Mode::Report);
+    let spiral = SpiralInductor::default();
+    let freqs = e09_grid();
+    // Production-grade e09 settings are mesh 6 / nq 6; the test drops
+    // the mesh one notch to keep the dense reference affordable while
+    // preserving the same k(f) response the surrogate has to learn.
+    let (mesh, nq) = (2, 6);
+
+    // Dense reference: one true solve per grid point.
+    let dense = spiral.extract_swept(mesh, nq, &freqs).expect("dense sweep");
+
+    // Adaptive: same engine configuration behind the surrogate.
+    let before = counter("em.true_solves");
+    let mut sweep = AdaptiveSweep::new(&spiral, mesh, nq).expect("adaptive build");
+    let models = sweep.sweep(&freqs).expect("adaptive sweep");
+    let spent = counter("em.true_solves") - before;
+
+    // Counter-proof: the engine's own tally and the telemetry counter
+    // agree, and the budget is at most a third of the fixed grid.
+    assert_eq!(spent, sweep.true_solves());
+    assert!(
+        3 * spent <= freqs.len() as u64,
+        "adaptive spent {spent} true solves on a {}-point grid (need ≤ 1/3)",
+        freqs.len()
+    );
+
+    // Accuracy everywhere: c_ox (the swept quantity), and the L(f)/Q(f)
+    // answers derived from it, inside e09's existing 1e-4 agreement.
+    for (f, (d, m)) in freqs.iter().zip(dense.iter().zip(&models)) {
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(f64::MIN_POSITIVE);
+        assert!(rel(m.c_ox, d.c_ox) <= 1e-4, "c_ox drift at {f:.3e} Hz");
+        assert!(rel(m.l_eff(*f), d.l_eff(*f)) <= 1e-4, "L(f) drift at {f:.3e} Hz");
+        assert!(rel(m.q(*f), d.q(*f)) <= 1e-4, "Q(f) drift at {f:.3e} Hz");
+    }
+
+    // Model queries off the solved grid stay free and finite.
+    let solved = sweep.true_solves();
+    for i in 0..8 {
+        let f = 0.7e9 * (18e9f64 / 0.7e9).powf(i as f64 / 7.0);
+        let m = sweep.model_at(f).expect("in-band model query");
+        assert!(m.c_ox.is_finite() && m.c_ox > 0.0);
+    }
+    assert_eq!(sweep.true_solves(), solved, "model queries must not solve");
+}
+
+fn image_coefficient_is_evaluated_once_per_solved_point() {
+    telemetry::set_mode(telemetry::Mode::Report);
+    let spiral = SpiralInductor::default();
+    let freqs: Vec<f64> = (0..6).map(|i| 1e9 * (1.0 + i as f64)).collect();
+    let mut engine = SweptExtractor::new(&spiral, 1, 4).expect("build");
+    let (k0, s0) = (counter("em.inductor.k_evals"), counter("em.true_solves"));
+    for &f in &freqs {
+        engine.extract_at(f).expect("solve");
+    }
+    let k = counter("em.inductor.k_evals") - k0;
+    let solves = counter("em.true_solves") - s0;
+    assert_eq!(solves, freqs.len() as u64);
+    // The regression this guards: k(f) is loop-invariant inside one
+    // point's GMRES iteration, so it must be computed exactly once per
+    // point — not once per matvec or preconditioner application.
+    assert_eq!(k, solves, "k(f) must be hoisted out of the per-point solver loop");
+}
